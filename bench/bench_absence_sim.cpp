@@ -1,0 +1,119 @@
+// E9 — Lemma 4.9: cost of simulating weak absence detection on
+// bounded-degree graphs.
+//
+// The compiled machine realises one synchronous super-step (δ everywhere +
+// absence detection) as a three-phase wave over a distance-labelled forest.
+// We compare verdicts against the direct synchronous engine and measure the
+// selections-per-super-step overhead as the graph grows.
+#include <cstdio>
+#include <memory>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/extensions/absence.hpp"
+#include "dawn/extensions/absence_engine.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/util/table.hpp"
+
+namespace dawn {
+namespace {
+
+// The "everyone converted?" detector (see tests/test_absence.cpp): decides
+// "label 1 occurs" robustly under weak absence detection.
+std::shared_ptr<AbsenceMachine> all_marked_detector() {
+  FunctionMachine::Spec inner;
+  inner.beta = 1;
+  inner.num_labels = 2;
+  inner.num_states = 3;
+  inner.init = [](Label l) { return static_cast<State>(l); };
+  inner.step = [](State s, const Neighbourhood& n) {
+    if (s == 0 && (n.count(1) > 0 || n.count(2) > 0)) return State{1};
+    return s;
+  };
+  inner.verdict = [](State s) {
+    return s == 2 ? Verdict::Accept : Verdict::Reject;
+  };
+  AbsenceMachine::Spec spec;
+  spec.inner = std::make_shared<FunctionMachine>(inner);
+  spec.num_labels = 2;
+  spec.is_initiator = [](State s) { return s == 1; };
+  spec.detect = [](State q, const Support& s) {
+    for (State x : s) {
+      if (x == 0) return q;
+    }
+    return State{2};
+  };
+  return std::make_shared<AbsenceMachine>(spec);
+}
+
+}  // namespace
+}  // namespace dawn
+
+int main() {
+  using namespace dawn;
+  std::printf(
+      "E9 / Lemma 4.9: absence-detection simulation on bounded degree\n"
+      "==============================================================\n\n");
+
+  const auto machine = all_marked_detector();
+
+  Table t({"topology", "n", "k", "direct super-steps", "direct verdict",
+           "compiled selections", "compiled verdict", "selections/superstep"});
+  struct Case {
+    std::string name;
+    Graph graph;
+    int k;
+  };
+  std::vector<Case> cases;
+  for (int n : {5, 9, 15}) {
+    std::vector<Label> labels(static_cast<std::size_t>(n), 0);
+    labels[static_cast<std::size_t>(n / 2)] = 1;
+    cases.push_back({"line", make_line(labels), 2});
+  }
+  for (int side : {3, 4}) {
+    std::vector<Label> labels(static_cast<std::size_t>(side * side), 0);
+    labels[0] = 1;
+    cases.push_back({"grid", make_grid(side, side, labels), 4});
+  }
+
+  for (auto& tc : cases) {
+    // Direct engine: count super-steps until stable accept.
+    AbsenceSyncRun direct(*machine, tc.graph, AbsenceAssignment::Voronoi, 3);
+    int supersteps = 0;
+    while (direct.consensus() != Verdict::Accept && supersteps < 1000) {
+      direct.step();
+      ++supersteps;
+    }
+
+    // Compiled machine: round-robin selections until stable accept.
+    const auto compiled = compile_absence(machine, tc.k);
+    Config c = initial_config(*compiled, tc.graph);
+    std::uint64_t selections = 0;
+    bool accepted = false;
+    for (std::uint64_t s = 0; s < 3'000'000 && !accepted; ++s) {
+      const auto v = static_cast<NodeId>(
+          s % static_cast<std::uint64_t>(tc.graph.n()));
+      const Selection sel{v};
+      c = successor(*compiled, tc.graph, c, sel);
+      ++selections;
+      accepted = true;
+      for (State st : c) {
+        accepted = accepted && compiled->verdict(st) == Verdict::Accept;
+      }
+    }
+
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.0f",
+                  supersteps ? static_cast<double>(selections) / supersteps
+                             : 0.0);
+    t.add_row({tc.name, std::to_string(tc.graph.n()), std::to_string(tc.k),
+               std::to_string(supersteps),
+               direct.consensus() == Verdict::Accept ? "accept" : "?!",
+               accepted ? std::to_string(selections) : "timeout",
+               accepted ? "accept" : "?!", ratio});
+  }
+  t.print();
+  std::printf(
+      "\nshape check vs paper: the compiled machine reaches the same verdict;"
+      "\neach super-step costs O(n) wave selections (three phases + reports).\n");
+  return 0;
+}

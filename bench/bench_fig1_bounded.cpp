@@ -1,0 +1,93 @@
+// E2 — Figure 1 (right): decision power on bounded-degree graphs.
+//
+// The shape to reproduce: on degree-<=k graphs the class DAf jumps from
+// Cutoff(1) to (at least) all homogeneous threshold predicates — in
+// particular majority under *adversarial* scheduling — while dAf stays at
+// Cutoff(1) (Proposition D.1's argument is executed concretely: a dAf
+// automaton cannot tell a line from the line with one end-label duplicated).
+#include <cstdio>
+#include <string>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/classes.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/majority_bounded.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/simulate.hpp"
+#include "dawn/semantics/sync_run.hpp"
+#include "dawn/util/table.hpp"
+
+int main() {
+  using namespace dawn;
+  std::printf(
+      "E2 / Figure 1 (bounded degree): DAf decides majority adversarially\n"
+      "===================================================================\n\n");
+
+  // --- DAf majority (Section 6.1) across degree-bounded inputs and the
+  // --- full adversary battery. Every cell must match #a >= #b.
+  const auto pred = pred_majority_ge(0, 1, 2);
+  struct Input {
+    std::string name;
+    Graph graph;
+    int k;
+  };
+  Rng rng(5);
+  std::vector<Input> inputs;
+  inputs.push_back({"cycle 2v1", make_cycle({0, 0, 1}), 2});
+  inputs.push_back({"cycle 2v3", make_cycle({0, 1, 1, 0, 1}), 2});
+  inputs.push_back({"cycle tie 3v3", make_cycle({0, 1, 0, 1, 0, 1}), 2});
+  inputs.push_back({"line 3v2", make_line({0, 0, 1, 1, 0}), 2});
+  inputs.push_back({"grid 5v4", make_grid(3, 3, {0, 1, 0, 1, 0, 1, 0, 1, 0}), 4});
+  inputs.push_back(
+      {"random-deg3 4v4",
+       make_random_bounded_degree({0, 0, 0, 0, 1, 1, 1, 1}, 3, 4, rng), 3});
+
+  Table t({"input", "expected", "synchronous", "round-robin", "starvation",
+           "greedy", "permutation", "random"});
+  for (const auto& input : inputs) {
+    const bool expected = pred(input.graph.label_count(2));
+    const auto aut = make_majority_bounded(input.k);
+    std::vector<std::string> row{input.name, expected ? "accept" : "reject"};
+    for (auto& sched : make_adversary_battery(17)) {
+      SimulateOptions opts;
+      opts.max_steps = 30'000'000;
+      opts.stable_window = 300'000;
+      const auto r = simulate(*aut.machine, input.graph, *sched, opts);
+      std::string cell = r.verdict == Verdict::Accept ? "accept" : "reject";
+      if (!r.converged) cell += "!?";
+      if ((r.verdict == Verdict::Accept) != expected) cell += " WRONG";
+      row.push_back(cell + " @" + std::to_string(r.convergence_step));
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  // --- dAf stays Cutoff(1): Proposition D.1's concrete argument. A dAf
+  // --- automaton runs identically (through the synchronous run) on a line
+  // --- labelled L·x and on the line with the end label duplicated.
+  std::printf(
+      "\ndAf stays Cutoff(1) (Prop. D.1): duplicating an end label of a line"
+      "\nis invisible to a non-counting automaton's synchronous run:\n");
+  const auto exists = make_exists_label(1, 2);
+  Table t2({"line labels", "verdict", "line + duplicated end", "verdict",
+            "equal"});
+  const std::vector<std::vector<Label>> lines = {
+      {1, 0, 0}, {0, 0, 0}, {1, 1, 0, 0}, {0, 1, 0}};
+  for (const auto& labels : lines) {
+    std::vector<Label> extended = labels;
+    extended.insert(extended.begin(), labels.front());
+    const auto a = decide_synchronous(*exists, make_line(labels)).decision;
+    const auto b = decide_synchronous(*exists, make_line(extended)).decision;
+    std::string l1, l2;
+    for (Label l : labels) l1 += std::to_string(l);
+    for (Label l : extended) l2 += std::to_string(l);
+    t2.add_row({l1, to_string(a), l2, to_string(b),
+                a == b ? "yes" : "NO (?!)"});
+  }
+  t2.print();
+  std::printf(
+      "\nshape check vs paper: majority decided by DAf under every adversary"
+      "\non bounded degree; impossible for it on arbitrary graphs (E1).\n");
+  return 0;
+}

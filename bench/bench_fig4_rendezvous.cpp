@@ -1,0 +1,105 @@
+// E5 — Figure 4 / Lemma 4.10: the rendez-vous handshake.
+//
+// (a) the five-selection handshake trace of the proof (search / answer /
+//     confirm / commit / commit) on a single edge;
+// (b) simulation overhead: how many exclusive selections the compiled DAF
+//     machine needs per committed rendez-vous of the simulated population
+//     protocol, as the clique grows (the figure's protocol in the large).
+#include <cstdio>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/extensions/population.hpp"
+#include "dawn/extensions/population_engine.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/pp_majority.hpp"
+#include "dawn/util/table.hpp"
+
+int main() {
+  using namespace dawn;
+  std::printf(
+      "E5 / Figure 4: rendez-vous simulation by a DAF automaton\n"
+      "========================================================\n\n");
+
+  const auto proto = make_majority_protocol(0, 1, 2);
+  CompiledPopulationMachine machine(proto);
+
+  std::printf("(a) the handshake on one edge, schedule u,v,u,v,u:\n");
+  {
+    const Graph g = make_line({0, 1});
+    Config c = initial_config(machine, g);
+    auto show = [&](const char* what) {
+      std::printf("  %-16s %-8s %-8s\n", what,
+                  machine.state_name(c[0]).c_str(),
+                  machine.state_name(c[1]).c_str());
+    };
+    show("initial");
+    const NodeId schedule[] = {0, 1, 0, 1, 0};
+    const char* notes[] = {"u searches", "v answers", "u confirms",
+                           "v commits d2", "u commits d1"};
+    for (int i = 0; i < 5; ++i) {
+      const Selection sel{schedule[i]};
+      c = successor(machine, g, c, sel);
+      show(notes[i]);
+    }
+  }
+
+  std::printf(
+      "\n(b) selections per committed rendez-vous on growing cliques\n"
+      "    (majority protocol, random exclusive scheduling):\n\n");
+  Table t({"n", "a-nodes", "b-nodes", "selections", "rendezvous",
+           "selections/rendezvous", "final verdict ok"});
+  for (int n = 4; n <= 12; n += 2) {
+    const int a = n / 2 + 1, b = n - a;
+    LabelCount L{a, b};
+    const Graph g = make_clique(labels_from_count(L));
+    Config c = initial_config(machine, g);
+    Rng rng(static_cast<std::uint64_t>(n) * 71);
+    std::uint64_t selections = 0, rendezvous = 0;
+    // Run until the protocol stabilises: no strong B left and no weak b
+    // left (the majority protocol's committed end state for a > b).
+    const auto pred = pred_majority_gt(0, 1, 2);
+    std::uint64_t consensus_since = 0;
+    bool done = false;
+    for (std::uint64_t tmax = 2'000'000; selections < tmax && !done;) {
+      const auto v =
+          static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n())));
+      const State before = c[static_cast<std::size_t>(v)];
+      const Selection sel{v};
+      c = successor(machine, g, c, sel);
+      ++selections;
+      const State after = c[static_cast<std::size_t>(v)];
+      // A committed protocol state change = half a rendezvous (each
+      // rendezvous changes two nodes' committed states).
+      if (machine.protocol_state_of(before) !=
+          machine.protocol_state_of(after)) {
+        ++rendezvous;
+      }
+      bool consensus = true;
+      for (State s : c) {
+        consensus = consensus &&
+                    proto.verdict(machine.protocol_state_of(s)) ==
+                        (pred(L) ? Verdict::Accept : Verdict::Reject);
+      }
+      if (!consensus) {
+        consensus_since = selections;
+      } else if (selections - consensus_since > 50'000) {
+        done = true;
+      }
+    }
+    const std::uint64_t pairs = rendezvous / 2;
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.1f",
+                  pairs ? static_cast<double>(consensus_since) /
+                              static_cast<double>(pairs)
+                        : 0.0);
+    t.add_row({std::to_string(n), std::to_string(a), std::to_string(b),
+               std::to_string(consensus_since), std::to_string(pairs), ratio,
+               done ? "yes" : "timeout"});
+  }
+  t.print();
+  std::printf(
+      "\nshape check vs paper: a rendez-vous costs a constant-factor number"
+      "\nof selections (5 on an idle edge; contention adds cancellations).\n");
+  return 0;
+}

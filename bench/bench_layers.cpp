@@ -1,0 +1,124 @@
+// Ablation: cost and footprint of each compilation layer.
+//
+// DESIGN.md calls out the lazy-interning design as what makes the deep
+// stacks tractable; this bench quantifies it. For each layer of the two big
+// pipelines we measure the per-step cost, the number of distinct machine
+// states a long run touches (the lazily materialised fraction of the
+// nominal state space), and the effect of transition memoization.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/automata/memoized.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/protocols/majority_bounded.hpp"
+#include "dawn/protocols/parity_strong.hpp"
+#include "dawn/trace/census.hpp"
+#include "dawn/util/table.hpp"
+
+namespace dawn {
+namespace {
+
+void run_steps(const Machine& m, const Graph& g, benchmark::State& state) {
+  Config c = initial_config(m, g);
+  Rng rng(5);
+  for (auto _ : state) {
+    const Selection sel{
+        static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n())))};
+    c = successor(m, g, c, sel);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+const Graph& ring8() {
+  static const Graph g = make_cycle({0, 1, 0, 1, 0, 1, 1, 1});
+  return g;
+}
+
+void BM_Sec61_CancelLayer(benchmark::State& state) {
+  const auto aut = make_majority_bounded(2);
+  run_steps(*aut.detect_inner, ring8(), state);
+}
+BENCHMARK(BM_Sec61_CancelLayer);
+
+void BM_Sec61_AbsenceCompiled(benchmark::State& state) {
+  const auto aut = make_majority_bounded(2);
+  run_steps(*aut.detect_machine, ring8(), state);
+}
+BENCHMARK(BM_Sec61_AbsenceCompiled);
+
+void BM_Sec61_BroadcastCompiled(benchmark::State& state) {
+  const auto aut = make_majority_bounded(2);
+  run_steps(*aut.bc_machine, ring8(), state);
+}
+BENCHMARK(BM_Sec61_BroadcastCompiled);
+
+void BM_Sec61_FullStack(benchmark::State& state) {
+  const auto aut = make_majority_bounded(2);
+  run_steps(*aut.machine, ring8(), state);
+}
+BENCHMARK(BM_Sec61_FullStack);
+
+void BM_Sec61_FullStackMemoized(benchmark::State& state) {
+  const auto aut = make_majority_bounded(2);
+  MemoizedMachine memo(aut.machine);
+  run_steps(memo, ring8(), state);
+}
+BENCHMARK(BM_Sec61_FullStackMemoized);
+
+void BM_Lemma51_TokenLayer(benchmark::State& state) {
+  const auto daf = make_mod_counter_daf(2, 0, 0, 2);
+  run_steps(*daf.token, ring8(), state);
+}
+BENCHMARK(BM_Lemma51_TokenLayer);
+
+void BM_Lemma51_FullStack(benchmark::State& state) {
+  const auto daf = make_mod_counter_daf(2, 0, 0, 2);
+  run_steps(*daf.machine, ring8(), state);
+}
+BENCHMARK(BM_Lemma51_FullStack);
+
+void census_table() {
+  std::printf("\nlazily materialised state spaces (random run, 300k steps, "
+              "8-ring):\n");
+  Table t({"machine", "distinct states", "distinct configs"});
+  const auto aut = make_majority_bounded(2);
+  const auto daf = make_mod_counter_daf(2, 0, 0, 2);
+  struct Row {
+    const char* name;
+    const Machine* m;
+  };
+  const Row rows[] = {
+      {"Sec 6.1: cancel layer (explicit Q)", aut.detect_inner.get()},
+      {"Sec 6.1: + absence compile", aut.detect_machine.get()},
+      {"Sec 6.1: + broadcasts", aut.bc_machine.get()},
+      {"Sec 6.1: full stack (DAf)", aut.machine.get()},
+      {"Lemma 5.1: token layer", daf.token.get()},
+      {"Lemma 5.1: full stack (DAF)", daf.machine.get()},
+  };
+  for (const Row& row : rows) {
+    const Census census = census_random_run(*row.m, ring8(), 300'000, 11);
+    t.add_row({row.name, std::to_string(census.distinct_states),
+               std::to_string(census.distinct_configs)});
+  }
+  t.print();
+  std::printf(
+      "shape check: each layer multiplies the touched state space by a\n"
+      "small factor — not the exponential nominal product — which is what\n"
+      "makes the paper's compilation chains executable at all.\n");
+}
+
+}  // namespace
+}  // namespace dawn
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Ablation: per-layer cost of the compilation pipelines\n"
+      "=====================================================\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  dawn::census_table();
+  return 0;
+}

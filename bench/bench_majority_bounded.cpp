@@ -1,0 +1,121 @@
+// E11 — Section 6.1 / Proposition 6.3: the flagship experiment.
+//
+// Convergence of the bounded-degree DAf majority automaton:
+//   (a) versus population size n, per topology family, synchronous schedule;
+//   (b) versus the vote margin on a fixed ring;
+//   (c) versus the adversary, on a fixed input.
+// The shapes to see: convergence on every instance under every adversary
+// (the paper's possibility result); rejects are slower than accepts (they
+// must run cancellation to the all-negative certificate and broadcast □);
+// narrow margins are slower than wide ones (more doubling rounds).
+#include <cstdio>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/majority_bounded.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/simulate.hpp"
+#include "dawn/util/table.hpp"
+
+namespace dawn {
+namespace {
+
+std::vector<Label> votes(int n, int yes, Rng& rng) {
+  std::vector<Label> labels(static_cast<std::size_t>(n), 1);
+  for (int placed = 0; placed < yes;) {
+    const std::size_t at = rng.index(labels.size());
+    if (labels[at] == 1) {
+      labels[at] = 0;
+      ++placed;
+    }
+  }
+  return labels;
+}
+
+std::string run_cell(const Machine& machine, const Graph& g, Scheduler& sched,
+                     bool expected) {
+  SimulateOptions opts;
+  opts.max_steps = 60'000'000;
+  opts.stable_window = 300'000;
+  const auto r = simulate(machine, g, sched, opts);
+  if (!r.converged) return "timeout";
+  std::string cell = std::to_string(r.convergence_step);
+  if ((r.verdict == Verdict::Accept) != expected) cell += " WRONG";
+  return cell;
+}
+
+}  // namespace
+}  // namespace dawn
+
+int main() {
+  using namespace dawn;
+  std::printf(
+      "E11 / Prop 6.3: bounded-degree DAf majority — convergence study\n"
+      "===============================================================\n\n");
+  Rng rng(404);
+  const auto pred = pred_majority_ge(0, 1, 2);
+
+  std::printf("(a) steps to consensus vs n (synchronous schedule):\n");
+  {
+    Table t({"family", "n", "yes", "no", "expected", "steps (sync)"});
+    for (int n : {4, 6, 8, 10, 12}) {
+      for (const bool majority_yes : {true, false}) {
+        const int yes = majority_yes ? n / 2 + 1 : n / 2 - 1;
+        const auto labels = votes(n, yes, rng);
+        struct Fam {
+          std::string name;
+          Graph graph;
+          int k;
+        };
+        std::vector<Fam> fams;
+        fams.push_back({"ring", make_cycle(labels), 2});
+        if (n % 2 == 0 && n >= 6) {
+          fams.push_back({"grid", make_grid(n / 2, 2, labels), 4});
+        }
+        for (auto& fam : fams) {
+          const auto aut = make_majority_bounded(fam.k);
+          SynchronousScheduler sync;
+          const LabelCount L = fam.graph.label_count(2);
+          t.add_row({fam.name, std::to_string(n), std::to_string(L[0]),
+                     std::to_string(L[1]), pred(L) ? "accept" : "reject",
+                     run_cell(*aut.machine, fam.graph, sync, pred(L))});
+        }
+      }
+    }
+    t.print();
+  }
+
+  std::printf("\n(b) steps vs margin on the 10-ring (synchronous):\n");
+  {
+    Table t({"yes", "no", "margin", "expected", "steps (sync)"});
+    const int n = 10;
+    for (int yes : {10, 8, 6, 5, 4, 2, 0}) {
+      const auto labels = votes(n, yes, rng);
+      const Graph g = make_cycle(labels);
+      const auto aut = make_majority_bounded(2);
+      SynchronousScheduler sync;
+      const LabelCount L = g.label_count(2);
+      t.add_row({std::to_string(yes), std::to_string(n - yes),
+                 std::to_string(2 * yes - n), pred(L) ? "accept" : "reject",
+                 run_cell(*aut.machine, g, sync, pred(L))});
+    }
+    t.print();
+  }
+
+  std::printf("\n(c) steps vs adversary on the 8-ring, 3 yes / 5 no:\n");
+  {
+    Table t({"scheduler", "verdict steps"});
+    const auto labels = votes(8, 3, rng);
+    const Graph g = make_cycle(labels);
+    const auto aut = make_majority_bounded(2);
+    for (auto& sched : make_adversary_battery(31)) {
+      t.add_row({sched->name(),
+                 run_cell(*aut.machine, g, *sched, pred(g.label_count(2)))});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nshape check vs paper: majority decided on every bounded-degree\n"
+      "instance under every adversary — impossible on arbitrary graphs (E1).\n");
+  return 0;
+}

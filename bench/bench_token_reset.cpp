@@ -1,0 +1,95 @@
+// E10 — Lemma 5.1: the token/reset pipeline compiling strong broadcast
+// protocols into DAF automata.
+//
+// Every agent starts with a token; colliding tokens send an agent into the
+// error state ⊥, whose ⟨reset⟩ restarts the protocol with strictly fewer
+// tokens. The shape to reproduce: the number of observed resets is at most
+// (initial tokens - 1), the surviving token count reaches exactly 1, and
+// the final verdict matches the predicate.
+#include <cstdio>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/parity_strong.hpp"
+#include "dawn/util/table.hpp"
+
+int main() {
+  using namespace dawn;
+  std::printf(
+      "E10 / Lemma 5.1: token collisions and resets (parity pipeline)\n"
+      "==============================================================\n\n");
+
+  const auto pred = pred_mod(0, 2, 0, 2);
+  Table t({"topology", "n", "#x", "resets seen", "tokens at end",
+           "steps to 1 token", "verdict", "expected"});
+
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  for (int n : {3, 4, 5, 6}) {
+    std::vector<Label> labels(static_cast<std::size_t>(n), 1);
+    for (int i = 0; i < (n + 1) / 2; ++i) labels[static_cast<std::size_t>(i)] = 0;
+    cases.push_back({"clique", make_clique(labels)});
+    if (n >= 3) cases.push_back({"cycle", make_cycle(labels)});
+  }
+
+  for (auto& tc : cases) {
+    const auto daf = make_mod_counter_daf(2, 0, 0, 2);
+    Config c = initial_config(*daf.machine, tc.graph);
+    Rng rng(static_cast<std::uint64_t>(tc.graph.n()) * 1337 + 7);
+    // Error episodes are short (an agent committing ⊥ is frozen and its
+    // ⟨reset⟩ fires at its next selections), so the committed projection is
+    // inspected at every step.
+    int resets = 0;
+    bool had_error = false;
+    std::uint64_t one_token_at = 0;
+    int tokens = tc.graph.n();
+    for (std::uint64_t s = 0; s < 2'000'000; ++s) {
+      const Selection sel{static_cast<NodeId>(
+          rng.index(static_cast<std::size_t>(tc.graph.n())))};
+      c = successor(*daf.machine, tc.graph, c, sel);
+      int now_tokens = 0;
+      bool any_error = false;
+      for (State st : c) {
+        const State tok = daf.committed_token_of(st);
+        if (tok == StrongToDaf::kTokL || tok == StrongToDaf::kTokArmed) {
+          ++now_tokens;
+        }
+        any_error = any_error || tok == StrongToDaf::kTokError;
+      }
+      // A reset completes when the error flag clears.
+      if (had_error && !any_error) ++resets;
+      had_error = any_error;
+      tokens = now_tokens;
+      // First time the token collapses to one (later transient dips of the
+      // committed projection during handshakes are bookkeeping noise).
+      if (one_token_at == 0 && now_tokens == 1 && !any_error) {
+        one_token_at = s;
+      }
+      if (one_token_at != 0 && s - one_token_at > 500'000) break;
+    }
+    // Verdict of the committed protocol projection.
+    bool all_accept = true, all_reject = true;
+    for (State st : c) {
+      const Verdict v =
+          daf.protocol->verdict(daf.committed_protocol_of(st));
+      all_accept = all_accept && v == Verdict::Accept;
+      all_reject = all_reject && v == Verdict::Reject;
+    }
+    const char* verdict =
+        all_accept ? "accept" : (all_reject ? "reject" : "mixed?!");
+    const auto L = tc.graph.label_count(2);
+    t.add_row({tc.name, std::to_string(tc.graph.n()),
+               std::to_string(L[0]), std::to_string(resets),
+               std::to_string(tokens), std::to_string(one_token_at), verdict,
+               pred(L) ? "accept" : "reject"});
+  }
+  t.print();
+  std::printf(
+      "\nshape check vs paper: resets <= initial tokens - 1 = n - 1; the\n"
+      "token count reaches 1 and the run stabilises to the parity verdict.\n");
+  return 0;
+}

@@ -1,0 +1,200 @@
+// dawn_cli — run any of the paper's protocols on any input from the
+// command line.
+//
+//   dawn_cli <protocol> <topology> <labels> [options]
+//
+//   protocols:
+//     exists:L            some node carries label L              (dAf)
+//     threshold:L:K       at least K nodes carry label L         (dAF)
+//     mod:L:M:R           #L ≡ R (mod M)                         (DAF)
+//     majority-pp         #label0 > #label1, cliques, no ties    (DAF)
+//     majority:K          #label0 >= #label1, degree <= K        (DAf)
+//   topologies: cycle | line | clique | star | grid:WxH | torus:WxH
+//   labels: comma-separated, e.g. 0,1,0,0
+//   options:
+//     --exact             exact decision (pseudo-stochastic bottom-SCC);
+//                         default for small inputs
+//     --simulate          simulation under the adversary battery
+//     --trace N           print the first N steps of a round-robin run
+//
+// Examples:
+//   dawn_cli exists:1 cycle 0,0,1,0 --exact
+//   dawn_cli majority:2 cycle 0,1,0,1,0 --simulate
+//   dawn_cli mod:0:2:0 clique 0,0,1 --simulate
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/majority_bounded.hpp"
+#include "dawn/protocols/parity_strong.hpp"
+#include "dawn/protocols/pp_majority.hpp"
+#include "dawn/protocols/threshold_daf.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/simulate.hpp"
+#include "dawn/trace/recorder.hpp"
+
+using namespace dawn;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream in(s);
+  std::string item;
+  while (std::getline(in, item, sep)) out.push_back(item);
+  return out;
+}
+
+[[noreturn]] void usage(const char* argv0, const std::string& why = "") {
+  if (!why.empty()) std::fprintf(stderr, "error: %s\n\n", why.c_str());
+  std::fprintf(stderr,
+               "usage: %s <protocol> <topology> <labels> "
+               "[--exact|--simulate] [--trace N]\n"
+               "  protocols: exists:L  threshold:L:K  mod:L:M:R  "
+               "majority-pp  majority:K\n"
+               "  topologies: cycle line clique star grid:WxH torus:WxH\n"
+               "  labels: comma-separated, e.g. 0,1,0,0\n",
+               argv0);
+  std::exit(2);
+}
+
+struct Parsed {
+  std::shared_ptr<Machine> machine;
+  std::string description;
+  int num_labels = 2;
+};
+
+Parsed parse_protocol(const std::string& spec, const char* argv0) {
+  const auto parts = split(spec, ':');
+  Parsed out;
+  if (parts[0] == "exists" && parts.size() == 2) {
+    const Label l = std::atoi(parts[1].c_str());
+    out.num_labels = l + 1 < 2 ? 2 : l + 1;
+    out.machine = make_exists_label(l, out.num_labels);
+    out.description = "flooding (dAf): exists label " + parts[1];
+  } else if (parts[0] == "threshold" && parts.size() == 3) {
+    const Label l = std::atoi(parts[1].c_str());
+    const int k = std::atoi(parts[2].c_str());
+    out.num_labels = l + 1 < 2 ? 2 : l + 1;
+    out.machine = make_threshold_daf(k, l, out.num_labels);
+    out.description =
+        "Lemma C.5 (dAF): #label" + parts[1] + " >= " + parts[2];
+  } else if (parts[0] == "mod" && parts.size() == 4) {
+    const Label l = std::atoi(parts[1].c_str());
+    const int m = std::atoi(parts[2].c_str());
+    const int r = std::atoi(parts[3].c_str());
+    out.num_labels = l + 1 < 2 ? 2 : l + 1;
+    out.machine = make_mod_counter_daf(m, r, l, out.num_labels).machine;
+    out.description = "Lemma 5.1 pipeline (DAF): #label" + parts[1] + " = " +
+                      parts[3] + " mod " + parts[2];
+  } else if (parts[0] == "majority-pp" && parts.size() == 1) {
+    out.num_labels = 2;
+    out.machine = make_majority_daf(0, 1, 2);
+    out.description =
+        "population protocol via Lemma 4.10 (DAF): #l0 > #l1, cliques, "
+        "no ties";
+  } else if (parts[0] == "majority" && parts.size() == 2) {
+    const int k = std::atoi(parts[1].c_str());
+    out.num_labels = 2;
+    out.machine = make_majority_bounded(k).machine;
+    out.description = "Section 6.1 (DAf): #l0 >= #l1 on degree <= " + parts[1];
+  } else {
+    usage(argv0, "unknown protocol: " + spec);
+  }
+  return out;
+}
+
+Graph parse_topology(const std::string& spec, const std::vector<Label>& labels,
+                     const char* argv0) {
+  const auto parts = split(spec, ':');
+  if (parts[0] == "cycle") return make_cycle(labels);
+  if (parts[0] == "line") return make_line(labels);
+  if (parts[0] == "clique") return make_clique(labels);
+  if (parts[0] == "star") {
+    std::vector<Label> leaves(labels.begin() + 1, labels.end());
+    return make_star(labels.front(), leaves);
+  }
+  if ((parts[0] == "grid" || parts[0] == "torus") && parts.size() == 2) {
+    const auto dims = split(parts[1], 'x');
+    if (dims.size() != 2) usage(argv0, "grid needs WxH");
+    return make_grid(std::atoi(dims[0].c_str()), std::atoi(dims[1].c_str()),
+                     labels, parts[0] == "torus");
+  }
+  usage(argv0, "unknown topology: " + spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+
+  bool exact = false, simulate_mode = false;
+  std::uint64_t trace_steps = 0;
+  for (int i = 4; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--exact")) {
+      exact = true;
+    } else if (!std::strcmp(argv[i], "--simulate")) {
+      simulate_mode = true;
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_steps = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      usage(argv[0], std::string("unknown option: ") + argv[i]);
+    }
+  }
+
+  Parsed protocol = parse_protocol(argv[1], argv[0]);
+
+  std::vector<Label> labels;
+  for (const auto& tok : split(argv[3], ',')) {
+    const Label l = std::atoi(tok.c_str());
+    labels.push_back(l);
+    if (l + 1 > protocol.num_labels) {
+      usage(argv[0], "label " + tok + " outside the protocol's alphabet");
+    }
+  }
+  if (labels.size() < 3) usage(argv[0], "need at least 3 nodes");
+
+  const Graph g = parse_topology(argv[2], labels, argv[0]);
+  std::printf("protocol: %s\n", protocol.description.c_str());
+  std::printf("input: %s, n=%d, max degree %d\n", argv[2], g.n(),
+              g.max_degree());
+
+  if (!exact && !simulate_mode) exact = g.n() <= 6;
+
+  if (trace_steps > 0) {
+    std::printf("\nround-robin trace (committed projection):\n%s\n",
+                record_round_robin(*protocol.machine, g, trace_steps, true)
+                    .c_str());
+  }
+
+  if (exact) {
+    const auto r = decide_pseudo_stochastic(*protocol.machine, g,
+                                            {.max_configs = 4'000'000});
+    std::printf("exact decision: %s (%zu configurations explored)\n",
+                to_string(r.decision).c_str(), r.num_configs);
+    if (r.decision == Decision::Unknown) {
+      std::printf("(state space too large — try --simulate)\n");
+    }
+  }
+  if (simulate_mode || !exact) {
+    for (auto& sched : make_adversary_battery(1)) {
+      SimulateOptions opts;
+      opts.max_steps = 30'000'000;
+      opts.stable_window = 200'000;
+      const auto r = simulate(*protocol.machine, g, *sched, opts);
+      std::printf("  %-18s -> %s%s\n", sched->name().c_str(),
+                  r.verdict == Verdict::Accept
+                      ? "accept"
+                      : (r.verdict == Verdict::Reject ? "reject" : "?"),
+                  r.converged ? "" : " [not converged]");
+    }
+  }
+  return 0;
+}

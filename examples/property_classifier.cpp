@@ -1,0 +1,66 @@
+// Property classifier — Figure 1 as a tool.
+//
+// For a battery of labelling predicates, reports the property classes of
+// the paper's classification (Trivial / Cutoff(1) / Cutoff / ISM / none of
+// these) as checked on a finite window, and reads off which automata
+// classes can decide each predicate on arbitrary and on bounded-degree
+// graphs.
+//
+//   $ ./property_classifier
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dawn/props/classes.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/util/table.hpp"
+
+int main() {
+  using namespace dawn;
+
+  const std::int64_t bound = 10;
+  const std::vector<LabellingPredicate> predicates = {
+      {"always-true", 2, [](const LabelCount&) { return true; }},
+      pred_exists(0, 2),
+      pred_threshold(0, 3, 2),
+      pred_majority_ge(0, 1, 2),
+      pred_mod(0, 2, 0, 2),
+      pred_homogeneous({2, -3}),
+      pred_divides(0, 1, 2),
+      pred_prime_size(2),
+  };
+
+  Table table({"predicate", "trivial", "cutoff", "ISM",
+               "weakest class, arbitrary", "weakest class, degree<=k"});
+  for (const auto& p : predicates) {
+    const bool trivial = is_trivial(p, bound);
+    const std::int64_t cutoff = least_cutoff(p, bound);
+    const bool ism = is_ism(p, bound, 4);
+
+    // Figure 1, read off the classification (window evidence).
+    std::string arbitrary, bounded;
+    if (trivial) {
+      arbitrary = bounded = "any (incl. halting)";
+    } else if (cutoff == 1) {
+      arbitrary = "dAf";
+      bounded = "dAf";
+    } else if (cutoff > 1) {
+      arbitrary = "dAF";
+      bounded = "dAF/DAF";
+    } else {
+      arbitrary = "DAF (if in NL)";
+      bounded = ism ? "DAf (if homog. threshold)" : "dAF/DAF (if in NSPACE(n))";
+    }
+
+    table.add_row({p.name, trivial ? "yes" : "no",
+                   cutoff < 0 ? "none<=" + std::to_string(bound)
+                              : std::to_string(cutoff),
+                   ism ? "yes" : "no", arbitrary, bounded});
+  }
+  table.print();
+  std::printf(
+      "\n(window: label counts <= %lld; 'none' = refuted on the window, "
+      "class columns follow Figure 1)\n",
+      static_cast<long long>(bound));
+  return 0;
+}

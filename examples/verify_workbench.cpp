@@ -1,0 +1,106 @@
+// Verify-your-own-protocol workbench — the downstream-user workflow.
+//
+// Suppose you designed a distributed automaton and claim it decides some
+// labelling predicate. This example shows the library's verification
+// pipeline on a deliberately *buggy* variant next to a correct one:
+//
+//   1. exact verification over a window of inputs and topologies
+//      (bottom-SCC decision — counterexamples are definitive);
+//   2. the symbolic cutoff analysis (what the automaton can possibly
+//      decide: every dAF automaton has a finite cutoff, so if your target
+//      predicate has none, no fix will ever work);
+//   3. a state-space census (how heavy is the automaton in practice).
+//
+//   $ ./verify_workbench
+#include <cstdio>
+#include <memory>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/classes.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/symbolic/cutoff.hpp"
+#include "dawn/trace/census.hpp"
+#include "dawn/verify/verify.hpp"
+
+using namespace dawn;
+
+namespace {
+
+// Correct: flooding decides "some node carries label 1".
+std::shared_ptr<Machine> flooding() {
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = 2;
+  spec.num_states = 2;
+  spec.init = [](Label l) { return static_cast<State>(l); };
+  spec.step = [](State s, const Neighbourhood& n) {
+    return s == 0 && n.count(1) > 0 ? State{1} : s;
+  };
+  spec.verdict = [](State s) {
+    return s == 1 ? Verdict::Accept : Verdict::Reject;
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+// Buggy: the flood also retreats (a lit node with a dark neighbour goes
+// dark) — the classic "forgot monotonicity" mistake; runs never stabilise.
+std::shared_ptr<Machine> buggy_flooding() {
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = 2;
+  spec.num_states = 2;
+  spec.init = [](Label l) { return static_cast<State>(l); };
+  spec.step = [](State s, const Neighbourhood& n) {
+    if (s == 0 && n.count(1) > 0) return State{1};
+    if (s == 1 && n.count(0) > 0) return State{0};
+    return s;
+  };
+  spec.verdict = [](State s) {
+    return s == 1 ? Verdict::Accept : Verdict::Reject;
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+}  // namespace
+
+int main() {
+  const auto pred = pred_exists(1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 3;
+  opts.check_synchronous = true;
+
+  std::printf("== correct protocol ==\n");
+  {
+    const auto m = flooding();
+    const auto report = verify_machine(*m, pred, opts);
+    std::printf("verification: %s\n", report.summary().c_str());
+    const auto analysis = analyse_cutoff(*m);
+    std::printf("symbolic cutoff: m=%lld K=%lld (Cutoff(%lld) is what this "
+                "automaton family can decide)\n",
+                static_cast<long long>(analysis->m),
+                static_cast<long long>(analysis->K),
+                static_cast<long long>(analysis->m));
+    const auto census =
+        census_random_run(*m, make_cycle({0, 0, 1, 0, 0, 0}), 100'000);
+    std::printf("census on a 6-ring, 100k steps: %zu states, %zu configs\n",
+                census.distinct_states, census.distinct_configs);
+  }
+
+  std::printf("\n== buggy protocol (flood retreats) ==\n");
+  {
+    const auto m = buggy_flooding();
+    const auto report = verify_machine(*m, pred, opts);
+    std::printf("verification: %s\n", report.summary().c_str());
+    std::printf("(the Inconsistent verdicts are the bug: runs flip between "
+                "consensuses forever)\n");
+  }
+
+  std::printf("\n== a predicate no dAF automaton can decide ==\n");
+  {
+    const auto maj = pred_majority_ge(0, 1, 2);
+    std::printf("majority admits no cutoff on [0,8]^2: %s => by Lemma 3.5 "
+                "stop looking for a dAF automaton\n",
+                least_cutoff(maj, 8) == -1 ? "confirmed" : "?!");
+  }
+  return 0;
+}

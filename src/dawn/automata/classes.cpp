@@ -1,0 +1,91 @@
+#include "dawn/automata/classes.hpp"
+
+namespace dawn {
+
+std::string to_string(PowerFamily family) {
+  switch (family) {
+    case PowerFamily::Trivial:
+      return "Trivial";
+    case PowerFamily::Cutoff1:
+      return "Cutoff(1)";
+    case PowerFamily::Cutoff:
+      return "Cutoff";
+    case PowerFamily::NL:
+      return "NL";
+    case PowerFamily::ISMUpper:
+      return ">= homogeneous thresholds, <= ISM";
+    case PowerFamily::NSpaceN:
+      return "NSPACE(n)";
+  }
+  return "?";
+}
+
+std::string AutomatonClass::name() const {
+  std::string out;
+  out += detection == DetectionKind::Counting ? 'D' : 'd';
+  out += acceptance == AcceptanceKind::StableConsensus ? 'A' : 'a';
+  out += fairness == FairnessKind::PseudoStochastic ? 'F' : 'f';
+  return out;
+}
+
+PowerFamily AutomatonClass::power_arbitrary() const {
+  if (acceptance == AcceptanceKind::Halting) return PowerFamily::Trivial;
+  if (fairness == FairnessKind::Adversarial) return PowerFamily::Cutoff1;
+  // Stable consensus + pseudo-stochastic:
+  return detection == DetectionKind::Counting ? PowerFamily::NL
+                                              : PowerFamily::Cutoff;
+}
+
+PowerFamily AutomatonClass::power_bounded_degree() const {
+  if (acceptance == AcceptanceKind::Halting) return PowerFamily::Trivial;
+  if (fairness == FairnessKind::PseudoStochastic) return PowerFamily::NSpaceN;
+  // Adversarial + stable consensus:
+  return detection == DetectionKind::Counting ? PowerFamily::ISMUpper
+                                              : PowerFamily::Cutoff1;
+}
+
+std::vector<AutomatonClass> all_classes() {
+  std::vector<AutomatonClass> out;
+  for (auto d : {DetectionKind::NonCounting, DetectionKind::Counting}) {
+    for (auto a : {AcceptanceKind::Halting, AcceptanceKind::StableConsensus}) {
+      for (auto f :
+           {FairnessKind::Adversarial, FairnessKind::PseudoStochastic}) {
+        out.push_back({d, a, f});
+      }
+    }
+  }
+  return out;
+}
+
+bool power_leq(PowerFamily weaker, PowerFamily stronger) {
+  auto rank = [](PowerFamily f) {
+    switch (f) {
+      case PowerFamily::Trivial:
+        return 0;
+      case PowerFamily::Cutoff1:
+        return 1;
+      case PowerFamily::Cutoff:
+        return 2;
+      case PowerFamily::NL:
+        return 3;
+      case PowerFamily::ISMUpper:
+        return 3;  // incomparable with NL in general; same rank by fiat
+      case PowerFamily::NSpaceN:
+        return 4;
+    }
+    return 0;
+  };
+  // ISMUpper and NL are genuinely incomparable (ISM contains divisibility,
+  // which is not known to be in the bounded-degree DAf class; NL contains
+  // non-ISM properties like thresholds): only report <= along the chain.
+  if ((weaker == PowerFamily::ISMUpper) != (stronger == PowerFamily::ISMUpper)) {
+    if (weaker == PowerFamily::Cutoff1 || weaker == PowerFamily::Trivial) {
+      return stronger == PowerFamily::ISMUpper;
+    }
+    if (stronger == PowerFamily::NSpaceN) return true;
+    return false;
+  }
+  return rank(weaker) <= rank(stronger);
+}
+
+}  // namespace dawn

@@ -1,0 +1,55 @@
+// The paper's automaton classes as first-class values: the xyz ∈
+// {d,D}×{a,A}×{f,F} naming scheme, the seven-class collapse, and the
+// Figure 1 characterisation of decision power for labelling properties.
+//
+// This encodes the paper's RESULTS (so tools like examples/
+// property_classifier and bench_fig1_* read the classification from one
+// place) — the empirical evidence for the table lives in the benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dawn {
+
+enum class DetectionKind { NonCounting, Counting };       // d / D
+enum class AcceptanceKind { Halting, StableConsensus };   // a / A
+enum class FairnessKind { Adversarial, PseudoStochastic };// f / F
+
+// The decision-power families of Figure 1.
+enum class PowerFamily {
+  Trivial,
+  Cutoff1,
+  Cutoff,
+  NL,
+  ISMUpper,   // bounded-degree DAf: between homogeneous thresholds and ISM
+  NSpaceN,
+};
+
+std::string to_string(PowerFamily family);
+
+struct AutomatonClass {
+  DetectionKind detection = DetectionKind::NonCounting;
+  AcceptanceKind acceptance = AcceptanceKind::Halting;
+  FairnessKind fairness = FairnessKind::Adversarial;
+
+  // "dAf", "DAF", ...
+  std::string name() const;
+
+  // Decision power on labelling properties (Figure 1 middle column).
+  PowerFamily power_arbitrary() const;
+  // Figure 1 right column (degree-bounded inputs, k >= 3).
+  PowerFamily power_bounded_degree() const;
+
+  bool operator==(const AutomatonClass&) const = default;
+};
+
+// All eight xyz classes (daf and daF have equal power; the seven-class
+// figure merges them).
+std::vector<AutomatonClass> all_classes();
+
+// True iff every property decidable by `weaker` is decidable by `stronger`
+// on arbitrary graphs (the Figure 1 inclusion order).
+bool power_leq(PowerFamily weaker, PowerFamily stronger);
+
+}  // namespace dawn

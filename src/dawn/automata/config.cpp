@@ -1,0 +1,57 @@
+#include "dawn/automata/config.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+Config initial_config(const Machine& m, const Graph& g) {
+  Config c(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    c[static_cast<std::size_t>(v)] = m.init(g.label(v));
+  }
+  return c;
+}
+
+Config successor(const Machine& m, const Graph& g, const Config& config,
+                 std::span<const NodeId> selection) {
+  Config out = config;
+  successor_into(m, g, config, selection, out);
+  return out;
+}
+
+void successor_into(const Machine& m, const Graph& g, const Config& config,
+                    std::span<const NodeId> selection, Config& out) {
+  DAWN_CHECK(config.size() == static_cast<std::size_t>(g.n()));
+  out = config;
+  for (NodeId v : selection) {
+    const auto n = Neighbourhood::of(g, config, v, m.beta());
+    out[static_cast<std::size_t>(v)] =
+        m.step(config[static_cast<std::size_t>(v)], n);
+  }
+}
+
+bool is_accepting(const Machine& m, const Config& config) {
+  for (State s : config) {
+    if (m.verdict(s) != Verdict::Accept) return false;
+  }
+  return true;
+}
+
+bool is_rejecting(const Machine& m, const Config& config) {
+  for (State s : config) {
+    if (m.verdict(s) != Verdict::Reject) return false;
+  }
+  return true;
+}
+
+Verdict consensus(const Machine& m, const Config& config) {
+  DAWN_CHECK(!config.empty());
+  const Verdict first = m.verdict(config.front());
+  if (first == Verdict::Neutral) return Verdict::Neutral;
+  for (State s : config) {
+    if (m.verdict(s) != first) return Verdict::Neutral;
+  }
+  return first;
+}
+
+}  // namespace dawn

@@ -1,0 +1,40 @@
+// Configurations and the successor relation (Section 2.1).
+//
+// A configuration maps each node to a machine state. The successor of C via
+// a selection S lets all nodes of S evaluate δ simultaneously on the
+// neighbourhoods of C; the rest stay idle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+using Config = std::vector<State>;
+using Selection = std::vector<NodeId>;
+
+// C0: every node v starts in δ0(λ(v)).
+Config initial_config(const Machine& m, const Graph& g);
+
+// succ_δ(C, S). All neighbourhoods are taken from `config` (simultaneous
+// evaluation), matching the paper's semantics for liberal/synchronous
+// selection; exclusive selection is the |S| = 1 case.
+Config successor(const Machine& m, const Graph& g, const Config& config,
+                 std::span<const NodeId> selection);
+
+// In-place variant for hot loops; `scratch` receives the new states.
+void successor_into(const Machine& m, const Graph& g, const Config& config,
+                    std::span<const NodeId> selection, Config& out);
+
+// Consensus checks: a configuration is accepting (rejecting) if every node's
+// verdict is Accept (Reject).
+bool is_accepting(const Machine& m, const Config& config);
+bool is_rejecting(const Machine& m, const Config& config);
+
+// The uniform verdict of the configuration, or Neutral if mixed.
+Verdict consensus(const Machine& m, const Config& config);
+
+}  // namespace dawn

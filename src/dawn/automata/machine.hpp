@@ -1,0 +1,98 @@
+// The distributed machine model of Section 2.1.
+//
+// A machine M = (Q, δ0, δ, Y, N) with counting bound β runs on a labelled
+// graph: each node starts in δ0(label) and, when selected, moves to
+// δ(state, neighbourhood), where the neighbourhood reports the number of
+// neighbours in each state *capped at β*. Y and N are realised as a verdict
+// function (accepting / rejecting / neutral).
+//
+// States are dense int32 ids local to a machine. Compiled machines (the
+// Section 4 simulations) intern structured states lazily, so `step` may
+// create new ids; state ids are stable once created.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dawn/automata/neighbourhood.hpp"
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+using State = std::int32_t;
+
+enum class Verdict : std::uint8_t { Accept, Reject, Neutral };
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  // Counting bound β >= 1. β = 1 is the non-counting ("d") case: a node only
+  // detects presence/absence of each state among its neighbours.
+  virtual int beta() const = 0;
+
+  // Size of the input alphabet Λ; labels are [0, num_labels).
+  virtual int num_labels() const = 0;
+
+  // δ0: initial state for a node with the given label.
+  virtual State init(Label label) const = 0;
+
+  // δ: neighbourhood transition. The engine guarantees that `n` was built
+  // with this machine's β. Must be deterministic.
+  virtual State step(State state, const Neighbourhood& n) const = 0;
+
+  // Y/N membership. Acceptance is by stable consensus: a run accepts if from
+  // some point on every node's verdict is Accept (Section 2.1).
+  virtual Verdict verdict(State state) const = 0;
+
+  // The committed (non-intermediate) state this state represents. Identity
+  // for plain machines; compiled simulations map their intermediate states
+  // to the simulated machine's state (the `last` mapping of Section 6.1 /
+  // Lemma 4.4). Note: the returned id belongs to THIS machine's id space.
+  virtual State committed(State state) const { return state; }
+
+  virtual bool is_intermediate(State state) const {
+    return committed(state) != state;
+  }
+
+  // Total number of states if the machine is explicitly enumerable (needed
+  // by the symbolic engine); nullopt for lazily-interned machines.
+  virtual std::optional<int> num_states() const { return std::nullopt; }
+
+  // Debug name of a state.
+  virtual std::string state_name(State state) const;
+};
+
+// A machine assembled from callables; the workhorse for hand-written
+// automata (P_cancel, the flooding automaton, test fixtures).
+class FunctionMachine : public Machine {
+ public:
+  struct Spec {
+    int beta = 1;
+    int num_labels = 1;
+    // If >= 0, the machine is enumerable with states [0, num_states).
+    int num_states = -1;
+    std::function<State(Label)> init;
+    std::function<State(State, const Neighbourhood&)> step;
+    std::function<Verdict(State)> verdict;
+    std::function<std::string(State)> name;  // optional
+  };
+
+  explicit FunctionMachine(Spec spec);
+
+  int beta() const override { return spec_.beta; }
+  int num_labels() const override { return spec_.num_labels; }
+  State init(Label label) const override;
+  State step(State state, const Neighbourhood& n) const override;
+  Verdict verdict(State state) const override { return spec_.verdict(state); }
+  std::optional<int> num_states() const override;
+  std::string state_name(State state) const override;
+
+ private:
+  Spec spec_;
+};
+
+}  // namespace dawn

@@ -1,0 +1,33 @@
+#include "dawn/automata/memoized.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+MemoizedMachine::MemoizedMachine(std::shared_ptr<const Machine> inner)
+    : inner_(std::move(inner)) {
+  DAWN_CHECK(inner_ != nullptr);
+}
+
+State MemoizedMachine::step(State state, const Neighbourhood& n) const {
+  Key key{state, {n.entries().begin(), n.entries().end()}};
+  auto it = step_cache_.find(key);
+  if (it != step_cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const State out = inner_->step(state, n);
+  step_cache_.emplace(std::move(key), out);
+  return out;
+}
+
+Verdict MemoizedMachine::verdict(State state) const {
+  auto it = verdict_cache_.find(state);
+  if (it != verdict_cache_.end()) return it->second;
+  const Verdict out = inner_->verdict(state);
+  verdict_cache_.emplace(state, out);
+  return out;
+}
+
+}  // namespace dawn

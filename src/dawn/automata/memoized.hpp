@@ -1,0 +1,67 @@
+// Transition memoization for deep compiled stacks.
+//
+// A step of the Section 6.1 automaton unwinds five compilation layers; runs
+// evaluate the same (state, neighbourhood) pairs over and over (waves are
+// repetitive). MemoizedMachine caches δ results keyed by the state and the
+// capped neighbourhood, turning repeated evaluations into a hash lookup.
+// Sound because δ is deterministic and, by the model's definition, a
+// function of exactly (state, capped counts).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/util/hash.hpp"
+
+namespace dawn {
+
+class MemoizedMachine : public Machine {
+ public:
+  explicit MemoizedMachine(std::shared_ptr<const Machine> inner);
+
+  int beta() const override { return inner_->beta(); }
+  int num_labels() const override { return inner_->num_labels(); }
+  State init(Label label) const override { return inner_->init(label); }
+  State step(State state, const Neighbourhood& n) const override;
+  Verdict verdict(State state) const override;
+  State committed(State state) const override {
+    return inner_->committed(state);
+  }
+  std::optional<int> num_states() const override {
+    return inner_->num_states();
+  }
+  std::string state_name(State state) const override {
+    return inner_->state_name(state);
+  }
+
+  std::size_t cache_size() const { return step_cache_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    State state;
+    std::vector<std::pair<State, int>> entries;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t seed = static_cast<std::size_t>(k.state) + 0x51;
+      for (auto [s, c] : k.entries) {
+        hash_combine(seed, static_cast<std::uint64_t>(s));
+        hash_combine(seed, static_cast<std::uint64_t>(c));
+      }
+      return seed;
+    }
+  };
+
+  std::shared_ptr<const Machine> inner_;
+  mutable std::unordered_map<Key, State, KeyHash> step_cache_;
+  mutable std::unordered_map<State, Verdict> verdict_cache_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace dawn

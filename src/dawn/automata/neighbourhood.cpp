@@ -1,0 +1,76 @@
+#include "dawn/automata/neighbourhood.hpp"
+
+#include <algorithm>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+Neighbourhood Neighbourhood::of(const Graph& g,
+                                const std::vector<State>& config, NodeId v,
+                                int beta) {
+  DAWN_CHECK(beta >= 1);
+  Neighbourhood n;
+  n.beta_ = beta;
+  auto nbrs = g.neighbours(v);
+  n.entries_.reserve(nbrs.size());
+  for (NodeId u : nbrs) {
+    n.entries_.emplace_back(config[static_cast<std::size_t>(u)], 1);
+  }
+  std::sort(n.entries_.begin(), n.entries_.end());
+  // Merge runs of equal states, capping at beta.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n.entries_.size();) {
+    std::size_t j = i;
+    int c = 0;
+    while (j < n.entries_.size() && n.entries_[j].first == n.entries_[i].first) {
+      ++c;
+      ++j;
+    }
+    n.entries_[out++] = {n.entries_[i].first, std::min(c, beta)};
+    i = j;
+  }
+  n.entries_.resize(out);
+  return n;
+}
+
+Neighbourhood Neighbourhood::from_counts(
+    std::span<const std::pair<State, int>> counts, int beta) {
+  DAWN_CHECK(beta >= 1);
+  Neighbourhood n;
+  n.beta_ = beta;
+  for (auto [q, c] : counts) {
+    if (c > 0) n.entries_.emplace_back(q, std::min(c, beta));
+  }
+  std::sort(n.entries_.begin(), n.entries_.end());
+  for (std::size_t i = 1; i < n.entries_.size(); ++i) {
+    DAWN_CHECK_MSG(n.entries_[i].first != n.entries_[i - 1].first,
+                   "duplicate state in from_counts");
+  }
+  return n;
+}
+
+int Neighbourhood::count(State q) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), q,
+      [](const std::pair<State, int>& e, State s) { return e.first < s; });
+  if (it != entries_.end() && it->first == q) return it->second;
+  return 0;
+}
+
+bool Neighbourhood::any(const std::function<bool(State)>& pred) const {
+  for (const auto& [q, c] : entries_) {
+    if (pred(q)) return true;
+  }
+  return false;
+}
+
+int Neighbourhood::sum(const std::function<bool(State)>& pred) const {
+  int total = 0;
+  for (const auto& [q, c] : entries_) {
+    if (pred(q)) total += c;
+  }
+  return total;
+}
+
+}  // namespace dawn

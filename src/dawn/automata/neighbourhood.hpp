@@ -1,0 +1,60 @@
+// Neighbourhood functions N_v^C with cutoff (Section 2.1).
+//
+// A neighbourhood assigns to each state the number of neighbours in that
+// state, capped at the machine's counting bound β. Represented sparsely as a
+// sorted (state, capped count) list; states not listed have count 0.
+//
+// Capped counts are exact when < β and mean "at least β" when == β, so sums
+// of capped counts over disjoint state sets (the paper's N[a,b] notation) are
+// themselves exact-or-saturated lower bounds; `count_at_least` exposes the
+// common "is the capped sum >= t" query soundly for t <= β.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+using State = std::int32_t;
+
+class Neighbourhood {
+ public:
+  Neighbourhood() = default;
+
+  // Builds N_v^C for node v: counts of `config[u]` over neighbours u of v,
+  // capped at beta. Requires beta >= 1.
+  static Neighbourhood of(const Graph& g, const std::vector<State>& config,
+                          NodeId v, int beta);
+
+  // Builds a neighbourhood directly from (state, count) pairs (counts are
+  // capped at beta). Used by the counted-configuration semantics and tests.
+  static Neighbourhood from_counts(
+      std::span<const std::pair<State, int>> counts, int beta);
+
+  // Capped count of neighbours in state q.
+  int count(State q) const;
+
+  // True iff some neighbour is in a state satisfying `pred`.
+  bool any(const std::function<bool(State)>& pred) const;
+
+  // Sum of capped counts over states satisfying `pred`. Exact if < beta was
+  // never hit; otherwise a lower bound (callers compare against values <= β).
+  int sum(const std::function<bool(State)>& pred) const;
+
+  // All (state, capped count) entries, sorted by state; counts are >= 1.
+  std::span<const std::pair<State, int>> entries() const { return entries_; }
+
+  int beta() const { return beta_; }
+
+  bool operator==(const Neighbourhood& other) const = default;
+
+ private:
+  std::vector<std::pair<State, int>> entries_;
+  int beta_ = 1;
+};
+
+}  // namespace dawn

@@ -1,0 +1,30 @@
+#include "dawn/automata/run.hpp"
+
+namespace dawn {
+
+Run::Run(const Machine& machine, const Graph& graph)
+    : machine_(machine),
+      graph_(graph),
+      config_(initial_config(machine, graph)) {
+  consensus_ = consensus(machine_, config_);
+  consensus_since_ = 0;
+}
+
+void Run::apply(std::span<const NodeId> selection) {
+  successor_into(machine_, graph_, config_, selection, scratch_);
+  if (scratch_ != config_) last_change_step_ = steps_ + 1;
+  config_.swap(scratch_);
+  ++steps_;
+  const Verdict now = consensus(machine_, config_);
+  if (now != consensus_) {
+    consensus_ = now;
+    consensus_since_ = steps_;
+  }
+}
+
+std::uint64_t Run::consensus_held_for() const {
+  if (consensus_ == Verdict::Neutral) return 0;
+  return steps_ - consensus_since_;
+}
+
+}  // namespace dawn

@@ -1,0 +1,54 @@
+// Run bookkeeping: applies selections and tracks consensus stability.
+//
+// A run accepts (by stable consensus) if from some step on every node is in
+// an accepting state. On an infinite run this is a limit property; `Run`
+// tracks how long the current uniform verdict has held, which the simulation
+// driver (semantics/simulate.hpp) and the exact deciders interpret.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+class Run {
+ public:
+  Run(const Machine& machine, const Graph& graph);
+
+  const Config& config() const { return config_; }
+  const Machine& machine() const { return machine_; }
+  const Graph& graph() const { return graph_; }
+
+  // Applies one selection (simultaneous evaluation).
+  void apply(std::span<const NodeId> selection);
+
+  std::uint64_t steps() const { return steps_; }
+
+  // Uniform verdict of the current configuration, Neutral if mixed.
+  Verdict current_consensus() const { return consensus_; }
+
+  // Number of steps the current consensus value has been held (0 if the
+  // consensus is Neutral). "Held" means the uniform verdict did not change,
+  // not that the configuration is frozen.
+  std::uint64_t consensus_held_for() const;
+
+  // Step index of the last configuration change (steps() if never changed
+  // since start... 0 when no step yet).
+  std::uint64_t last_change_step() const { return last_change_step_; }
+
+ private:
+  const Machine& machine_;
+  const Graph& graph_;
+  Config config_;
+  Config scratch_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t last_change_step_ = 0;
+  Verdict consensus_ = Verdict::Neutral;
+  std::uint64_t consensus_since_ = 0;
+};
+
+}  // namespace dawn

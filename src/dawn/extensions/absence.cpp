@@ -1,0 +1,204 @@
+#include "dawn/extensions/absence.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "dawn/automata/combinators.hpp"
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+AbsenceMachine::AbsenceMachine(Spec spec) : spec_(std::move(spec)) {
+  DAWN_CHECK(spec_.inner != nullptr);
+  DAWN_CHECK(spec_.num_labels >= 1);
+  DAWN_CHECK(static_cast<bool>(spec_.is_initiator));
+  DAWN_CHECK(static_cast<bool>(spec_.detect));
+}
+
+State AbsenceMachine::init(Label label) const {
+  if (spec_.init) return spec_.init(label);
+  return spec_.inner->init(label);
+}
+
+State AbsenceMachine::detect(State s, const Support& support) const {
+  DAWN_CHECK(is_initiator(s));
+  DAWN_CHECK(std::is_sorted(support.begin(), support.end()));
+  return spec_.detect(s, support);
+}
+
+Verdict AbsenceMachine::verdict(State s) const {
+  if (spec_.verdict) return spec_.verdict(s);
+  return spec_.inner->verdict(s);
+}
+
+CompiledAbsenceMachine::CompiledAbsenceMachine(
+    std::shared_ptr<const AbsenceMachine> machine, int k)
+    : machine_(std::move(machine)), k_(k) {
+  DAWN_CHECK(machine_ != nullptr);
+  DAWN_CHECK(k_ >= 1);
+}
+
+int CompiledAbsenceMachine::beta() const {
+  return machine_->inner().beta();
+}
+
+int CompiledAbsenceMachine::increment_label(int d) const {
+  const int root = 2 * k_ + 1;
+  if (d == root) return 1;  // root + 1 := 1 (Definition B.13)
+  return (d + 1) % (2 * k_ + 1);
+}
+
+State CompiledAbsenceMachine::pack(const Packed& p) const {
+  return states_.id(p);
+}
+
+State CompiledAbsenceMachine::init(Label label) const {
+  return pack({machine_->init(label), -1, 0, -1, -1});
+}
+
+int CompiledAbsenceMachine::phase_of(State state) const {
+  return states_.value(state).phase;
+}
+
+State CompiledAbsenceMachine::embed(State inner_state) const {
+  return pack({inner_state, -1, 0, -1, -1});
+}
+
+State CompiledAbsenceMachine::last_of(State state) const {
+  // The post-δ state q, for every phase. For in-wave agents this is the
+  // value the wave's initiators observe in their supports; using the
+  // pre-step state r here would let a broadcast response (which composes
+  // with `last`, Section 6.1) act on a value one synchronous step older
+  // than what the initiating leader saw — the race the paper's footnote 2
+  // waves away, and a real deadlock (a ⟨reject⟩ can strand a follower whose
+  // contribution had just turned negative). A non-initiator in phase 1/2
+  // commits exactly q, so q is also its next committed state.
+  return states_.value(state).q;
+}
+
+State CompiledAbsenceMachine::step(State state, const Neighbourhood& n) const {
+  const Packed me = states_.value(state);
+  const int root = 2 * k_ + 1;
+
+  // One scan: phase presence, distance labels present among phase-1
+  // neighbours, presence of my child label among them, union of phase-2
+  // supports, and the reconstructed synchronous neighbourhood old(N).
+  bool any[3] = {false, false, false};
+  std::set<int> labels;  // distance labels of phase-1 neighbours
+  std::set<State> support_union;
+  std::vector<std::pair<State, int>> old_counts;
+  for (auto [u, c] : n.entries()) {
+    const Packed p = states_.value(u);
+    any[p.phase] = true;
+    if (p.phase == 1) labels.insert(p.dist);
+    if (p.phase == 2) {
+      const Support& s = supports_.value(p.support);
+      support_union.insert(s.begin(), s.end());
+    }
+    // old(N): phase-0 neighbours report their current (pre-step) state,
+    // phase-1 neighbours their stored pre-step state r. Phase-2 neighbours
+    // never coexist with a phase-0 observer executing δ (transitions (1),(2)
+    // require N(Q2) = 0), so they are ignored here.
+    if (p.phase == 0) {
+      old_counts.emplace_back(p.q, c);
+    } else if (p.phase == 1) {
+      old_counts.emplace_back(p.r, c);
+    }
+  }
+
+  if (me.phase == 0) {
+    if (any[2]) return state;  // previous phase present: wait
+    // Execute the synchronous δ on the reconstructed neighbourhood.
+    std::sort(old_counts.begin(), old_counts.end());
+    // Merge duplicate states (two neighbours in different phases may report
+    // the same pre-step state).
+    std::vector<std::pair<State, int>> merged;
+    for (auto [q, c] : old_counts) {
+      if (!merged.empty() && merged.back().first == q) {
+        merged.back().second += c;
+      } else {
+        merged.emplace_back(q, c);
+      }
+    }
+    const auto old_view = Neighbourhood::from_counts(merged, beta());
+    const State next = machine_->inner().step(me.q, old_view);
+    if (machine_->is_initiator(next)) {
+      // Transition (1): initiators start the wave with the root label.
+      return pack({next, me.q, 1, static_cast<std::int16_t>(root), -1});
+    }
+    if (!any[1]) return state;  // no wave to join yet
+    // Transition (2): join the wave with a child label of a neighbour such
+    // that no neighbour already holds the child of that label (Lemma B.14).
+    DAWN_CHECK(!labels.empty() && static_cast<int>(labels.size()) <= k_);
+    int child = -1;
+    for (int d : labels) {
+      const int cand = increment_label(d);
+      if (!labels.contains(cand)) {
+        child = cand;
+        break;
+      }
+    }
+    DAWN_CHECK_MSG(child >= 0, "no valid child label (degree bound violated?)");
+    return pack({next, me.q, 1, static_cast<std::int16_t>(child), -1});
+  }
+
+  if (me.phase == 1) {
+    // Transition (3): wait until no phase-0 neighbour remains and none of my
+    // children (label dist+1) is still in phase 1, then report the union of
+    // the children's supports plus my own (post-δ) state.
+    if (any[0]) return state;
+    if (labels.contains(increment_label(me.dist))) return state;
+    support_union.insert(me.q);
+    Support sup(support_union.begin(), support_union.end());
+    const std::int32_t sid = supports_.id(sup);
+    // The pre-step state r is only needed while neighbours may still read
+    // old(N) (phase 1); phase-2 states drop it.
+    return pack({me.q, -1, 2, -1, sid});
+  }
+
+  // Phase 2. Transitions (4)/(5): once no phase-1 neighbour remains,
+  // initiators execute the absence detection, everyone else commits q.
+  if (any[1]) return state;
+  if (machine_->is_initiator(me.q)) {
+    const Support& sup = supports_.value(me.support);
+    return embed(machine_->detect(me.q, sup));
+  }
+  return embed(me.q);
+}
+
+Verdict CompiledAbsenceMachine::verdict(State state) const {
+  return machine_->verdict(last_of(state));
+}
+
+State CompiledAbsenceMachine::committed(State state) const {
+  const Packed p = states_.value(state);
+  if (p.phase == 0) return state;
+  return embed(p.q);
+}
+
+std::string CompiledAbsenceMachine::state_name(State state) const {
+  const Packed p = states_.value(state);
+  const std::string base = machine_->inner().state_name(p.q);
+  if (p.phase == 0) return base;
+  if (p.phase == 1) {
+    const std::string d =
+        p.dist == 2 * k_ + 1 ? "root" : std::to_string(p.dist);
+    return "(" + base + "|was " + machine_->inner().state_name(p.r) +
+           "|d=" + d + ")";
+  }
+  std::string sup = "{";
+  for (State s : supports_.value(p.support)) {
+    if (sup.size() > 1) sup += ",";
+    sup += machine_->inner().state_name(s);
+  }
+  sup += "}";
+  return "(" + base + "|" + sup + ")";
+}
+
+std::shared_ptr<CompiledAbsenceMachine> compile_absence(
+    std::shared_ptr<const AbsenceMachine> machine, int degree_bound) {
+  return std::make_shared<CompiledAbsenceMachine>(std::move(machine),
+                                                  degree_bound);
+}
+
+}  // namespace dawn

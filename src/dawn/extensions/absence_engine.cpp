@@ -1,0 +1,111 @@
+#include "dawn/extensions/absence_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+AbsenceSyncRun::AbsenceSyncRun(const AbsenceMachine& machine, const Graph& g,
+                               AbsenceAssignment assignment,
+                               std::uint64_t seed)
+    : machine_(machine), graph_(g), assignment_(assignment), rng_(seed) {
+  config_.resize(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    config_[static_cast<std::size_t>(v)] = machine.init(g.label(v));
+  }
+}
+
+bool AbsenceSyncRun::step() {
+  const int beta = machine_.inner().beta();
+  // (i) Synchronous neighbourhood transitions.
+  std::vector<State> after(config_.size());
+  for (NodeId v = 0; v < graph_.n(); ++v) {
+    const auto nb = Neighbourhood::of(graph_, config_, v, beta);
+    after[static_cast<std::size_t>(v)] =
+        machine_.inner().step(config_[static_cast<std::size_t>(v)], nb);
+  }
+  // (ii) Absence detection by the initiators of the post-step configuration.
+  std::vector<NodeId> initiators;
+  for (NodeId v = 0; v < graph_.n(); ++v) {
+    if (machine_.is_initiator(after[static_cast<std::size_t>(v)])) {
+      initiators.push_back(v);
+    }
+  }
+  if (initiators.empty()) {
+    // The computation hangs: C'' := C (Definition 4.8).
+    ++steps_;
+    return false;
+  }
+
+  std::vector<Support> observed(initiators.size());
+  if (assignment_ == AbsenceAssignment::Full) {
+    std::set<State> all(after.begin(), after.end());
+    Support sup(all.begin(), all.end());
+    for (auto& o : observed) o = sup;
+  } else if (assignment_ == AbsenceAssignment::RandomCover) {
+    std::vector<std::set<State>> sets(initiators.size());
+    for (NodeId v = 0; v < graph_.n(); ++v) {
+      sets[rng_.index(initiators.size())].insert(
+          after[static_cast<std::size_t>(v)]);
+    }
+    // v ∈ S_v for initiators.
+    for (std::size_t i = 0; i < initiators.size(); ++i) {
+      sets[i].insert(after[static_cast<std::size_t>(initiators[i])]);
+      observed[i].assign(sets[i].begin(), sets[i].end());
+    }
+  } else {
+    // Voronoi: multi-source BFS; each node reports to its closest initiator
+    // (random tie-break via shuffled source order).
+    std::vector<int> owner(static_cast<std::size_t>(graph_.n()), -1);
+    std::deque<NodeId> queue;
+    std::vector<std::size_t> order(initiators.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.shuffle(order);
+    for (std::size_t i : order) {
+      owner[static_cast<std::size_t>(initiators[i])] = static_cast<int>(i);
+      queue.push_back(initiators[i]);
+    }
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (NodeId u : graph_.neighbours(v)) {
+        if (owner[static_cast<std::size_t>(u)] == -1) {
+          owner[static_cast<std::size_t>(u)] =
+              owner[static_cast<std::size_t>(v)];
+          queue.push_back(u);
+        }
+      }
+    }
+    std::vector<std::set<State>> sets(initiators.size());
+    for (NodeId v = 0; v < graph_.n(); ++v) {
+      DAWN_CHECK(owner[static_cast<std::size_t>(v)] >= 0);  // connected graph
+      sets[static_cast<std::size_t>(owner[static_cast<std::size_t>(v)])]
+          .insert(after[static_cast<std::size_t>(v)]);
+    }
+    for (std::size_t i = 0; i < initiators.size(); ++i) {
+      observed[i].assign(sets[i].begin(), sets[i].end());
+    }
+  }
+
+  for (std::size_t i = 0; i < initiators.size(); ++i) {
+    const auto v = static_cast<std::size_t>(initiators[i]);
+    after[v] = machine_.detect(after[v], observed[i]);
+  }
+  config_ = std::move(after);
+  ++steps_;
+  return true;
+}
+
+Verdict AbsenceSyncRun::consensus() const {
+  const Verdict first = machine_.verdict(config_.front());
+  if (first == Verdict::Neutral) return Verdict::Neutral;
+  for (State s : config_) {
+    if (machine_.verdict(s) != first) return Verdict::Neutral;
+  }
+  return first;
+}
+
+}  // namespace dawn

@@ -1,0 +1,161 @@
+#include "dawn/extensions/broadcast.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dawn/automata/combinators.hpp"
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::string BroadcastOverlay::response_name(int response) const {
+  return "bcast" + std::to_string(response);
+}
+
+SimpleBroadcastOverlay::SimpleBroadcastOverlay(Spec spec)
+    : spec_(std::move(spec)) {
+  DAWN_CHECK(spec_.machine != nullptr);
+  DAWN_CHECK(spec_.num_labels >= 1);
+  for (std::size_t i = 0; i < spec_.broadcasts.size(); ++i) {
+    DAWN_CHECK(static_cast<bool>(spec_.broadcasts[i].respond));
+    for (std::size_t j = i + 1; j < spec_.broadcasts.size(); ++j) {
+      DAWN_CHECK_MSG(spec_.broadcasts[i].from != spec_.broadcasts[j].from,
+                     "at most one broadcast per initiating state");
+    }
+  }
+}
+
+State SimpleBroadcastOverlay::init(Label label) const {
+  if (spec_.init) return spec_.init(label);
+  return spec_.machine->init(label);
+}
+
+std::optional<std::pair<State, int>> SimpleBroadcastOverlay::initiate(
+    State state) const {
+  for (std::size_t i = 0; i < spec_.broadcasts.size(); ++i) {
+    if (spec_.broadcasts[i].from == state) {
+      return std::make_pair(spec_.broadcasts[i].to, static_cast<int>(i));
+    }
+  }
+  return std::nullopt;
+}
+
+State SimpleBroadcastOverlay::respond(int response, State state) const {
+  DAWN_CHECK(response >= 0 &&
+             response < static_cast<int>(spec_.broadcasts.size()));
+  return spec_.broadcasts[static_cast<std::size_t>(response)].respond(state);
+}
+
+Verdict SimpleBroadcastOverlay::verdict(State state) const {
+  if (spec_.verdict) return spec_.verdict(state);
+  return spec_.machine->verdict(state);
+}
+
+std::string SimpleBroadcastOverlay::response_name(int response) const {
+  const auto& name = spec_.broadcasts[static_cast<std::size_t>(response)].name;
+  return name.empty() ? BroadcastOverlay::response_name(response) : name;
+}
+
+CompiledBroadcastMachine::CompiledBroadcastMachine(
+    std::shared_ptr<const BroadcastOverlay> overlay)
+    : overlay_(std::move(overlay)) {
+  DAWN_CHECK(overlay_ != nullptr);
+}
+
+int CompiledBroadcastMachine::beta() const { return overlay_->inner().beta(); }
+
+State CompiledBroadcastMachine::pack(State inner, int phase,
+                                     int response) const {
+  return states_.id({inner, static_cast<std::int8_t>(phase), response});
+}
+
+State CompiledBroadcastMachine::init(Label label) const {
+  return pack(overlay_->init(label), 0, -1);
+}
+
+int CompiledBroadcastMachine::phase_of(State state) const {
+  return states_.value(state).phase;
+}
+
+State CompiledBroadcastMachine::inner_of(State state) const {
+  return states_.value(state).inner;
+}
+
+int CompiledBroadcastMachine::response_of(State state) const {
+  return states_.value(state).response;
+}
+
+State CompiledBroadcastMachine::embed(State inner_state) const {
+  return pack(inner_state, 0, -1);
+}
+
+State CompiledBroadcastMachine::step(State state, const Neighbourhood& n) const {
+  const Packed me = states_.value(state);
+
+  // Scan the neighbourhood once: which phases are present, and the smallest
+  // response id among phase-1 neighbours (the g(N) choice function).
+  bool any[3] = {false, false, false};
+  int chosen_response = std::numeric_limits<int>::max();
+  for (auto [u, c] : n.entries()) {
+    const Packed p = states_.value(u);
+    any[p.phase] = true;
+    if (p.phase == 1) chosen_response = std::min(chosen_response, p.response);
+  }
+
+  if (me.phase == 0) {
+    if (any[2]) return state;  // a neighbour is in my previous phase: wait
+    if (any[1]) {
+      // Transition (3): join a neighbour's broadcast, applying its response.
+      const int rid = chosen_response;
+      return pack(overlay_->respond(rid, me.inner), 1, rid);
+    }
+    // All neighbours in phase 0.
+    if (const auto bc = overlay_->initiate(me.inner)) {
+      // Transition (2): initiate, performing the local update immediately.
+      return pack(bc->first, 1, bc->second);
+    }
+    // Transition (1): an ordinary neighbourhood transition of the inner
+    // machine. All neighbours are phase 0, so the projection to inner states
+    // is count-preserving.
+    const Neighbourhood inner_view = project_neighbourhood(
+        n, [this](State s) { return states_.value(s).inner; });
+    const State next = overlay_->inner().step(me.inner, inner_view);
+    return next == me.inner ? state : pack(next, 0, -1);
+  }
+
+  if (me.phase == 1) {
+    // Transition (4): advance once no neighbour is still in phase 0.
+    if (!any[0]) return pack(me.inner, 2, me.response);
+    return state;
+  }
+
+  // Phase 2. Transition (5): return to phase 0 once no neighbour is in
+  // phase 1, committing the carried inner state.
+  if (!any[1]) return pack(me.inner, 0, -1);
+  return state;
+}
+
+Verdict CompiledBroadcastMachine::verdict(State state) const {
+  return overlay_->verdict(states_.value(state).inner);
+}
+
+State CompiledBroadcastMachine::committed(State state) const {
+  const Packed me = states_.value(state);
+  if (me.phase == 0) return state;
+  return pack(me.inner, 0, -1);
+}
+
+std::string CompiledBroadcastMachine::state_name(State state) const {
+  const Packed me = states_.value(state);
+  std::string inner = overlay_->inner().state_name(me.inner);
+  if (me.phase == 0) return inner;
+  return "(" + inner + ", ph" + std::to_string(me.phase) + ", " +
+         overlay_->response_name(me.response) + ")";
+}
+
+std::shared_ptr<CompiledBroadcastMachine> compile_weak_broadcast(
+    std::shared_ptr<const BroadcastOverlay> overlay) {
+  return std::make_shared<CompiledBroadcastMachine>(std::move(overlay));
+}
+
+}  // namespace dawn

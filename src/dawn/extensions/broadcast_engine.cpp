@@ -1,0 +1,457 @@
+#include "dawn/extensions/broadcast_engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dawn/automata/combinators.hpp"
+#include "dawn/semantics/scc.hpp"
+#include "dawn/util/check.hpp"
+#include "dawn/util/hash.hpp"
+#include "dawn/util/interner.hpp"
+
+namespace dawn {
+namespace {
+
+Verdict config_consensus(const BroadcastOverlay& overlay,
+                         const std::vector<State>& config) {
+  DAWN_CHECK(!config.empty());
+  const Verdict first = overlay.verdict(config.front());
+  if (first == Verdict::Neutral) return Verdict::Neutral;
+  for (State s : config) {
+    if (overlay.verdict(s) != first) return Verdict::Neutral;
+  }
+  return first;
+}
+
+}  // namespace
+
+BroadcastRun::BroadcastRun(const BroadcastOverlay& overlay, const Graph& g)
+    : overlay_(overlay), graph_(g) {
+  config_.resize(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    config_[static_cast<std::size_t>(v)] = overlay.init(g.label(v));
+  }
+}
+
+bool BroadcastRun::apply_neighbourhood(NodeId v) {
+  const State s = config_[static_cast<std::size_t>(v)];
+  if (overlay_.initiate(s).has_value()) return false;  // initiators sit out
+  const auto nb =
+      Neighbourhood::of(graph_, config_, v, overlay_.inner().beta());
+  const State next = overlay_.inner().step(s, nb);
+  if (next == s) return false;
+  config_[static_cast<std::size_t>(v)] = next;
+  return true;
+}
+
+bool BroadcastRun::apply_broadcast(
+    const std::vector<NodeId>& selection, Rng& rng,
+    const std::function<NodeId(NodeId)>& receiver_from) {
+  // Validate independence (Definition 4.5: valid selections are nonempty
+  // independent sets).
+  for (std::size_t i = 0; i < selection.size(); ++i) {
+    for (std::size_t j = i + 1; j < selection.size(); ++j) {
+      DAWN_CHECK_MSG(!graph_.has_edge(selection[i], selection[j]),
+                     "broadcast selection must be an independent set");
+    }
+  }
+  std::vector<NodeId> initiators;
+  std::vector<int> response_of_initiator;
+  std::vector<State> to_state;
+  for (NodeId v : selection) {
+    const State s = config_[static_cast<std::size_t>(v)];
+    if (const auto bc = overlay_.initiate(s)) {
+      initiators.push_back(v);
+      to_state.push_back(bc->first);
+      response_of_initiator.push_back(bc->second);
+    }
+  }
+  if (initiators.empty()) return false;
+
+  std::vector<State> next = config_;
+  std::unordered_set<NodeId> initiator_set(initiators.begin(),
+                                           initiators.end());
+  for (std::size_t i = 0; i < initiators.size(); ++i) {
+    next[static_cast<std::size_t>(initiators[i])] = to_state[i];
+  }
+  for (NodeId v = 0; v < graph_.n(); ++v) {
+    if (initiator_set.count(v)) continue;
+    std::size_t src;
+    if (receiver_from) {
+      const NodeId chosen = receiver_from(v);
+      auto it = std::find(initiators.begin(), initiators.end(), chosen);
+      DAWN_CHECK_MSG(it != initiators.end(),
+                     "receiver_from must return an initiator");
+      src = static_cast<std::size_t>(it - initiators.begin());
+    } else {
+      src = rng.index(initiators.size());
+    }
+    next[static_cast<std::size_t>(v)] = overlay_.respond(
+        response_of_initiator[src], config_[static_cast<std::size_t>(v)]);
+  }
+  config_ = std::move(next);
+  return true;
+}
+
+bool BroadcastRun::apply_broadcast_all(Rng& rng) {
+  std::vector<NodeId> initiators = current_initiators();
+  if (initiators.empty()) return false;
+  rng.shuffle(initiators);
+  // Greedy maximal independent subset.
+  std::vector<NodeId> chosen;
+  for (NodeId v : initiators) {
+    bool ok = true;
+    for (NodeId u : chosen) {
+      if (graph_.has_edge(u, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) chosen.push_back(v);
+  }
+  return apply_broadcast(chosen, rng);
+}
+
+std::vector<NodeId> BroadcastRun::current_initiators() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < graph_.n(); ++v) {
+    if (overlay_.initiate(config_[static_cast<std::size_t>(v)])) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Verdict BroadcastRun::consensus() const {
+  return config_consensus(overlay_, config_);
+}
+
+OverlaySimResult simulate_overlay_random(const BroadcastOverlay& overlay,
+                                         const Graph& g, Rng& rng,
+                                         const OverlaySimOptions& opts) {
+  BroadcastRun run(overlay, g);
+  OverlaySimResult result;
+  Verdict held = Verdict::Neutral;
+  std::uint64_t held_since = 0;
+  for (std::uint64_t t = 0; t < opts.max_steps; ++t) {
+    if (rng.chance(opts.broadcast_probability)) {
+      if (run.apply_broadcast_all(rng)) ++result.broadcasts_executed;
+    } else {
+      run.apply_neighbourhood(
+          static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n()))));
+    }
+    const Verdict now = run.consensus();
+    if (now != held) {
+      held = now;
+      held_since = t;
+    }
+    if (held != Verdict::Neutral && t - held_since >= opts.stable_window) {
+      result.converged = true;
+      result.verdict = held;
+      result.total_steps = t + 1;
+      return result;
+    }
+  }
+  result.verdict = held;
+  result.total_steps = opts.max_steps;
+  return result;
+}
+
+OverlayDecideResult decide_overlay_strong(const BroadcastOverlay& overlay,
+                                          const Graph& g,
+                                          const OverlayDecideOptions& opts) {
+  OverlayDecideResult result;
+  using Cfg = std::vector<State>;
+  Interner<Cfg, VectorHash<State>> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+
+  {
+    Cfg c0(static_cast<std::size_t>(g.n()));
+    for (NodeId v = 0; v < g.n(); ++v) {
+      c0[static_cast<std::size_t>(v)] = overlay.init(g.label(v));
+    }
+    configs.id(c0);
+    adj.emplace_back();
+  }
+
+  const int beta = overlay.inner().beta();
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const Cfg current = configs.value(static_cast<std::int32_t>(head));
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const State s = current[static_cast<std::size_t>(v)];
+      Cfg next = current;
+      if (const auto bc = overlay.initiate(s)) {
+        // Strong broadcast by v: received by every other node.
+        next[static_cast<std::size_t>(v)] = bc->first;
+        for (NodeId u = 0; u < g.n(); ++u) {
+          if (u == v) continue;
+          next[static_cast<std::size_t>(u)] = overlay.respond(
+              bc->second, current[static_cast<std::size_t>(u)]);
+        }
+      } else {
+        const auto nb = Neighbourhood::of(g, current, v, beta);
+        next[static_cast<std::size_t>(v)] = overlay.inner().step(s, nb);
+      }
+      if (next == current) continue;
+      const std::size_t before = configs.size();
+      const std::int32_t id = configs.id(next);
+      if (configs.size() > before) adj.emplace_back();
+      adj[head].push_back(id);
+    }
+  }
+  result.num_configs = configs.size();
+  result.decision =
+      classify_bottom_sccs(adj, [&](std::size_t i) {
+        return config_consensus(overlay,
+                                configs.value(static_cast<std::int32_t>(i)));
+      }).decision;
+  return result;
+}
+
+OverlayDecideResult decide_overlay_weak(const BroadcastOverlay& overlay,
+                                        const Graph& g,
+                                        const OverlayDecideOptions& opts) {
+  DAWN_CHECK_MSG(g.n() <= 8, "weak-broadcast enumeration is exponential");
+  OverlayDecideResult result;
+  using Cfg = std::vector<State>;
+  Interner<Cfg, VectorHash<State>> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+
+  {
+    Cfg c0(static_cast<std::size_t>(g.n()));
+    for (NodeId v = 0; v < g.n(); ++v) {
+      c0[static_cast<std::size_t>(v)] = overlay.init(g.label(v));
+    }
+    configs.id(c0);
+    adj.emplace_back();
+  }
+
+  const int beta = overlay.inner().beta();
+
+  // Enumerates every receiver assignment recursively and records the
+  // resulting successor configurations.
+  auto add_successor = [&](std::size_t head, Cfg next) {
+    const Cfg& current = configs.value(static_cast<std::int32_t>(head));
+    if (next == current) return;
+    const std::size_t before = configs.size();
+    const std::int32_t id = configs.id(next);
+    if (configs.size() > before) adj.emplace_back();
+    adj[head].push_back(id);
+  };
+
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const Cfg current = configs.value(static_cast<std::int32_t>(head));
+
+    // (n, {v}) selections: exclusive neighbourhood steps of non-initiators.
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const State s = current[static_cast<std::size_t>(v)];
+      if (overlay.initiate(s)) continue;
+      const auto nb = Neighbourhood::of(g, current, v, beta);
+      const State moved = overlay.inner().step(s, nb);
+      if (moved == s) continue;
+      Cfg next = current;
+      next[static_cast<std::size_t>(v)] = moved;
+      add_successor(head, std::move(next));
+    }
+
+    // (b, S) selections: every nonempty independent subset of the current
+    // initiators, with every receiver assignment.
+    std::vector<NodeId> initiators;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (overlay.initiate(current[static_cast<std::size_t>(v)])) {
+        initiators.push_back(v);
+      }
+    }
+    const auto k = static_cast<std::uint32_t>(initiators.size());
+    for (std::uint32_t mask = 1; mask < (1u << k); ++mask) {
+      std::vector<NodeId> sel;
+      std::vector<int> rids;
+      bool independent = true;
+      for (std::uint32_t i = 0; i < k && independent; ++i) {
+        if (!(mask & (1u << i))) continue;
+        for (NodeId u : sel) {
+          if (g.has_edge(u, initiators[i])) independent = false;
+        }
+        sel.push_back(initiators[i]);
+      }
+      if (!independent) continue;
+      Cfg base = current;
+      for (NodeId v : sel) {
+        const auto bc = overlay.initiate(current[static_cast<std::size_t>(v)]);
+        base[static_cast<std::size_t>(v)] = bc->first;
+        rids.push_back(bc->second);
+      }
+      std::vector<NodeId> receivers;
+      std::unordered_set<NodeId> in_sel(sel.begin(), sel.end());
+      for (NodeId v = 0; v < g.n(); ++v) {
+        if (!in_sel.count(v)) receivers.push_back(v);
+      }
+      // Recurse over assignments receiver -> broadcasting response.
+      std::vector<std::size_t> choice(receivers.size(), 0);
+      while (true) {
+        Cfg next = base;
+        for (std::size_t r = 0; r < receivers.size(); ++r) {
+          const auto v = static_cast<std::size_t>(receivers[r]);
+          next[v] = overlay.respond(rids[choice[r]], current[v]);
+        }
+        add_successor(head, std::move(next));
+        // Odometer over the |sel|^|receivers| assignments.
+        std::size_t i = 0;
+        while (i < choice.size() && choice[i] + 1 == sel.size()) {
+          choice[i] = 0;
+          ++i;
+        }
+        if (i == choice.size()) break;
+        ++choice[i];
+      }
+    }
+  }
+  result.num_configs = configs.size();
+  result.decision =
+      classify_bottom_sccs(adj, [&](std::size_t i) {
+        return config_consensus(overlay,
+                                configs.value(static_cast<std::int32_t>(i)));
+      }).decision;
+  return result;
+}
+
+OverlayDecideResult decide_overlay_strong_counted(
+    const BroadcastOverlay& overlay, const LabelCount& L,
+    const OverlayDecideOptions& opts) {
+  OverlayDecideResult result;
+  struct CountedConfigHash {
+    std::size_t operator()(const CountedConfig& c) const {
+      std::size_t seed = c.size();
+      for (auto [q, n] : c) {
+        hash_combine(seed, static_cast<std::uint64_t>(q));
+        hash_combine(seed, static_cast<std::uint64_t>(n));
+      }
+      return seed;
+    }
+  };
+  Interner<CountedConfig, CountedConfigHash> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+
+  {
+    CountedConfig c0;
+    for (std::size_t l = 0; l < L.size(); ++l) {
+      for (std::int64_t i = 0; i < L[l]; ++i) {
+        const State s = overlay.init(static_cast<Label>(l));
+        auto it = std::lower_bound(
+            c0.begin(), c0.end(), s,
+            [](const std::pair<State, std::int64_t>& e, State q) {
+              return e.first < q;
+            });
+        if (it != c0.end() && it->first == s) {
+          ++it->second;
+        } else {
+          c0.insert(it, {s, 1});
+        }
+      }
+    }
+    DAWN_CHECK(!c0.empty());
+    configs.id(c0);
+    adj.emplace_back();
+  }
+
+  auto normalise = [](std::vector<std::pair<State, std::int64_t>> v) {
+    std::sort(v.begin(), v.end());
+    CountedConfig out;
+    for (auto [q, n] : v) {
+      if (!out.empty() && out.back().first == q) {
+        out.back().second += n;
+      } else if (n > 0) {
+        out.push_back({q, n});
+      }
+    }
+    return out;
+  };
+
+  const int beta = overlay.inner().beta();
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const CountedConfig current =
+        configs.value(static_cast<std::int32_t>(head));
+    for (auto [q, cnt] : current) {
+      CountedConfig next;
+      if (const auto bc = overlay.initiate(q)) {
+        // One agent in q broadcasts; all n-1 others respond.
+        std::vector<std::pair<State, std::int64_t>> parts;
+        parts.emplace_back(bc->first, 1);
+        for (auto [s, c] : current) {
+          std::int64_t rest = c - (s == q ? 1 : 0);
+          if (rest > 0) {
+            parts.emplace_back(overlay.respond(bc->second, s), rest);
+          }
+        }
+        next = normalise(std::move(parts));
+      } else {
+        // Exclusive neighbourhood step of one agent in q on the clique.
+        std::vector<std::pair<State, int>> counts;
+        for (auto [s, c] : current) {
+          std::int64_t rest = c - (s == q ? 1 : 0);
+          if (rest > 0) {
+            counts.emplace_back(
+                s, static_cast<int>(std::min<std::int64_t>(rest, beta)));
+          }
+        }
+        const auto nb = Neighbourhood::from_counts(counts, beta);
+        const State moved = overlay.inner().step(q, nb);
+        if (moved == q) continue;
+        std::vector<std::pair<State, std::int64_t>> parts(current.begin(),
+                                                          current.end());
+        parts.emplace_back(q, -1);
+        parts.emplace_back(moved, 1);
+        // normalise() drops zero/negative pairs only after merging:
+        // re-merge manually.
+        std::sort(parts.begin(), parts.end());
+        CountedConfig merged;
+        for (auto [s, c] : parts) {
+          if (!merged.empty() && merged.back().first == s) {
+            merged.back().second += c;
+          } else {
+            merged.push_back({s, c});
+          }
+        }
+        CountedConfig cleaned;
+        for (auto [s, c] : merged) {
+          DAWN_CHECK(c >= 0);
+          if (c > 0) cleaned.push_back({s, c});
+        }
+        next = std::move(cleaned);
+      }
+      if (next == current) continue;
+      const std::size_t before = configs.size();
+      const std::int32_t id = configs.id(next);
+      if (configs.size() > before) adj.emplace_back();
+      adj[head].push_back(id);
+    }
+  }
+  result.num_configs = configs.size();
+  result.decision =
+      classify_bottom_sccs(adj, [&](std::size_t i) {
+        const CountedConfig& c = configs.value(static_cast<std::int32_t>(i));
+        const Verdict first = overlay.verdict(c.front().first);
+        for (auto [q, n] : c) {
+          if (overlay.verdict(q) != first) return Verdict::Neutral;
+        }
+        return first;
+      }).decision;
+  return result;
+}
+
+}  // namespace dawn

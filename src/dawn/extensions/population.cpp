@@ -1,0 +1,121 @@
+#include "dawn/extensions/population.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+CompiledPopulationMachine::CompiledPopulationMachine(
+    GraphPopulationProtocol protocol)
+    : protocol_(std::move(protocol)) {
+  DAWN_CHECK(protocol_.num_states >= 1);
+  DAWN_CHECK(static_cast<bool>(protocol_.init));
+  DAWN_CHECK(static_cast<bool>(protocol_.delta));
+  DAWN_CHECK(static_cast<bool>(protocol_.verdict));
+}
+
+State CompiledPopulationMachine::pack(State q, Status status,
+                                      State pending) const {
+  return states_.id({q, status, pending});
+}
+
+State CompiledPopulationMachine::init(Label label) const {
+  return pack(protocol_.init(label), Status::Waiting, -1);
+}
+
+CompiledPopulationMachine::Status CompiledPopulationMachine::status_of(
+    State state) const {
+  return states_.value(state).status;
+}
+
+State CompiledPopulationMachine::protocol_state_of(State state) const {
+  return states_.value(state).q;
+}
+
+State CompiledPopulationMachine::embed(State protocol_state) const {
+  return pack(protocol_state, Status::Waiting, -1);
+}
+
+State CompiledPopulationMachine::step(State state,
+                                      const Neighbourhood& n) const {
+  const Packed me = states_.value(state);
+
+  // f(N) of Figure 4: the unique non-waiting neighbour if there is exactly
+  // one, "all waiting" if there is none, undefined otherwise. β = 2 suffices:
+  // a capped count of 1 is exact, and two non-waiting neighbours (same state
+  // or not) are detected as a capped total >= 2.
+  int non_waiting_total = 0;
+  Packed unique{};
+  for (auto [u, c] : n.entries()) {
+    const Packed p = states_.value(u);
+    if (p.status == Status::Waiting) continue;
+    non_waiting_total += c;
+    unique = p;
+  }
+  const bool all_waiting = non_waiting_total == 0;
+  // A capped total of exactly 1 means a single non-waiting neighbour, whose
+  // packed state is in `unique`.
+  const bool exactly_one = non_waiting_total == 1;
+
+  switch (me.status) {
+    case Status::Waiting:
+      if (all_waiting) return pack(me.q, Status::Searching, -1);
+      if (exactly_one && unique.status == Status::Searching) {
+        return pack(me.q, Status::Answering, -1);
+      }
+      return state;  // cancel is a no-op for waiting nodes
+    case Status::Searching:
+      if (exactly_one && unique.status == Status::Answering) {
+        const auto [p1, p2] = protocol_.delta(me.q, unique.q);
+        (void)p2;
+        return pack(me.q, Status::Confirming, p1);
+      }
+      return pack(me.q, Status::Waiting, -1);  // cancel
+    case Status::Answering:
+      if (exactly_one && unique.status == Status::Confirming) {
+        // The initiator was unique.q; I am the responder: commit δ2.
+        const auto [p1, p2] = protocol_.delta(unique.q, me.q);
+        (void)p1;
+        return pack(p2, Status::Waiting, -1);  // state change!
+      }
+      return pack(me.q, Status::Waiting, -1);  // cancel
+    case Status::Confirming:
+      if (all_waiting) {
+        return pack(me.pending, Status::Waiting, -1);  // state change!
+      }
+      return state;  // wait until the responder has committed
+  }
+  return state;
+}
+
+Verdict CompiledPopulationMachine::verdict(State state) const {
+  return protocol_.verdict(states_.value(state).q);
+}
+
+State CompiledPopulationMachine::committed(State state) const {
+  const Packed me = states_.value(state);
+  if (me.status == Status::Waiting) return state;
+  return pack(me.q, Status::Waiting, -1);
+}
+
+std::string CompiledPopulationMachine::state_name(State state) const {
+  const Packed me = states_.value(state);
+  const std::string base = protocol_.state_name(me.q);
+  switch (me.status) {
+    case Status::Waiting:
+      return base;
+    case Status::Searching:
+      return base + "?";
+    case Status::Answering:
+      return base + "!";
+    case Status::Confirming:
+      return base + ">" + protocol_.state_name(me.pending);
+  }
+  return base;
+}
+
+std::shared_ptr<CompiledPopulationMachine> compile_population(
+    GraphPopulationProtocol protocol) {
+  return std::make_shared<CompiledPopulationMachine>(std::move(protocol));
+}
+
+}  // namespace dawn

@@ -1,0 +1,196 @@
+#include "dawn/extensions/population_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dawn/semantics/scc.hpp"
+#include "dawn/util/check.hpp"
+#include "dawn/util/hash.hpp"
+#include "dawn/util/interner.hpp"
+
+namespace dawn {
+namespace {
+
+Verdict pp_consensus(const GraphPopulationProtocol& p,
+                     const std::vector<State>& config) {
+  const Verdict first = p.verdict(config.front());
+  for (State s : config) {
+    if (p.verdict(s) != first) return Verdict::Neutral;
+  }
+  return first;
+}
+
+struct CountedConfigHash {
+  std::size_t operator()(const CountedConfig& c) const {
+    std::size_t seed = c.size();
+    for (auto [q, n] : c) {
+      hash_combine(seed, static_cast<std::uint64_t>(q));
+      hash_combine(seed, static_cast<std::uint64_t>(n));
+    }
+    return seed;
+  }
+};
+
+void bump(CountedConfig& c, State q, std::int64_t delta) {
+  auto it = std::lower_bound(
+      c.begin(), c.end(), q,
+      [](const std::pair<State, std::int64_t>& e, State s) {
+        return e.first < s;
+      });
+  if (it != c.end() && it->first == q) {
+    it->second += delta;
+    DAWN_CHECK(it->second >= 0);
+    if (it->second == 0) c.erase(it);
+  } else {
+    DAWN_CHECK(delta > 0);
+    c.insert(it, {q, delta});
+  }
+}
+
+}  // namespace
+
+PopulationDecideResult decide_population(const GraphPopulationProtocol& p,
+                                         const Graph& g,
+                                         const PopulationDecideOptions& opts) {
+  PopulationDecideResult result;
+  using Cfg = std::vector<State>;
+  Interner<Cfg, VectorHash<State>> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+
+  {
+    Cfg c0(static_cast<std::size_t>(g.n()));
+    for (NodeId v = 0; v < g.n(); ++v) {
+      c0[static_cast<std::size_t>(v)] = p.init(g.label(v));
+    }
+    configs.id(c0);
+    adj.emplace_back();
+  }
+
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const Cfg current = configs.value(static_cast<std::int32_t>(head));
+    for (NodeId u = 0; u < g.n(); ++u) {
+      for (NodeId v : g.neighbours(u)) {
+        // Ordered pair (u, v).
+        const auto [pu, pv] = p.delta(current[static_cast<std::size_t>(u)],
+                                      current[static_cast<std::size_t>(v)]);
+        if (pu == current[static_cast<std::size_t>(u)] &&
+            pv == current[static_cast<std::size_t>(v)]) {
+          continue;  // silent interaction
+        }
+        Cfg next = current;
+        next[static_cast<std::size_t>(u)] = pu;
+        next[static_cast<std::size_t>(v)] = pv;
+        const std::size_t before = configs.size();
+        const std::int32_t id = configs.id(next);
+        if (configs.size() > before) adj.emplace_back();
+        adj[head].push_back(id);
+      }
+    }
+  }
+  result.num_configs = configs.size();
+  result.decision =
+      classify_bottom_sccs(adj, [&](std::size_t i) {
+        return pp_consensus(p, configs.value(static_cast<std::int32_t>(i)));
+      }).decision;
+  return result;
+}
+
+PopulationDecideResult decide_population_counted(
+    const GraphPopulationProtocol& p, const LabelCount& L,
+    const PopulationDecideOptions& opts) {
+  PopulationDecideResult result;
+  Interner<CountedConfig, CountedConfigHash> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+
+  {
+    CountedConfig c0;
+    for (std::size_t l = 0; l < L.size(); ++l) {
+      if (L[l] > 0) bump(c0, p.init(static_cast<Label>(l)), L[l]);
+    }
+    DAWN_CHECK(!c0.empty());
+    configs.id(c0);
+    adj.emplace_back();
+  }
+
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const CountedConfig current =
+        configs.value(static_cast<std::int32_t>(head));
+    for (auto [q1, c1] : current) {
+      for (auto [q2, c2] : current) {
+        if (q1 == q2 && c1 < 2) continue;  // need two distinct agents
+        const auto [r1, r2] = p.delta(q1, q2);
+        if (r1 == q1 && r2 == q2) continue;
+        CountedConfig next = current;
+        bump(next, q1, -1);
+        bump(next, q2, -1);
+        bump(next, r1, +1);
+        bump(next, r2, +1);
+        const std::size_t before = configs.size();
+        const std::int32_t id = configs.id(next);
+        if (configs.size() > before) adj.emplace_back();
+        adj[head].push_back(id);
+      }
+    }
+  }
+  result.num_configs = configs.size();
+  result.decision =
+      classify_bottom_sccs(adj, [&](std::size_t i) {
+        const CountedConfig& c = configs.value(static_cast<std::int32_t>(i));
+        const Verdict first = p.verdict(c.front().first);
+        for (auto [q, n] : c) {
+          if (p.verdict(q) != first) return Verdict::Neutral;
+        }
+        return first;
+      }).decision;
+  return result;
+}
+
+PopulationSimResult simulate_population(const GraphPopulationProtocol& p,
+                                        const Graph& g, Rng& rng,
+                                        const PopulationSimOptions& opts) {
+  PopulationSimResult result;
+  std::vector<State> config(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    config[static_cast<std::size_t>(v)] = p.init(g.label(v));
+  }
+  Verdict held = Verdict::Neutral;
+  std::uint64_t held_since = 0;
+  for (std::uint64_t t = 0; t < opts.max_steps; ++t) {
+    const auto u =
+        static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n())));
+    auto nbrs = g.neighbours(u);
+    if (!nbrs.empty()) {
+      const NodeId v = nbrs[rng.index(nbrs.size())];
+      const auto [pu, pv] = p.delta(config[static_cast<std::size_t>(u)],
+                                    config[static_cast<std::size_t>(v)]);
+      config[static_cast<std::size_t>(u)] = pu;
+      config[static_cast<std::size_t>(v)] = pv;
+    }
+    const Verdict now = pp_consensus(p, config);
+    if (now != held) {
+      held = now;
+      held_since = t;
+    }
+    if (held != Verdict::Neutral && t - held_since >= opts.stable_window) {
+      result.converged = true;
+      result.verdict = held;
+      result.total_steps = t + 1;
+      return result;
+    }
+  }
+  result.verdict = held;
+  result.total_steps = opts.max_steps;
+  return result;
+}
+
+}  // namespace dawn

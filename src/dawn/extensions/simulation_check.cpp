@@ -1,0 +1,160 @@
+#include "dawn/extensions/simulation_check.hpp"
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+namespace {
+
+struct NodeEvents {
+  int joins = 0;
+  bool initiated = false;
+  int response_joined = -1;  // rid of the wave joined as a receiver
+  std::uint64_t inner_steps = 0;
+};
+
+}  // namespace
+
+SimulationCheckResult check_broadcast_simulation(
+    const CompiledBroadcastMachine& machine, const Graph& g, Scheduler& sched,
+    std::uint64_t steps) {
+  SimulationCheckResult result;
+  const BroadcastOverlay& overlay = machine.overlay();
+
+  Config c = initial_config(machine, g);
+  std::vector<NodeEvents> events(static_cast<std::size_t>(g.n()));
+  bool segment_active = false;
+
+  auto fail = [&](const std::string& message) {
+    result.ok = false;
+    if (result.error.empty()) result.error = message;
+  };
+
+  auto at_boundary = [&](const Config& config) {
+    for (State s : config) {
+      if (machine.phase_of(s) != 0) return false;
+    }
+    return true;
+  };
+
+  auto close_segment = [&]() {
+    // Validate the wave recorded in `events`.
+    bool overlapping = false;
+    for (const auto& e : events) {
+      if (e.joins > 1) overlapping = true;
+    }
+    if (overlapping) {
+      ++result.unsupported_overlaps;
+    } else {
+      std::vector<NodeId> initiators;
+      std::set<int> initiated_rids;
+      for (NodeId v = 0; v < g.n(); ++v) {
+        const auto& e = events[static_cast<std::size_t>(v)];
+        if (e.joins == 0) {
+          fail("node " + std::to_string(v) +
+               " never joined a wave between boundaries");
+        } else if (e.initiated) {
+          initiators.push_back(v);
+          initiated_rids.insert(e.response_joined);
+        }
+      }
+      if (initiators.empty()) {
+        fail("wave without initiators");
+      }
+      for (std::size_t i = 0; i < initiators.size(); ++i) {
+        for (std::size_t j = i + 1; j < initiators.size(); ++j) {
+          if (g.has_edge(initiators[i], initiators[j])) {
+            fail("initiators are adjacent: the (b, S) selection is not an "
+                 "independent set");
+          }
+        }
+      }
+      for (NodeId v = 0; v < g.n(); ++v) {
+        const auto& e = events[static_cast<std::size_t>(v)];
+        if (e.joins == 1 && !e.initiated &&
+            !initiated_rids.count(e.response_joined)) {
+          fail("node " + std::to_string(v) +
+               " received a signal nobody sent (rid " +
+               std::to_string(e.response_joined) + ")");
+        }
+      }
+      ++result.waves_checked;
+    }
+    for (auto& e : events) e = NodeEvents{};
+  };
+
+  for (std::uint64_t t = 0; t < steps && result.ok; ++t) {
+    const Selection sel = sched.select(g, machine, c, t);
+    DAWN_CHECK_MSG(sel.size() == 1,
+                   "the simulation checker expects exclusive selection");
+    for (NodeId v : sel) {
+      const State before = c[static_cast<std::size_t>(v)];
+      const auto nb = Neighbourhood::of(g, c, v, machine.beta());
+      const State after = machine.step(before, nb);
+      if (after == before) continue;
+      const int ph_before = machine.phase_of(before);
+      const int ph_after = machine.phase_of(after);
+      auto& e = events[static_cast<std::size_t>(v)];
+      if (ph_before == 0 && ph_after == 0) {
+        // An inner neighbourhood transition: must be legal for the overlay
+        // and must not come from an initiating state (Definition 4.5).
+        if (overlay.initiate(machine.inner_of(before)).has_value()) {
+          fail("initiating state took a neighbourhood transition");
+        }
+        ++e.inner_steps;
+        ++result.inner_steps_checked;
+        segment_active = true;
+      } else if (ph_before == 0 && ph_after == 1) {
+        ++e.joins;
+        e.response_joined = machine.response_of(after);
+        // The compiled machine is deterministic about who initiates:
+        // transition (2) fires only with every neighbour in phase 0; with a
+        // phase-1 neighbour present the node responds via (3) — even if its
+        // state is itself broadcast-initiating and the response happens to
+        // coincide with its own broadcast's successor.
+        bool had_phase1_neighbour = false;
+        for (NodeId u : g.neighbours(v)) {
+          had_phase1_neighbour =
+              had_phase1_neighbour ||
+              machine.phase_of(c[static_cast<std::size_t>(u)]) == 1;
+        }
+        const auto bc = overlay.initiate(machine.inner_of(before));
+        e.initiated =
+            !had_phase1_neighbour && bc.has_value() &&
+            bc->second == machine.response_of(after) &&
+            bc->first == machine.inner_of(after);
+        if (!e.initiated) {
+          // Must then be a receiver: check the response application.
+          const State expected = overlay.respond(machine.response_of(after),
+                                                 machine.inner_of(before));
+          if (expected != machine.inner_of(after)) {
+            fail("receiver applied the wrong response function");
+          }
+        }
+        segment_active = true;
+      }
+      // Phase 1 -> 2 and 2 -> 0 are structural; nothing to validate beyond
+      // what the machine enforces.
+      c[static_cast<std::size_t>(v)] = after;
+    }
+    if (segment_active && at_boundary(c)) {
+      // Only close segments in which a wave actually ran.
+      bool any_join = false;
+      for (const auto& e : events) any_join = any_join || e.joins > 0;
+      if (any_join) {
+        close_segment();
+      } else {
+        for (auto& e : events) e = NodeEvents{};
+        result.inner_steps_checked += 0;
+      }
+      segment_active = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace dawn

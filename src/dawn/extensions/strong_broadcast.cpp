@@ -1,0 +1,280 @@
+#include "dawn/extensions/strong_broadcast.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+namespace {
+
+// Overlay with the abstract strong-broadcast semantics: every state is
+// broadcast-initiating, there are no neighbourhood transitions.
+class StrongOverlay : public BroadcastOverlay {
+ public:
+  explicit StrongOverlay(std::shared_ptr<const StrongBroadcastProtocol> p)
+      : p_(std::move(p)) {
+    FunctionMachine::Spec spec;
+    spec.beta = 1;
+    spec.num_labels = p_->num_labels;
+    spec.num_states = p_->num_states;
+    spec.init = p_->init;
+    spec.step = [](State s, const Neighbourhood&) { return s; };
+    spec.verdict = p_->verdict;
+    if (p_->name) spec.name = p_->name;
+    inner_ = std::make_shared<FunctionMachine>(spec);
+  }
+
+  const Machine& inner() const override { return *inner_; }
+  int num_labels() const override { return p_->num_labels; }
+  State init(Label label) const override { return p_->init(label); }
+  int num_responses() const override { return p_->num_states; }
+  std::optional<std::pair<State, int>> initiate(State state) const override {
+    const auto bc = p_->broadcast(state);
+    return std::make_pair(bc.to, static_cast<int>(state));
+  }
+  State respond(int response, State state) const override {
+    return p_->broadcast(static_cast<State>(response)).respond(state);
+  }
+  Verdict verdict(State state) const override { return p_->verdict(state); }
+  std::string response_name(int response) const override {
+    return "bc(" + p_->state_name(static_cast<State>(response)) + ")";
+  }
+
+ private:
+  std::shared_ptr<const StrongBroadcastProtocol> p_;
+  std::shared_ptr<FunctionMachine> inner_;
+};
+
+// ⟨step⟩: an armed token holder (L', q) executes the protocol broadcast of
+// its tag q on all agents; the token component of receivers is untouched.
+class StepOverlay : public BroadcastOverlay {
+ public:
+  StepOverlay(std::shared_ptr<const StrongBroadcastProtocol> p,
+              std::shared_ptr<CompiledPopulationMachine> token,
+              std::shared_ptr<TaggedMachine> tagged)
+      : p_(std::move(p)), token_(std::move(token)), tagged_(std::move(tagged)) {}
+
+  const Machine& inner() const override { return *tagged_; }
+  int num_labels() const override { return p_->num_labels; }
+  State init(Label label) const override { return tagged_->init(label); }
+  int num_responses() const override { return p_->num_states; }
+
+  std::optional<std::pair<State, int>> initiate(State state) const override {
+    const auto [tok, q] = tagged_->unpack(state);
+    if (tok != token_->embed(StrongToDaf::kTokArmed)) return std::nullopt;
+    const auto bc = p_->broadcast(q);
+    // (L', q) ↦ (L, q'), response id = the broadcasting protocol state.
+    return std::make_pair(
+        tagged_->pack(token_->embed(StrongToDaf::kTokL), bc.to),
+        static_cast<int>(q));
+  }
+
+  State respond(int response, State state) const override {
+    const auto [tok, r] = tagged_->unpack(state);
+    // (t, r) ↦ (t, f(r)) — token component (even a handshake intermediate)
+    // untouched, exactly the paper's ⟨step⟩.
+    return tagged_->pack(
+        tok, p_->broadcast(static_cast<State>(response)).respond(r));
+  }
+
+  Verdict verdict(State state) const override {
+    const auto [tok, q] = tagged_->unpack(state);
+    if (token_->protocol_state_of(token_->committed(tok)) ==
+        StrongToDaf::kTokError) {
+      return Verdict::Neutral;
+    }
+    return p_->verdict(q);
+  }
+
+  std::string response_name(int response) const override {
+    return "step(" + p_->state_name(static_cast<State>(response)) + ")";
+  }
+
+ private:
+  std::shared_ptr<const StrongBroadcastProtocol> p_;
+  std::shared_ptr<CompiledPopulationMachine> token_;
+  std::shared_ptr<TaggedMachine> tagged_;
+};
+
+// ⟨reset⟩: an agent that committed the error state restarts everyone. The
+// initiator becomes the new token holder with its remembered input q0; every
+// receiver drops its token and restores its own remembered q0 (the response
+// reads only the receiver's tag, so it is total — no `last` needed).
+class ResetOverlay : public BroadcastOverlay {
+ public:
+  ResetOverlay(std::shared_ptr<const StrongBroadcastProtocol> p,
+               std::shared_ptr<CompiledPopulationMachine> token,
+               std::shared_ptr<TaggedMachine> step_tagged,
+               std::shared_ptr<CompiledBroadcastMachine> step_machine,
+               std::shared_ptr<TaggedMachine> reset_tagged)
+      : p_(std::move(p)),
+        token_(std::move(token)),
+        step_tagged_(std::move(step_tagged)),
+        step_machine_(std::move(step_machine)),
+        reset_tagged_(std::move(reset_tagged)) {}
+
+  const Machine& inner() const override { return *reset_tagged_; }
+  int num_labels() const override { return p_->num_labels; }
+  State init(Label label) const override { return reset_tagged_->init(label); }
+  int num_responses() const override { return 1; }
+
+  State with_token(State tok_state, State q) const {
+    return step_machine_->embed(
+        step_tagged_->pack(token_->embed(tok_state), q));
+  }
+
+  std::optional<std::pair<State, int>> initiate(State state) const override {
+    const auto [m, q0] = reset_tagged_->unpack(state);
+    // Initiators are agents whose step-machine state is committed and whose
+    // committed token state is the (plain) error state ⊥. Such agents are
+    // frozen until the reset fires (Definition 4.5: initiators take no
+    // neighbourhood transitions).
+    if (step_machine_->committed(m) != m) return std::nullopt;
+    const auto [tok, q] = step_tagged_->unpack(step_machine_->inner_of(m));
+    (void)q;
+    if (token_->committed(tok) != tok) return std::nullopt;
+    if (token_->protocol_state_of(tok) != StrongToDaf::kTokError) {
+      return std::nullopt;
+    }
+    return std::make_pair(
+        reset_tagged_->pack(with_token(StrongToDaf::kTokL, q0), q0), 0);
+  }
+
+  State respond(int, State state) const override {
+    const auto [m, q0] = reset_tagged_->unpack(state);
+    (void)m;
+    return reset_tagged_->pack(with_token(StrongToDaf::kTokNone, q0), q0);
+  }
+
+  Verdict verdict(State state) const override {
+    const auto [m, q0] = reset_tagged_->unpack(state);
+    (void)q0;
+    const State mc = step_machine_->committed(m);
+    const auto [tok, q] = step_tagged_->unpack(step_machine_->inner_of(mc));
+    if (token_->protocol_state_of(token_->committed(tok)) ==
+        StrongToDaf::kTokError) {
+      return Verdict::Neutral;  // transient: a reset is pending
+    }
+    return p_->verdict(q);
+  }
+
+  std::string response_name(int) const override { return "reset"; }
+
+ private:
+  std::shared_ptr<const StrongBroadcastProtocol> p_;
+  std::shared_ptr<CompiledPopulationMachine> token_;
+  std::shared_ptr<TaggedMachine> step_tagged_;
+  std::shared_ptr<CompiledBroadcastMachine> step_machine_;
+  std::shared_ptr<TaggedMachine> reset_tagged_;
+};
+
+GraphPopulationProtocol make_token_protocol() {
+  GraphPopulationProtocol p;
+  p.num_states = 4;
+  p.num_labels = 1;
+  p.init = [](Label) { return StrongToDaf::kTokL; };
+  p.delta = [](State a, State b) -> std::pair<State, State> {
+    if (a == StrongToDaf::kTokL && b == StrongToDaf::kTokL) {
+      return {StrongToDaf::kTokNone, StrongToDaf::kTokError};
+    }
+    if (a == StrongToDaf::kTokNone && b == StrongToDaf::kTokL) {
+      return {StrongToDaf::kTokL, StrongToDaf::kTokNone};
+    }
+    if (a == StrongToDaf::kTokL && b == StrongToDaf::kTokNone) {
+      return {StrongToDaf::kTokArmed, StrongToDaf::kTokNone};
+    }
+    return {a, b};
+  };
+  p.verdict = [](State) { return Verdict::Accept; };
+  p.name = [](State s) {
+    switch (s) {
+      case StrongToDaf::kTokNone:
+        return std::string("0");
+      case StrongToDaf::kTokL:
+        return std::string("L");
+      case StrongToDaf::kTokArmed:
+        return std::string("L'");
+      case StrongToDaf::kTokError:
+        return std::string("bot");
+    }
+    return std::string("?");
+  };
+  return p;
+}
+
+}  // namespace
+
+std::shared_ptr<BroadcastOverlay> strong_protocol_as_overlay(
+    std::shared_ptr<const StrongBroadcastProtocol> p) {
+  DAWN_CHECK(p != nullptr && p->num_states >= 1);
+  return std::make_shared<StrongOverlay>(std::move(p));
+}
+
+StrongToDaf strong_to_daf(std::shared_ptr<const StrongBroadcastProtocol> p) {
+  DAWN_CHECK(p != nullptr && p->num_states >= 1);
+  StrongToDaf out;
+  out.protocol = p;
+
+  out.token = compile_population(make_token_protocol());
+
+  // P'_token × Q: every agent starts with a token and its protocol state.
+  {
+    TaggedMachine::Spec spec;
+    spec.inner = out.token;
+    spec.num_labels = p->num_labels;
+    auto token = out.token;
+    auto proto = p;
+    spec.init = [token, proto](Label l) {
+      return std::make_pair(token->embed(StrongToDaf::kTokL), proto->init(l));
+    };
+    spec.verdict = [proto](State, State tag) { return proto->verdict(tag); };
+    spec.tag_name = [proto](State tag) { return proto->state_name(tag); };
+    out.step_tagged = std::make_shared<TaggedMachine>(spec);
+  }
+
+  out.step_machine = compile_weak_broadcast(
+      std::make_shared<StepOverlay>(p, out.token, out.step_tagged));
+
+  // P'_step × Q: remember the input protocol state for resets.
+  {
+    TaggedMachine::Spec spec;
+    spec.inner = out.step_machine;
+    spec.num_labels = p->num_labels;
+    auto stepm = out.step_machine;
+    auto stagged = out.step_tagged;
+    auto token = out.token;
+    auto proto = p;
+    spec.init = [stepm, stagged, token, proto](Label l) {
+      const State q0 = proto->init(l);
+      return std::make_pair(
+          stepm->embed(stagged->pack(token->embed(StrongToDaf::kTokL), q0)),
+          q0);
+    };
+    spec.tag_name = [proto](State tag) { return proto->state_name(tag); };
+    out.reset_tagged = std::make_shared<TaggedMachine>(spec);
+  }
+
+  out.machine = compile_weak_broadcast(std::make_shared<ResetOverlay>(
+      p, out.token, out.step_tagged, out.step_machine, out.reset_tagged));
+  return out;
+}
+
+State StrongToDaf::committed_token_of(State final_state) const {
+  const State r = machine->inner_of(machine->committed(final_state));
+  const auto [m, q0] = reset_tagged->unpack(r);
+  (void)q0;
+  const auto [tok, q] =
+      step_tagged->unpack(step_machine->inner_of(step_machine->committed(m)));
+  (void)q;
+  return token->protocol_state_of(token->committed(tok));
+}
+
+State StrongToDaf::committed_protocol_of(State final_state) const {
+  const State r = machine->inner_of(machine->committed(final_state));
+  const auto [m, q0] = reset_tagged->unpack(r);
+  (void)q0;
+  const auto [tok, q] =
+      step_tagged->unpack(step_machine->inner_of(step_machine->committed(m)));
+  (void)tok;
+  return q;
+}
+
+}  // namespace dawn

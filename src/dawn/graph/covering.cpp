@@ -1,0 +1,80 @@
+#include "dawn/graph/covering.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+Covering cycle_cover(const std::vector<Label>& labels, int lambda) {
+  const int n = static_cast<int>(labels.size());
+  DAWN_CHECK(n >= 3);
+  DAWN_CHECK(lambda >= 1);
+  GraphBuilder b;
+  std::vector<NodeId> map;
+  map.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(lambda));
+  for (int r = 0; r < lambda; ++r) {
+    for (int v = 0; v < n; ++v) {
+      b.add_node(labels[static_cast<std::size_t>(v)]);
+      map.push_back(static_cast<NodeId>(v));
+    }
+  }
+  const int total = n * lambda;
+  for (NodeId v = 0; v < total; ++v) b.add_edge(v, (v + 1) % total);
+  return Covering{std::move(b).build(), std::move(map)};
+}
+
+Covering lift(const Graph& g, int lambda, Rng& rng) {
+  DAWN_CHECK(lambda >= 1);
+  const int n = g.n();
+  GraphBuilder b;
+  std::vector<NodeId> map;
+  map.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(lambda));
+  auto at = [n](NodeId v, int sheet) {
+    return static_cast<NodeId>(sheet * n + v);
+  };
+  for (int sheet = 0; sheet < lambda; ++sheet) {
+    for (NodeId v = 0; v < n; ++v) {
+      b.add_node(g.label(v));
+      map.push_back(v);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.neighbours(u)) {
+      if (u >= v) continue;
+      const int shift =
+          static_cast<int>(rng.index(static_cast<std::size_t>(lambda)));
+      for (int sheet = 0; sheet < lambda; ++sheet) {
+        b.add_edge(at(u, sheet), at(v, (sheet + shift) % lambda));
+      }
+    }
+  }
+  return Covering{std::move(b).build(), std::move(map)};
+}
+
+bool verify_covering(const Covering& cov, const Graph& g) {
+  const Graph& h = cov.cover;
+  if (static_cast<int>(cov.map.size()) != h.n()) return false;
+  std::vector<bool> hit(static_cast<std::size_t>(g.n()), false);
+  for (NodeId v = 0; v < h.n(); ++v) {
+    NodeId fv = cov.map[static_cast<std::size_t>(v)];
+    if (fv < 0 || fv >= g.n()) return false;
+    hit[static_cast<std::size_t>(fv)] = true;
+    if (h.label(v) != g.label(fv)) return false;
+    // Local bijection: f restricted to N_H(v) is a bijection onto N_G(f(v)).
+    auto g_nbrs = g.neighbours(fv);
+    if (h.degree(v) != static_cast<int>(g_nbrs.size())) return false;
+    std::unordered_set<NodeId> image;
+    for (NodeId u : h.neighbours(v)) {
+      NodeId fu = cov.map[static_cast<std::size_t>(u)];
+      if (!image.insert(fu).second) return false;  // not injective
+      if (std::find(g_nbrs.begin(), g_nbrs.end(), fu) == g_nbrs.end()) {
+        return false;  // image outside N_G(f(v))
+      }
+    }
+  }
+  return std::all_of(hit.begin(), hit.end(), [](bool x) { return x; });
+}
+
+}  // namespace dawn

@@ -1,0 +1,38 @@
+// Graph coverings (Lemma 3.2 / Corollary 3.3).
+//
+// H covers G when there is a surjection f: V_H -> V_G that preserves labels
+// and maps the neighbourhood of each v in H bijectively onto the
+// neighbourhood of f(v) in G. DAf-automata cannot distinguish a graph from
+// its coverings; the λ-fold cover of a cycle is the witness the paper uses to
+// show DAf verdicts are invariant under scalar multiplication of the label
+// count.
+#pragma once
+
+#include <vector>
+
+#include "dawn/graph/graph.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn {
+
+struct Covering {
+  Graph cover;                 // H
+  std::vector<NodeId> map;     // f: V_H -> V_G
+};
+
+// The λ-fold cover of the cycle carrying `labels`: a cycle with the label
+// sequence repeated λ times (the construction in the proof of Cor. 3.3).
+// Requires |labels| >= 3 and lambda >= 1.
+Covering cycle_cover(const std::vector<Label>& labels, int lambda);
+
+// A λ-fold lift of an arbitrary graph: node set V×[λ], and for every edge
+// {u,v} of G a cyclic shift s(e) ∈ [λ] connecting (u,i)-(v,(i+s(e)) mod λ).
+// Always a covering of G; connectivity depends on the shifts, so callers
+// should check `cover.is_connected()` (random shifts make it very likely).
+Covering lift(const Graph& g, int lambda, Rng& rng);
+
+// Checks that `f` (given as cov.map) is a covering map from cov.cover onto g:
+// surjective, label-preserving, and a local bijection on neighbourhoods.
+bool verify_covering(const Covering& cov, const Graph& g);
+
+}  // namespace dawn

@@ -1,0 +1,174 @@
+#include "dawn/graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+Graph make_clique(const std::vector<Label>& labels) {
+  const int n = static_cast<int>(labels.size());
+  DAWN_CHECK(n >= 2);
+  GraphBuilder b;
+  for (Label l : labels) b.add_node(l);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph make_cycle(const std::vector<Label>& labels) {
+  const int n = static_cast<int>(labels.size());
+  DAWN_CHECK(n >= 3);
+  GraphBuilder b;
+  for (Label l : labels) b.add_node(l);
+  for (NodeId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return std::move(b).build();
+}
+
+Graph make_line(const std::vector<Label>& labels) {
+  const int n = static_cast<int>(labels.size());
+  DAWN_CHECK(n >= 2);
+  GraphBuilder b;
+  for (Label l : labels) b.add_node(l);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+Graph make_star(Label centre, const std::vector<Label>& leaves) {
+  DAWN_CHECK(!leaves.empty());
+  GraphBuilder b;
+  NodeId c = b.add_node(centre);
+  for (Label l : leaves) {
+    NodeId leaf = b.add_node(l);
+    b.add_edge(c, leaf);
+  }
+  return std::move(b).build();
+}
+
+Graph make_grid(int w, int h, const std::vector<Label>& labels, bool torus) {
+  DAWN_CHECK(w >= 2 && h >= 2);
+  if (torus) DAWN_CHECK_MSG(w >= 3 && h >= 3, "torus needs w,h >= 3");
+  DAWN_CHECK(static_cast<int>(labels.size()) == w * h);
+  GraphBuilder b;
+  for (Label l : labels) b.add_node(l);
+  auto at = [w](int x, int y) { return static_cast<NodeId>(y * w + x); };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) b.add_edge(at(x, y), at(x + 1, y));
+      else if (torus) b.add_edge(at(x, y), at(0, y));
+      if (y + 1 < h) b.add_edge(at(x, y), at(x, y + 1));
+      else if (torus) b.add_edge(at(x, y), at(x, 0));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph make_random_connected(const std::vector<Label>& labels, int extra_edges,
+                            Rng& rng) {
+  const int n = static_cast<int>(labels.size());
+  DAWN_CHECK(n >= 2);
+  GraphBuilder b;
+  for (Label l : labels) b.add_node(l);
+  // Random spanning tree: attach each node to a uniformly random earlier one.
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  for (int i = 1; i < n; ++i) {
+    NodeId parent = order[rng.index(static_cast<std::size_t>(i))];
+    b.add_edge(order[static_cast<std::size_t>(i)], parent);
+  }
+  Graph tree = std::move(b).build();
+  // Re-add into a builder that tolerates duplicate attempts by checking first.
+  GraphBuilder b2;
+  for (Label l : labels) b2.add_node(l);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : tree.neighbours(v)) {
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  for (auto [u, v] : edges) b2.add_edge(u, v);
+  int added = 0;
+  int attempts = 0;
+  Graph current = Graph({}, {});
+  while (added < extra_edges && attempts < 50 * (extra_edges + 1)) {
+    ++attempts;
+    auto u = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    auto v = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    if (u == v) continue;
+    bool dup = false;
+    for (auto [a, bb] : edges) {
+      if ((a == u && bb == v) || (a == v && bb == u)) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    edges.emplace_back(std::min(u, v), std::max(u, v));
+    b2.add_edge(u, v);
+    ++added;
+  }
+  return std::move(b2).build();
+}
+
+Graph make_random_bounded_degree(const std::vector<Label>& labels, int k,
+                                 int extra_edges, Rng& rng) {
+  const int n = static_cast<int>(labels.size());
+  DAWN_CHECK(n >= 2);
+  DAWN_CHECK_MSG(k >= 2, "degree bound must allow a connected graph");
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  GraphBuilder b;
+  for (Label l : labels) b.add_node(l);
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto connect = [&](NodeId u, NodeId v) {
+    b.add_edge(u, v);
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+    edges.emplace_back(std::min(u, v), std::max(u, v));
+  };
+  // Hamiltonian path keeps every degree <= 2.
+  for (int i = 0; i + 1 < n; ++i) {
+    connect(order[static_cast<std::size_t>(i)],
+            order[static_cast<std::size_t>(i + 1)]);
+  }
+  int added = 0;
+  int attempts = 0;
+  while (added < extra_edges && attempts < 50 * (extra_edges + 1)) {
+    ++attempts;
+    auto u = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    auto v = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    if (u == v) continue;
+    if (degree[static_cast<std::size_t>(u)] >= k ||
+        degree[static_cast<std::size_t>(v)] >= k) {
+      continue;
+    }
+    bool dup = false;
+    for (auto [a, bb] : edges) {
+      if ((a == std::min(u, v)) && (bb == std::max(u, v))) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    connect(u, v);
+    ++added;
+  }
+  return std::move(b).build();
+}
+
+std::vector<Label> labels_from_count(const LabelCount& counts) {
+  std::vector<Label> labels;
+  for (std::size_t l = 0; l < counts.size(); ++l) {
+    for (std::int64_t i = 0; i < counts[l]; ++i) {
+      labels.push_back(static_cast<Label>(l));
+    }
+  }
+  return labels;
+}
+
+}  // namespace dawn

@@ -1,0 +1,53 @@
+// Graph families used throughout the paper's proofs and our experiments.
+//
+// Every generator takes the node labels explicitly (in node order), so the
+// same label multiset can be laid onto different topologies — the key move in
+// the paper's labelling-property arguments ("since φ is a labelling property,
+// we can choose the underlying graph").
+#pragma once
+
+#include <vector>
+
+#include "dawn/graph/graph.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn {
+
+// Complete graph on |labels| nodes. Used for the DAF = NL upper bound
+// (Lemma 5.1) and the counted-configuration semantics.
+Graph make_clique(const std::vector<Label>& labels);
+
+// Cycle v0 - v1 - ... - v_{n-1} - v0. Requires n >= 3. Degree-2; the witness
+// family for Corollary 3.3 and Proposition C.2.
+Graph make_cycle(const std::vector<Label>& labels);
+
+// Path v0 - v1 - ... - v_{n-1}. Requires n >= 2. Used in Example 4.6 /
+// Figure 2 and the Proposition D.1 argument.
+Graph make_line(const std::vector<Label>& labels);
+
+// Star: node 0 is the centre, nodes 1.. are leaves. Requires >= 1 leaf.
+// The graph family of the Lemma 3.5 cutoff machinery.
+Graph make_star(Label centre, const std::vector<Label>& leaves);
+
+// w×h grid with optional wraparound (torus). Degree <= 4; a natural
+// bounded-degree family for the Section 6 experiments. Labels in row-major
+// order; requires |labels| == w*h and w,h >= 2 (w,h >= 3 for torus).
+Graph make_grid(int w, int h, const std::vector<Label>& labels,
+                bool torus = false);
+
+// Connected random graph: a uniform random spanning tree plus
+// `extra_edges` random non-duplicate edges.
+Graph make_random_connected(const std::vector<Label>& labels, int extra_edges,
+                            Rng& rng);
+
+// Connected random graph with maximum degree <= k. Built from a random
+// Hamiltonian path (degree 2) plus random edges that respect the bound.
+// Requires k >= 2.
+Graph make_random_bounded_degree(const std::vector<Label>& labels, int k,
+                                 int extra_edges, Rng& rng);
+
+// Convenience: a label vector with `counts[l]` occurrences of label l,
+// in ascending label order.
+std::vector<Label> labels_from_count(const LabelCount& counts);
+
+}  // namespace dawn

@@ -1,0 +1,121 @@
+#include "dawn/graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "dawn/util/check.hpp"
+#include "dawn/util/hash.hpp"
+
+namespace dawn {
+
+Graph::Graph(std::vector<std::vector<NodeId>> adjacency,
+             std::vector<Label> labels)
+    : adjacency_(std::move(adjacency)), labels_(std::move(labels)) {
+  DAWN_CHECK(adjacency_.size() == labels_.size());
+  int degree_sum = 0;
+  for (std::size_t v = 0; v < adjacency_.size(); ++v) {
+    degree_sum += static_cast<int>(adjacency_[v].size());
+    for (NodeId u : adjacency_[v]) {
+      DAWN_CHECK(u >= 0 && static_cast<std::size_t>(u) < adjacency_.size());
+    }
+  }
+  DAWN_CHECK(degree_sum % 2 == 0);
+  num_edges_ = degree_sum / 2;
+}
+
+int Graph::max_degree() const {
+  int best = 0;
+  for (NodeId v = 0; v < n(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::is_connected() const {
+  if (n() == 0) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n()), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  int reached = 1;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId u : neighbours(v)) {
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = true;
+        ++reached;
+        stack.push_back(u);
+      }
+    }
+  }
+  return reached == n();
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  auto nbrs = neighbours(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+bool Graph::satisfies_paper_convention() const {
+  if (n() < 3 || !is_connected()) return false;
+  for (NodeId v = 0; v < n(); ++v) {
+    std::unordered_set<NodeId> seen;
+    for (NodeId u : neighbours(v)) {
+      if (u == v) return false;              // self-loop
+      if (!seen.insert(u).second) return false;  // parallel edge
+    }
+  }
+  return true;
+}
+
+LabelCount Graph::label_count(int num_labels) const {
+  int k = num_labels;
+  if (k < 0) {
+    k = 0;
+    for (Label l : labels_) k = std::max(k, l + 1);
+  }
+  LabelCount count(static_cast<std::size_t>(k), 0);
+  for (Label l : labels_) {
+    DAWN_CHECK_MSG(l >= 0 && l < k, "label outside alphabet");
+    ++count[static_cast<std::size_t>(l)];
+  }
+  return count;
+}
+
+std::string Graph::to_dot() const {
+  std::ostringstream out;
+  out << "graph G {\n";
+  for (NodeId v = 0; v < n(); ++v) {
+    out << "  n" << v << " [label=\"" << v << ":" << label(v) << "\"];\n";
+  }
+  for (NodeId v = 0; v < n(); ++v) {
+    for (NodeId u : neighbours(v)) {
+      if (v < u) out << "  n" << v << " -- n" << u << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+NodeId GraphBuilder::add_node(Label label) {
+  DAWN_CHECK(label >= 0);
+  adjacency_.emplace_back();
+  labels_.push_back(label);
+  return static_cast<NodeId>(labels_.size()) - 1;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  DAWN_CHECK_MSG(u != v, "self-loops are not allowed");
+  DAWN_CHECK(u >= 0 && static_cast<std::size_t>(u) < labels_.size());
+  DAWN_CHECK(v >= 0 && static_cast<std::size_t>(v) < labels_.size());
+  auto& nu = adjacency_[static_cast<std::size_t>(u)];
+  DAWN_CHECK_MSG(std::find(nu.begin(), nu.end(), v) == nu.end(),
+                 "parallel edges are not allowed");
+  nu.push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+Graph GraphBuilder::build() && {
+  return Graph(std::move(adjacency_), std::move(labels_));
+}
+
+}  // namespace dawn

@@ -1,0 +1,75 @@
+// Labelled undirected graphs — the communication topology of a distributed
+// automaton (Section 2 of the paper).
+//
+// Per the paper's convention, graphs used as automaton inputs are connected,
+// have at least three nodes, and carry a label from a finite alphabet on each
+// node. `Graph` itself does not enforce the convention (intermediate
+// construction steps may violate it); `satisfies_paper_convention` checks it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dawn {
+
+using NodeId = std::int32_t;
+using Label = std::int32_t;
+
+// Label count L_G: for each label, the number of nodes carrying it
+// (Definition A.1). Indexed by label; labels are dense ints [0, num_labels).
+using LabelCount = std::vector<std::int64_t>;
+
+class Graph {
+ public:
+  Graph() = default;
+  // `adjacency[v]` lists the neighbours of v (each edge appears in both
+  // endpoint lists). `labels[v]` is the label of v.
+  Graph(std::vector<std::vector<NodeId>> adjacency, std::vector<Label> labels);
+
+  int n() const { return static_cast<int>(labels_.size()); }
+  int m() const { return num_edges_; }
+
+  std::span<const NodeId> neighbours(NodeId v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  int degree(NodeId v) const {
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+  }
+  Label label(NodeId v) const { return labels_[static_cast<std::size_t>(v)]; }
+
+  int max_degree() const;
+  bool is_connected() const;
+  bool has_edge(NodeId u, NodeId v) const;
+
+  // True iff connected, |V| >= 3, no self-loops and no parallel edges.
+  bool satisfies_paper_convention() const;
+
+  // L_G over the alphabet [0, num_labels). Labels outside the range are an
+  // error. If num_labels < 0, uses 1 + max label present.
+  LabelCount label_count(int num_labels = -1) const;
+
+  // GraphViz rendering (for debugging and the trace benches).
+  std::string to_dot() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Label> labels_;
+  int num_edges_ = 0;
+};
+
+// Incremental construction.
+class GraphBuilder {
+ public:
+  NodeId add_node(Label label);
+  // Adds the undirected edge {u, v}. Self-loops and duplicates are errors.
+  void add_edge(NodeId u, NodeId v);
+  Graph build() &&;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace dawn

@@ -1,0 +1,56 @@
+#include "dawn/graph/metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId source) {
+  DAWN_CHECK(source >= 0 && source < g.n());
+  std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
+  std::deque<NodeId> queue{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId u : g.neighbours(v)) {
+      if (dist[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+int eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  int best = 0;
+  for (int d : dist) {
+    if (d < 0) return -1;
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+int diameter(const Graph& g) {
+  int best = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const int e = eccentricity(g, v);
+    if (e < 0) return -1;
+    best = std::max(best, e);
+  }
+  return best;
+}
+
+bool is_k_regular(const Graph& g, int k) {
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (g.degree(v) != k) return false;
+  }
+  return true;
+}
+
+}  // namespace dawn

@@ -1,0 +1,25 @@
+// Graph metrics used by the experiments: BFS distances, eccentricity,
+// diameter, regularity. The simulation overheads of Lemmas 4.7/4.9 are
+// latency-bound by the diameter, so the benches report it measured, not
+// guessed.
+#pragma once
+
+#include <vector>
+
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+// BFS distances from `source`; unreachable nodes get -1.
+std::vector<int> bfs_distances(const Graph& g, NodeId source);
+
+// max_v dist(source, v); -1 if the graph is disconnected.
+int eccentricity(const Graph& g, NodeId source);
+
+// max over sources of the eccentricity; -1 if disconnected.
+int diameter(const Graph& g);
+
+// Every node has degree exactly k?
+bool is_k_regular(const Graph& g, int k);
+
+}  // namespace dawn

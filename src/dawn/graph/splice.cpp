@@ -1,0 +1,70 @@
+#include "dawn/graph/splice.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+Splice splice_cyclic(const Graph& g, std::pair<NodeId, NodeId> edge_g,
+                     int copies_g, const Graph& h,
+                     std::pair<NodeId, NodeId> edge_h, int copies_h) {
+  DAWN_CHECK(copies_g >= 1 && copies_h >= 1);
+  DAWN_CHECK(g.has_edge(edge_g.first, edge_g.second));
+  DAWN_CHECK(h.has_edge(edge_h.first, edge_h.second));
+
+  GraphBuilder b;
+  Splice result;
+
+  // Node layout: all copies of G first, then all copies of H.
+  auto g_at = [&](int copy, NodeId v) {
+    return static_cast<NodeId>(copy * g.n() + v);
+  };
+  auto h_at = [&](int copy, NodeId v) {
+    return static_cast<NodeId>(copies_g * g.n() + copy * h.n() + v);
+  };
+
+  for (int c = 0; c < copies_g; ++c) {
+    for (NodeId v = 0; v < g.n(); ++v) {
+      b.add_node(g.label(v));
+      result.origins.push_back({0, c, v});
+    }
+  }
+  for (int c = 0; c < copies_h; ++c) {
+    for (NodeId v = 0; v < h.n(); ++v) {
+      b.add_node(h.label(v));
+      result.origins.push_back({1, c, v});
+    }
+  }
+
+  auto copy_edges = [&](const Graph& src, std::pair<NodeId, NodeId> skip,
+                        int copies, auto at) {
+    for (int c = 0; c < copies; ++c) {
+      for (NodeId v = 0; v < src.n(); ++v) {
+        for (NodeId u : src.neighbours(v)) {
+          if (v >= u) continue;
+          const bool is_skip = (v == skip.first && u == skip.second) ||
+                               (v == skip.second && u == skip.first);
+          if (is_skip) continue;  // removed edge
+          b.add_edge(at(c, v), at(c, u));
+        }
+      }
+    }
+  };
+  copy_edges(g, edge_g, copies_g, g_at);
+  copy_edges(h, edge_h, copies_h, h_at);
+
+  // Chain: v_G^c — u_G^{c+1}, then v_G^{last} — u_H^0, then v_H^c — u_H^{c+1}.
+  auto [u_g, v_g] = edge_g;
+  auto [u_h, v_h] = edge_h;
+  for (int c = 0; c + 1 < copies_g; ++c) {
+    b.add_edge(g_at(c, v_g), g_at(c + 1, u_g));
+  }
+  b.add_edge(g_at(copies_g - 1, v_g), h_at(0, u_h));
+  for (int c = 0; c + 1 < copies_h; ++c) {
+    b.add_edge(h_at(c, v_h), h_at(c + 1, u_h));
+  }
+
+  result.graph = std::move(b).build();
+  return result;
+}
+
+}  // namespace dawn

@@ -1,0 +1,39 @@
+// The splicing construction of Lemma 3.1 / Figure 3.
+//
+// Given cyclic graphs G and H (with designated cycle edges e_G, e_H) and
+// repetition counts, builds the graph GH: 2g+1 copies of G and 2h+1 copies of
+// H, the designated edges removed, and the copies chained into one connected
+// graph. A halting automaton that accepts G and rejects H reaches a
+// configuration of GH in which some nodes have halted accepting and others
+// have halted rejecting — contradicting consistency. This makes the
+// impossibility executable.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+struct Splice {
+  Graph graph;
+  // For each node of `graph`: which source graph it came from (0 = G, 1 = H),
+  // which copy, and which original node. Used to map scheduled selections of
+  // the runs on G and H onto GH.
+  struct Origin {
+    int source;  // 0 for G, 1 for H
+    int copy;
+    NodeId node;
+  };
+  std::vector<Origin> origins;
+};
+
+// `edge_g` must be an edge on a cycle of g, `edge_h` on a cycle of h.
+// `copies_g` and `copies_h` are the number of copies (the proof uses 2g+1 and
+// 2h+1 where g, h are the halting times).
+Splice splice_cyclic(const Graph& g, std::pair<NodeId, NodeId> edge_g,
+                     int copies_g, const Graph& h,
+                     std::pair<NodeId, NodeId> edge_h, int copies_h);
+
+}  // namespace dawn

@@ -1,0 +1,85 @@
+#include "dawn/props/classes.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+LabelCount cutoff_count(const LabelCount& L, std::int64_t K) {
+  LabelCount out = L;
+  for (auto& c : out) c = std::min(c, K);
+  return out;
+}
+
+void for_each_count(int num_labels, std::int64_t bound,
+                    const std::function<void(const LabelCount&)>& f) {
+  DAWN_CHECK(num_labels >= 1 && bound >= 0);
+  LabelCount L(static_cast<std::size_t>(num_labels), 0);
+  while (true) {
+    if (std::accumulate(L.begin(), L.end(), std::int64_t{0}) > 0) f(L);
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < L.size() && L[i] == bound) {
+      L[i] = 0;
+      ++i;
+    }
+    if (i == L.size()) return;
+    ++L[i];
+  }
+}
+
+bool admits_cutoff(const LabellingPredicate& p, std::int64_t K,
+                   std::int64_t bound) {
+  bool ok = true;
+  for_each_count(p.num_labels, bound, [&](const LabelCount& L) {
+    if (!ok) return;
+    if (p(L) != p(cutoff_count(L, K))) ok = false;
+  });
+  return ok;
+}
+
+std::int64_t least_cutoff(const LabellingPredicate& p, std::int64_t bound) {
+  // K = bound is excluded: on a window of counts <= bound, ⌈L⌉_bound = L, so
+  // the check would pass vacuously. Only K < bound is evidence of a cutoff.
+  for (std::int64_t K = 0; K < bound; ++K) {
+    if (admits_cutoff(p, K, bound)) return K;
+  }
+  return -1;
+}
+
+bool is_trivial(const LabellingPredicate& p, std::int64_t bound) {
+  bool seen_any = false;
+  bool first = false;
+  bool trivial = true;
+  for_each_count(p.num_labels, bound, [&](const LabelCount& L) {
+    if (!trivial) return;
+    const bool v = p(L);
+    if (!seen_any) {
+      seen_any = true;
+      first = v;
+    } else if (v != first) {
+      trivial = false;
+    }
+  });
+  return trivial;
+}
+
+bool is_ism(const LabellingPredicate& p, std::int64_t bound, int lambda_max) {
+  bool ok = true;
+  for_each_count(p.num_labels, bound, [&](const LabelCount& L) {
+    if (!ok) return;
+    for (int lambda = 1; lambda <= lambda_max; ++lambda) {
+      LabelCount scaled = L;
+      for (auto& c : scaled) c *= lambda;
+      if (p(L) != p(scaled)) {
+        ok = false;
+        return;
+      }
+    }
+  });
+  return ok;
+}
+
+}  // namespace dawn

@@ -1,0 +1,40 @@
+// The property classes of Figure 1 — Trivial, Cutoff(1), Cutoff, ISM — as
+// checkable (bounded) tests on labelling predicates.
+//
+// The checks enumerate label counts up to a bound: they verify membership on
+// a finite window (refuting membership is conclusive; confirming it is
+// evidence, which is the right polarity for the experiments: the paper's
+// lemmas guarantee membership, the benches exhibit the refutations for
+// predicates outside a class).
+#pragma once
+
+#include "dawn/props/predicates.hpp"
+
+namespace dawn {
+
+// ⌈L⌉_K: every component larger than K is replaced by K (Section 2).
+LabelCount cutoff_count(const LabelCount& L, std::int64_t K);
+
+// φ(L) == φ(⌈L⌉_K) for all L with components <= bound?
+bool admits_cutoff(const LabellingPredicate& p, std::int64_t K,
+                   std::int64_t bound);
+
+// The least K <= bound such that the predicate admits cutoff K on the
+// window, or -1 if none does.
+std::int64_t least_cutoff(const LabellingPredicate& p, std::int64_t bound);
+
+// Always-true or always-false on the window?
+bool is_trivial(const LabellingPredicate& p, std::int64_t bound);
+
+// φ(L) == φ(λ·L) for all L with components <= bound and λ <= lambda_max?
+// (Invariance under scalar multiplication, the DAf upper bound of
+// Corollary 3.3 / Figure 1.)
+bool is_ism(const LabellingPredicate& p, std::int64_t bound, int lambda_max);
+
+// Enumerates all label counts with components in [0, bound] (used by the
+// exhaustive protocol-vs-predicate tests). Calls f on each count; counts
+// with an all-zero total are skipped (graphs are nonempty).
+void for_each_count(int num_labels, std::int64_t bound,
+                    const std::function<void(const LabelCount&)>& f);
+
+}  // namespace dawn

@@ -1,0 +1,93 @@
+#include "dawn/props/predicates.hpp"
+
+#include <numeric>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+LabellingPredicate pred_exists(Label target, int num_labels) {
+  DAWN_CHECK(target >= 0 && target < num_labels);
+  return {"exists(l" + std::to_string(target) + ")", num_labels,
+          [target](const LabelCount& L) {
+            return L[static_cast<std::size_t>(target)] >= 1;
+          }};
+}
+
+LabellingPredicate pred_threshold(Label target, int k, int num_labels) {
+  DAWN_CHECK(target >= 0 && target < num_labels);
+  DAWN_CHECK(k >= 1);
+  return {"count(l" + std::to_string(target) + ")>=" + std::to_string(k),
+          num_labels, [target, k](const LabelCount& L) {
+            return L[static_cast<std::size_t>(target)] >= k;
+          }};
+}
+
+LabellingPredicate pred_majority_ge(Label la, Label lb, int num_labels) {
+  return {"majority>=", num_labels, [la, lb](const LabelCount& L) {
+            return L[static_cast<std::size_t>(la)] >=
+                   L[static_cast<std::size_t>(lb)];
+          }};
+}
+
+LabellingPredicate pred_majority_gt(Label la, Label lb, int num_labels) {
+  return {"majority>", num_labels, [la, lb](const LabelCount& L) {
+            return L[static_cast<std::size_t>(la)] >
+                   L[static_cast<std::size_t>(lb)];
+          }};
+}
+
+LabellingPredicate pred_mod(Label target, int m, int r, int num_labels) {
+  DAWN_CHECK(m >= 2 && r >= 0 && r < m);
+  return {"count(l" + std::to_string(target) + ")%" + std::to_string(m) +
+              "==" + std::to_string(r),
+          num_labels, [target, m, r](const LabelCount& L) {
+            return L[static_cast<std::size_t>(target)] % m == r;
+          }};
+}
+
+LabellingPredicate pred_homogeneous(std::vector<int> coeffs) {
+  const int num_labels = static_cast<int>(coeffs.size());
+  DAWN_CHECK(num_labels >= 1);
+  return {"homogeneous", num_labels, [coeffs](const LabelCount& L) {
+            std::int64_t sum = 0;
+            for (std::size_t i = 0; i < coeffs.size(); ++i) {
+              sum += static_cast<std::int64_t>(coeffs[i]) * L[i];
+            }
+            return sum >= 0;
+          }};
+}
+
+LabellingPredicate pred_interval(Label target, int lo, int hi,
+                                 int num_labels) {
+  DAWN_CHECK(0 <= lo && lo <= hi);
+  DAWN_CHECK(target >= 0 && target < num_labels);
+  return {"interval[" + std::to_string(lo) + "," + std::to_string(hi) + "]",
+          num_labels, [target, lo, hi](const LabelCount& L) {
+            const auto x = L[static_cast<std::size_t>(target)];
+            return lo <= x && x <= hi;
+          }};
+}
+
+LabellingPredicate pred_divides(Label a, Label b, int num_labels) {
+  return {"divides", num_labels, [a, b](const LabelCount& L) {
+            const std::int64_t x = L[static_cast<std::size_t>(a)];
+            const std::int64_t y = L[static_cast<std::size_t>(b)];
+            if (x == 0) return y == 0;
+            return y % x == 0;
+          }};
+}
+
+LabellingPredicate pred_prime_size(int num_labels) {
+  return {"prime(|V|)", num_labels, [](const LabelCount& L) {
+            const std::int64_t n =
+                std::accumulate(L.begin(), L.end(), std::int64_t{0});
+            if (n < 2) return false;
+            for (std::int64_t d = 2; d * d <= n; ++d) {
+              if (n % d == 0) return false;
+            }
+            return true;
+          }};
+}
+
+}  // namespace dawn

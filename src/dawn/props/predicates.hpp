@@ -1,0 +1,51 @@
+// Labelling predicates φ: N^Λ -> {0,1} — the ground truth the protocols are
+// checked against, and the objects the paper's classification (Figure 1)
+// speaks about.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+struct LabellingPredicate {
+  std::string name;
+  int num_labels = 1;
+  std::function<bool(const LabelCount&)> eval;
+
+  bool operator()(const LabelCount& L) const { return eval(L); }
+};
+
+// ∃ℓ: at least one node carries `target` (in Cutoff(1)).
+LabellingPredicate pred_exists(Label target, int num_labels);
+
+// x_target >= k (in Cutoff(k), not in Cutoff(k-1) for k >= 1).
+LabellingPredicate pred_threshold(Label target, int k, int num_labels);
+
+// #la >= #lb (majority with ties accepting; not in Cutoff).
+LabellingPredicate pred_majority_ge(Label la, Label lb, int num_labels);
+
+// #la > #lb (strict majority).
+LabellingPredicate pred_majority_gt(Label la, Label lb, int num_labels);
+
+// #target ≡ r (mod m) (in NL, not in Cutoff).
+LabellingPredicate pred_mod(Label target, int m, int r, int num_labels);
+
+// Σ coeffs[i]·x_i >= 0 (homogeneous threshold; ISM).
+LabellingPredicate pred_homogeneous(std::vector<int> coeffs);
+
+// lo <= x_target <= hi (in Cutoff(hi+1): the upper bound needs one unit
+// of headroom to detect "more than hi").
+LabellingPredicate pred_interval(Label target, int lo, int hi, int num_labels);
+
+// x_a divides x_b (ISM but not a homogeneous threshold — the paper's
+// witness for the gap between the DAf bounds in Section 6).
+LabellingPredicate pred_divides(Label a, Label b, int num_labels);
+
+// |V| is prime (the paper's example of an NL property).
+LabellingPredicate pred_prime_size(int num_labels);
+
+}  // namespace dawn

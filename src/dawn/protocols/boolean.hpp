@@ -1,0 +1,24 @@
+// Boolean combinations of stable-consensus automata.
+//
+// The decidable labelling properties of every class are closed under boolean
+// combinations (used by Propositions C.4 and C.6): run both machines as a
+// product — each component steps on the projection of the neighbourhood —
+// and combine the verdicts. Negation is verdict swapping (see
+// automata/combinators.hpp).
+#pragma once
+
+#include <memory>
+
+#include "dawn/automata/machine.hpp"
+
+namespace dawn {
+
+enum class BoolOp { And, Or };
+
+// The product automaton deciding φ_left ∘ φ_right. Both machines must share
+// the input alphabet. β of the product is max(β_left, β_right).
+std::shared_ptr<Machine> combine(std::shared_ptr<const Machine> left,
+                                 std::shared_ptr<const Machine> right,
+                                 BoolOp op);
+
+}  // namespace dawn

@@ -1,0 +1,78 @@
+#include "dawn/protocols/cutoff_construction.hpp"
+
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/threshold_daf.hpp"
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::shared_ptr<FormulaMachine> make_cutoff_automaton(
+    const LabellingPredicate& pred, int K) {
+  DAWN_CHECK(K >= 1);
+  const int l = pred.num_labels;
+  std::vector<std::shared_ptr<const Machine>> components;
+  components.reserve(static_cast<std::size_t>(l * K));
+  for (Label i = 0; i < l; ++i) {
+    for (int j = 1; j <= K; ++j) {
+      components.push_back(make_threshold_daf(j, i, l));
+    }
+  }
+  auto eval = pred.eval;
+  return std::make_shared<FormulaMachine>(
+      std::move(components), [eval, l, K](const std::vector<bool>& bits) {
+        // bits[i*K + (j-1)] = [x_i >= j]; recover the cutoff cell.
+        LabelCount cell(static_cast<std::size_t>(l), 0);
+        for (int i = 0; i < l; ++i) {
+          for (int j = 1; j <= K; ++j) {
+            if (bits[static_cast<std::size_t>(i * K + j - 1)]) {
+              cell[static_cast<std::size_t>(i)] = j;
+            }
+          }
+        }
+        return eval(cell);
+      });
+}
+
+std::shared_ptr<FormulaMachine> make_cutoff1_automaton(
+    const LabellingPredicate& pred) {
+  const int l = pred.num_labels;
+  std::vector<std::shared_ptr<const Machine>> components;
+  components.reserve(static_cast<std::size_t>(l));
+  for (Label i = 0; i < l; ++i) {
+    components.push_back(make_exists_label(i, l));
+  }
+  auto eval = pred.eval;
+  return std::make_shared<FormulaMachine>(
+      std::move(components), [eval, l](const std::vector<bool>& bits) {
+        LabelCount cell(static_cast<std::size_t>(l), 0);
+        for (int i = 0; i < l; ++i) {
+          cell[static_cast<std::size_t>(i)] = bits[static_cast<std::size_t>(i)];
+        }
+        return eval(cell);
+      });
+}
+
+std::shared_ptr<FormulaMachine> make_interval_automaton(Label target, int lo,
+                                                        int hi,
+                                                        int num_labels) {
+  DAWN_CHECK(0 <= lo && lo <= hi);
+  std::vector<std::shared_ptr<const Machine>> components;
+  // [x >= lo] (trivially true for lo = 0) and [x >= hi+1].
+  components.push_back(lo >= 1
+                           ? make_threshold_daf(lo, target, num_labels)
+                           : nullptr);
+  components.push_back(make_threshold_daf(hi + 1, target, num_labels));
+  if (!components[0]) {
+    // Replace the trivial component with the other threshold so the formula
+    // machine has uniform non-null components.
+    components[0] = components[1];
+    return std::make_shared<FormulaMachine>(
+        std::move(components),
+        [](const std::vector<bool>& b) { return !b[1]; });
+  }
+  return std::make_shared<FormulaMachine>(
+      std::move(components),
+      [](const std::vector<bool>& b) { return b[0] && !b[1]; });
+}
+
+}  // namespace dawn

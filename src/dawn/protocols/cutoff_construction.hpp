@@ -1,0 +1,38 @@
+// The Proposition C.6 construction, generic: a dAF automaton for ANY
+// labelling predicate in Cutoff(K).
+//
+// Components: for each label i and level j in [1, K], the Lemma C.5
+// threshold automaton deciding x_i >= j. An agent's component verdicts
+// determine ⌈L⌉_K (c_i = max { j : x_i >= j }), and the formula outputs
+// φ(⌈L⌉_K) = φ(L). Since every component stabilises (dAF, pseudo-stochastic
+// fairness), the formula machine stabilises to the correct consensus —
+// this realises "φ can be written as a disjunction over cutoff cells" of
+// the paper's proof without enumerating the (K+1)^l cells syntactically.
+//
+// Also exposed: the Proposition C.4 special case (K = 1, built from the
+// dAf flooding machines, so the result is a dAf automaton).
+#pragma once
+
+#include <memory>
+
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/formula.hpp"
+
+namespace dawn {
+
+// Requires: pred admits cutoff K (φ(L) = φ(⌈L⌉_K)); this is the caller's
+// obligation (checkable with props/classes.hpp on a window).
+std::shared_ptr<FormulaMachine> make_cutoff_automaton(
+    const LabellingPredicate& pred, int K);
+
+// K = 1 via flooding machines: a dAf automaton (adversarial-robust).
+std::shared_ptr<FormulaMachine> make_cutoff1_automaton(
+    const LabellingPredicate& pred);
+
+// lo <= x_target <= hi, assembled from two Lemma C.5 thresholds
+// ("flock-of-birds with a ceiling"; a dAF automaton).
+std::shared_ptr<FormulaMachine> make_interval_automaton(Label target, int lo,
+                                                        int hi,
+                                                        int num_labels);
+
+}  // namespace dawn

@@ -1,0 +1,34 @@
+#include "dawn/protocols/example46.hpp"
+
+namespace dawn {
+
+std::shared_ptr<BroadcastOverlay> make_example46_overlay() {
+  FunctionMachine::Spec inner;
+  inner.beta = 1;
+  inner.num_labels = 3;
+  inner.num_states = 3;
+  inner.init = [](Label l) { return static_cast<State>(l); };
+  inner.step = [](State s, const Neighbourhood& n) {
+    if (s == kExample46X && n.count(kExample46A) > 0) return kExample46A;
+    return s;
+  };
+  inner.verdict = [](State) { return Verdict::Neutral; };
+  inner.name = [](State s) { return std::string(1, "abx"[s]); };
+
+  SimpleBroadcastOverlay::Spec spec;
+  spec.machine = std::make_shared<FunctionMachine>(inner);
+  spec.num_labels = 3;
+  spec.broadcasts.push_back(
+      {kExample46A, kExample46A,
+       [](State q) { return q == kExample46X ? kExample46A : q; }, "a!"});
+  spec.broadcasts.push_back({kExample46B, kExample46B,
+                             [](State q) {
+                               if (q == kExample46B) return kExample46A;
+                               if (q == kExample46A) return kExample46X;
+                               return q;
+                             },
+                             "b!"});
+  return std::make_shared<SimpleBroadcastOverlay>(std::move(spec));
+}
+
+}  // namespace dawn

@@ -1,0 +1,24 @@
+// The Example 4.6 automaton (Figure 2): a 3-state dAF automaton with weak
+// broadcasts, used by the paper to illustrate simultaneous broadcasts,
+// extensions and reorderings. Promoted to the library so the figure bench
+// and the tests share one definition.
+//
+// States {a, b, x}; a neighbourhood transition x -> a when an a-neighbour
+// is present; broadcasts a ↦ a, {x ↦ a} and b ↦ b, {b ↦ a, a ↦ x}.
+#pragma once
+
+#include <memory>
+
+#include "dawn/extensions/broadcast.hpp"
+
+namespace dawn {
+
+inline constexpr State kExample46A = 0;
+inline constexpr State kExample46B = 1;
+inline constexpr State kExample46X = 2;
+
+// Labels map 0 -> a, 1 -> b, 2 -> x. Verdicts are Neutral (the example
+// illustrates dynamics, not a decision).
+std::shared_ptr<BroadcastOverlay> make_example46_overlay();
+
+}  // namespace dawn

@@ -1,0 +1,25 @@
+#include "dawn/protocols/exists_label.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::shared_ptr<Machine> make_exists_label(Label target, int num_labels) {
+  DAWN_CHECK(target >= 0 && target < num_labels);
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = num_labels;
+  spec.num_states = 2;
+  spec.init = [target](Label l) { return static_cast<State>(l == target); };
+  spec.step = [](State s, const Neighbourhood& n) {
+    if (s == 0 && n.count(1) > 0) return State{1};
+    return s;
+  };
+  spec.verdict = [](State s) {
+    return s == 1 ? Verdict::Accept : Verdict::Reject;
+  };
+  spec.name = [](State s) { return s == 1 ? "lit" : "dark"; };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+}  // namespace dawn

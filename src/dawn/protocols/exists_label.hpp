@@ -1,0 +1,21 @@
+// The flooding automaton: the canonical dAf protocol for Cutoff(1)
+// properties ([16, Prop. 12], used by Proposition C.4).
+//
+// Decides "at least one node carries label ℓ" on arbitrary connected graphs
+// under adversarial fairness with β = 1: a node is lit if it carries ℓ or
+// has ever seen a lit neighbour; lit-ness floods the graph. Acceptance is by
+// stable consensus (lit = accept), and the protocol is consistent: if ℓ
+// occurs the flood reaches everyone under any fair schedule, otherwise
+// nobody ever lights up.
+#pragma once
+
+#include <memory>
+
+#include "dawn/automata/machine.hpp"
+
+namespace dawn {
+
+// States: 0 = dark (reject), 1 = lit (accept).
+std::shared_ptr<Machine> make_exists_label(Label target, int num_labels);
+
+}  // namespace dawn

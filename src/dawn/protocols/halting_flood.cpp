@@ -1,0 +1,61 @@
+#include "dawn/protocols/halting_flood.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::shared_ptr<Machine> make_halting_flood(Label target, int num_labels) {
+  DAWN_CHECK(target >= 0 && target < num_labels);
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = num_labels;
+  spec.num_states = 4;
+  spec.init = [target](Label l) { return static_cast<State>(l == target); };
+  spec.step = [](State s, const Neighbourhood& n) {
+    if (s >= 2) return s;  // halted
+    if (s == 1 || n.count(1) > 0) return State{2};
+    return State{3};
+  };
+  spec.verdict = [](State s) {
+    if (s == 2) return Verdict::Accept;
+    if (s == 3) return Verdict::Reject;
+    return Verdict::Neutral;
+  };
+  spec.name = [](State s) {
+    switch (s) {
+      case 0:
+        return "watch";
+      case 1:
+        return "watch*";
+      case 2:
+        return "acc!";
+      case 3:
+        return "rej!";
+    }
+    return "?";
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+bool check_halting_on(const Machine& m, int num_probe_states) {
+  // Probe δ(q, N) for every accept/reject state q against single-state
+  // neighbourhoods of every probe state and the empty neighbourhood. This is
+  // a sound spot-check (not a proof) for machines whose transition function
+  // factors through presence bits, which covers all machines in this repo.
+  for (State q = 0; q < num_probe_states; ++q) {
+    const Verdict v = m.verdict(q);
+    if (v == Verdict::Neutral) continue;
+    {
+      const auto empty = Neighbourhood::from_counts({}, m.beta());
+      if (m.step(q, empty) != q) return false;
+    }
+    for (State o = 0; o < num_probe_states; ++o) {
+      const std::pair<State, int> counts[] = {{o, m.beta()}};
+      const auto n = Neighbourhood::from_counts(counts, m.beta());
+      if (m.step(q, n) != q) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dawn

@@ -1,0 +1,28 @@
+// A halting automaton (acceptance by halting, classes xa*) for the
+// Lemma 3.1 / Figure 3 experiment.
+//
+// Each node waits for one activation, inspects its neighbourhood, then halts
+// forever: accept iff it carries label ℓ or sees a neighbour that started
+// with label ℓ. On the uniform cycles used in the experiment this halts with
+// a correct uniform verdict (all-ℓ cycle: accept; ℓ-free cycle: reject); on
+// the spliced graph GH of Lemma 3.1 the G-part halts accepting and the
+// H-part halts rejecting — exhibiting the inconsistency that proves halting
+// classes decide only trivial labelling properties (Proposition C.2).
+#pragma once
+
+#include <memory>
+
+#include "dawn/automata/machine.hpp"
+
+namespace dawn {
+
+// States: 0 = watching(other), 1 = watching(ℓ), 2 = halted-accept,
+// 3 = halted-reject. Halted states are absorbing (halting acceptance).
+std::shared_ptr<Machine> make_halting_flood(Label target, int num_labels);
+
+// True iff the machine never leaves accept/reject states (the definition of
+// halting acceptance); checked by exhaustive δ probing for enumerable
+// machines over the reachable neighbourhood space of the given graph.
+bool check_halting_on(const Machine& m, int num_probe_states);
+
+}  // namespace dawn

@@ -1,0 +1,96 @@
+// The Section 6.1 construction: a DAf-automaton for homogeneous threshold
+// predicates φ(x_1..x_l) ⇔ a_1·x_1 + ... + a_l·x_l >= 0 on graphs of degree
+// at most k — in particular majority (#a >= #b, coefficients (1, -1)) under
+// *adversarial* scheduling, including the synchronous deterministic
+// schedule. This is the paper's headline bounded-degree result
+// (Proposition 6.3).
+//
+// The stack, assembled exactly as in the paper:
+//
+//   P_cancel  — local cancellation (⟨cancel⟩): each agent holds a
+//     contribution x ∈ [-E, E], E = max(max|a_i|, 2k); agents with |x| > k
+//     push units towards small neighbours each synchronous step. Preserves
+//     Σx; converges to "all small" or "all negative" (Lemma 6.1).
+//   P_detect  — P_cancel × {follower, L, L_double, L_□} plus error/reject
+//     states {⊥, □}, with weak absence detection for the leaders: a leader
+//     in L observes the support; if it contains □ it errors (⊥); if it
+//     contains ⊥ it demotes to follower; if everything is small it arms a
+//     doubling (L_double); if everything is negative it arms a rejection
+//     (L_□). Compiled to a plain DAf machine by Lemma 4.9 (distance labels).
+//   P_bc      — weak broadcasts over the compiled P_detect: ⟨double⟩ doubles
+//     every follower's contribution (response composed with `last` to
+//     handle agents caught mid-wave) and shoots other leaders to ⊥;
+//     ⟨reject⟩ moves everyone to the rejecting state □. Compiled by
+//     Lemma 4.7.
+//   P_reset   — × Q_cancel memory plus ⟨reset⟩: an agent that committed ⊥
+//     restarts everyone from their remembered inputs, making itself the new
+//     (sole, tentatively) leader. Every reset strictly decreases the leader
+//     count, so errors die out. Compiled by Lemma 4.7; the result is the
+//     final DAf automaton with counting bound k.
+//
+// Deviations (documented in EXPERIMENTS.md): the paper's ⟨double⟩ response
+// doubles y ∈ {-k+1..k-1}; we double y ∈ [-k, k], which is what the
+// converged support guarantees and what preserves Σx exactly. The paper's
+// detection conditions s ⊆ {-k..k}×{0} cannot hold literally (the observing
+// leader's own state is in s); we read them as "every observed agent is a
+// follower with small (resp. negative) contribution or a leader in L".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dawn/automata/combinators.hpp"
+#include "dawn/extensions/absence.hpp"
+#include "dawn/extensions/broadcast.hpp"
+
+namespace dawn {
+
+// State encoding of the P_detect layer.
+struct CancelEncoding {
+  int E = 0;
+
+  static constexpr int kFollower = 0;
+  static constexpr int kLeader = 1;    // L
+  static constexpr int kArmDouble = 2; // L_double
+  static constexpr int kArmReject = 3; // L_□
+
+  // Pair states (x, role), x in [-E, E].
+  State pair_id(int x, int role) const;
+  bool is_pair(State s) const;
+  int x_of(State s) const;
+  int role_of(State s) const;
+
+  State error_id() const;   // ⊥
+  State reject_id() const;  // □
+  int num_states() const;
+  std::string name(State s) const;
+};
+
+struct BoundedThresholdAutomaton {
+  std::vector<int> coeffs;
+  int k = 0;
+  CancelEncoding enc;
+
+  std::shared_ptr<FunctionMachine> detect_inner;          // ⟨cancel⟩ × roles
+  std::shared_ptr<AbsenceMachine> detect;                 // P_detect
+  std::shared_ptr<CompiledAbsenceMachine> detect_machine; // P'_detect
+  std::shared_ptr<CompiledBroadcastMachine> bc_machine;   // P'_bc
+  std::shared_ptr<TaggedMachine> reset_tagged;            // P'_bc × Q_cancel
+  std::shared_ptr<CompiledBroadcastMachine> machine;      // the DAf automaton
+
+  // Diagnostics: the committed P_detect state a final-machine state
+  // represents.
+  State committed_detect_of(State final_state) const;
+};
+
+// φ(x_1..x_l) ⇔ Σ coeffs[i]·x_i >= 0 on graphs of maximum degree <= k.
+// Requires at least one coefficient != 0 and k >= 2.
+BoundedThresholdAutomaton make_homogeneous_threshold_daf(
+    std::vector<int> coeffs, int k);
+
+// Majority #label0 >= #label1 (ties accept), degree bound k.
+inline BoundedThresholdAutomaton make_majority_bounded(int k) {
+  return make_homogeneous_threshold_daf({1, -1}, k);
+}
+
+}  // namespace dawn

@@ -1,0 +1,46 @@
+#include "dawn/protocols/parity_strong.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::shared_ptr<StrongBroadcastProtocol> make_mod_counter_protocol(
+    int m, int r, Label counted, int num_labels) {
+  DAWN_CHECK(m >= 2);
+  DAWN_CHECK(r >= 0 && r < m);
+  DAWN_CHECK(counted >= 0 && counted < num_labels);
+
+  // State encoding: id = done * m + c, done ∈ {0,1}, c ∈ [0, m).
+  auto protocol = std::make_shared<StrongBroadcastProtocol>();
+  protocol->num_states = 2 * m;
+  protocol->num_labels = num_labels;
+  protocol->init = [m, counted](Label l) {
+    return static_cast<State>(l == counted ? 0 : m);  // (pending,0) / (done,0)
+  };
+  protocol->broadcast = [m](State s) -> StrongBroadcastProtocol::Broadcast {
+    const bool done = s >= m;
+    const int c = s % m;
+    if (done) {
+      return {s, [](State q) { return q; }};  // silent broadcast
+    }
+    // Fire once: become done with incremented count; increment everyone.
+    return {static_cast<State>(m + (c + 1) % m), [m](State q) {
+              const int qc = q % m;
+              const State base = q >= m ? m : 0;
+              return static_cast<State>(base + (qc + 1) % m);
+            }};
+  };
+  protocol->verdict = [m, r](State s) {
+    return s % m == r ? Verdict::Accept : Verdict::Reject;
+  };
+  protocol->name = [m](State s) {
+    return std::string(s >= m ? "done" : "pend") + std::to_string(s % m);
+  };
+  return protocol;
+}
+
+StrongToDaf make_mod_counter_daf(int m, int r, Label counted, int num_labels) {
+  return strong_to_daf(make_mod_counter_protocol(m, r, counted, num_labels));
+}
+
+}  // namespace dawn

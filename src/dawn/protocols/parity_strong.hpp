@@ -1,0 +1,28 @@
+// Modular counting via strong broadcasts: decides  #ℓ ≡ r (mod m).
+//
+// This predicate admits no cutoff, so it separates DAF (= NL, Lemma 5.1)
+// from dAF (= Cutoff): no dAF automaton decides it, but the strong-broadcast
+// protocol below does, and the Lemma 5.1 pipeline turns it into a DAF
+// automaton.
+//
+// Protocol: every agent tracks the running count c (mod m) and whether it
+// has contributed. An uncounted ℓ-agent's broadcast increments everyone's c
+// (including, via its own successor state, its own) and marks it counted.
+// After all ℓ-agents have fired exactly once, every agent holds
+// c = #ℓ mod m forever. Agents accept iff c == r.
+#pragma once
+
+#include <memory>
+
+#include "dawn/extensions/strong_broadcast.hpp"
+
+namespace dawn {
+
+// The abstract protocol (ground truth via the strong deciders).
+std::shared_ptr<StrongBroadcastProtocol> make_mod_counter_protocol(
+    int m, int r, Label counted, int num_labels);
+
+// The full Lemma 5.1 pipeline output (machine = the DAF automaton).
+StrongToDaf make_mod_counter_daf(int m, int r, Label counted, int num_labels);
+
+}  // namespace dawn

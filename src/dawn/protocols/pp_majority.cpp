@@ -1,0 +1,64 @@
+#include "dawn/protocols/pp_majority.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+namespace {
+
+constexpr State kA = 0;
+constexpr State kB = 1;
+constexpr State kWeakA = 2;
+constexpr State kWeakB = 3;
+
+}  // namespace
+
+GraphPopulationProtocol make_majority_protocol(Label la, Label lb,
+                                               int num_labels) {
+  DAWN_CHECK(la != lb);
+  DAWN_CHECK(la >= 0 && la < num_labels);
+  DAWN_CHECK(lb >= 0 && lb < num_labels);
+  GraphPopulationProtocol p;
+  p.num_states = 4;
+  p.num_labels = num_labels;
+  p.init = [la, lb](Label l) {
+    if (l == la) return kA;
+    if (l == lb) return kB;
+    return kWeakA;
+  };
+  p.delta = [](State x, State y) -> std::pair<State, State> {
+    auto one_way = [](State u, State v) -> std::pair<State, State> {
+      if (u == kA && v == kB) return {kWeakA, kWeakB};
+      if (u == kA && v == kWeakB) return {kA, kWeakA};
+      if (u == kB && v == kWeakA) return {kB, kWeakB};
+      return {u, v};
+    };
+    auto [x1, y1] = one_way(x, y);
+    if (x1 != x || y1 != y) return {x1, y1};
+    auto [y2, x2] = one_way(y, x);
+    return {x2, y2};
+  };
+  p.verdict = [](State s) {
+    return (s == kA || s == kWeakA) ? Verdict::Accept : Verdict::Reject;
+  };
+  p.name = [](State s) {
+    switch (s) {
+      case kA:
+        return "A";
+      case kB:
+        return "B";
+      case kWeakA:
+        return "a";
+      case kWeakB:
+        return "b";
+    }
+    return "?";
+  };
+  return p;
+}
+
+std::shared_ptr<Machine> make_majority_daf(Label la, Label lb,
+                                           int num_labels) {
+  return compile_population(make_majority_protocol(la, lb, num_labels));
+}
+
+}  // namespace dawn

@@ -1,0 +1,37 @@
+// The classic 4-state population-protocol for majority, compiled into a DAF
+// automaton via Lemma 4.10.
+//
+// States: strong A/B and weak a/b. Interactions (symmetric):
+//   A,B ↦ a,b   (cancellation; #A - #B is invariant)
+//   A,b ↦ A,a   (the surviving strong opinion converts weak dissenters)
+//   B,a ↦ B,b
+// If #A > #B every B is eventually cancelled and the remaining A's convert
+// all weak b's: stable accept; symmetrically for #B > #A.
+//
+// Scope (verified by the exact deciders in the tests): the protocol is
+// stably correct on *cliques* — the classic population-protocol setting,
+// which suffices for labelling properties — under the promise #ℓa ≠ #ℓb.
+// On sparse topologies a surviving strong opinion can be walled off from
+// remaining weak dissenters by already-converted agents (e.g. the star
+// A—centre with the centre cancelled), and on ties both weak opinions
+// persist; in both cases no consensus stabilises. General-graph majority
+// needs the heavier machinery the paper builds: the Lemma 5.1 broadcast
+// pipeline (NL) or, for bounded degree, the Section 6.1 automaton
+// (protocols/majority_bounded.hpp), which also handles ties.
+#pragma once
+
+#include <memory>
+
+#include "dawn/extensions/population.hpp"
+
+namespace dawn {
+
+// The abstract protocol; label `la` maps to A, `lb` to B, every other label
+// to the weak state a (it joins whichever side wins).
+GraphPopulationProtocol make_majority_protocol(Label la, Label lb,
+                                               int num_labels);
+
+// The compiled DAF automaton (β = 2).
+std::shared_ptr<Machine> make_majority_daf(Label la, Label lb, int num_labels);
+
+}  // namespace dawn

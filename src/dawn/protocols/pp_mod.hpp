@@ -1,0 +1,36 @@
+// Modular counting as a graph population protocol, via leader fusion —
+// #ℓ ≡ r (mod m) on cliques, compiled to a DAF automaton by Lemma 4.10.
+//
+// Every agent starts as a leader carrying its own contribution (1 for the
+// counted label, 0 otherwise). Two leaders fuse: one keeps the sum mod m,
+// the other becomes a follower. A leader stamps its current value onto any
+// follower it meets. Once a single leader remains — guaranteed under
+// pseudo-stochastic fairness on a clique — its value is #ℓ mod m and every
+// follower converges to it: stable consensus on value == r.
+//
+// Complements the strong-broadcast mod counter (parity_strong.hpp): same
+// predicate, different communication mechanism — rendez-vous instead of
+// broadcasts — so the two NL routes of the paper (Lemma 4.10 and Lemma 5.1)
+// can be cross-checked against each other.
+//
+// Scope: cliques (the fusion argument needs any two leaders to eventually
+// meet, and followers to meet the last leader; on sparse graphs a leader
+// can be walled off exactly like the majority protocol's strong opinions).
+#pragma once
+
+#include <memory>
+
+#include "dawn/extensions/population.hpp"
+
+namespace dawn {
+
+// State encoding: leader with value c = c; follower with value c = m + c.
+GraphPopulationProtocol make_mod_population_protocol(int m, int r,
+                                                     Label counted,
+                                                     int num_labels);
+
+// The compiled DAF automaton (β = 2).
+std::shared_ptr<Machine> make_mod_population_daf(int m, int r, Label counted,
+                                                 int num_labels);
+
+}  // namespace dawn

@@ -1,0 +1,44 @@
+#include "dawn/protocols/threshold_daf.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::shared_ptr<BroadcastOverlay> make_threshold_overlay(int k, Label counted,
+                                                         int num_labels) {
+  DAWN_CHECK(k >= 1);
+  DAWN_CHECK(counted >= 0 && counted < num_labels);
+
+  FunctionMachine::Spec inner;
+  inner.beta = 1;
+  inner.num_labels = num_labels;
+  inner.num_states = k + 1;
+  inner.init = [counted](Label l) { return static_cast<State>(l == counted); };
+  inner.step = [](State s, const Neighbourhood&) { return s; };  // silent
+  inner.verdict = [k](State s) {
+    return s == k ? Verdict::Accept : Verdict::Reject;
+  };
+  inner.name = [](State s) { return "lvl" + std::to_string(s); };
+
+  SimpleBroadcastOverlay::Spec spec;
+  spec.machine = std::make_shared<FunctionMachine>(inner);
+  spec.num_labels = num_labels;
+  for (State i = 1; i < k; ++i) {
+    spec.broadcasts.push_back(
+        {i, i,
+         [i](State q) { return q == i ? static_cast<State>(i + 1) : q; },
+         "level" + std::to_string(i)});
+  }
+  spec.broadcasts.push_back(
+      {static_cast<State>(k), static_cast<State>(k),
+       [k](State) { return static_cast<State>(k); }, "accept"});
+  return std::make_shared<SimpleBroadcastOverlay>(std::move(spec));
+}
+
+std::shared_ptr<Machine> make_threshold_daf(int k, Label counted,
+                                            int num_labels) {
+  return compile_weak_broadcast(
+      make_threshold_overlay(k, counted, num_labels));
+}
+
+}  // namespace dawn

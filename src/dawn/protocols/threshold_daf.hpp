@@ -1,0 +1,31 @@
+// The dAF threshold protocol of Lemma C.5: decides x >= k (at least k nodes
+// carry the counted label) with weak broadcasts, hence — after the Lemma 4.7
+// compilation — as a plain dAF automaton.
+//
+// States {0, 1, ..., k}; counted nodes start in 1, others in 0. Broadcasts:
+//   ⟨level⟩ :  i ↦ i, {i ↦ i+1}        for i = 1..k-1
+//   ⟨accept⟩:  k ↦ k, {q ↦ k}
+// A level-i broadcast promotes the *other* agents at level i, so level i+1
+// is populated only if two agents reached level i — inductively, level k is
+// reachable iff at least k agents started at 1. ⟨accept⟩ then floods k.
+//
+// Together with boolean combinations this yields all of Cutoff
+// (Proposition C.6); x >= k itself is the building block.
+#pragma once
+
+#include <memory>
+
+#include "dawn/extensions/broadcast.hpp"
+
+namespace dawn {
+
+// The abstract overlay (for the strong/abstract engines).
+std::shared_ptr<BroadcastOverlay> make_threshold_overlay(int k,
+                                                         Label counted,
+                                                         int num_labels);
+
+// The compiled plain dAF automaton (β = 1).
+std::shared_ptr<Machine> make_threshold_daf(int k, Label counted,
+                                            int num_labels);
+
+}  // namespace dawn

@@ -1,0 +1,17 @@
+#include "dawn/sched/replay.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+ReplayScheduler::ReplayScheduler(std::vector<Selection> schedule)
+    : schedule_(std::move(schedule)) {
+  DAWN_CHECK_MSG(!schedule_.empty(), "replay schedule must be nonempty");
+}
+
+Selection ReplayScheduler::select(const Graph&, const Machine&, const Config&,
+                                  std::uint64_t step) {
+  return schedule_[static_cast<std::size_t>(step % schedule_.size())];
+}
+
+}  // namespace dawn

@@ -1,0 +1,52 @@
+// Recorded and replayable schedules.
+//
+// Any scheduler can be wrapped to record the selections it emits; the
+// recording replays deterministically later (cycling, to keep the schedule
+// infinite and fair if the recorded window was). Used to reproduce
+// simulation failures exactly and to feed identical schedules to two
+// machines (e.g. a machine and its memoized wrapper).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dawn/sched/scheduler.hpp"
+
+namespace dawn {
+
+class RecordingScheduler : public Scheduler {
+ public:
+  explicit RecordingScheduler(std::shared_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {}
+
+  Selection select(const Graph& g, const Machine& machine, const Config& c,
+                   std::uint64_t step) override {
+    Selection sel = inner_->select(g, machine, c, step);
+    recorded_.push_back(sel);
+    return sel;
+  }
+  std::string name() const override { return inner_->name() + "+rec"; }
+
+  const std::vector<Selection>& recording() const { return recorded_; }
+
+ private:
+  std::shared_ptr<Scheduler> inner_;
+  std::vector<Selection> recorded_;
+};
+
+class ReplayScheduler : public Scheduler {
+ public:
+  // Replays `schedule`, cycling when exhausted. Requires a nonempty
+  // schedule whose union covers every node of the graphs it is used with
+  // (otherwise the cycled schedule is unfair; the caller's obligation).
+  explicit ReplayScheduler(std::vector<Selection> schedule);
+
+  Selection select(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t step) override;
+  std::string name() const override { return "replay"; }
+
+ private:
+  std::vector<Selection> schedule_;
+};
+
+}  // namespace dawn

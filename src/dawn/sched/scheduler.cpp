@@ -1,0 +1,115 @@
+#include "dawn/sched/scheduler.hpp"
+
+#include <numeric>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+Selection SynchronousScheduler::select(const Graph& g, const Machine&,
+                                       const Config&, std::uint64_t) {
+  Selection s(static_cast<std::size_t>(g.n()));
+  std::iota(s.begin(), s.end(), 0);
+  return s;
+}
+
+Selection RandomExclusiveScheduler::select(const Graph& g, const Machine&,
+                                           const Config&, std::uint64_t) {
+  return {static_cast<NodeId>(rng_.index(static_cast<std::size_t>(g.n())))};
+}
+
+Selection RandomLiberalScheduler::select(const Graph& g, const Machine&,
+                                         const Config&, std::uint64_t) {
+  Selection s;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (rng_.chance(p_)) s.push_back(v);
+  }
+  if (s.empty()) {
+    s.push_back(static_cast<NodeId>(rng_.index(static_cast<std::size_t>(g.n()))));
+  }
+  return s;
+}
+
+Selection RoundRobinScheduler::select(const Graph& g, const Machine&,
+                                      const Config&, std::uint64_t step) {
+  return {static_cast<NodeId>(step % static_cast<std::uint64_t>(g.n()))};
+}
+
+StarvationScheduler::StarvationScheduler(NodeId victim, int period)
+    : victim_(victim), period_(period) {
+  DAWN_CHECK(period >= 2);
+}
+
+Selection StarvationScheduler::select(const Graph& g, const Machine&,
+                                      const Config&, std::uint64_t step) {
+  if (step % static_cast<std::uint64_t>(period_) == 0) return {victim_};
+  // Round-robin over the other nodes.
+  const auto others = static_cast<std::uint64_t>(g.n() - 1);
+  DAWN_CHECK(others >= 1);
+  auto idx = static_cast<NodeId>(step % others);
+  if (idx >= victim_) ++idx;
+  return {idx};
+}
+
+Selection PermutationScheduler::select(const Graph& g, const Machine&,
+                                       const Config&, std::uint64_t) {
+  if (cursor_ >= order_.size()) {
+    order_.resize(static_cast<std::size_t>(g.n()));
+    for (NodeId v = 0; v < g.n(); ++v) {
+      order_[static_cast<std::size_t>(v)] = v;
+    }
+    rng_.shuffle(order_);
+    cursor_ = 0;
+  }
+  return {order_[cursor_++]};
+}
+
+GreedyAdversary::GreedyAdversary(std::uint64_t seed, int patience)
+    : rng_(seed), patience_(patience) {
+  DAWN_CHECK(patience >= 1);
+}
+
+Selection GreedyAdversary::select(const Graph& g, const Machine& machine,
+                                  const Config& config, std::uint64_t) {
+  const auto n = static_cast<std::size_t>(g.n());
+  if (forcing_) {
+    // Fairness debt: sweep every node once.
+    auto v = static_cast<NodeId>(force_next_);
+    ++force_next_;
+    if (force_next_ >= n) {
+      forcing_ = false;
+      force_next_ = 0;
+      wasted_ = 0;
+    }
+    return {v};
+  }
+  // Prefer a node whose transition is silent (its selection wastes a step).
+  const std::size_t start = rng_.index(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<NodeId>((start + i) % n);
+    const auto nb = Neighbourhood::of(g, config, v, machine.beta());
+    if (machine.step(config[static_cast<std::size_t>(v)], nb) ==
+        config[static_cast<std::size_t>(v)]) {
+      if (++wasted_ >= patience_) forcing_ = true;
+      return {v};
+    }
+  }
+  // Every node would progress; pick one at random and start a fairness sweep
+  // soon so no node is starved forever.
+  if (++wasted_ >= patience_) forcing_ = true;
+  return {static_cast<NodeId>(rng_.index(n))};
+}
+
+std::vector<std::unique_ptr<Scheduler>> make_adversary_battery(
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<Scheduler>> out;
+  out.push_back(std::make_unique<SynchronousScheduler>());
+  out.push_back(std::make_unique<RoundRobinScheduler>());
+  out.push_back(std::make_unique<StarvationScheduler>(0, 16));
+  out.push_back(std::make_unique<GreedyAdversary>(seed, 64));
+  out.push_back(std::make_unique<PermutationScheduler>(seed ^ 0x77));
+  out.push_back(std::make_unique<RandomExclusiveScheduler>(seed ^ 0xabcd));
+  return out;
+}
+
+}  // namespace dawn

@@ -1,0 +1,138 @@
+// Schedulers (Section 2.1/2.2): who moves at each step.
+//
+// A scheduler produces, per step, a selection of nodes to activate. The
+// paper's selection criteria (synchronous / exclusive / liberal) and fairness
+// criteria (adversarial / pseudo-stochastic) are realised as follows:
+//
+//  * SynchronousScheduler — selects V every step. Deterministic, fair, and
+//    adversarial-compatible; for consistent automata its (unique) run decides
+//    the input (used by the exact adversarial decider).
+//  * RandomExclusiveScheduler — one uniformly random node per step. Its runs
+//    are pseudo-stochastic with probability 1, so it is the statistical
+//    proxy for the F classes (the exact semantics is the bottom-SCC decider
+//    in semantics/).
+//  * RandomLiberalScheduler — each node independently with probability p.
+//  * RoundRobinScheduler — nodes in a fixed cyclic order; the simplest
+//    adversarial schedule besides the synchronous one.
+//  * StarvationScheduler — adversarial stress: starves a chosen node as long
+//    as fairness permits (selects it only every `period` steps).
+//  * GreedyAdversary — adversarial stress: prefers nodes whose move does NOT
+//    change their state ("waste" selections), falling back to forced fair
+//    selections; tries to delay progress as much as possible.
+//
+// Every scheduler in this module selects each node infinitely often, as
+// required of schedules.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // The selection for the given step. `config` is the current configuration
+  // (adversaries may inspect it), `machine` the machine being run.
+  virtual Selection select(const Graph& g, const Machine& machine,
+                           const Config& config, std::uint64_t step) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class SynchronousScheduler : public Scheduler {
+ public:
+  Selection select(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t) override;
+  std::string name() const override { return "synchronous"; }
+};
+
+class RandomExclusiveScheduler : public Scheduler {
+ public:
+  explicit RandomExclusiveScheduler(std::uint64_t seed) : rng_(seed) {}
+  Selection select(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t) override;
+  std::string name() const override { return "random-exclusive"; }
+
+ private:
+  Rng rng_;
+};
+
+class RandomLiberalScheduler : public Scheduler {
+ public:
+  RandomLiberalScheduler(std::uint64_t seed, double p) : rng_(seed), p_(p) {}
+  Selection select(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t) override;
+  std::string name() const override { return "random-liberal"; }
+
+ private:
+  Rng rng_;
+  double p_;
+};
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  Selection select(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t step) override;
+  std::string name() const override { return "round-robin"; }
+};
+
+class StarvationScheduler : public Scheduler {
+ public:
+  // Starves `victim`: selects all other nodes round-robin and the victim
+  // only once every `period` steps. Requires period >= 2.
+  StarvationScheduler(NodeId victim, int period);
+  Selection select(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t step) override;
+  std::string name() const override { return "starvation"; }
+
+ private:
+  NodeId victim_;
+  int period_;
+};
+
+// Uniform round-robin with a fresh random order each sweep: every node is
+// selected exactly once per n steps, but the order is unpredictable — a
+// fair schedule that is neither periodic nor i.i.d.
+class PermutationScheduler : public Scheduler {
+ public:
+  explicit PermutationScheduler(std::uint64_t seed) : rng_(seed) {}
+  Selection select(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t step) override;
+  std::string name() const override { return "permutation"; }
+
+ private:
+  Rng rng_;
+  std::vector<NodeId> order_;
+  std::size_t cursor_ = 0;
+};
+
+class GreedyAdversary : public Scheduler {
+ public:
+  // `patience`: after this many consecutive wasted selections every node is
+  // force-selected once (keeps the schedule fair).
+  GreedyAdversary(std::uint64_t seed, int patience);
+  Selection select(const Graph& g, const Machine& machine, const Config& c,
+                   std::uint64_t step) override;
+  std::string name() const override { return "greedy-adversary"; }
+
+ private:
+  Rng rng_;
+  int patience_;
+  int wasted_ = 0;
+  std::size_t force_next_ = 0;
+  bool forcing_ = false;
+};
+
+// The adversary battery used by the bounded-degree experiments: synchronous,
+// round-robin, starvation of node 0, greedy, and a random run for contrast.
+std::vector<std::unique_ptr<Scheduler>> make_adversary_battery(
+    std::uint64_t seed);
+
+}  // namespace dawn

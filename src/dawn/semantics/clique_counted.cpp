@@ -1,0 +1,130 @@
+#include "dawn/semantics/clique_counted.hpp"
+
+#include <algorithm>
+
+#include "dawn/semantics/scc.hpp"
+#include "dawn/util/check.hpp"
+#include "dawn/util/hash.hpp"
+#include "dawn/util/interner.hpp"
+
+namespace dawn {
+namespace {
+
+struct CountedConfigHash {
+  std::size_t operator()(const CountedConfig& c) const {
+    std::size_t seed = c.size();
+    for (auto [q, n] : c) {
+      hash_combine(seed, static_cast<std::uint64_t>(q));
+      hash_combine(seed, static_cast<std::uint64_t>(n));
+    }
+    return seed;
+  }
+};
+
+Verdict counted_consensus(const Machine& machine, const CountedConfig& c) {
+  DAWN_CHECK(!c.empty());
+  const Verdict first = machine.verdict(c.front().first);
+  for (auto [q, n] : c) {
+    if (machine.verdict(q) != first) return Verdict::Neutral;
+  }
+  return first;
+}
+
+void add_count(CountedConfig& c, State q, std::int64_t delta) {
+  auto it = std::lower_bound(
+      c.begin(), c.end(), q,
+      [](const std::pair<State, std::int64_t>& e, State s) {
+        return e.first < s;
+      });
+  if (it != c.end() && it->first == q) {
+    it->second += delta;
+    DAWN_CHECK(it->second >= 0);
+    if (it->second == 0) c.erase(it);
+  } else {
+    DAWN_CHECK(delta > 0);
+    c.insert(it, {q, delta});
+  }
+}
+
+}  // namespace
+
+CountedConfig initial_counted_config(const Machine& machine,
+                                     const LabelCount& L) {
+  CountedConfig c;
+  for (std::size_t l = 0; l < L.size(); ++l) {
+    if (L[l] == 0) continue;
+    add_count(c, machine.init(static_cast<Label>(l)), L[l]);
+  }
+  DAWN_CHECK_MSG(!c.empty(), "empty population");
+  return c;
+}
+
+CountedConfig counted_successor(const Machine& machine,
+                                const CountedConfig& config, State q) {
+  // Neighbourhood of the stepping agent: everyone else in the clique.
+  std::vector<std::pair<State, int>> counts;
+  counts.reserve(config.size());
+  bool found = false;
+  for (auto [s, n] : config) {
+    std::int64_t c = n;
+    if (s == q) {
+      DAWN_CHECK(n >= 1);
+      c -= 1;  // the agent does not see itself
+      found = true;
+    }
+    if (c > 0) {
+      counts.emplace_back(
+          s, static_cast<int>(std::min<std::int64_t>(c, machine.beta())));
+    }
+  }
+  DAWN_CHECK_MSG(found, "no agent in the given state");
+  const auto nb = Neighbourhood::from_counts(counts, machine.beta());
+  const State next = machine.step(q, nb);
+  CountedConfig out = config;
+  if (next != q) {
+    add_count(out, q, -1);
+    add_count(out, next, +1);
+  }
+  return out;
+}
+
+CliqueResult decide_clique_pseudo_stochastic(const Machine& machine,
+                                             const LabelCount& L,
+                                             const CliqueOptions& opts) {
+  CliqueResult result;
+  Interner<CountedConfig, CountedConfigHash> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+
+  configs.id(initial_counted_config(machine, L));
+  adj.emplace_back();
+
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const CountedConfig current =
+        configs.value(static_cast<std::int32_t>(head));
+    for (auto [q, n] : current) {
+      const CountedConfig next = counted_successor(machine, current, q);
+      if (next == current) continue;  // silent
+      const std::size_t before = configs.size();
+      const std::int32_t id = configs.id(next);
+      if (configs.size() > before) adj.emplace_back();
+      adj[head].push_back(id);
+    }
+  }
+  result.num_configs = configs.size();
+
+  const BottomClassification cls = classify_bottom_sccs(
+      adj, [&](std::size_t i) {
+        return counted_consensus(machine,
+                                 configs.value(static_cast<std::int32_t>(i)));
+      });
+  result.decision = cls.decision;
+  result.num_bottom_sccs = cls.num_bottom_sccs;
+  return result;
+}
+
+}  // namespace dawn

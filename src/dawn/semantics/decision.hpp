@@ -1,0 +1,32 @@
+// The outcome of a decision procedure.
+#pragma once
+
+#include <string>
+
+namespace dawn {
+
+enum class Decision {
+  Accept,
+  Reject,
+  // The automaton violates the consistency condition on this input: some
+  // fair runs accept and others reject (or some fair run never stabilises).
+  Inconsistent,
+  // The procedure ran out of budget (configuration space too large).
+  Unknown,
+};
+
+inline std::string to_string(Decision d) {
+  switch (d) {
+    case Decision::Accept:
+      return "accept";
+    case Decision::Reject:
+      return "reject";
+    case Decision::Inconsistent:
+      return "inconsistent";
+    case Decision::Unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace dawn

@@ -1,0 +1,102 @@
+#include "dawn/semantics/explicit_space.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/util/check.hpp"
+#include "dawn/semantics/scc.hpp"
+#include "dawn/util/hash.hpp"
+#include "dawn/util/interner.hpp"
+
+namespace dawn {
+
+ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
+                                        const ExplicitOptions& opts) {
+  ExplicitResult result;
+  Interner<Config, VectorHash<State>> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+
+  configs.id(initial_config(machine, g));
+  adj.emplace_back();
+
+  // BFS, building the successor relation under exclusive selection. Silent
+  // self-steps are not edges: a frozen configuration is then a singleton
+  // bottom SCC, which the classification treats as "stays here forever" —
+  // exactly its behaviour under any schedule.
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const Config current = configs.value(static_cast<std::int32_t>(head));
+    Config next = current;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const auto nb = Neighbourhood::of(g, current, v, machine.beta());
+      const State s = machine.step(current[static_cast<std::size_t>(v)], nb);
+      if (s == current[static_cast<std::size_t>(v)]) continue;  // silent
+      next[static_cast<std::size_t>(v)] = s;
+      const std::size_t before = configs.size();
+      const std::int32_t id = configs.id(next);
+      if (configs.size() > before) adj.emplace_back();
+      adj[head].push_back(id);
+      next[static_cast<std::size_t>(v)] = current[static_cast<std::size_t>(v)];
+    }
+  }
+  result.num_configs = configs.size();
+
+  const BottomClassification cls = classify_bottom_sccs(
+      adj, [&](std::size_t i) {
+        return consensus(machine, configs.value(static_cast<std::int32_t>(i)));
+      });
+  result.decision = cls.decision;
+  result.num_bottom_sccs = cls.num_bottom_sccs;
+  return result;
+}
+
+ExplicitResult decide_pseudo_stochastic_liberal(const Machine& machine,
+                                                const Graph& g,
+                                                const ExplicitOptions& opts) {
+  DAWN_CHECK_MSG(g.n() <= 12, "liberal selection enumerates 2^n subsets");
+  ExplicitResult result;
+  Interner<Config, VectorHash<State>> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+
+  configs.id(initial_config(machine, g));
+  adj.emplace_back();
+
+  const auto n = static_cast<std::uint32_t>(g.n());
+  std::vector<NodeId> selection;
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const Config current = configs.value(static_cast<std::int32_t>(head));
+    for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+      selection.clear();
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (mask & (1u << v)) selection.push_back(static_cast<NodeId>(v));
+      }
+      const Config next = successor(machine, g, current, selection);
+      if (next == current) continue;
+      const std::size_t before = configs.size();
+      const std::int32_t id = configs.id(next);
+      if (configs.size() > before) adj.emplace_back();
+      adj[head].push_back(id);
+    }
+  }
+  result.num_configs = configs.size();
+
+  const BottomClassification cls = classify_bottom_sccs(
+      adj, [&](std::size_t i) {
+        return consensus(machine, configs.value(static_cast<std::int32_t>(i)));
+      });
+  result.decision = cls.decision;
+  result.num_bottom_sccs = cls.num_bottom_sccs;
+  return result;
+}
+
+}  // namespace dawn

@@ -1,0 +1,54 @@
+// Exact pseudo-stochastic semantics by explicit-state exploration.
+//
+// On a finite configuration space, a pseudo-stochastic run visits infinitely
+// often exactly the configurations of one *bottom* SCC of the reachability
+// graph (the argument of Lemma B.12: every configuration reachable
+// infinitely often is reached infinitely often, so the infinitely-visited
+// set is closed under successors and mutually reachable). Hence:
+//
+//   * the automaton accepts G   iff every reachable bottom SCC is uniformly
+//     accepting,
+//   * rejects G                 iff every reachable bottom SCC is uniformly
+//     rejecting,
+//   * violates consistency      otherwise (some fair run does not stabilise
+//     to the same consensus as the others).
+//
+// Exploration uses exclusive selection (one node per step); by the main
+// result of [16] (Esparza & Reiter, CONCUR 2020) the selection mode does not
+// affect the decision power, and all of the paper's constructions are stated
+// for exclusive selection.
+#pragma once
+
+#include <cstddef>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+#include "dawn/semantics/decision.hpp"
+
+namespace dawn {
+
+struct ExplicitOptions {
+  // Abort with Decision::Unknown if more configurations are reached.
+  std::size_t max_configs = 1'000'000;
+};
+
+struct ExplicitResult {
+  Decision decision = Decision::Unknown;
+  std::size_t num_configs = 0;   // configurations explored
+  std::size_t num_bottom_sccs = 0;
+};
+
+ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
+                                        const ExplicitOptions& opts = {});
+
+// The same decision under LIBERAL selection: every nonempty subset of nodes
+// is a permitted selection, evaluated simultaneously. Exponential in |V| per
+// configuration — for tiny graphs only. By [16] the decision power is
+// selection-independent; this decider lets the repository check that
+// theorem empirically on concrete automata (consistent automata must get
+// the same verdict from both deciders).
+ExplicitResult decide_pseudo_stochastic_liberal(const Machine& machine,
+                                                const Graph& g,
+                                                const ExplicitOptions& o = {});
+
+}  // namespace dawn

@@ -1,0 +1,114 @@
+#include "dawn/semantics/scc.hpp"
+
+#include <algorithm>
+
+namespace dawn {
+
+SccInfo compute_sccs(const std::vector<std::vector<std::int32_t>>& adj) {
+  const auto n = adj.size();
+  constexpr std::int32_t kUnvisited = -1;
+  SccInfo info;
+  info.component.assign(n, kUnvisited);
+  std::vector<std::int32_t> index(n, kUnvisited), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::int32_t> stack;
+  std::int32_t next_index = 0;
+  std::int32_t next_scc = 0;
+
+  // Iterative Tarjan: an explicit call stack of (node, next child) frames.
+  struct Frame {
+    std::int32_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({static_cast<std::int32_t>(root), 0});
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      const auto v = static_cast<std::size_t>(f.v);
+      if (f.child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(f.v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (f.child < adj[v].size()) {
+        const std::int32_t w = adj[v][f.child++];
+        const auto wu = static_cast<std::size_t>(w);
+        if (index[wu] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[wu]) low[v] = std::min(low[v], index[wu]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          const std::int32_t w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          info.component[static_cast<std::size_t>(w)] = next_scc;
+          if (w == f.v) break;
+        }
+        ++next_scc;
+      }
+      const std::int32_t finished = f.v;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const auto parent = static_cast<std::size_t>(call_stack.back().v);
+        low[parent] =
+            std::min(low[parent], low[static_cast<std::size_t>(finished)]);
+      }
+    }
+  }
+  info.count = static_cast<std::size_t>(next_scc);
+  info.is_bottom.assign(info.count, true);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::int32_t w : adj[v]) {
+      if (info.component[v] != info.component[static_cast<std::size_t>(w)]) {
+        info.is_bottom[static_cast<std::size_t>(info.component[v])] = false;
+      }
+    }
+  }
+  return info;
+}
+
+BottomClassification classify_bottom_sccs(
+    const std::vector<std::vector<std::int32_t>>& adj,
+    const std::function<Verdict(std::size_t)>& verdict_of) {
+  const SccInfo info = compute_sccs(adj);
+  std::vector<std::uint8_t> all_acc(info.count, 1), all_rej(info.count, 1);
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    const auto s = static_cast<std::size_t>(info.component[v]);
+    if (!info.is_bottom[s]) continue;
+    const Verdict verdict = verdict_of(v);
+    if (verdict != Verdict::Accept) all_acc[s] = 0;
+    if (verdict != Verdict::Reject) all_rej[s] = 0;
+  }
+  BottomClassification out;
+  bool any_accept = false, any_reject = false, any_mixed = false;
+  for (std::size_t s = 0; s < info.count; ++s) {
+    if (!info.is_bottom[s]) continue;
+    ++out.num_bottom_sccs;
+    if (all_acc[s]) {
+      any_accept = true;
+    } else if (all_rej[s]) {
+      any_reject = true;
+    } else {
+      any_mixed = true;
+    }
+  }
+  if (any_mixed || (any_accept && any_reject)) {
+    out.decision = Decision::Inconsistent;
+  } else if (any_accept) {
+    out.decision = Decision::Accept;
+  } else {
+    out.decision = Decision::Reject;
+  }
+  return out;
+}
+
+}  // namespace dawn

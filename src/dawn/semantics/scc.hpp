@@ -1,0 +1,39 @@
+// SCC condensation and bottom-SCC classification, shared by the exact
+// pseudo-stochastic deciders (explicit, counted-clique, counted-star).
+//
+// The decision rule (see explicit_space.hpp for the derivation from
+// Lemma B.12's fairness argument): a pseudo-stochastic run ends up visiting
+// exactly one reachable bottom SCC infinitely often, so the automaton
+// accepts iff every reachable bottom SCC is uniformly accepting, rejects iff
+// uniformly rejecting, and is inconsistent otherwise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/semantics/decision.hpp"
+
+namespace dawn {
+
+struct SccInfo {
+  std::vector<std::int32_t> component;  // SCC id per node
+  std::size_t count = 0;
+  std::vector<bool> is_bottom;          // per SCC id
+};
+
+SccInfo compute_sccs(const std::vector<std::vector<std::int32_t>>& adj);
+
+struct BottomClassification {
+  Decision decision = Decision::Unknown;
+  std::size_t num_bottom_sccs = 0;
+};
+
+// `verdict_of(i)` must return the uniform verdict of configuration i
+// (Accept / Reject, or Neutral for a mixed configuration).
+BottomClassification classify_bottom_sccs(
+    const std::vector<std::vector<std::int32_t>>& adj,
+    const std::function<Verdict(std::size_t)>& verdict_of);
+
+}  // namespace dawn

@@ -1,0 +1,33 @@
+#include "dawn/semantics/simulate.hpp"
+
+#include "dawn/automata/run.hpp"
+
+namespace dawn {
+
+SimulateResult simulate(const Machine& machine, const Graph& g,
+                        Scheduler& scheduler, const SimulateOptions& opts) {
+  Run run(machine, g);
+  SimulateResult result;
+  while (run.steps() < opts.max_steps) {
+    const Selection sel =
+        scheduler.select(g, machine, run.config(), run.steps());
+    run.apply(sel);
+    if (run.current_consensus() != Verdict::Neutral &&
+        run.consensus_held_for() >= opts.stable_window) {
+      result.converged = true;
+      result.verdict = run.current_consensus();
+      result.convergence_step = run.steps() - run.consensus_held_for();
+      result.total_steps = run.steps();
+      return result;
+    }
+  }
+  result.converged = false;
+  result.verdict = run.current_consensus();
+  result.convergence_step =
+      run.consensus_held_for() > 0 ? run.steps() - run.consensus_held_for()
+                                   : run.steps();
+  result.total_steps = run.steps();
+  return result;
+}
+
+}  // namespace dawn

@@ -1,0 +1,37 @@
+// Scheduler-driven simulation with convergence detection.
+//
+// For systems too large for the exact deciders, run the machine under a
+// scheduler until the uniform verdict has been held for `stable_window`
+// steps. This is a statistical notion of stabilisation (a run could in
+// principle leave the consensus later); the exact deciders in this directory
+// are used whenever the configuration space is small enough, and the
+// benches report which method produced each verdict.
+#pragma once
+
+#include <cstdint>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+#include "dawn/sched/scheduler.hpp"
+
+namespace dawn {
+
+struct SimulateOptions {
+  std::uint64_t max_steps = 1'000'000;
+  // Declare convergence once a uniform verdict has been held this long.
+  std::uint64_t stable_window = 10'000;
+};
+
+struct SimulateResult {
+  bool converged = false;
+  Verdict verdict = Verdict::Neutral;
+  // First step from which the final verdict was held (the convergence time
+  // reported by the benches).
+  std::uint64_t convergence_step = 0;
+  std::uint64_t total_steps = 0;
+};
+
+SimulateResult simulate(const Machine& machine, const Graph& g,
+                        Scheduler& scheduler, const SimulateOptions& opts = {});
+
+}  // namespace dawn

@@ -1,0 +1,181 @@
+#include "dawn/semantics/star_counted.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dawn/semantics/scc.hpp"
+#include "dawn/util/check.hpp"
+#include "dawn/util/hash.hpp"
+#include "dawn/util/interner.hpp"
+
+namespace dawn {
+namespace {
+
+void add_leaf(StarConfig& c, State q, std::int64_t delta) {
+  auto it = std::lower_bound(
+      c.leaves.begin(), c.leaves.end(), q,
+      [](const std::pair<State, std::int64_t>& e, State s) {
+        return e.first < s;
+      });
+  if (it != c.leaves.end() && it->first == q) {
+    it->second += delta;
+    DAWN_CHECK(it->second >= 0);
+    if (it->second == 0) c.leaves.erase(it);
+  } else {
+    DAWN_CHECK(delta > 0);
+    c.leaves.insert(it, {q, delta});
+  }
+}
+
+Neighbourhood centre_view(const Machine& machine, const StarConfig& c) {
+  std::vector<std::pair<State, int>> counts;
+  counts.reserve(c.leaves.size());
+  for (auto [q, n] : c.leaves) {
+    counts.emplace_back(
+        q, static_cast<int>(std::min<std::int64_t>(n, machine.beta())));
+  }
+  return Neighbourhood::from_counts(counts, machine.beta());
+}
+
+Neighbourhood leaf_view(const Machine& machine, const StarConfig& c) {
+  const std::pair<State, int> counts[] = {{c.centre, 1}};
+  return Neighbourhood::from_counts(counts, machine.beta());
+}
+
+template <typename Visit>
+bool explore(const Machine& machine, const StarConfig& start,
+             std::size_t max_configs, Visit visit) {
+  // BFS; returns false if the budget is exhausted. `visit` may return false
+  // to abort early (used by the stable-rejection test).
+  Interner<StarConfig, StarConfigHash> configs;
+  configs.id(start);
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > max_configs) return false;
+    const StarConfig current = configs.value(static_cast<std::int32_t>(head));
+    if (!visit(current)) return true;
+    for (const StarConfig& next : star_successors(machine, current)) {
+      configs.id(next);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t StarConfigHash::operator()(const StarConfig& c) const {
+  std::size_t seed = static_cast<std::size_t>(c.centre) + 0x77;
+  for (auto [q, n] : c.leaves) {
+    hash_combine(seed, static_cast<std::uint64_t>(q));
+    hash_combine(seed, static_cast<std::uint64_t>(n));
+  }
+  return seed;
+}
+
+StarConfig initial_star_config(const Machine& machine, Label centre,
+                               const std::vector<Label>& leaves) {
+  StarConfig c;
+  c.centre = machine.init(centre);
+  for (Label l : leaves) add_leaf(c, machine.init(l), 1);
+  DAWN_CHECK(!c.leaves.empty());
+  return c;
+}
+
+std::vector<StarConfig> star_successors(const Machine& machine,
+                                        const StarConfig& config) {
+  std::vector<StarConfig> out;
+  // Centre step.
+  {
+    const State next = machine.step(config.centre, centre_view(machine, config));
+    if (next != config.centre) {
+      StarConfig c = config;
+      c.centre = next;
+      out.push_back(std::move(c));
+    }
+  }
+  // One leaf step per populated leaf state.
+  const Neighbourhood view = leaf_view(machine, config);
+  for (auto [p, n] : config.leaves) {
+    const State next = machine.step(p, view);
+    if (next == p) continue;
+    StarConfig c = config;
+    add_leaf(c, p, -1);
+    add_leaf(c, next, +1);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Verdict star_consensus(const Machine& machine, const StarConfig& config) {
+  const Verdict first = machine.verdict(config.centre);
+  for (auto [q, n] : config.leaves) {
+    if (machine.verdict(q) != first) return Verdict::Neutral;
+  }
+  return first;
+}
+
+StarResult decide_star_pseudo_stochastic(const Machine& machine, Label centre,
+                                         const std::vector<Label>& leaves,
+                                         const StarOptions& opts) {
+  StarResult result;
+  Interner<StarConfig, StarConfigHash> configs;
+  std::vector<std::vector<std::int32_t>> adj;
+  configs.id(initial_star_config(machine, centre, leaves));
+  adj.emplace_back();
+  for (std::size_t head = 0; head < configs.size(); ++head) {
+    if (configs.size() > opts.max_configs) {
+      result.decision = Decision::Unknown;
+      result.num_configs = configs.size();
+      return result;
+    }
+    const StarConfig current = configs.value(static_cast<std::int32_t>(head));
+    for (const StarConfig& next : star_successors(machine, current)) {
+      const std::size_t before = configs.size();
+      const std::int32_t id = configs.id(next);
+      if (configs.size() > before) adj.emplace_back();
+      adj[head].push_back(id);
+    }
+  }
+  result.num_configs = configs.size();
+  const BottomClassification cls = classify_bottom_sccs(
+      adj, [&](std::size_t i) {
+        return star_consensus(machine,
+                              configs.value(static_cast<std::int32_t>(i)));
+      });
+  result.decision = cls.decision;
+  result.num_bottom_sccs = cls.num_bottom_sccs;
+  return result;
+}
+
+std::optional<bool> is_stably_rejecting(const Machine& machine,
+                                        const StarConfig& config,
+                                        std::size_t max_configs) {
+  bool all_rejecting = true;
+  const bool complete =
+      explore(machine, config, max_configs, [&](const StarConfig& c) {
+        if (star_consensus(machine, c) != Verdict::Reject) {
+          all_rejecting = false;
+          return false;  // abort: found a non-rejecting reachable config
+        }
+        return true;
+      });
+  if (!complete) return std::nullopt;
+  return all_rejecting;
+}
+
+std::optional<bool> is_stably_accepting(const Machine& machine,
+                                        const StarConfig& config,
+                                        std::size_t max_configs) {
+  bool all_accepting = true;
+  const bool complete =
+      explore(machine, config, max_configs, [&](const StarConfig& c) {
+        if (star_consensus(machine, c) != Verdict::Accept) {
+          all_accepting = false;
+          return false;
+        }
+        return true;
+      });
+  if (!complete) return std::nullopt;
+  return all_accepting;
+}
+
+}  // namespace dawn

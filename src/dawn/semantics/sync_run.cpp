@@ -1,0 +1,49 @@
+#include "dawn/semantics/sync_run.hpp"
+
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/util/hash.hpp"
+
+namespace dawn {
+
+SyncResult decide_synchronous(const Machine& machine, const Graph& g,
+                              std::uint64_t max_steps) {
+  SyncResult result;
+  std::unordered_map<Config, std::uint64_t, VectorHash<State>> seen;
+  std::vector<Config> trace;
+
+  Selection all(static_cast<std::size_t>(g.n()));
+  std::iota(all.begin(), all.end(), 0);
+
+  Config current = initial_config(machine, g);
+  for (std::uint64_t t = 0; t <= max_steps; ++t) {
+    auto it = seen.find(current);
+    if (it != seen.end()) {
+      result.prefix_length = it->second;
+      result.cycle_length = t - it->second;
+      bool all_acc = true, all_rej = true;
+      for (std::uint64_t i = it->second; i < t; ++i) {
+        if (!is_accepting(machine, trace[i])) all_acc = false;
+        if (!is_rejecting(machine, trace[i])) all_rej = false;
+      }
+      if (all_acc) {
+        result.decision = Decision::Accept;
+      } else if (all_rej) {
+        result.decision = Decision::Reject;
+      } else {
+        result.decision = Decision::Inconsistent;
+      }
+      return result;
+    }
+    seen.emplace(current, t);
+    trace.push_back(current);
+    current = successor(machine, g, current, all);
+  }
+  result.decision = Decision::Unknown;
+  return result;
+}
+
+}  // namespace dawn

@@ -1,0 +1,33 @@
+// Exact adversarial semantics via the synchronous run.
+//
+// The synchronous schedule (select V every step) is a fair adversarial
+// schedule. For an automaton satisfying the consistency condition, *every*
+// fair run yields the same verdict, so the synchronous run — which is
+// deterministic and therefore eventually periodic — decides the input:
+// detect the cycle, and report Accept/Reject if every configuration of the
+// cycle is accepting/rejecting, Inconsistent if the cycle is mixed (then the
+// synchronous run stabilises to no consensus, so no consistent automaton
+// behaves like this and the machine under test is broken).
+//
+// This is also exactly the tool the paper's own proofs use (Lemmas 3.2 and
+// 3.4 argue about synchronous runs).
+#pragma once
+
+#include <cstdint>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+#include "dawn/semantics/decision.hpp"
+
+namespace dawn {
+
+struct SyncResult {
+  Decision decision = Decision::Unknown;
+  std::uint64_t prefix_length = 0;  // steps before the cycle is entered
+  std::uint64_t cycle_length = 0;
+};
+
+SyncResult decide_synchronous(const Machine& machine, const Graph& g,
+                              std::uint64_t max_steps = 1'000'000);
+
+}  // namespace dawn

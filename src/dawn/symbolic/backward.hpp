@@ -1,0 +1,50 @@
+// Backward reachability over star configurations — the algorithmic content
+// of Lemma 3.5.
+//
+// For a non-counting (β = 1) machine on a star, the one-step relation is:
+//   centre step:  (q, v) -> (δ(q, ind(supp v)), v)
+//   leaf step:    (q, v) -> (q, v - e_p + e_{p'})  with p' = δ(p, ind{q})
+//
+// The system is strongly compatible with the order of star_order.hpp
+// (claim (1) in the paper's proof: adding leaves in occupied states can be
+// mimicked), so Pre*(U) of an upward-closed U is upward closed and the
+// standard WSTS backward algorithm applies: saturate a minimal basis with
+// minimal one-step predecessors until a fixpoint; termination by Dickson's
+// lemma (claim (2)).
+//
+// With Pre* of the upward-closed set of non-rejecting configurations one
+// obtains stable rejection symbolically — for stars with ANY number of
+// leaves at once:  C is stably rejecting  iff  C ∉ Pre*(↑NonRejecting).
+#pragma once
+
+#include <optional>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/symbolic/star_order.hpp"
+
+namespace dawn {
+
+struct PreStarOptions {
+  // Abort (returning nullopt) if the basis grows beyond this.
+  std::size_t max_basis = 100'000;
+};
+
+// Minimal one-step predecessors of ↑elem (a sound and complete generator
+// set: ↑min_pre(↑elem) together with ↑elem covers Pre(↑elem), and by strong
+// compatibility iterating yields exactly Pre*). Requires machine.beta() == 1
+// and an enumerable machine (num_states()).
+std::vector<StarConfig> min_pre(const Machine& machine,
+                                const StarConfig& elem);
+
+// The least fixpoint: basis of Pre*(↑target).
+std::optional<UpwardClosedStarSet> pre_star(const Machine& machine,
+                                            UpwardClosedStarSet target,
+                                            const PreStarOptions& opts = {});
+
+// Minimal bases of the upward-closed sets of non-rejecting (resp.
+// non-accepting) star configurations: one element per (centre, support)
+// sector that contains a state with verdict != Reject (resp. != Accept).
+UpwardClosedStarSet non_rejecting_basis(const Machine& machine);
+UpwardClosedStarSet non_accepting_basis(const Machine& machine);
+
+}  // namespace dawn

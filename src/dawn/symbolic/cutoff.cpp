@@ -1,0 +1,37 @@
+#include "dawn/symbolic/cutoff.hpp"
+
+#include <algorithm>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::optional<CutoffAnalysis> analyse_cutoff(const Machine& machine,
+                                             const PreStarOptions& opts) {
+  const auto num_states = machine.num_states();
+  DAWN_CHECK(num_states.has_value());
+  CutoffAnalysis out;
+  auto rej = pre_star(machine, non_rejecting_basis(machine), opts);
+  if (!rej) return std::nullopt;
+  auto acc = pre_star(machine, non_accepting_basis(machine), opts);
+  if (!acc) return std::nullopt;
+  out.reach_non_rejecting = std::move(*rej);
+  out.reach_non_accepting = std::move(*acc);
+  out.m = std::max<std::int64_t>(
+      1, std::max(out.reach_non_rejecting.max_count(),
+                  out.reach_non_accepting.max_count()));
+  out.K = out.m * (*num_states - 1) + 2;
+  return out;
+}
+
+bool symbolically_stably_rejecting(const CutoffAnalysis& a,
+                                   const StarConfig& c) {
+  return !a.reach_non_rejecting.contains(c);
+}
+
+bool symbolically_stably_accepting(const CutoffAnalysis& a,
+                                   const StarConfig& c) {
+  return !a.reach_non_accepting.contains(c);
+}
+
+}  // namespace dawn

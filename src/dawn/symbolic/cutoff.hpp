@@ -1,0 +1,38 @@
+// Cutoff computation for dAF-automata (Lemma 3.5), made effective.
+//
+// The proof shows: there is an m such that a star configuration C is stably
+// rejecting iff ⌈C⌉_m is (and likewise for acceptance), and from it derives
+// a cutoff K for the decided labelling property. Here m is *computed*: it is
+// the largest leaf count in the minimal bases of Pre*(↑non-rejecting) and
+// Pre*(↑non-accepting) — membership in an upward-closed set with basis
+// counts <= m depends only on counts capped at m. K then follows by the
+// paper's pigeonhole bound K = m(|Q| - 1) + 2.
+#pragma once
+
+#include <optional>
+
+#include "dawn/symbolic/backward.hpp"
+
+namespace dawn {
+
+struct CutoffAnalysis {
+  // Basis of the configurations that can reach a non-rejecting one; the
+  // complement is "stably rejecting".
+  UpwardClosedStarSet reach_non_rejecting;
+  UpwardClosedStarSet reach_non_accepting;
+  std::int64_t m = 0;  // the Lemma 3.5 constant
+  std::int64_t K = 0;  // the derived property cutoff, m(|Q|-1)+2
+};
+
+// nullopt if a basis exceeded the budget.
+std::optional<CutoffAnalysis> analyse_cutoff(const Machine& machine,
+                                             const PreStarOptions& opts = {});
+
+// Symbolic stable rejection / acceptance (for stars with any number of
+// leaves; the analysis answers instantly once computed).
+bool symbolically_stably_rejecting(const CutoffAnalysis& a,
+                                   const StarConfig& c);
+bool symbolically_stably_accepting(const CutoffAnalysis& a,
+                                   const StarConfig& c);
+
+}  // namespace dawn

@@ -1,0 +1,37 @@
+#include "dawn/symbolic/star_order.hpp"
+
+#include <algorithm>
+
+namespace dawn {
+
+bool star_leq(const StarConfig& c, const StarConfig& d) {
+  if (c.centre != d.centre) return false;
+  if (c.leaves.size() != d.leaves.size()) return false;  // supports differ
+  for (std::size_t i = 0; i < c.leaves.size(); ++i) {
+    if (c.leaves[i].first != d.leaves[i].first) return false;  // support
+    if (c.leaves[i].second > d.leaves[i].second) return false;
+  }
+  return true;
+}
+
+bool UpwardClosedStarSet::contains(const StarConfig& c) const {
+  return std::any_of(basis_.begin(), basis_.end(),
+                     [&](const StarConfig& b) { return star_leq(b, c); });
+}
+
+bool UpwardClosedStarSet::insert(const StarConfig& c) {
+  if (contains(c)) return false;
+  std::erase_if(basis_, [&](const StarConfig& b) { return star_leq(c, b); });
+  basis_.push_back(c);
+  return true;
+}
+
+std::int64_t UpwardClosedStarSet::max_count() const {
+  std::int64_t best = 0;
+  for (const StarConfig& b : basis_) {
+    for (auto [q, n] : b.leaves) best = std::max(best, n);
+  }
+  return best;
+}
+
+}  // namespace dawn

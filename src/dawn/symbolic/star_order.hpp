@@ -1,0 +1,43 @@
+// The well-quasi-order on star configurations used by Lemma 3.5, and
+// upward-closed sets represented by minimal bases.
+//
+// C ⊑ D iff the centres agree, the leaf supports agree exactly, and the
+// leaf counts satisfy C <= D pointwise (the paper's ⪯, conditions (a)-(c)).
+// Within each (centre, support) sector this is Dickson's order on N^|S|, so
+// every upward-closed set has a finite minimal basis and the backward
+// reachability of backward.hpp terminates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dawn/semantics/star_counted.hpp"
+
+namespace dawn {
+
+// C ⊑ D (D is "at least" C): same centre, same support, counts <=.
+bool star_leq(const StarConfig& c, const StarConfig& d);
+
+// An upward-closed set of star configurations, kept as an antichain of
+// minimal elements.
+class UpwardClosedStarSet {
+ public:
+  // True iff some basis element is <= c (i.e. c is in the set).
+  bool contains(const StarConfig& c) const;
+
+  // Inserts ↑c. Returns false if c was already covered; otherwise adds c and
+  // prunes basis elements that c subsumes.
+  bool insert(const StarConfig& c);
+
+  const std::vector<StarConfig>& basis() const { return basis_; }
+  std::size_t size() const { return basis_.size(); }
+
+  // The largest leaf count appearing in any basis element (the `m` of
+  // Lemma 3.5: membership of C depends only on ⌈C⌉_m).
+  std::int64_t max_count() const;
+
+ private:
+  std::vector<StarConfig> basis_;
+};
+
+}  // namespace dawn

@@ -1,0 +1,32 @@
+#include "dawn/trace/census.hpp"
+
+#include <unordered_set>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/util/hash.hpp"
+
+namespace dawn {
+
+Census census_random_run(const Machine& machine, const Graph& graph,
+                         std::uint64_t steps, std::uint64_t seed) {
+  Census out;
+  Rng rng(seed);
+  std::unordered_set<State> states;
+  std::unordered_set<Config, VectorHash<State>> configs;
+  Config c = initial_config(machine, graph);
+  for (State s : c) states.insert(s);
+  configs.insert(c);
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    const Selection sel{
+        static_cast<NodeId>(rng.index(static_cast<std::size_t>(graph.n())))};
+    c = successor(machine, graph, c, sel);
+    for (State s : c) states.insert(s);
+    configs.insert(c);
+  }
+  out.distinct_states = states.size();
+  out.distinct_configs = configs.size();
+  out.steps = steps;
+  return out;
+}
+
+}  // namespace dawn

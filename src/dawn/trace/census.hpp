@@ -1,0 +1,27 @@
+// State-space census: how big do the compiled stacks actually get?
+//
+// The compiled simulations intern states lazily; the census runs a machine
+// for a while and reports how many distinct machine states and distinct
+// configurations a run touches — the practical footprint of each
+// compilation layer (reported by the benches alongside the overheads).
+#pragma once
+
+#include <cstdint>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn {
+
+struct Census {
+  std::size_t distinct_states = 0;   // machine states seen on any node
+  std::size_t distinct_configs = 0;  // configurations seen
+  std::uint64_t steps = 0;
+};
+
+// Random exclusive run of `steps` selections.
+Census census_random_run(const Machine& machine, const Graph& graph,
+                         std::uint64_t steps, std::uint64_t seed = 1);
+
+}  // namespace dawn

@@ -1,0 +1,77 @@
+#include "dawn/trace/recorder.hpp"
+
+#include <sstream>
+
+namespace dawn {
+
+RunRecorder::RunRecorder(const Machine& machine, const Graph& graph,
+                         std::size_t max_records)
+    : machine_(machine), graph_(graph), max_records_(max_records) {}
+
+void RunRecorder::record(const Config& config, const Selection& selection) {
+  if (steps_.size() >= max_records_) {
+    truncated_ = true;
+    return;
+  }
+  steps_.push_back({config, selection});
+}
+
+namespace {
+
+std::string cell(const Machine& m, State s, bool committed_only) {
+  return m.state_name(committed_only ? m.committed(s) : s);
+}
+
+}  // namespace
+
+std::string RunRecorder::transcript(bool committed_only) const {
+  std::ostringstream out;
+  for (std::size_t t = 0; t < steps_.size(); ++t) {
+    out << "t=" << t << " sel={";
+    for (std::size_t i = 0; i < steps_[t].selection.size(); ++i) {
+      out << (i ? "," : "") << steps_[t].selection[i];
+    }
+    out << "}:";
+    for (State s : steps_[t].config) {
+      out << "  " << cell(machine_, s, committed_only);
+    }
+    out << '\n';
+  }
+  if (truncated_) out << "... (recording truncated)\n";
+  return out.str();
+}
+
+std::string RunRecorder::csv(bool committed_only) const {
+  std::ostringstream out;
+  out << "step,selection";
+  for (NodeId v = 0; v < graph_.n(); ++v) out << ",node" << v;
+  out << '\n';
+  for (std::size_t t = 0; t < steps_.size(); ++t) {
+    out << t << ",\"";
+    for (std::size_t i = 0; i < steps_[t].selection.size(); ++i) {
+      out << (i ? " " : "") << steps_[t].selection[i];
+    }
+    out << '"';
+    for (State s : steps_[t].config) {
+      out << ",\"" << cell(machine_, s, committed_only) << '"';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string record_round_robin(const Machine& machine, const Graph& graph,
+                               std::uint64_t steps, bool committed_only) {
+  RunRecorder recorder(machine, graph, steps + 1);
+  Config c = initial_config(machine, graph);
+  recorder.record(c, {});
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    const Selection sel{
+        static_cast<NodeId>(t % static_cast<std::uint64_t>(graph.n()))};
+    c = successor(machine, graph, c, sel);
+    recorder.record(c, sel);
+  }
+  return recorder.transcript(committed_only);
+}
+
+}  // namespace dawn

@@ -1,0 +1,57 @@
+// Run recording: human-readable transcripts and CSV export.
+//
+// Used by the figure benches and the examples to show *what the agents do*,
+// not only the final verdict — the reproduction equivalent of the paper's
+// run figures (Figure 2). Records are bounded (ring buffer semantics would
+// lose the interesting prefix, so recording simply stops at capacity and
+// says so).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+class RunRecorder {
+ public:
+  RunRecorder(const Machine& machine, const Graph& graph,
+              std::size_t max_records = 10'000);
+
+  // Records the configuration after a step by `selection`.
+  void record(const Config& config, const Selection& selection);
+
+  // Plain-text transcript: one line per recorded step, states by name.
+  // `committed_only` prints the committed projection (readable for compiled
+  // machines whose raw states are deep tuples).
+  std::string transcript(bool committed_only = false) const;
+
+  // CSV: step, selected nodes, then one column per node (state names).
+  std::string csv(bool committed_only = false) const;
+
+  std::size_t size() const { return steps_.size(); }
+  bool truncated() const { return truncated_; }
+
+ private:
+  struct Step {
+    Config config;
+    Selection selection;
+  };
+  const Machine& machine_;
+  const Graph& graph_;
+  std::size_t max_records_;
+  std::vector<Step> steps_;
+  bool truncated_ = false;
+};
+
+// Convenience: run `steps` selections from the scheduler-free round-robin
+// order and return the transcript (used in docs and quick looks).
+std::string record_round_robin(const Machine& machine, const Graph& graph,
+                               std::uint64_t steps,
+                               bool committed_only = false);
+
+}  // namespace dawn

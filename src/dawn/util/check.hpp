@@ -1,0 +1,32 @@
+// Lightweight runtime invariant checking.
+//
+// DAWN_CHECK is used for preconditions and internal invariants that indicate
+// a programming error when violated; it throws std::logic_error so tests can
+// assert on misuse and so failures surface with a message instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dawn {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream out;
+  out << "DAWN_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) out << " — " << msg;
+  throw std::logic_error(out.str());
+}
+
+}  // namespace dawn
+
+#define DAWN_CHECK(expr)                                          \
+  do {                                                            \
+    if (!(expr)) ::dawn::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DAWN_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) ::dawn::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

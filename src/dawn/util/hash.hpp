@@ -1,0 +1,62 @@
+// Hashing helpers for composite keys (vectors, pairs, tuples).
+//
+// The explicit-state and counted-configuration deciders hash millions of
+// configurations, so we use a simple splitmix-style combiner rather than
+// std::hash chaining, which degenerates badly for small integers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace dawn {
+
+inline std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline void hash_combine(std::size_t& seed, std::uint64_t value) {
+  seed = static_cast<std::size_t>(hash_mix(seed ^ hash_mix(value)));
+}
+
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    std::size_t seed = v.size();
+    for (const T& x : v) hash_combine(seed, static_cast<std::uint64_t>(x));
+    return seed;
+  }
+};
+
+template <typename A, typename B>
+struct PairHash {
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = 0x1234;
+    hash_combine(seed, static_cast<std::uint64_t>(std::hash<A>{}(p.first)));
+    hash_combine(seed, static_cast<std::uint64_t>(std::hash<B>{}(p.second)));
+    return seed;
+  }
+};
+
+template <typename Tuple>
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::size_t seed = 0x5678;
+    std::apply(
+        [&seed](const auto&... xs) {
+          (hash_combine(seed, static_cast<std::uint64_t>(
+                                  std::hash<std::decay_t<decltype(xs)>>{}(xs))),
+           ...);
+        },
+        t);
+    return seed;
+  }
+};
+
+}  // namespace dawn

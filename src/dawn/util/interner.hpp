@@ -1,0 +1,49 @@
+// Interner: bidirectional map between structured values and dense int ids.
+//
+// Compiled machines (Lemmas 4.7, 4.9, 4.10, 5.1) have nominally huge state
+// spaces like Q ∪ Q×{1,2}×Q^Q. Interning materialises only the states that a
+// run or a decision procedure actually reaches, which keeps the five-deep
+// Section 6.1 stack tractable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+template <typename T, typename Hash = std::hash<T>>
+class Interner {
+ public:
+  // Returns the id of `value`, creating one if it is new. Ids are dense and
+  // stable for the lifetime of the interner.
+  std::int32_t id(const T& value) {
+    auto it = ids_.find(value);
+    if (it != ids_.end()) return it->second;
+    const auto new_id = static_cast<std::int32_t>(values_.size());
+    values_.push_back(value);
+    ids_.emplace(values_.back(), new_id);
+    return new_id;
+  }
+
+  // Looks up an id without creating it; returns -1 if absent.
+  std::int32_t find(const T& value) const {
+    auto it = ids_.find(value);
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  const T& value(std::int32_t id) const {
+    DAWN_CHECK(id >= 0 && static_cast<std::size_t>(id) < values_.size());
+    return values_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<T> values_;
+  std::unordered_map<T, std::int32_t, Hash> ids_;
+};
+
+}  // namespace dawn

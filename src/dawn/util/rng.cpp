@@ -1,0 +1,24 @@
+#include "dawn/util/rng.hpp"
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  DAWN_CHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  DAWN_CHECK(n > 0);
+  return static_cast<std::size_t>(
+      uniform(0, static_cast<std::int64_t>(n) - 1));
+}
+
+bool Rng::chance(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace dawn

@@ -1,0 +1,41 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every randomised component (graph generators, random schedulers, weak
+// broadcast receiver assignment) takes an explicit Rng so runs can be
+// replayed from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dawn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  // Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  // Bernoulli with success probability p.
+  bool chance(double p);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dawn

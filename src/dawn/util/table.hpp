@@ -1,0 +1,29 @@
+// Console table printing for the benchmark/experiment binaries.
+//
+// The Figure 1 reproduction prints classification tables in the same shape
+// as the paper's figure; this helper keeps columns aligned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dawn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a header rule and per-column padding.
+  std::string render() const;
+
+  // Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dawn

@@ -1,0 +1,43 @@
+#include "dawn/verify/simulation_verify.hpp"
+
+#include <numeric>
+
+#include "dawn/props/classes.hpp"
+
+namespace dawn {
+
+VerifyReport verify_by_simulation(const Machine& machine,
+                                  const LabellingPredicate& pred,
+                                  const SimVerifyOptions& opts) {
+  VerifyReport report;
+  auto topology = opts.topology
+                      ? opts.topology
+                      : [](const std::vector<Label>& labels) {
+                          return make_cycle(labels);
+                        };
+  for_each_count(pred.num_labels, opts.count_bound, [&](const LabelCount& L) {
+    const auto total = std::accumulate(L.begin(), L.end(), std::int64_t{0});
+    if (total < opts.min_nodes) return;
+    const Graph g = topology(labels_from_count(L));
+    const bool expected = pred(L);
+    for (auto& sched : make_adversary_battery(opts.scheduler_seed)) {
+      const SimulateResult r = simulate(machine, g, *sched, opts.simulate);
+      ++report.instances;
+      if (!r.converged) {
+        report.complete = false;
+        report.failures.push_back(
+            {L, sched->name(), Decision::Unknown, expected, "not converged"});
+        continue;
+      }
+      const bool accept = r.verdict == Verdict::Accept;
+      if (accept != expected) {
+        report.failures.push_back({L, sched->name(),
+                                   accept ? Decision::Accept : Decision::Reject,
+                                   expected, "simulated"});
+      }
+    }
+  });
+  return report;
+}
+
+}  // namespace dawn

@@ -1,0 +1,33 @@
+// Simulation-based verification for machines whose configuration spaces are
+// beyond the exact deciders (the compiled Section 6.1 / Lemma 5.1 stacks).
+//
+// Runs the machine on every window input over a topology family, under a
+// battery of schedulers, and compares the stabilised verdict with the
+// predicate. Statistical rather than exact (stabilisation is declared after
+// a consensus window), which is the honest tool at this scale; the exact
+// deciders cover the smaller instances.
+#pragma once
+
+#include <functional>
+
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/simulate.hpp"
+#include "dawn/verify/verify.hpp"
+
+namespace dawn {
+
+struct SimVerifyOptions {
+  std::int64_t count_bound = 3;
+  int min_nodes = 3;
+  SimulateOptions simulate;
+  std::uint64_t scheduler_seed = 1;
+  // Builds the graph for a label multiset; defaults to a cycle.
+  std::function<Graph(const std::vector<Label>&)> topology;
+};
+
+// Verdicts from the full adversary battery on every window input.
+VerifyReport verify_by_simulation(const Machine& machine,
+                                  const LabellingPredicate& pred,
+                                  const SimVerifyOptions& opts = {});
+
+}  // namespace dawn

@@ -1,0 +1,129 @@
+#include "dawn/verify/verify.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "dawn/extensions/broadcast_engine.hpp"
+#include "dawn/extensions/population_engine.hpp"
+#include "dawn/props/classes.hpp"
+#include "dawn/semantics/clique_counted.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/sync_run.hpp"
+
+namespace dawn {
+namespace {
+
+void record(VerifyReport& report, const LabelCount& L,
+            const std::string& topology, Decision decision, bool expected,
+            const std::string& detail = "") {
+  ++report.instances;
+  const bool good = (decision == Decision::Accept && expected) ||
+                    (decision == Decision::Reject && !expected);
+  if (good) return;
+  if (decision == Decision::Unknown) report.complete = false;
+  report.failures.push_back({L, topology, decision, expected, detail});
+}
+
+std::int64_t total(const LabelCount& L) {
+  return std::accumulate(L.begin(), L.end(), std::int64_t{0});
+}
+
+template <typename Fn>
+void for_each_window_count(const LabellingPredicate& pred,
+                           const VerifyOptions& opts, Fn fn) {
+  for_each_count(pred.num_labels, opts.count_bound, [&](const LabelCount& L) {
+    if (total(L) < opts.min_nodes) return;
+    fn(L);
+  });
+}
+
+}  // namespace
+
+std::string VerifyReport::summary() const {
+  std::ostringstream out;
+  out << instances << " instances, " << failures.size() << " failures"
+      << (complete ? "" : " (incomplete: budget exhausted)");
+  for (std::size_t i = 0; i < failures.size() && i < 5; ++i) {
+    const auto& f = failures[i];
+    out << "\n  L=(";
+    for (std::size_t l = 0; l < f.counts.size(); ++l) {
+      out << (l ? "," : "") << f.counts[l];
+    }
+    out << ") on " << f.topology << ": got " << to_string(f.decision)
+        << ", expected " << (f.expected_accept ? "accept" : "reject");
+    if (!f.detail.empty()) out << " [" << f.detail << "]";
+  }
+  return out.str();
+}
+
+VerifyReport verify_machine(const Machine& machine,
+                            const LabellingPredicate& pred,
+                            const VerifyOptions& opts) {
+  VerifyReport report;
+  for_each_window_count(pred, opts, [&](const LabelCount& L) {
+    const bool expected = pred(L);
+    const auto labels = labels_from_count(L);
+    std::vector<std::pair<std::string, Graph>> graphs;
+    if (opts.cliques) graphs.emplace_back("clique", make_clique(labels));
+    if (opts.cycles && labels.size() >= 3) {
+      graphs.emplace_back("cycle", make_cycle(labels));
+    }
+    if (opts.lines && labels.size() >= 2) {
+      graphs.emplace_back("line", make_line(labels));
+    }
+    if (opts.stars && labels.size() >= 2) {
+      std::vector<Label> leaves(labels.begin() + 1, labels.end());
+      graphs.emplace_back("star", make_star(labels.front(), leaves));
+    }
+    for (const auto& [name, g] : graphs) {
+      const auto r =
+          decide_pseudo_stochastic(machine, g, {.max_configs = opts.max_configs});
+      record(report, L, name, r.decision, expected);
+      if (opts.check_synchronous) {
+        const auto s = decide_synchronous(machine, g);
+        record(report, L, name + "/sync", s.decision, expected);
+      }
+    }
+  });
+  return report;
+}
+
+VerifyReport verify_machine_on_cliques(const Machine& machine,
+                                       const LabellingPredicate& pred,
+                                       const VerifyOptions& opts) {
+  VerifyReport report;
+  for_each_window_count(pred, opts, [&](const LabelCount& L) {
+    const auto r = decide_clique_pseudo_stochastic(
+        machine, L, {.max_configs = opts.max_configs});
+    record(report, L, "clique(counted)", r.decision, pred(L));
+  });
+  return report;
+}
+
+VerifyReport verify_overlay_on_cliques(const BroadcastOverlay& overlay,
+                                       const LabellingPredicate& pred,
+                                       const VerifyOptions& opts) {
+  VerifyReport report;
+  for_each_window_count(pred, opts, [&](const LabelCount& L) {
+    const auto r = decide_overlay_strong_counted(
+        overlay, L, {.max_configs = opts.max_configs});
+    record(report, L, "clique(strong-bc)", r.decision, pred(L));
+  });
+  return report;
+}
+
+VerifyReport verify_population_on_cliques(
+    const GraphPopulationProtocol& protocol, const LabellingPredicate& pred,
+    const std::function<bool(const LabelCount&)>& promise,
+    const VerifyOptions& opts) {
+  VerifyReport report;
+  for_each_window_count(pred, opts, [&](const LabelCount& L) {
+    if (promise && !promise(L)) return;
+    const auto r = decide_population_counted(protocol, L,
+                                             {.max_configs = opts.max_configs});
+    record(report, L, "clique(rendezvous)", r.decision, pred(L));
+  });
+  return report;
+}
+
+}  // namespace dawn

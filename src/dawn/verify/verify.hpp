@@ -1,0 +1,87 @@
+// Protocol verification: exhaustively check an automaton against a
+// labelling predicate over a window of inputs, using the exact deciders.
+//
+// This is the Peregrine-style workflow for this model family: enumerate
+// label counts, enumerate topologies, decide each instance exactly (bottom
+// SCCs for pseudo-stochastic fairness; the synchronous cycle for
+// adversarial fairness of consistent automata), and report counterexamples
+// — wrong verdicts AND consistency violations, which for stable-consensus
+// automata are bugs just as much.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/extensions/broadcast.hpp"
+#include "dawn/extensions/population.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/semantics/decision.hpp"
+
+namespace dawn {
+
+struct VerifyOptions {
+  // Label counts range over [0, count_bound] per label.
+  std::int64_t count_bound = 3;
+  // Skip inputs with fewer nodes (the paper convention needs >= 3; some
+  // protocols also assume a minimum population).
+  int min_nodes = 3;
+  // Budget per instance for the explicit/counted deciders.
+  std::size_t max_configs = 2'000'000;
+  // Also check the synchronous run (valid for adversarial-class automata;
+  // for F-class automata synchronous runs need not stabilise).
+  bool check_synchronous = false;
+  // Which topologies to build per label count.
+  bool cliques = true;
+  bool cycles = true;
+  bool lines = true;
+  bool stars = true;
+};
+
+struct Counterexample {
+  LabelCount counts;
+  std::string topology;
+  Decision decision = Decision::Unknown;
+  bool expected_accept = false;
+  std::string detail;
+};
+
+struct VerifyReport {
+  int instances = 0;
+  std::vector<Counterexample> failures;
+  // False if some instance exhausted the decider budget (those are reported
+  // as failures with decision Unknown).
+  bool complete = true;
+
+  bool ok() const { return failures.empty() && complete; }
+  std::string summary() const;
+};
+
+// Verifies a plain machine under exact pseudo-stochastic semantics over the
+// topology battery (and optionally the synchronous run).
+VerifyReport verify_machine(const Machine& machine,
+                            const LabellingPredicate& pred,
+                            const VerifyOptions& opts = {});
+
+// Verifies a machine on cliques only, via the counted semantics — scales to
+// much larger windows than verify_machine.
+VerifyReport verify_machine_on_cliques(const Machine& machine,
+                                       const LabellingPredicate& pred,
+                                       const VerifyOptions& opts = {});
+
+// Verifies a broadcast overlay under strong (singleton) broadcast
+// semantics on counted cliques.
+VerifyReport verify_overlay_on_cliques(const BroadcastOverlay& overlay,
+                                       const LabellingPredicate& pred,
+                                       const VerifyOptions& opts = {});
+
+// Verifies a graph population protocol on counted cliques. `promise`
+// filters the inputs the protocol is specified for (e.g. no ties).
+VerifyReport verify_population_on_cliques(
+    const GraphPopulationProtocol& protocol, const LabellingPredicate& pred,
+    const std::function<bool(const LabelCount&)>& promise = {},
+    const VerifyOptions& opts = {});
+
+}  // namespace dawn

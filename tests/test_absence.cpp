@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dawn/extensions/absence.hpp"
+#include "dawn/extensions/absence_engine.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/simulate.hpp"
+
+namespace dawn {
+namespace {
+
+// A machine deciding "label 1 occurs", robust under *weak* absence
+// detection (arbitrary covering subsets — an initiator may observe as
+// little as itself):
+//   states: 0 = dark, 1 = lit, 2 = done.
+//   δ (synchronous): dark with a lit/done neighbour becomes lit.
+//   initiators: lit agents. detect(1, S): if S has no dark state, move to
+//   done (possibly prematurely — harmless, since the flood makes "no dark"
+//   true eventually and done also spreads the flood); else stay lit.
+// If label 1 occurs, the flood converts everyone and all agents end done
+// (stable accept); otherwise nobody ever leaves dark and the machine hangs
+// rejecting. The verdict is consistent for every subset policy, which makes
+// the direct engine (Full/Voronoi) and the compiled machine comparable.
+std::shared_ptr<AbsenceMachine> all_marked_detector() {
+  FunctionMachine::Spec inner;
+  inner.beta = 1;
+  inner.num_labels = 2;
+  inner.num_states = 3;
+  inner.init = [](Label l) { return static_cast<State>(l); };
+  inner.step = [](State s, const Neighbourhood& n) {
+    if (s == 0 && (n.count(1) > 0 || n.count(2) > 0)) return State{1};
+    return s;
+  };
+  inner.verdict = [](State s) {
+    return s == 2 ? Verdict::Accept : Verdict::Reject;
+  };
+
+  AbsenceMachine::Spec spec;
+  spec.inner = std::make_shared<FunctionMachine>(inner);
+  spec.num_labels = 2;
+  spec.is_initiator = [](State s) { return s == 1; };
+  spec.detect = [](State q, const Support& s) {
+    for (State x : s) {
+      if (x == 0) return q;  // a dark agent was observed: keep flooding
+    }
+    return State{2};
+  };
+  return std::make_shared<AbsenceMachine>(spec);
+}
+
+TEST(AbsenceDirect, FullAssignmentConvergesFast) {
+  const auto m = all_marked_detector();
+  const Graph g = make_cycle({0, 0, 1, 0});
+  AbsenceSyncRun run(*m, g, AbsenceAssignment::Full);
+  for (int t = 0; t < 10 && run.consensus() != Verdict::Accept; ++t) {
+    run.step();
+  }
+  EXPECT_EQ(run.consensus(), Verdict::Accept);
+}
+
+TEST(AbsenceDirect, VoronoiConvergesToo) {
+  const auto m = all_marked_detector();
+  std::vector<Label> labels(12, 0);
+  labels[0] = 1;
+  const Graph g = make_grid(4, 3, labels);
+  AbsenceSyncRun run(*m, g, AbsenceAssignment::Voronoi, 7);
+  for (int t = 0; t < 60 && run.consensus() != Verdict::Accept; ++t) {
+    run.step();
+  }
+  EXPECT_EQ(run.consensus(), Verdict::Accept);
+}
+
+TEST(AbsenceDirect, RejectsAndHangsWhenAbsent) {
+  const auto m = all_marked_detector();
+  const Graph g = make_cycle({0, 0, 0, 0});
+  AbsenceSyncRun run(*m, g, AbsenceAssignment::Full);
+  EXPECT_FALSE(run.step());  // no lit agent: no initiator: hang
+  EXPECT_EQ(run.consensus(), Verdict::Reject);
+}
+
+TEST(AbsenceDirect, HangsWithoutInitiators) {
+  FunctionMachine::Spec inner;
+  inner.beta = 1;
+  inner.num_labels = 1;
+  inner.num_states = 1;
+  inner.init = [](Label) { return State{0}; };
+  inner.step = [](State s, const Neighbourhood&) { return s; };
+  inner.verdict = [](State) { return Verdict::Neutral; };
+  AbsenceMachine::Spec spec;
+  spec.inner = std::make_shared<FunctionMachine>(inner);
+  spec.num_labels = 1;
+  spec.is_initiator = [](State) { return false; };
+  spec.detect = [](State q, const Support&) { return q; };
+  AbsenceMachine m(std::move(spec));
+  const Graph g = make_cycle({0, 0, 0});
+  AbsenceSyncRun run(m, g, AbsenceAssignment::Full);
+  EXPECT_FALSE(run.step());
+}
+
+// --- Lemma 4.9: the compiled machine ---
+
+TEST(AbsenceDirect, RandomCoverStillConverges) {
+  // Failure injection: observations scattered over random initiators; the
+  // weak-robust detector must still reach the right verdict.
+  const auto m = all_marked_detector();
+  std::vector<Label> labels(10, 0);
+  labels[3] = 1;
+  const Graph g = make_cycle(labels);
+  AbsenceSyncRun run(*m, g, AbsenceAssignment::RandomCover, 11);
+  for (int t = 0; t < 200 && run.consensus() != Verdict::Accept; ++t) {
+    run.step();
+  }
+  EXPECT_EQ(run.consensus(), Verdict::Accept);
+}
+
+TEST(AbsenceCompiled, ExactDecisionsMatchPredicate) {
+  const auto m = all_marked_detector();
+  const auto compiled = compile_absence(m, 2);  // cycles/lines: degree <= 2
+  const auto pred = pred_exists(1, 2);
+  for (const Graph& g :
+       {make_cycle({0, 0, 1}), make_cycle({0, 0, 0}), make_line({1, 0, 0}),
+        make_line({0, 0, 0})}) {
+    const auto r = decide_pseudo_stochastic(*compiled, g,
+                                            {.max_configs = 4'000'000});
+    ASSERT_NE(r.decision, Decision::Unknown) << g.to_dot();
+    ASSERT_NE(r.decision, Decision::Inconsistent) << g.to_dot();
+    EXPECT_EQ(r.decision == Decision::Accept, pred(g.label_count(2)))
+        << g.to_dot();
+  }
+}
+
+TEST(AbsenceCompiled, AgreesWithDirectEngineVerdicts) {
+  const auto m = all_marked_detector();
+  const auto compiled = compile_absence(m, 3);
+  Rng rng(19);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<Label> labels(8, 0);
+    if (trial % 2 == 0) labels[rng.index(labels.size())] = 1;
+    const Graph g = make_random_bounded_degree(labels, 3, 4, rng);
+
+    AbsenceSyncRun direct(*m, g, AbsenceAssignment::Voronoi, trial);
+    for (int t = 0; t < 100; ++t) direct.step();
+
+    RandomExclusiveScheduler sched(trial * 7 + 1);
+    SimulateOptions opts;
+    opts.max_steps = 500'000;
+    opts.stable_window = 20'000;
+    const auto sim = simulate(*compiled, g, sched, opts);
+    ASSERT_TRUE(sim.converged) << "trial " << trial;
+    EXPECT_EQ(sim.verdict, direct.consensus()) << "trial " << trial;
+  }
+}
+
+TEST(AbsenceCompiled, WorksUnderAdversaryBattery) {
+  const auto m = all_marked_detector();
+  const auto compiled = compile_absence(m, 4);
+  std::vector<Label> labels(9, 0);
+  labels[4] = 1;
+  const Graph g = make_grid(3, 3, labels);
+  for (auto& sched : make_adversary_battery(3)) {
+    SimulateOptions opts;
+    opts.max_steps = 500'000;
+    opts.stable_window = 10'000;
+    const auto r = simulate(*compiled, g, *sched, opts);
+    EXPECT_TRUE(r.converged) << sched->name();
+    EXPECT_EQ(r.verdict, Verdict::Accept) << sched->name();
+  }
+}
+
+TEST(AbsenceCompiled, NegativeInstanceUnderSynchronous) {
+  const auto m = all_marked_detector();
+  const auto compiled = compile_absence(m, 2);
+  const Graph g = make_cycle({0, 0, 0, 0, 0});
+  SynchronousScheduler sync;
+  SimulateOptions opts;
+  opts.max_steps = 50'000;
+  opts.stable_window = 2'000;
+  const auto r = simulate(*compiled, g, sync, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.verdict, Verdict::Reject);
+}
+
+TEST(AbsenceCompiled, CommittedTracksPreWaveState) {
+  const auto m = all_marked_detector();
+  const auto compiled = compile_absence(m, 2);
+  const State s0 = compiled->init(0);
+  EXPECT_EQ(compiled->phase_of(s0), 0);
+  EXPECT_EQ(compiled->committed(s0), s0);
+  EXPECT_EQ(compiled->last_of(s0), 0);
+}
+
+}  // namespace
+}  // namespace dawn

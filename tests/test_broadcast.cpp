@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/extensions/broadcast.hpp"
+#include "dawn/extensions/broadcast_engine.hpp"
+#include "dawn/protocols/example46.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/classes.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/threshold_daf.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/sync_run.hpp"
+#include "dawn/semantics/clique_counted.hpp"
+
+namespace dawn {
+namespace {
+
+constexpr State kA = kExample46A, kB = kExample46B, kX = kExample46X;
+
+std::shared_ptr<BroadcastOverlay> example46() { return make_example46_overlay(); }
+
+TEST(BroadcastRun, SingleBroadcastReachesEveryone) {
+  const auto overlay = example46();
+  const Graph g = make_line({1, 2, 2, 2, 2});  // b x x x x
+  BroadcastRun run(*overlay, g);
+  Rng rng(1);
+  EXPECT_TRUE(run.apply_broadcast({0}, rng));
+  // b ↦ b; everyone else was x: x stays x under b's response... b maps b->a,
+  // a->x; x unaffected. Initiator b stays b.
+  EXPECT_EQ(run.config(), (std::vector<State>{kB, kX, kX, kX, kX}));
+}
+
+TEST(BroadcastRun, InitiatorsSitOutNeighbourhoodSelections) {
+  const auto overlay = example46();
+  const Graph g = make_line({0, 2, 2});  // a x x — `a` is broadcast-initiating
+  BroadcastRun run(*overlay, g);
+  EXPECT_FALSE(run.apply_neighbourhood(0));  // a may not take a ν-transition
+  EXPECT_TRUE(run.apply_neighbourhood(1));   // x next to a becomes a
+  EXPECT_EQ(run.config()[1], kA);
+}
+
+TEST(BroadcastRun, SimultaneousBroadcastsSplitReceivers) {
+  // Figure 2(a): both ends of the line broadcast at once; the receiver
+  // assignment decides which signal each middle node gets.
+  const auto overlay = example46();
+  const Graph g = make_line({0, 2, 2, 2, 1});  // a x x x b
+  BroadcastRun run(*overlay, g);
+  Rng rng(2);
+  const auto receiver_from = [](NodeId v) -> NodeId {
+    return v <= 2 ? 0 : 4;  // nodes 1,2 hear a; node 3 hears b
+  };
+  EXPECT_TRUE(run.apply_broadcast({0, 4}, rng, receiver_from));
+  EXPECT_EQ(run.config(), (std::vector<State>{kA, kA, kA, kX, kB}));
+}
+
+TEST(BroadcastRun, IndependenceIsEnforced) {
+  const auto overlay = example46();
+  const Graph g = make_line({0, 0, 2});
+  BroadcastRun run(*overlay, g);
+  Rng rng(3);
+  EXPECT_THROW(run.apply_broadcast({0, 1}, rng), std::logic_error);
+}
+
+TEST(BroadcastRun, CurrentInitiators) {
+  const auto overlay = example46();
+  const Graph g = make_line({0, 2, 1});
+  BroadcastRun run(*overlay, g);
+  EXPECT_EQ(run.current_initiators(), (std::vector<NodeId>{0, 2}));
+}
+
+// --- The threshold protocol of Lemma C.5 ---
+
+TEST(ThresholdOverlay, StrongSemanticsDecidesExactly) {
+  // Exhaustive check against the predicate on cliques of up to 5 agents.
+  for (int k = 1; k <= 3; ++k) {
+    const auto overlay = make_threshold_overlay(k, 0, 2);
+    const auto pred = pred_threshold(0, k, 2);
+    for_each_count(2, 3, [&](const LabelCount& L) {
+      if (L[0] + L[1] < 2) return;
+      const auto r = decide_overlay_strong_counted(*overlay, L);
+      ASSERT_NE(r.decision, Decision::Unknown);
+      ASSERT_NE(r.decision, Decision::Inconsistent)
+          << "k=" << k << " L=(" << L[0] << "," << L[1] << ")";
+      EXPECT_EQ(r.decision == Decision::Accept, pred(L))
+          << "k=" << k << " L=(" << L[0] << "," << L[1] << ")";
+    });
+  }
+}
+
+TEST(ThresholdOverlay, StrongSemanticsOnExplicitGraphs) {
+  const auto overlay = make_threshold_overlay(2, 0, 2);
+  const auto pred = pred_threshold(0, 2, 2);
+  for (const Graph& g : {make_cycle({0, 0, 1}), make_cycle({0, 1, 1}),
+                         make_line({0, 1, 0, 1}), make_star(0, {1, 1, 0})}) {
+    const auto r = decide_overlay_strong(*overlay, g);
+    ASSERT_EQ(r.decision == Decision::Accept || r.decision == Decision::Reject,
+              true);
+    EXPECT_EQ(r.decision == Decision::Accept, pred(g.label_count(2)))
+        << g.to_dot();
+  }
+}
+
+// --- The Lemma 4.7 compilation ---
+
+TEST(CompiledBroadcast, ThresholdMachineIsNonCounting) {
+  const auto m = make_threshold_daf(2, 0, 2);
+  EXPECT_EQ(m->beta(), 1);  // dAF: the compilation preserves the class
+}
+
+TEST(CompiledBroadcast, ThresholdDecidesOnSmallGraphs) {
+  // The compiled dAF automaton, under the exact pseudo-stochastic decider,
+  // agrees with the predicate — the Lemma 4.4/4.7 equivalence, end to end.
+  const auto m = make_threshold_daf(2, 0, 2);
+  const auto pred = pred_threshold(0, 2, 2);
+  for (const Graph& g :
+       {make_cycle({0, 0, 1}), make_cycle({0, 1, 1}), make_line({0, 1, 0}),
+        make_star(1, {0, 0}), make_cycle({1, 1, 1})}) {
+    const auto r = decide_pseudo_stochastic(*m, g, {.max_configs = 2'000'000});
+    ASSERT_NE(r.decision, Decision::Unknown);
+    ASSERT_NE(r.decision, Decision::Inconsistent) << g.to_dot();
+    EXPECT_EQ(r.decision == Decision::Accept, pred(g.label_count(2)))
+        << g.to_dot();
+  }
+}
+
+TEST(CompiledBroadcast, WavesKeepCompleting) {
+  // Liveness smoke test: under fair random scheduling the three-phase waves
+  // must complete over and over — configurations with every agent in
+  // phase 0 recur many times (a deadlocked wave would freeze the phases).
+  const auto overlay = make_threshold_overlay(2, 0, 2);
+  const auto m = compile_weak_broadcast(overlay);
+  const Graph g = make_cycle({0, 0, 1, 0});
+  Config c = initial_config(*m, g);
+  Rng rng(17);
+  int uniform_phase0 = 0;
+  bool away_from_phase0 = false;
+  for (int t = 0; t < 50'000; ++t) {
+    const auto v =
+        static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n())));
+    const Selection sel{v};
+    c = successor(*m, g, c, sel);
+    bool all0 = true;
+    for (State s : c) all0 = all0 && m->phase_of(s) == 0;
+    if (all0 && away_from_phase0) {
+      ++uniform_phase0;
+      away_from_phase0 = false;
+    }
+    if (!all0) away_from_phase0 = true;
+  }
+  EXPECT_GE(uniform_phase0, 10) << "broadcast waves stopped completing";
+}
+
+TEST(CompiledBroadcast, CommittedProjectsToPhaseZero) {
+  const auto overlay = make_threshold_overlay(2, 0, 2);
+  const auto m = compile_weak_broadcast(overlay);
+  const State s = m->init(0);
+  EXPECT_EQ(m->phase_of(s), 0);
+  EXPECT_EQ(m->committed(s), s);
+  EXPECT_FALSE(m->is_intermediate(s));
+}
+
+TEST(WeakSemantics, FullDefinition45AgreesWithStrongAndCompiled) {
+  // Selection independence, empirically: the threshold overlay decided
+  // under (i) the FULL weak semantics (simultaneous independent-set
+  // broadcasts, all receiver assignments), (ii) strong singleton broadcasts,
+  // and (iii) the compiled plain machine — all three verdicts coincide.
+  const auto overlay = make_threshold_overlay(2, 0, 2);
+  const auto machine = compile_weak_broadcast(overlay);
+  const auto pred = pred_threshold(0, 2, 2);
+  for (const Graph& g :
+       {make_cycle({0, 0, 1}), make_cycle({0, 1, 1}), make_line({0, 0, 0, 1}),
+        make_star(0, {0, 1})}) {
+    const auto weak = decide_overlay_weak(*overlay, g);
+    const auto strong = decide_overlay_strong(*overlay, g);
+    const auto compiled = decide_pseudo_stochastic(*machine, g);
+    ASSERT_NE(weak.decision, Decision::Unknown);
+    EXPECT_EQ(weak.decision, strong.decision) << g.to_dot();
+    EXPECT_EQ(weak.decision, compiled.decision) << g.to_dot();
+    EXPECT_EQ(weak.decision == Decision::Accept, pred(g.label_count(2)));
+  }
+}
+
+TEST(WeakSemantics, LiberalSelectionAgreesOnPlainMachines) {
+  // [16]'s selection-independence theorem, checked on concrete automata:
+  // the liberal (any subset steps simultaneously) and exclusive deciders
+  // give the same verdict for consistent automata.
+  const auto machine = compile_weak_broadcast(make_threshold_overlay(2, 0, 2));
+  for (const Graph& g : {make_cycle({0, 0, 1}), make_line({0, 1, 0})}) {
+    const auto exclusive = decide_pseudo_stochastic(*machine, g);
+    const auto liberal = decide_pseudo_stochastic_liberal(
+        *machine, g, {.max_configs = 4'000'000});
+    ASSERT_NE(liberal.decision, Decision::Unknown);
+    EXPECT_EQ(exclusive.decision, liberal.decision) << g.to_dot();
+  }
+}
+
+TEST(WeakSemantics, SynchronousRunOutsideFairnessClassCanStabiliseWrongly) {
+  // Locks the E14 phenomenon: the compiled dAF threshold machine is only
+  // guaranteed under pseudo-stochastic fairness. Under the synchronous
+  // schedule every level-1 agent initiates in lockstep, nobody ever plays
+  // the receiver, and the run stabilises to the WRONG verdict — allowed,
+  // because the synchronous run is not a pseudo-stochastic schedule. The
+  // exact pseudo-stochastic decider gets it right on the same input.
+  const auto machine = make_threshold_daf(3, 0, 2);
+  const Graph g = make_cycle({0, 1, 0, 1, 0});  // #0 = 3 >= 3: accept
+  const auto sync = decide_synchronous(*machine, g);
+  EXPECT_EQ(sync.decision, Decision::Reject) << "(documented wrong verdict)";
+  const auto exact =
+      decide_pseudo_stochastic(*machine, g, {.max_configs = 8'000'000});
+  EXPECT_EQ(exact.decision, Decision::Accept);
+}
+
+TEST(BroadcastRun, AdversarialReceiverAssignmentCannotBreakThreshold) {
+  // Failure injection: the receiver assignment is resolved adversarially
+  // (everyone hears the LAST initiator of the selection), while the
+  // *selection* sequence stays pseudo-stochastic (random subsets, including
+  // singletons — without those the schedule leaves the fairness class and
+  // nothing is owed: if all level-1 agents always broadcast together,
+  // no one is ever promoted). Consistency quantifies over all receiver
+  // resolutions, so the verdict must survive this adversary.
+  const auto overlay = make_threshold_overlay(2, 0, 2);
+  const Graph g = make_line({0, 1, 0, 1, 0});  // x = 3 >= 2: accept
+  BroadcastRun run(*overlay, g);
+  Rng rng(77);
+  for (int t = 0; t < 20'000; ++t) {
+    auto initiators = run.current_initiators();
+    // A random independent subset of the initiators (possibly a singleton).
+    std::vector<NodeId> sel;
+    rng.shuffle(initiators);
+    for (NodeId v : initiators) {
+      if (!sel.empty() && !rng.chance(0.5)) continue;
+      bool ok = true;
+      for (NodeId u : sel) ok = ok && !g.has_edge(u, v);
+      if (ok) sel.push_back(v);
+    }
+    if (!sel.empty() && t % 3 == 0) {
+      const NodeId last = sel.back();
+      run.apply_broadcast(sel, rng, [last](NodeId) { return last; });
+    } else {
+      run.apply_neighbourhood(
+          static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n()))));
+    }
+    if (run.consensus() == Verdict::Accept) break;
+  }
+  EXPECT_EQ(run.consensus(), Verdict::Accept);
+}
+
+TEST(CompiledBroadcast, SimulationMatchesAbstractVerdicts) {
+  // Random weak-broadcast executions of the abstract overlay and exact
+  // decisions of the compiled machine agree on every input.
+  const auto overlay = make_threshold_overlay(2, 0, 2);
+  const auto m = compile_weak_broadcast(overlay);
+  const auto pred = pred_threshold(0, 2, 2);
+  Rng rng(23);
+  for (const Graph& g : {make_cycle({0, 1, 0}), make_line({0, 0, 1, 1})}) {
+    const auto abstract = simulate_overlay_random(*overlay, g, rng);
+    ASSERT_TRUE(abstract.converged);
+    EXPECT_EQ(abstract.verdict == Verdict::Accept, pred(g.label_count(2)));
+    const auto compiled = decide_pseudo_stochastic(*m, g);
+    EXPECT_EQ(compiled.decision == Decision::Accept, pred(g.label_count(2)));
+  }
+}
+
+}  // namespace
+}  // namespace dawn

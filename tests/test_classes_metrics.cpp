@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dawn/automata/classes.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/graph/metrics.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/sched/replay.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/simulate.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(Metrics, BfsDistancesOnLine) {
+  const Graph g = make_line({0, 0, 0, 0});
+  EXPECT_EQ(bfs_distances(g, 0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(bfs_distances(g, 2), (std::vector<int>{2, 1, 0, 1}));
+}
+
+TEST(Metrics, DiameterOfFamilies) {
+  EXPECT_EQ(diameter(make_line({0, 0, 0, 0, 0})), 4);
+  EXPECT_EQ(diameter(make_cycle(std::vector<Label>(6, 0))), 3);
+  EXPECT_EQ(diameter(make_cycle(std::vector<Label>(7, 0))), 3);
+  EXPECT_EQ(diameter(make_clique({0, 0, 0, 0})), 1);
+  EXPECT_EQ(diameter(make_star(0, {0, 0, 0})), 2);
+  EXPECT_EQ(diameter(make_grid(3, 3, std::vector<Label>(9, 0))), 4);
+}
+
+TEST(Metrics, Regularity) {
+  EXPECT_TRUE(is_k_regular(make_cycle({0, 0, 0, 0}), 2));
+  EXPECT_FALSE(is_k_regular(make_line({0, 0, 0}), 2));
+  EXPECT_TRUE(
+      is_k_regular(make_grid(3, 3, std::vector<Label>(9, 0), true), 4));
+}
+
+TEST(Classes, NamesMatchThePaperScheme) {
+  AutomatonClass daf{DetectionKind::NonCounting, AcceptanceKind::Halting,
+                     FairnessKind::Adversarial};
+  EXPECT_EQ(daf.name(), "daf");
+  AutomatonClass DAF{DetectionKind::Counting, AcceptanceKind::StableConsensus,
+                     FairnessKind::PseudoStochastic};
+  EXPECT_EQ(DAF.name(), "DAF");
+}
+
+TEST(Classes, Figure1MiddleColumn) {
+  // The arbitrary-graph classification: halting -> Trivial; dAf/DAf ->
+  // Cutoff(1); dAF -> Cutoff; DAF -> NL.
+  std::set<std::string> by_power[4];
+  for (const auto& cls : all_classes()) {
+    switch (cls.power_arbitrary()) {
+      case PowerFamily::Trivial:
+        by_power[0].insert(cls.name());
+        break;
+      case PowerFamily::Cutoff1:
+        by_power[1].insert(cls.name());
+        break;
+      case PowerFamily::Cutoff:
+        by_power[2].insert(cls.name());
+        break;
+      case PowerFamily::NL:
+        by_power[3].insert(cls.name());
+        break;
+      default:
+        FAIL() << "unexpected family on arbitrary graphs";
+    }
+  }
+  EXPECT_EQ(by_power[0],
+            (std::set<std::string>{"daf", "daF", "Daf", "DaF"}));
+  EXPECT_EQ(by_power[1], (std::set<std::string>{"dAf", "DAf"}));
+  EXPECT_EQ(by_power[2], (std::set<std::string>{"dAF"}));
+  EXPECT_EQ(by_power[3], (std::set<std::string>{"DAF"}));
+}
+
+TEST(Classes, Figure1RightColumn) {
+  // Bounded degree: dAF and DAF jump to NSPACE(n); DAf to the ISM band;
+  // dAf stays Cutoff(1).
+  AutomatonClass dAF{DetectionKind::NonCounting,
+                     AcceptanceKind::StableConsensus,
+                     FairnessKind::PseudoStochastic};
+  AutomatonClass DAf{DetectionKind::Counting, AcceptanceKind::StableConsensus,
+                     FairnessKind::Adversarial};
+  AutomatonClass dAf{DetectionKind::NonCounting,
+                     AcceptanceKind::StableConsensus,
+                     FairnessKind::Adversarial};
+  EXPECT_EQ(dAF.power_bounded_degree(), PowerFamily::NSpaceN);
+  EXPECT_EQ(DAf.power_bounded_degree(), PowerFamily::ISMUpper);
+  EXPECT_EQ(dAf.power_bounded_degree(), PowerFamily::Cutoff1);
+}
+
+TEST(Classes, PowerOrderIsAChainPlusISM) {
+  EXPECT_TRUE(power_leq(PowerFamily::Trivial, PowerFamily::Cutoff1));
+  EXPECT_TRUE(power_leq(PowerFamily::Cutoff1, PowerFamily::Cutoff));
+  EXPECT_TRUE(power_leq(PowerFamily::Cutoff, PowerFamily::NL));
+  EXPECT_TRUE(power_leq(PowerFamily::NL, PowerFamily::NSpaceN));
+  EXPECT_TRUE(power_leq(PowerFamily::Cutoff1, PowerFamily::ISMUpper));
+  EXPECT_TRUE(power_leq(PowerFamily::ISMUpper, PowerFamily::NSpaceN));
+  // Genuinely incomparable pairs:
+  EXPECT_FALSE(power_leq(PowerFamily::Cutoff, PowerFamily::ISMUpper));
+  EXPECT_FALSE(power_leq(PowerFamily::ISMUpper, PowerFamily::NL));
+  EXPECT_FALSE(power_leq(PowerFamily::NL, PowerFamily::ISMUpper));
+}
+
+TEST(Replay, RecordedScheduleReplaysIdentically) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_cycle({0, 0, 1, 0, 0});
+  auto inner = std::make_shared<RandomExclusiveScheduler>(9);
+  RecordingScheduler rec(inner);
+  SimulateOptions opts;
+  opts.max_steps = 2'000;
+  opts.stable_window = 500;
+  const auto first = simulate(*m, g, rec, opts);
+
+  ReplayScheduler replay(rec.recording());
+  const auto second = simulate(*m, g, replay, opts);
+  EXPECT_EQ(first.verdict, second.verdict);
+  EXPECT_EQ(first.convergence_step, second.convergence_step);
+  EXPECT_EQ(first.total_steps, second.total_steps);
+}
+
+TEST(Replay, EmptyScheduleRejected) {
+  EXPECT_THROW(ReplayScheduler{{}}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace dawn

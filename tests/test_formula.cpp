@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/classes.hpp"
+#include "dawn/protocols/cutoff_construction.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/formula.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/util/rng.hpp"
+#include "dawn/verify/verify.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(Formula, ThreeWayConjunction) {
+  // exists(0) AND exists(1) AND exists(2), beyond the binary combine().
+  std::vector<std::shared_ptr<const Machine>> components{
+      make_exists_label(0, 3), make_exists_label(1, 3),
+      make_exists_label(2, 3)};
+  FormulaMachine m(components, [](const std::vector<bool>& b) {
+    return b[0] && b[1] && b[2];
+  });
+  EXPECT_EQ(decide_pseudo_stochastic(m, make_cycle({0, 1, 2})).decision,
+            Decision::Accept);
+  EXPECT_EQ(decide_pseudo_stochastic(m, make_cycle({0, 1, 1})).decision,
+            Decision::Reject);
+}
+
+TEST(Formula, XorIsNotMonotone) {
+  // Boolean closure covers non-monotone formulas too.
+  std::vector<std::shared_ptr<const Machine>> components{
+      make_exists_label(0, 2), make_exists_label(1, 2)};
+  FormulaMachine m(components, [](const std::vector<bool>& b) {
+    return b[0] != b[1];
+  });
+  EXPECT_EQ(decide_pseudo_stochastic(m, make_cycle({0, 0, 0})).decision,
+            Decision::Accept);
+  EXPECT_EQ(decide_pseudo_stochastic(m, make_cycle({0, 1, 0})).decision,
+            Decision::Reject);
+  EXPECT_EQ(decide_pseudo_stochastic(m, make_cycle({1, 1, 1})).decision,
+            Decision::Accept);
+}
+
+TEST(Cutoff1Construction, ArbitraryCutoff1Predicates) {
+  // Proposition C.4, generically: random Cutoff(1) predicates over three
+  // labels, built from flooding machines, verified on the battery.
+  Rng rng(2718);
+  for (int trial = 0; trial < 4; ++trial) {
+    // A random predicate on presence bitmasks.
+    auto accept = std::make_shared<std::vector<bool>>();
+    for (int mask = 0; mask < 8; ++mask) {
+      accept->push_back(rng.chance(0.5));
+    }
+    LabellingPredicate pred{
+        "random-cutoff1-" + std::to_string(trial), 3,
+        [accept](const LabelCount& L) {
+          int mask = 0;
+          for (int i = 0; i < 3; ++i) {
+            if (L[static_cast<std::size_t>(i)] >= 1) mask |= 1 << i;
+          }
+          return (*accept)[static_cast<std::size_t>(mask)];
+        }};
+    const auto machine = make_cutoff1_automaton(pred);
+    VerifyOptions opts;
+    opts.count_bound = 2;
+    opts.cliques = true;
+    opts.stars = true;
+    opts.cycles = true;
+    opts.lines = false;  // keep runtime small
+    const auto report = verify_machine(*machine, pred, opts);
+    EXPECT_TRUE(report.ok()) << "trial " << trial << ": " << report.summary();
+  }
+}
+
+class CutoffConstruction : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutoffConstruction, RandomCutoffKPredicates) {
+  // Proposition C.6, generically: a random predicate that only depends on
+  // ⌈L⌉_K is decided by the constructed dAF automaton. Verified exactly on
+  // counted cliques (the construction is a labelling-predicate decider).
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + 5);
+  const int K = 1 + seed % 2;  // K in {1, 2}
+  const int l = 2;
+  auto accept = std::make_shared<std::vector<bool>>();
+  for (int i = 0; i < (K + 1) * (K + 1); ++i) accept->push_back(rng.chance(0.5));
+  LabellingPredicate pred{
+      "random-cutoffK", l, [accept, K](const LabelCount& L) {
+        const auto cell = cutoff_count(L, K);
+        return (*accept)[static_cast<std::size_t>(cell[0] * (K + 1) + cell[1])];
+      }};
+  ASSERT_TRUE(admits_cutoff(pred, K, 4));
+
+  const auto machine = make_cutoff_automaton(pred, K);
+  VerifyOptions opts;
+  // The product of l·K compiled threshold machines interleaves waves of
+  // every component, so the counted configuration space grows quickly:
+  // keep the window tight for K = 2.
+  opts.count_bound = K == 1 ? 3 : 2;
+  opts.max_configs = 6'000'000;
+  const auto report = verify_machine_on_cliques(*machine, pred, opts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPredicates, CutoffConstruction,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dawn

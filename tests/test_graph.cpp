@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dawn/graph/covering.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/graph/graph.hpp"
+#include "dawn/graph/splice.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(GraphBuilder, BuildsUndirectedEdges) {
+  GraphBuilder b;
+  const NodeId u = b.add_node(0);
+  const NodeId v = b.add_node(1);
+  b.add_edge(u, v);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.n(), 2);
+  EXPECT_EQ(g.m(), 1);
+  EXPECT_TRUE(g.has_edge(u, v));
+  EXPECT_TRUE(g.has_edge(v, u));
+  EXPECT_EQ(g.degree(u), 1);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopAndParallel) {
+  GraphBuilder b;
+  const NodeId u = b.add_node(0);
+  const NodeId v = b.add_node(0);
+  EXPECT_THROW(b.add_edge(u, u), std::logic_error);
+  b.add_edge(u, v);
+  EXPECT_THROW(b.add_edge(v, u), std::logic_error);
+}
+
+TEST(Generators, Clique) {
+  const Graph g = make_clique({0, 1, 0, 1});
+  EXPECT_EQ(g.m(), 6);
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_TRUE(g.satisfies_paper_convention());
+}
+
+TEST(Generators, CycleIsDegreeTwo) {
+  const Graph g = make_cycle({0, 1, 2, 0, 1});
+  EXPECT_EQ(g.n(), 5);
+  EXPECT_EQ(g.m(), 5);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, LineEndsHaveDegreeOne) {
+  const Graph g = make_line({0, 0, 0, 0});
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(3), 1);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Generators, StarCentreSeesAllLeaves) {
+  const Graph g = make_star(0, {1, 1, 2});
+  EXPECT_EQ(g.n(), 4);
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(Generators, GridAndTorusDegrees) {
+  const Graph grid = make_grid(3, 3, std::vector<Label>(9, 0));
+  EXPECT_EQ(grid.max_degree(), 4);
+  EXPECT_EQ(grid.degree(0), 2);  // corner
+  const Graph torus = make_grid(3, 3, std::vector<Label>(9, 0), true);
+  for (NodeId v = 0; v < torus.n(); ++v) EXPECT_EQ(torus.degree(v), 4);
+  EXPECT_TRUE(torus.is_connected());
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g =
+        make_random_connected(std::vector<Label>(12, 0), 5, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_GE(g.m(), 11);
+  }
+}
+
+TEST(Generators, RandomBoundedDegreeRespectsBound) {
+  Rng rng(13);
+  for (int k = 2; k <= 5; ++k) {
+    const Graph g =
+        make_random_bounded_degree(std::vector<Label>(20, 0), k, 15, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_LE(g.max_degree(), k);
+  }
+}
+
+TEST(Generators, LabelsFromCount) {
+  const auto labels = labels_from_count({2, 0, 3});
+  EXPECT_EQ(labels, (std::vector<Label>{0, 0, 2, 2, 2}));
+}
+
+TEST(LabelCount, CountsPerLabel) {
+  const Graph g = make_cycle({0, 1, 1, 2});
+  const LabelCount L = g.label_count(4);
+  EXPECT_EQ(L, (LabelCount{1, 2, 1, 0}));
+}
+
+TEST(Covering, CycleCoverIsValidCovering) {
+  const std::vector<Label> labels{0, 1, 2};
+  const Covering cov = cycle_cover(labels, 3);
+  EXPECT_EQ(cov.cover.n(), 9);
+  const Graph base = make_cycle(labels);
+  EXPECT_TRUE(verify_covering(cov, base));
+  // λ-fold cover multiplies the label count (Corollary 3.3's scaling).
+  const LabelCount L = cov.cover.label_count(3);
+  EXPECT_EQ(L, (LabelCount{3, 3, 3}));
+}
+
+TEST(Covering, LiftIsValidCovering) {
+  Rng rng(5);
+  const Graph base = make_grid(3, 2, {0, 1, 0, 1, 0, 1});
+  for (int lambda = 1; lambda <= 3; ++lambda) {
+    const Covering cov = lift(base, lambda, rng);
+    EXPECT_TRUE(verify_covering(cov, base));
+  }
+}
+
+TEST(Covering, VerifierRejectsBadMap) {
+  const std::vector<Label> labels{0, 1, 2};
+  Covering cov = cycle_cover(labels, 2);
+  cov.map[0] = 1;  // breaks label preservation
+  EXPECT_FALSE(verify_covering(cov, make_cycle(labels)));
+}
+
+TEST(Splice, BuildsConnectedChainOfCopies) {
+  const Graph g = make_cycle({0, 0, 0});
+  const Graph h = make_cycle({1, 1, 1, 1});
+  const Splice s = splice_cyclic(g, {0, 1}, 3, h, {0, 1}, 2);
+  EXPECT_EQ(s.graph.n(), 3 * 3 + 2 * 4);
+  EXPECT_TRUE(s.graph.is_connected());
+  EXPECT_TRUE(s.graph.satisfies_paper_convention());
+  // Origins map back to the right sources.
+  int from_g = 0, from_h = 0;
+  for (const auto& o : s.origins) (o.source == 0 ? from_g : from_h)++;
+  EXPECT_EQ(from_g, 9);
+  EXPECT_EQ(from_h, 8);
+}
+
+TEST(Splice, PreservesDegreesExceptAtOpenEnds) {
+  // Cycle nodes have degree 2; in the splice the two open ends (u_G^0 and
+  // v_H^{last}) have degree 1, everyone else keeps degree 2.
+  const Graph g = make_cycle({0, 0, 0});
+  const Graph h = make_cycle({1, 1, 1});
+  const Splice s = splice_cyclic(g, {0, 1}, 2, h, {0, 1}, 2);
+  int degree_one = 0;
+  for (NodeId v = 0; v < s.graph.n(); ++v) {
+    const int d = s.graph.degree(v);
+    EXPECT_TRUE(d == 1 || d == 2);
+    if (d == 1) ++degree_one;
+  }
+  EXPECT_EQ(degree_one, 2);
+}
+
+TEST(Graph, ConventionRejectsSmallOrDisconnected) {
+  GraphBuilder b;
+  b.add_node(0);
+  b.add_node(0);
+  const Graph g = std::move(b).build();
+  EXPECT_FALSE(g.satisfies_paper_convention());
+}
+
+TEST(Graph, ToDotContainsNodesAndEdges) {
+  const Graph g = make_line({0, 1});
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dawn

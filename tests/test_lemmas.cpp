@@ -1,0 +1,173 @@
+// Property tests executing the paper's limitation lemmas on RANDOM
+// machines: the lemmas quantify over all automata of a class, so random
+// automata are exactly the right test distribution.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/graph/covering.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/classes.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/sync_run.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn {
+namespace {
+
+// Random machine with counting bound beta: δ factors through
+// (state, capped counts of each state), encoded via a hash of the capped
+// neighbourhood — deterministic and total.
+std::shared_ptr<Machine> random_machine(int n, int beta, Rng& rng) {
+  // Transition table over (state, neighbourhood signature). Signatures are
+  // tuples of capped counts; enumerate lazily via a shared map.
+  struct Table {
+    std::unordered_map<std::uint64_t, State> entries;
+    Rng rng;
+    int n;
+    explicit Table(std::uint64_t seed, int n) : rng(seed), n(n) {}
+    State get(std::uint64_t key, State fallback) {
+      auto it = entries.find(key);
+      if (it != entries.end()) return it->second;
+      const State out =
+          rng.chance(0.5)
+              ? fallback
+              : static_cast<State>(rng.index(static_cast<std::size_t>(n)));
+      entries.emplace(key, out);
+      return out;
+    }
+  };
+  auto table = std::make_shared<Table>(rng.uniform(0, 1 << 30), n);
+  auto verdicts = std::make_shared<std::vector<Verdict>>();
+  for (int q = 0; q < n; ++q) {
+    verdicts->push_back(rng.chance(0.5) ? Verdict::Accept : Verdict::Reject);
+  }
+  FunctionMachine::Spec spec;
+  spec.beta = beta;
+  spec.num_labels = n;
+  spec.num_states = n;
+  spec.init = [](Label l) { return static_cast<State>(l); };
+  spec.step = [table, beta](State q, const Neighbourhood& nb) {
+    std::uint64_t key = static_cast<std::uint64_t>(q) * 1000003u;
+    for (auto [s, c] : nb.entries()) {
+      key = key * 31 + static_cast<std::uint64_t>(s) * 131 +
+            static_cast<std::uint64_t>(c);
+    }
+    return table->get(key, q);
+  };
+  spec.verdict = [verdicts](State q) {
+    return (*verdicts)[static_cast<std::size_t>(q)];
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+class RandomMachineLemmas : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMachineLemmas, Lemma32CoveringInvariance) {
+  // Lemma 3.2 is a statement about EVERY machine: synchronous runs on G and
+  // on any covering H of G agree pointwise through the covering map.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+  const auto m = random_machine(3, 1 + GetParam() % 2, rng);
+  const Graph g = make_grid(3, 2, {0, 1, 2, 0, 1, 2});
+  Covering cov = lift(g, 2 + GetParam() % 2, rng);
+  for (int tries = 0; !cov.cover.is_connected() && tries < 100; ++tries) {
+    cov = lift(g, 2 + GetParam() % 2, rng);
+  }
+  ASSERT_TRUE(verify_covering(cov, g));
+
+  Config cg = initial_config(*m, g);
+  Config ch = initial_config(*m, cov.cover);
+  Selection all_g(static_cast<std::size_t>(g.n()));
+  Selection all_h(static_cast<std::size_t>(cov.cover.n()));
+  for (NodeId v = 0; v < g.n(); ++v) all_g[static_cast<std::size_t>(v)] = v;
+  for (NodeId v = 0; v < cov.cover.n(); ++v) {
+    all_h[static_cast<std::size_t>(v)] = v;
+  }
+  for (int t = 0; t < 60; ++t) {
+    for (NodeId v = 0; v < cov.cover.n(); ++v) {
+      ASSERT_EQ(ch[static_cast<std::size_t>(v)],
+                cg[static_cast<std::size_t>(
+                    cov.map[static_cast<std::size_t>(v)])])
+          << "step " << t << " node " << v;
+    }
+    cg = successor(*m, g, cg, all_g);
+    ch = successor(*m, cov.cover, ch, all_h);
+  }
+}
+
+TEST_P(RandomMachineLemmas, Lemma34CutoffOnCliques) {
+  // Lemma 3.4: the synchronous clique run's verdict depends only on
+  // ⌈L⌉_{β+1} — for EVERY machine.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1013 + 7);
+  const int beta = 1 + GetParam() % 2;
+  const auto m = random_machine(3, beta, rng);
+  const std::int64_t K = beta + 1;
+  bool checked_any = false;
+  for_each_count(3, K + 2, [&](const LabelCount& L) {
+    const auto total = L[0] + L[1] + L[2];
+    if (total < 3) return;
+    const LabelCount capped = cutoff_count(L, K);
+    if (capped == L) return;
+    if (capped[0] + capped[1] + capped[2] < 3) return;
+    const auto a =
+        decide_synchronous(*m, make_clique(labels_from_count(L))).decision;
+    const auto b =
+        decide_synchronous(*m, make_clique(labels_from_count(capped))).decision;
+    ASSERT_EQ(a, b) << "L=(" << L[0] << "," << L[1] << "," << L[2] << ")";
+    checked_any = true;
+  });
+  EXPECT_TRUE(checked_any);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMachineLemmas, ::testing::Range(0, 10));
+
+TEST(HaltingCollapse, ConsistentHaltingMachinesDecideAdversarially) {
+  // Figure 1's daf = daF collapse concerns *consistent* automata: whenever
+  // the exact pseudo-stochastic decision is Accept/Reject (i.e. every fair
+  // run agrees), the synchronous (adversarial) run must give the same
+  // verdict. Random halting machines are often inconsistent (halted
+  // verdicts depend on selection order); those inputs are exactly the ones
+  // the consistency condition excludes, and we skip them.
+  Rng rng(55);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Random halting machine: one watch state per label, then halt with a
+    // random verdict depending on the neighbourhood signature.
+    auto verdict_bit = std::make_shared<std::unordered_map<std::uint64_t, bool>>();
+    auto shared_rng = std::make_shared<Rng>(rng.uniform(0, 1 << 30));
+    FunctionMachine::Spec spec;
+    spec.beta = 1;
+    spec.num_labels = 2;
+    spec.num_states = 4;  // 0/1 watching, 2 acc, 3 rej
+    spec.init = [](Label l) { return static_cast<State>(l); };
+    spec.step = [verdict_bit, shared_rng](State q, const Neighbourhood& nb) {
+      if (q >= 2) return q;  // halted
+      std::uint64_t key = static_cast<std::uint64_t>(q) * 7919;
+      for (auto [s, c] : nb.entries()) {
+        key = key * 31 + static_cast<std::uint64_t>(s);
+      }
+      auto it = verdict_bit->find(key);
+      if (it == verdict_bit->end()) {
+        it = verdict_bit->emplace(key, shared_rng->chance(0.5)).first;
+      }
+      return it->second ? State{2} : State{3};
+    };
+    spec.verdict = [](State q) {
+      if (q == 2) return Verdict::Accept;
+      if (q == 3) return Verdict::Reject;
+      return Verdict::Neutral;
+    };
+    FunctionMachine m(spec);
+    for (const Graph& g :
+         {make_cycle({0, 1, 0}), make_line({0, 0, 1, 1}),
+          make_star(1, {0, 1})}) {
+      const auto exact = decide_pseudo_stochastic(m, g).decision;
+      if (exact != Decision::Accept && exact != Decision::Reject) continue;
+      const auto sync = decide_synchronous(m, g).decision;
+      EXPECT_EQ(exact, sync) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dawn

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/extensions/absence_engine.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/majority_bounded.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/simulate.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(CancelEncoding, RoundTrips) {
+  CancelEncoding enc{.E = 6};
+  for (int x = -6; x <= 6; ++x) {
+    for (int role = 0; role < 4; ++role) {
+      const State s = enc.pair_id(x, role);
+      EXPECT_TRUE(enc.is_pair(s));
+      EXPECT_EQ(enc.x_of(s), x);
+      EXPECT_EQ(enc.role_of(s), role);
+    }
+  }
+  EXPECT_FALSE(enc.is_pair(enc.error_id()));
+  EXPECT_FALSE(enc.is_pair(enc.reject_id()));
+  EXPECT_EQ(enc.num_states(), 13 * 4 + 2);
+}
+
+TEST(CancelLayer, PreservesSumOnSynchronousSteps) {
+  // ⟨cancel⟩'s key invariant (Section 6.1): the synchronous step preserves
+  // the total contribution and never escapes [-E, E].
+  const auto aut = make_homogeneous_threshold_daf({3, -2}, 2);
+  const auto& inner = *aut.detect_inner;
+  const CancelEncoding enc = aut.enc;
+  const Graph g = make_cycle({0, 1, 1, 0, 1});
+  Config c(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    c[static_cast<std::size_t>(v)] = inner.init(g.label(v));
+  }
+  auto total = [&](const Config& cfg) {
+    std::int64_t sum = 0;
+    for (State s : cfg) sum += enc.x_of(s);
+    return sum;
+  };
+  const std::int64_t sum0 = total(c);
+  Selection all(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) all[static_cast<std::size_t>(v)] = v;
+  for (int t = 0; t < 50; ++t) {
+    c = successor(inner, g, c, all);
+    EXPECT_EQ(total(c), sum0) << "sum broken at step " << t;
+    for (State s : c) {
+      EXPECT_TRUE(enc.is_pair(s));
+      EXPECT_LE(std::abs(enc.x_of(s)), enc.E);
+    }
+  }
+}
+
+TEST(CancelLayer, ConvergesPerLemma61) {
+  // Lemma 6.1: with Σx < 0, eventually all contributions are negative or
+  // all are small.
+  const auto aut = make_homogeneous_threshold_daf({1, -1}, 2);
+  const auto& inner = *aut.detect_inner;
+  const CancelEncoding enc = aut.enc;
+  const int k = aut.k;
+  const Graph g = make_cycle({1, 1, 1, 0, 1, 1});  // sum = 1 - 5 = -4
+  Config c(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    c[static_cast<std::size_t>(v)] = inner.init(g.label(v));
+  }
+  Selection all(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) all[static_cast<std::size_t>(v)] = v;
+  bool converged = false;
+  for (int t = 0; t < 500 && !converged; ++t) {
+    c = successor(inner, g, c, all);
+    bool all_negative = true, all_small = true;
+    for (State s : c) {
+      if (enc.x_of(s) >= 0) all_negative = false;
+      if (std::abs(enc.x_of(s)) > k) all_small = false;
+    }
+    converged = all_negative || all_small;
+  }
+  EXPECT_TRUE(converged);
+}
+
+TEST(DetectLayer, LeadersArmDoublingWhenAllSmall) {
+  // Lemma 6.2 machinery at the abstract level: run P_detect directly under
+  // the synchronous absence engine. With all contributions small from the
+  // start (coefficients ±1, k=2), the first super-step's detection arms a
+  // doubling: some leader moves to L_double.
+  const auto aut = make_homogeneous_threshold_daf({1, -1}, 2);
+  const Graph g = make_cycle({0, 1, 0});
+  AbsenceSyncRun run(*aut.detect, g, AbsenceAssignment::Full);
+  ASSERT_TRUE(run.step());
+  bool any_armed = false;
+  for (State s : run.config()) {
+    if (aut.enc.is_pair(s) &&
+        aut.enc.role_of(s) == CancelEncoding::kArmDouble) {
+      any_armed = true;
+    }
+  }
+  EXPECT_TRUE(any_armed);
+}
+
+TEST(DetectLayer, LeadersArmRejectionWhenAllNegative) {
+  // Coefficients {1, -5} with every node labelled 1: all contributions are
+  // -5 — negative and NOT small (|x| > k) — so the first detection arms the
+  // rejection broadcast.
+  const auto aut = make_homogeneous_threshold_daf({1, -5}, 2);
+  const Graph g = make_cycle({1, 1, 1});
+  AbsenceSyncRun run(*aut.detect, g, AbsenceAssignment::Full);
+  ASSERT_TRUE(run.step());
+  bool any_reject_armed = false;
+  for (State s : run.config()) {
+    if (aut.enc.is_pair(s) &&
+        aut.enc.role_of(s) == CancelEncoding::kArmReject) {
+      any_reject_armed = true;
+    }
+  }
+  EXPECT_TRUE(any_reject_armed);
+}
+
+TEST(DetectLayer, UnconvergedCancellationKeepsLeadersPlain) {
+  // With a large positive and small negatives around (|x| > k on one node,
+  // mixed signs), neither detection condition holds: leaders stay in L.
+  const auto aut = make_homogeneous_threshold_daf({5, -1}, 2);
+  const Graph g = make_cycle({0, 1, 1});  // contributions 5, -1, -1
+  AbsenceSyncRun run(*aut.detect, g, AbsenceAssignment::Full);
+  ASSERT_TRUE(run.step());
+  for (State s : run.config()) {
+    if (aut.enc.is_pair(s)) {
+      const int role = aut.enc.role_of(s);
+      EXPECT_TRUE(role == CancelEncoding::kLeader ||
+                  role == CancelEncoding::kFollower)
+          << aut.enc.name(s);
+    }
+  }
+}
+
+struct MajorityCase {
+  Graph graph;
+  bool expected;  // #label0 >= #label1
+  std::string note;
+};
+
+std::vector<MajorityCase> majority_cases() {
+  std::vector<MajorityCase> cases;
+  cases.push_back({make_cycle({0, 0, 1}), true, "2v1 cycle"});
+  cases.push_back({make_cycle({1, 1, 0}), false, "1v2 cycle"});
+  cases.push_back({make_cycle({0, 1, 0, 1}), true, "tie cycle"});
+  cases.push_back({make_line({1, 1, 0, 0, 1}), false, "2v3 line"});
+  cases.push_back({make_cycle({0, 0, 1, 1, 0}), true, "3v2 cycle"});
+  return cases;
+}
+
+TEST(MajorityBounded, DecidesUnderRandomScheduling) {
+  const auto aut = make_majority_bounded(2);
+  for (const auto& tc : majority_cases()) {
+    RandomExclusiveScheduler sched(0xfeed);
+    SimulateOptions opts;
+    opts.max_steps = 5'000'000;
+    opts.stable_window = 200'000;
+    const auto r = simulate(*aut.machine, tc.graph, sched, opts);
+    ASSERT_TRUE(r.converged) << tc.note;
+    EXPECT_EQ(r.verdict == Verdict::Accept, tc.expected) << tc.note;
+  }
+}
+
+TEST(MajorityBounded, DecidesUnderSynchronousScheduling) {
+  // The paper's punchline: a synchronous *deterministic* majority algorithm
+  // for bounded-degree networks.
+  const auto aut = make_majority_bounded(2);
+  for (const auto& tc : majority_cases()) {
+    SynchronousScheduler sched;
+    SimulateOptions opts;
+    opts.max_steps = 2'000'000;
+    opts.stable_window = 100'000;
+    const auto r = simulate(*aut.machine, tc.graph, sched, opts);
+    ASSERT_TRUE(r.converged) << tc.note;
+    EXPECT_EQ(r.verdict == Verdict::Accept, tc.expected) << tc.note;
+  }
+}
+
+TEST(MajorityBounded, DecidesUnderAdversaryBattery) {
+  const auto aut = make_majority_bounded(2);
+  const Graph g = make_cycle({0, 1, 1, 0, 1});  // 2 vs 3: reject
+  for (auto& sched : make_adversary_battery(21)) {
+    SimulateOptions opts;
+    opts.max_steps = 5'000'000;
+    opts.stable_window = 200'000;
+    const auto r = simulate(*aut.machine, g, *sched, opts);
+    ASSERT_TRUE(r.converged) << sched->name();
+    EXPECT_EQ(r.verdict, Verdict::Reject) << sched->name();
+  }
+}
+
+TEST(MajorityBounded, AcceptRunsNeverTouchTheRejectState) {
+  // In an accepting run (sum >= 0) no agent may ever commit the rejecting
+  // state (the certificate "all contributions negative" is unreachable).
+  const auto aut = make_majority_bounded(2);
+  const Graph g = make_cycle({0, 0, 1, 0, 1});  // 3 vs 2: accept
+  Config c = initial_config(*aut.machine, g);
+  Rng rng(0xdead);
+  for (int t = 0; t < 500'000; ++t) {
+    const Selection sel{
+        static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n())))};
+    c = successor(*aut.machine, g, c, sel);
+    for (State s : c) {
+      ASSERT_NE(aut.committed_detect_of(s), aut.enc.reject_id())
+          << "reject state reached in an accepting instance at step " << t;
+    }
+  }
+}
+
+TEST(MajorityBounded, AllNonNegativeCoefficientsAlwaysAccept) {
+  const auto aut = make_homogeneous_threshold_daf({1, 2}, 2);
+  for (const Graph& g : {make_cycle({0, 1, 0}), make_cycle({1, 1, 1, 1})}) {
+    SynchronousScheduler sync;
+    SimulateOptions opts;
+    opts.max_steps = 200'000;
+    opts.stable_window = 10'000;
+    const auto r = simulate(*aut.machine, g, sync, opts);
+    ASSERT_TRUE(r.converged);
+    EXPECT_EQ(r.verdict, Verdict::Accept);
+  }
+}
+
+TEST(MajorityBounded, AllNegativeCoefficientsAlwaysReject) {
+  const auto aut = make_homogeneous_threshold_daf({-1, -1}, 2);
+  const Graph g = make_cycle({0, 1, 0, 1});
+  SynchronousScheduler sync;
+  SimulateOptions opts;
+  opts.max_steps = 2'000'000;
+  opts.stable_window = 50'000;
+  const auto r = simulate(*aut.machine, g, sync, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.verdict, Verdict::Reject);
+}
+
+TEST(MajorityBounded, RejectsBadParameters) {
+  EXPECT_THROW(make_homogeneous_threshold_daf({}, 2), std::logic_error);
+  EXPECT_THROW(make_homogeneous_threshold_daf({0, 0}, 2), std::logic_error);
+  EXPECT_THROW(make_homogeneous_threshold_daf({1, -1}, 1), std::logic_error);
+}
+
+TEST(MajorityBounded, GeneralCoefficients) {
+  // 2·x0 - 3·x1 >= 0 on a grid (degree <= 4 with k = 4).
+  const auto aut = make_homogeneous_threshold_daf({2, -3}, 4);
+  const auto pred = pred_homogeneous({2, -3});
+  const Graph yes = make_grid(2, 3, {0, 0, 0, 1, 1, 0});  // 8 - 6 >= 0
+  const Graph no = make_grid(2, 3, {0, 1, 1, 1, 1, 0});   // 4 - 12 < 0
+  for (const auto* g : {&yes, &no}) {
+    RandomExclusiveScheduler sched(0xabc);
+    SimulateOptions opts;
+    opts.max_steps = 8'000'000;
+    opts.stable_window = 200'000;
+    const auto r = simulate(*aut.machine, *g, sched, opts);
+    ASSERT_TRUE(r.converged);
+    EXPECT_EQ(r.verdict == Verdict::Accept, pred(g->label_count(2)));
+  }
+}
+
+}  // namespace
+}  // namespace dawn

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "dawn/props/classes.hpp"
+#include "dawn/props/predicates.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(Predicates, Exists) {
+  const auto p = pred_exists(1, 2);
+  EXPECT_TRUE(p({0, 3}));
+  EXPECT_FALSE(p({5, 0}));
+}
+
+TEST(Predicates, Threshold) {
+  const auto p = pred_threshold(0, 3, 2);
+  EXPECT_TRUE(p({3, 0}));
+  EXPECT_TRUE(p({7, 1}));
+  EXPECT_FALSE(p({2, 9}));
+}
+
+TEST(Predicates, Majority) {
+  const auto ge = pred_majority_ge(0, 1, 2);
+  const auto gt = pred_majority_gt(0, 1, 2);
+  EXPECT_TRUE(ge({3, 3}));
+  EXPECT_FALSE(gt({3, 3}));
+  EXPECT_TRUE(gt({4, 3}));
+  EXPECT_FALSE(ge({2, 3}));
+}
+
+TEST(Predicates, Mod) {
+  const auto p = pred_mod(0, 2, 1, 2);  // odd number of label-0 nodes
+  EXPECT_TRUE(p({3, 0}));
+  EXPECT_FALSE(p({4, 2}));
+}
+
+TEST(Predicates, Homogeneous) {
+  const auto p = pred_homogeneous({2, -3});
+  EXPECT_TRUE(p({3, 2}));   // 6 - 6 >= 0
+  EXPECT_FALSE(p({1, 1}));  // 2 - 3 < 0
+}
+
+TEST(Predicates, Divides) {
+  const auto p = pred_divides(0, 1, 2);
+  EXPECT_TRUE(p({2, 6}));
+  EXPECT_FALSE(p({2, 5}));
+  EXPECT_TRUE(p({0, 0}));
+  EXPECT_FALSE(p({0, 3}));
+}
+
+TEST(Predicates, PrimeSize) {
+  const auto p = pred_prime_size(2);
+  EXPECT_TRUE(p({3, 0}));
+  EXPECT_TRUE(p({3, 4}));   // 7 nodes
+  EXPECT_FALSE(p({4, 4}));  // 8 nodes
+  EXPECT_FALSE(p({1, 0}));
+}
+
+TEST(Classes, CutoffCount) {
+  EXPECT_EQ(cutoff_count({5, 0, 2}, 3), (LabelCount{3, 0, 2}));
+  EXPECT_EQ(cutoff_count({5, 0, 2}, 1), (LabelCount{1, 0, 1}));
+}
+
+TEST(Classes, ExistsIsCutoff1) {
+  EXPECT_TRUE(admits_cutoff(pred_exists(0, 2), 1, 6));
+  EXPECT_EQ(least_cutoff(pred_exists(0, 2), 6), 1);
+}
+
+TEST(Classes, ThresholdCutoffIsExactlyK) {
+  const auto p = pred_threshold(0, 3, 2);
+  EXPECT_FALSE(admits_cutoff(p, 2, 6));
+  EXPECT_TRUE(admits_cutoff(p, 3, 6));
+  EXPECT_EQ(least_cutoff(p, 6), 3);
+}
+
+TEST(Classes, MajorityAdmitsNoCutoff) {
+  // Corollary 3.6 rests on this: no finite K works.
+  EXPECT_EQ(least_cutoff(pred_majority_ge(0, 1, 2), 8), -1);
+}
+
+TEST(Classes, ModAdmitsNoCutoff) {
+  EXPECT_EQ(least_cutoff(pred_mod(0, 2, 0, 1), 8), -1);
+}
+
+TEST(Classes, TrivialDetection) {
+  const LabellingPredicate always{"true", 2,
+                                  [](const LabelCount&) { return true; }};
+  EXPECT_TRUE(is_trivial(always, 5));
+  EXPECT_FALSE(is_trivial(pred_exists(0, 2), 5));
+}
+
+TEST(Classes, HomogeneousIsISM) {
+  // Figure 1: bounded-degree DAf decides only ISM properties; homogeneous
+  // thresholds are ISM, plain thresholds are not.
+  EXPECT_TRUE(is_ism(pred_homogeneous({1, -1}), 5, 4));
+  EXPECT_TRUE(is_ism(pred_divides(0, 1, 2), 5, 4));
+  EXPECT_FALSE(is_ism(pred_threshold(0, 2, 2), 5, 4));
+}
+
+TEST(Classes, ForEachCountEnumeratesWindow) {
+  int count = 0;
+  for_each_count(2, 2, [&](const LabelCount& L) {
+    EXPECT_LE(L[0], 2);
+    EXPECT_LE(L[1], 2);
+    ++count;
+  });
+  EXPECT_EQ(count, 8);  // 3*3 minus the all-zero count
+}
+
+}  // namespace
+}  // namespace dawn

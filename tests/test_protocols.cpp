@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "dawn/automata/combinators.hpp"
+#include "dawn/automata/config.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/graph/splice.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/boolean.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/halting_flood.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/sync_run.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(ExistsLabel, DecidesOnGraphBattery) {
+  const auto m = make_exists_label(1, 3);
+  const auto pred = pred_exists(1, 3);
+  for (const Graph& g :
+       {make_cycle({0, 2, 1}), make_cycle({0, 2, 0, 2}), make_line({2, 0, 0}),
+        make_star(1, {0, 0}), make_clique({0, 0, 1, 2}),
+        make_grid(2, 2, {0, 0, 0, 1})}) {
+    const auto r = decide_pseudo_stochastic(*m, g);
+    EXPECT_EQ(r.decision == Decision::Accept, pred(g.label_count(3)));
+    EXPECT_EQ(decide_synchronous(*m, g).decision, r.decision);
+  }
+}
+
+TEST(Boolean, AndOrNegationOfFloodingMachines) {
+  // (∃ l1) ∧ (∃ l2), (∃ l1) ∨ (∃ l2), ¬(∃ l1) — all dAf-decidable
+  // (Proposition C.4's boolean closure), checked against the predicates.
+  const auto e1 = make_exists_label(1, 3);
+  const auto e2 = make_exists_label(2, 3);
+  const auto both = combine(e1, e2, BoolOp::And);
+  const auto either = combine(e1, e2, BoolOp::Or);
+  const auto not1 = negate(e1);
+  const auto p1 = pred_exists(1, 3);
+  const auto p2 = pred_exists(2, 3);
+  for (const Graph& g :
+       {make_cycle({0, 1, 2}), make_cycle({0, 1, 0}), make_cycle({0, 2, 2}),
+        make_cycle({0, 0, 0})}) {
+    const LabelCount L = g.label_count(3);
+    EXPECT_EQ(decide_pseudo_stochastic(*both, g).decision == Decision::Accept,
+              p1(L) && p2(L));
+    EXPECT_EQ(
+        decide_pseudo_stochastic(*either, g).decision == Decision::Accept,
+        p1(L) || p2(L));
+    EXPECT_EQ(decide_pseudo_stochastic(*not1, g).decision == Decision::Accept,
+              !p1(L));
+  }
+}
+
+TEST(HaltingFlood, IsActuallyHalting) {
+  const auto m = make_halting_flood(0, 2);
+  EXPECT_TRUE(check_halting_on(*m, 4));
+}
+
+TEST(HaltingFlood, DecidesUniformCycles) {
+  const auto m = make_halting_flood(0, 2);
+  EXPECT_EQ(decide_synchronous(*m, make_cycle({0, 0, 0, 0})).decision,
+            Decision::Accept);
+  EXPECT_EQ(decide_synchronous(*m, make_cycle({1, 1, 1, 1})).decision,
+            Decision::Reject);
+  EXPECT_EQ(decide_pseudo_stochastic(*m, make_cycle({0, 0, 0})).decision,
+            Decision::Accept);
+}
+
+TEST(HaltingFlood, SpliceExhibitsLemma31Inconsistency) {
+  // Lemma 3.1 / Figure 3: the halting automaton accepts the all-0 cycle and
+  // rejects the all-1 cycle; on the spliced graph some nodes halt accepting
+  // and others halt rejecting — consistency is violated, so no halting
+  // automaton can decide this (non-trivial) labelling property.
+  const auto m = make_halting_flood(0, 2);
+  const Graph g = make_cycle({0, 0, 0, 0});
+  const Graph h = make_cycle({1, 1, 1, 1});
+  // Halting time under the synchronous schedule is 1 step; use 3 copies
+  // (any 2g+1 with g >= 1).
+  const Splice s = splice_cyclic(g, {0, 1}, 3, h, {0, 1}, 3);
+  const auto r = decide_synchronous(*m, s.graph);
+  EXPECT_EQ(r.decision, Decision::Inconsistent);
+  // And concretely: after everyone halts, both halted verdicts are present.
+  Config c = initial_config(*m, s.graph);
+  for (int round = 0; round < 4; ++round) {
+    for (NodeId v = 0; v < s.graph.n(); ++v) {
+      const Selection sel{v};
+      c = successor(*m, s.graph, c, sel);
+    }
+  }
+  bool any_accept = false, any_reject = false;
+  for (State st : c) {
+    any_accept |= m->verdict(st) == Verdict::Accept;
+    any_reject |= m->verdict(st) == Verdict::Reject;
+  }
+  EXPECT_TRUE(any_accept);
+  EXPECT_TRUE(any_reject);
+}
+
+}  // namespace
+}  // namespace dawn

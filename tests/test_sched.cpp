@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/sched/scheduler.hpp"
+
+namespace dawn {
+namespace {
+
+// Every scheduler must select every node infinitely often; we check a finite
+// window: each node is selected at least once every `window` steps.
+void check_fairness(Scheduler& sched, const Graph& g, const Machine& m,
+                    std::uint64_t steps, std::uint64_t window) {
+  Config c = initial_config(m, g);
+  std::vector<std::uint64_t> last_seen(static_cast<std::size_t>(g.n()), 0);
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    const Selection sel = sched.select(g, m, c, t);
+    ASSERT_FALSE(sel.empty());
+    for (NodeId v : sel) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, g.n());
+      last_seen[static_cast<std::size_t>(v)] = t;
+    }
+    c = successor(m, g, c, sel);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      ASSERT_LE(t - last_seen[static_cast<std::size_t>(v)], window)
+          << sched.name() << " starves node " << v;
+    }
+  }
+}
+
+TEST(Sched, SynchronousSelectsEveryone) {
+  SynchronousScheduler s;
+  const Graph g = make_cycle({0, 0, 0, 0});
+  const auto m = make_exists_label(0, 1);
+  const Selection sel = s.select(g, *m, initial_config(*m, g), 0);
+  EXPECT_EQ(sel.size(), 4u);
+}
+
+TEST(Sched, RoundRobinCycles) {
+  RoundRobinScheduler s;
+  const Graph g = make_cycle({0, 0, 0});
+  const auto m = make_exists_label(0, 1);
+  const Config c = initial_config(*m, g);
+  EXPECT_EQ(s.select(g, *m, c, 0), Selection{0});
+  EXPECT_EQ(s.select(g, *m, c, 1), Selection{1});
+  EXPECT_EQ(s.select(g, *m, c, 2), Selection{2});
+  EXPECT_EQ(s.select(g, *m, c, 3), Selection{0});
+}
+
+TEST(Sched, AllBatterySchedulersAreFair) {
+  const Graph g = make_cycle({0, 1, 0, 1, 0, 1});
+  const auto m = make_exists_label(1, 2);
+  for (auto& sched : make_adversary_battery(99)) {
+    check_fairness(*sched, g, *m, 3000, 600);
+  }
+}
+
+TEST(Sched, StarvationDelaysVictim) {
+  StarvationScheduler s(0, 10);
+  const Graph g = make_cycle({0, 0, 0, 0});
+  const auto m = make_exists_label(0, 1);
+  const Config c = initial_config(*m, g);
+  int victim_count = 0;
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    const Selection sel = s.select(g, *m, c, t);
+    if (sel[0] == 0) ++victim_count;
+  }
+  EXPECT_EQ(victim_count, 10);  // exactly every 10th step
+}
+
+TEST(Sched, PermutationCoversEachRoundExactlyOnce) {
+  PermutationScheduler s(3);
+  const Graph g = make_cycle({0, 0, 0, 0, 0});
+  const auto m = make_exists_label(0, 1);
+  const Config c = initial_config(*m, g);
+  for (int round = 0; round < 10; ++round) {
+    std::set<NodeId> seen;
+    for (int i = 0; i < g.n(); ++i) {
+      const Selection sel = s.select(g, *m, c, 0);
+      ASSERT_EQ(sel.size(), 1u);
+      EXPECT_TRUE(seen.insert(sel[0]).second) << "node repeated in round";
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(g.n()));
+  }
+}
+
+TEST(Sched, BatteryHasSixSchedulers) {
+  EXPECT_EQ(make_adversary_battery(1).size(), 6u);
+}
+
+TEST(Sched, LiberalNeverEmpty) {
+  RandomLiberalScheduler s(4, 0.01);
+  const Graph g = make_cycle({0, 0, 0});
+  const auto m = make_exists_label(0, 1);
+  const Config c = initial_config(*m, g);
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    EXPECT_FALSE(s.select(g, *m, c, t).empty());
+  }
+}
+
+TEST(Sched, GreedyAdversaryPrefersSilentMoves) {
+  // On a graph with label 1 present, the flooding machine's lit nodes and
+  // far-away dark nodes are silent; greedy should pick those when possible,
+  // but fairness forces progress eventually (checked by the fairness test);
+  // here we check it actually runs and the flood still completes.
+  GreedyAdversary s(7, 8);
+  const Graph g = make_line({1, 0, 0, 0, 0, 0});
+  const auto m = make_exists_label(1, 2);
+  Config c = initial_config(*m, g);
+  for (std::uint64_t t = 0; t < 2000 && !is_accepting(*m, c); ++t) {
+    c = successor(*m, g, c, s.select(g, *m, c, t));
+  }
+  EXPECT_TRUE(is_accepting(*m, c)) << "greedy adversary defeated the flood";
+}
+
+}  // namespace
+}  // namespace dawn

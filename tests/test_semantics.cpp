@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/clique_counted.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/simulate.hpp"
+#include "dawn/semantics/star_counted.hpp"
+#include "dawn/semantics/sync_run.hpp"
+
+namespace dawn {
+namespace {
+
+// An inconsistent "machine": nodes flip between accept and reject forever.
+std::shared_ptr<Machine> blinker() {
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = 1;
+  spec.init = [](Label) { return State{0}; };
+  spec.step = [](State s, const Neighbourhood&) {
+    return static_cast<State>(1 - s);
+  };
+  spec.verdict = [](State s) {
+    return s == 0 ? Verdict::Accept : Verdict::Reject;
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+TEST(ExplicitDecider, FloodingOnVariousGraphs) {
+  const auto m = make_exists_label(1, 2);
+  for (const Graph& g :
+       {make_cycle({0, 0, 1, 0}), make_line({0, 0, 0, 1}),
+        make_star(0, {0, 1, 0}), make_clique({1, 0, 0})}) {
+    EXPECT_EQ(decide_pseudo_stochastic(*m, g).decision, Decision::Accept);
+  }
+  for (const Graph& g :
+       {make_cycle({0, 0, 0}), make_line({0, 0, 0, 0}),
+        make_star(0, {0, 0})}) {
+    EXPECT_EQ(decide_pseudo_stochastic(*m, g).decision, Decision::Reject);
+  }
+}
+
+TEST(ExplicitDecider, ReportsInconsistency) {
+  const Graph g = make_cycle({0, 0, 0});
+  EXPECT_EQ(decide_pseudo_stochastic(*blinker(), g).decision,
+            Decision::Inconsistent);
+}
+
+TEST(ExplicitDecider, BudgetYieldsUnknown) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_cycle({0, 0, 1, 0, 0, 0});
+  ExplicitOptions opts;
+  opts.max_configs = 3;
+  EXPECT_EQ(decide_pseudo_stochastic(*m, g, opts).decision, Decision::Unknown);
+}
+
+TEST(SyncDecider, AgreesWithExplicitOnFlooding) {
+  const auto m = make_exists_label(1, 2);
+  for (const Graph& g :
+       {make_cycle({0, 1, 0, 0}), make_cycle({0, 0, 0, 0}),
+        make_grid(3, 2, {0, 0, 0, 0, 1, 0})}) {
+    const auto exact = decide_pseudo_stochastic(*m, g).decision;
+    const auto sync = decide_synchronous(*m, g).decision;
+    EXPECT_EQ(exact, sync);
+  }
+}
+
+TEST(SyncDecider, FindsCycleOfBlinker) {
+  const auto result = decide_synchronous(*blinker(), make_cycle({0, 0, 0}));
+  EXPECT_EQ(result.decision, Decision::Inconsistent);
+  EXPECT_EQ(result.cycle_length, 2u);
+}
+
+TEST(CliqueCounted, MatchesExplicitOnCliques) {
+  const auto m = make_exists_label(1, 2);
+  for (LabelCount L : {LabelCount{3, 0}, LabelCount{2, 1}, LabelCount{0, 4},
+                       LabelCount{5, 2}}) {
+    const Graph g = make_clique(labels_from_count(L));
+    const auto explicit_d = decide_pseudo_stochastic(*m, g).decision;
+    const auto counted_d = decide_clique_pseudo_stochastic(*m, L).decision;
+    EXPECT_EQ(explicit_d, counted_d);
+  }
+}
+
+TEST(CliqueCounted, ScalesToLargePopulations) {
+  const auto m = make_exists_label(1, 2);
+  const LabelCount L{500, 1};
+  EXPECT_EQ(decide_clique_pseudo_stochastic(*m, L).decision, Decision::Accept);
+}
+
+TEST(CliqueCounted, SuccessorRemovesSelfFromView) {
+  // One agent in state 1 on a 2-clique: its neighbourhood must not contain
+  // itself. The flooding machine's lit agent would otherwise behave wrongly.
+  const auto m = make_exists_label(1, 2);
+  CountedConfig c{{0, 1}, {1, 1}};
+  // Agent in state 0 sees the lit one: becomes lit.
+  const CountedConfig next = counted_successor(*m, c, 0);
+  EXPECT_EQ(next, (CountedConfig{{1, 2}}));
+  // The lit agent sees only the dark one: stays lit.
+  const CountedConfig same = counted_successor(*m, c, 1);
+  EXPECT_EQ(same, c);
+}
+
+TEST(StarCounted, MatchesExplicitOnStars) {
+  const auto m = make_exists_label(1, 2);
+  struct Case {
+    Label centre;
+    std::vector<Label> leaves;
+  };
+  for (const auto& [centre, leaves] :
+       {Case{0, {0, 0, 1}}, Case{1, {0, 0}}, Case{0, {0, 0, 0}}}) {
+    const Graph g = make_star(centre, leaves);
+    const auto explicit_d = decide_pseudo_stochastic(*m, g).decision;
+    const auto star_d =
+        decide_star_pseudo_stochastic(*m, centre, leaves).decision;
+    EXPECT_EQ(explicit_d, star_d);
+  }
+}
+
+TEST(StarCounted, StableRejectionClassification) {
+  const auto m = make_exists_label(1, 2);
+  // All-dark star: stably rejecting (nothing can ever light up).
+  const StarConfig dark = initial_star_config(*m, 0, {0, 0, 0});
+  EXPECT_EQ(is_stably_rejecting(*m, dark), std::make_optional(true));
+  // A star with a lit leaf is not stably rejecting.
+  const StarConfig lit = initial_star_config(*m, 0, {0, 1});
+  EXPECT_EQ(is_stably_rejecting(*m, lit), std::make_optional(false));
+  EXPECT_EQ(is_stably_accepting(*m, lit), std::make_optional(false));
+  // Fully lit star is stably accepting.
+  const StarConfig all = initial_star_config(*m, 1, {1, 1});
+  EXPECT_EQ(is_stably_accepting(*m, all), std::make_optional(true));
+}
+
+TEST(Simulate, ConvergesUnderAllBatterySchedulers) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_grid(3, 3, {0, 0, 0, 0, 1, 0, 0, 0, 0});
+  for (auto& sched : make_adversary_battery(5)) {
+    SimulateOptions opts;
+    opts.max_steps = 100'000;
+    opts.stable_window = 2'000;
+    const auto r = simulate(*m, g, *sched, opts);
+    EXPECT_TRUE(r.converged) << sched->name();
+    EXPECT_EQ(r.verdict, Verdict::Accept) << sched->name();
+  }
+}
+
+}  // namespace
+}  // namespace dawn

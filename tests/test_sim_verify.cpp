@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/majority_bounded.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/simulate.hpp"
+#include "dawn/verify/simulation_verify.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(SimVerify, BoundedMajorityFullWindowAllAdversaries) {
+  // The Section 6.1 stack over the whole window [0,3]^2 (rings), under the
+  // full adversary battery — the simulation-based complement to the exact
+  // small-instance tests.
+  const auto aut = make_majority_bounded(2);
+  SimVerifyOptions opts;
+  opts.count_bound = 3;
+  opts.simulate.max_steps = 20'000'000;
+  opts.simulate.stable_window = 100'000;
+  const auto report =
+      verify_by_simulation(*aut.machine, pred_majority_ge(0, 1, 2), opts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.instances, 50);
+}
+
+TEST(SimVerify, ThreeLabelHomogeneousThreshold) {
+  // Multi-label Section 6.1: x0 + x1 - 2*x2 >= 0 on rings (degree 2).
+  const auto aut = make_homogeneous_threshold_daf({1, 1, -2}, 2);
+  const auto pred = pred_homogeneous({1, 1, -2});
+  struct Case {
+    LabelCount counts;
+  };
+  for (const LabelCount& L :
+       {LabelCount{1, 1, 1}, LabelCount{2, 0, 1}, LabelCount{0, 1, 2},
+        LabelCount{1, 0, 2}, LabelCount{2, 2, 1}}) {
+    const Graph g = make_cycle(labels_from_count(L));
+    RandomExclusiveScheduler sched(0x313);
+    SimulateOptions opts;
+    opts.max_steps = 30'000'000;
+    opts.stable_window = 150'000;
+    const auto r = simulate(*aut.machine, g, sched, opts);
+    ASSERT_TRUE(r.converged)
+        << "L=(" << L[0] << "," << L[1] << "," << L[2] << ")";
+    EXPECT_EQ(r.verdict == Verdict::Accept, pred(L))
+        << "L=(" << L[0] << "," << L[1] << "," << L[2] << ")";
+  }
+}
+
+TEST(SimVerify, TopologyOverride) {
+  // Verify over random bounded-degree graphs instead of rings.
+  const auto aut = make_majority_bounded(3);
+  SimVerifyOptions opts;
+  opts.count_bound = 2;
+  opts.simulate.max_steps = 10'000'000;
+  opts.simulate.stable_window = 100'000;
+  auto rng = std::make_shared<Rng>(77);
+  opts.topology = [rng](const std::vector<Label>& labels) {
+    return make_random_bounded_degree(labels, 3, 2, *rng);
+  };
+  const auto report =
+      verify_by_simulation(*aut.machine, pred_majority_ge(0, 1, 2), opts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(SimVerify, FailureIsReported) {
+  // A machine that always accepts cannot verify against majority.
+  const auto aut = make_majority_bounded(2);
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = 2;
+  spec.init = [](Label) { return State{0}; };
+  spec.step = [](State s, const Neighbourhood&) { return s; };
+  spec.verdict = [](State) { return Verdict::Accept; };
+  FunctionMachine constant(spec);
+  SimVerifyOptions opts;
+  opts.count_bound = 2;
+  opts.simulate.max_steps = 50'000;
+  opts.simulate.stable_window = 1'000;
+  const auto report =
+      verify_by_simulation(constant, pred_majority_ge(0, 1, 2), opts);
+  EXPECT_FALSE(report.ok());  // rejects (x0 < x1) are accepted by `constant`
+}
+
+}  // namespace
+}  // namespace dawn

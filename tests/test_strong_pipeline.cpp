@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/extensions/broadcast_engine.hpp"
+#include "dawn/extensions/strong_broadcast.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/classes.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/parity_strong.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/simulate.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(StrongProtocol, ModCounterAbstractSemanticsExact) {
+  // The abstract strong-broadcast protocol decides #ℓ0 ≡ r (mod m) exactly
+  // (counted-clique decider; labelling property, so cliques suffice).
+  for (int m = 2; m <= 3; ++m) {
+    for (int r = 0; r < m; ++r) {
+      const auto proto = make_mod_counter_protocol(m, r, 0, 2);
+      const auto overlay = strong_protocol_as_overlay(proto);
+      const auto pred = pred_mod(0, m, r, 2);
+      for_each_count(2, 4, [&](const LabelCount& L) {
+        if (L[0] + L[1] < 3) return;
+        const auto result = decide_overlay_strong_counted(*overlay, L);
+        ASSERT_NE(result.decision, Decision::Unknown);
+        ASSERT_NE(result.decision, Decision::Inconsistent)
+            << "m=" << m << " r=" << r << " L=(" << L[0] << "," << L[1] << ")";
+        EXPECT_EQ(result.decision == Decision::Accept, pred(L))
+            << "m=" << m << " r=" << r << " L=(" << L[0] << "," << L[1] << ")";
+      });
+    }
+  }
+}
+
+TEST(StrongProtocol, ParityHasNoCutoff) {
+  // Sanity for Figure 1: this predicate lies outside Cutoff, so deciding it
+  // separates DAF from dAF.
+  EXPECT_EQ(least_cutoff(pred_mod(0, 2, 0, 2), 8), -1);
+}
+
+TEST(StrongPipeline, TokenProtocolStates) {
+  const auto daf = make_mod_counter_daf(2, 0, 0, 2);
+  // All agents start holding a token with their input protocol state.
+  const State s0 = daf.machine->init(0);
+  EXPECT_EQ(daf.committed_token_of(s0), StrongToDaf::kTokL);
+  EXPECT_EQ(daf.committed_protocol_of(s0), daf.protocol->init(0));
+}
+
+TEST(StrongPipeline, SimulationDecidesParityOnSmallGraphs) {
+  // The full three-layer DAF machine, under fair random scheduling, must
+  // stabilise to the parity verdict. This exercises token collisions,
+  // ⟨step⟩ broadcasts and ⟨reset⟩ restarts end to end.
+  for (int parity = 0; parity <= 1; ++parity) {
+    const auto daf = make_mod_counter_daf(2, parity, 0, 2);
+    const auto pred = pred_mod(0, 2, parity, 2);
+    for (const Graph& g :
+         {make_cycle({0, 0, 1}), make_cycle({0, 0, 0, 1}),
+          make_line({0, 1, 0})}) {
+      RandomExclusiveScheduler sched(1234 + parity);
+      SimulateOptions opts;
+      opts.max_steps = 3'000'000;
+      opts.stable_window = 100'000;
+      const auto r = simulate(*daf.machine, g, sched, opts);
+      ASSERT_TRUE(r.converged)
+          << "parity=" << parity << " graph n=" << g.n();
+      EXPECT_EQ(r.verdict == Verdict::Accept, pred(g.label_count(2)))
+          << "parity=" << parity << " graph n=" << g.n();
+    }
+  }
+}
+
+TEST(StrongPipeline, Mod3PipelineOnSmallGraph) {
+  // A non-binary modulus through the full pipeline, on a line (the token
+  // must walk; lines are the slowest topology for it).
+  const auto daf = make_mod_counter_daf(3, 1, 0, 2);
+  const auto pred = pred_mod(0, 3, 1, 2);
+  const Graph g = make_line({0, 1, 0, 0, 0});  // #l0 = 4: 4 mod 3 = 1: accept
+  RandomExclusiveScheduler sched(5);
+  SimulateOptions opts;
+  opts.max_steps = 6'000'000;
+  opts.stable_window = 150'000;
+  const auto r = simulate(*daf.machine, g, sched, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.verdict == Verdict::Accept, pred(g.label_count(2)));
+}
+
+TEST(StrongPipeline, CommittedDiagnosticsStartClean) {
+  const auto daf = make_mod_counter_daf(2, 0, 0, 2);
+  const Graph g = make_cycle({0, 1, 0});
+  const Config c = initial_config(*daf.machine, g);
+  for (State s : c) {
+    EXPECT_EQ(daf.committed_token_of(s), StrongToDaf::kTokL);
+    EXPECT_NE(daf.committed_protocol_of(s), -1);
+  }
+}
+
+TEST(StrongPipeline, ResetsReduceTokens) {
+  // White-box: run the machine and watch the committed token states. The
+  // number of agents holding a token (L or L') must eventually drop to one
+  // and stay there.
+  const auto daf = make_mod_counter_daf(2, 0, 0, 2);
+  const Graph g = make_cycle({0, 0, 1, 0});
+  Config c = initial_config(*daf.machine, g);
+  Rng rng(77);
+  int final_tokens = -1;
+  for (int t = 0; t < 2'000'000; ++t) {
+    const Selection sel{
+        static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n())))};
+    c = successor(*daf.machine, g, c, sel);
+    if (t % 1000 == 0) {
+      int tokens = 0;
+      for (State s : c) {
+        const State tok = daf.committed_token_of(s);
+        if (tok == StrongToDaf::kTokL || tok == StrongToDaf::kTokArmed) {
+          ++tokens;
+        }
+      }
+      final_tokens = tokens;
+      if (tokens == 1) break;
+    }
+  }
+  EXPECT_EQ(final_tokens, 1) << "token count never reached 1";
+}
+
+}  // namespace
+}  // namespace dawn

@@ -1,0 +1,198 @@
+// Parameterized property sweeps: every protocol family checked across its
+// parameter space against the exact deciders.
+#include <gtest/gtest.h>
+
+#include "dawn/extensions/strong_broadcast.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/cutoff_construction.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/majority_bounded.hpp"
+#include "dawn/extensions/population_engine.hpp"
+#include "dawn/protocols/parity_strong.hpp"
+#include "dawn/protocols/pp_mod.hpp"
+#include "dawn/protocols/threshold_daf.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/simulate.hpp"
+#include "dawn/verify/verify.hpp"
+
+namespace dawn {
+namespace {
+
+class ThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdSweep, ExactOnWindow) {
+  const int k = GetParam();
+  const auto overlay = make_threshold_overlay(k, 0, 2);
+  VerifyOptions opts;
+  opts.count_bound = k + 2;
+  const auto report =
+      verify_overlay_on_cliques(*overlay, pred_threshold(0, k, 2), opts);
+  EXPECT_TRUE(report.ok()) << "k=" << k << ": " << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ThresholdSweep, ::testing::Range(1, 6));
+
+struct ModCase {
+  int m;
+  int r;
+};
+
+class ModSweep : public ::testing::TestWithParam<ModCase> {};
+
+TEST_P(ModSweep, ExactOnWindow) {
+  const auto [m, r] = GetParam();
+  const auto proto = make_mod_counter_protocol(m, r, 0, 2);
+  const auto overlay = strong_protocol_as_overlay(proto);
+  VerifyOptions opts;
+  opts.count_bound = m + 1;
+  const auto report =
+      verify_overlay_on_cliques(*overlay, pred_mod(0, m, r, 2), opts);
+  EXPECT_TRUE(report.ok()) << "m=" << m << " r=" << r << ": "
+                           << report.summary();
+}
+
+class ModPopulationSweep : public ::testing::TestWithParam<ModCase> {};
+
+TEST_P(ModPopulationSweep, LeaderFusionExactOnCliques) {
+  // The rendez-vous route to the same predicate the strong-broadcast route
+  // decides (the two NL mechanisms cross-checked on the same window).
+  const auto [m, r] = GetParam();
+  const auto proto = make_mod_population_protocol(m, r, 0, 2);
+  VerifyOptions opts;
+  opts.count_bound = m + 1;
+  const auto report =
+      verify_population_on_cliques(proto, pred_mod(0, m, r, 2), {}, opts);
+  EXPECT_TRUE(report.ok()) << "m=" << m << " r=" << r << ": "
+                           << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, ModPopulationSweep,
+                         ::testing::Values(ModCase{2, 0}, ModCase{2, 1},
+                                           ModCase{3, 1}, ModCase{4, 3}));
+
+TEST(ModPopulation, CompiledMachineAgreesWithAbstract) {
+  const auto proto = make_mod_population_protocol(2, 0, 0, 2);
+  const auto compiled = make_mod_population_daf(2, 0, 0, 2);
+  for (const Graph& g : {make_clique({0, 0, 1}), make_clique({0, 1, 1})}) {
+    const auto abstract = decide_population(proto, g).decision;
+    const auto machine =
+        decide_pseudo_stochastic(*compiled, g, {.max_configs = 6'000'000})
+            .decision;
+    ASSERT_NE(machine, Decision::Unknown);
+    EXPECT_EQ(abstract, machine) << g.to_dot();
+  }
+}
+
+TEST(ModPopulation, BothNLRoutesAgree) {
+  // Strong-broadcast counter (Lemma 5.1 input) vs leader-fusion population
+  // protocol (Lemma 4.10 input): exact decisions over a window.
+  const int m = 3, r = 2;
+  const auto pp = make_mod_population_protocol(m, r, 0, 2);
+  const auto sb = strong_protocol_as_overlay(
+      make_mod_counter_protocol(m, r, 0, 2));
+  VerifyOptions opts;
+  opts.count_bound = 4;
+  const auto a = verify_population_on_cliques(pp, pred_mod(0, m, r, 2), {},
+                                              opts);
+  const auto b = verify_overlay_on_cliques(*sb, pred_mod(0, m, r, 2), opts);
+  EXPECT_TRUE(a.ok()) << a.summary();
+  EXPECT_TRUE(b.ok()) << b.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, ModSweep,
+                         ::testing::Values(ModCase{2, 0}, ModCase{2, 1},
+                                           ModCase{3, 0}, ModCase{3, 2},
+                                           ModCase{4, 1}, ModCase{5, 3}));
+
+class ExistsLabelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExistsLabelSweep, AlphabetSizes) {
+  // exists(ℓ) over alphabets of growing size, target in the middle.
+  const int alphabet = GetParam();
+  const Label target = alphabet / 2;
+  const auto m = make_exists_label(target, alphabet);
+  VerifyOptions opts;
+  opts.count_bound = alphabet <= 3 ? 2 : 1;
+  opts.check_synchronous = true;
+  const auto report =
+      verify_machine(*m, pred_exists(target, alphabet), opts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, ExistsLabelSweep, ::testing::Range(2, 6));
+
+struct CoeffCase {
+  int a0;
+  int a1;
+};
+
+class BoundedThresholdSweep : public ::testing::TestWithParam<CoeffCase> {};
+
+TEST_P(BoundedThresholdSweep, SynchronousOnTwoInputs) {
+  const auto [a0, a1] = GetParam();
+  const auto aut = make_homogeneous_threshold_daf({a0, a1}, 2);
+  const auto pred = pred_homogeneous({a0, a1});
+  for (const Graph& g :
+       {make_cycle({0, 1, 0, 1, 1}), make_cycle({0, 0, 1, 0})}) {
+    SynchronousScheduler sync;
+    SimulateOptions opts;
+    opts.max_steps = 5'000'000;
+    opts.stable_window = 100'000;
+    const auto r = simulate(*aut.machine, g, sync, opts);
+    ASSERT_TRUE(r.converged) << "coeffs (" << a0 << "," << a1 << ")";
+    EXPECT_EQ(r.verdict == Verdict::Accept, pred(g.label_count(2)))
+        << "coeffs (" << a0 << "," << a1 << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Coefficients, BoundedThresholdSweep,
+                         ::testing::Values(CoeffCase{1, -1}, CoeffCase{2, -1},
+                                           CoeffCase{1, -2}, CoeffCase{3, -2},
+                                           CoeffCase{-2, 3}));
+
+struct IntervalCase {
+  int lo;
+  int hi;
+};
+
+class IntervalSweep : public ::testing::TestWithParam<IntervalCase> {};
+
+TEST_P(IntervalSweep, ExactOnWindow) {
+  const auto [lo, hi] = GetParam();
+  const auto machine = make_interval_automaton(0, lo, hi, 2);
+  VerifyOptions opts;
+  opts.count_bound = hi + 2;
+  opts.max_configs = 6'000'000;
+  const auto report = verify_machine_on_cliques(
+      *machine, pred_interval(0, lo, hi, 2), opts);
+  EXPECT_TRUE(report.ok()) << "[" << lo << "," << hi << "]: "
+                           << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, IntervalSweep,
+                         ::testing::Values(IntervalCase{0, 1},
+                                           IntervalCase{1, 2},
+                                           IntervalCase{2, 2},
+                                           IntervalCase{1, 3}));
+
+TEST(LiberalScheduling, FloodingConvergesUnderLiberalSelection) {
+  // The liberal scheduler activates random subsets simultaneously; the
+  // flooding automaton must converge all the same ([16]'s selection
+  // independence, dynamically).
+  const auto m = make_exists_label(1, 2);
+  std::vector<Label> labels(10, 0);
+  labels[4] = 1;
+  const Graph g = make_cycle(labels);
+  RandomLiberalScheduler sched(13, 0.4);
+  SimulateOptions opts;
+  opts.max_steps = 100'000;
+  opts.stable_window = 2'000;
+  const auto r = simulate(*m, g, sched, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.verdict, Verdict::Accept);
+}
+
+}  // namespace
+}  // namespace dawn

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dawn/props/classes.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/semantics/star_counted.hpp"
+#include "dawn/symbolic/backward.hpp"
+#include "dawn/symbolic/cutoff.hpp"
+#include "dawn/symbolic/star_order.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn {
+namespace {
+
+StarConfig cfg(State centre,
+               std::vector<std::pair<State, std::int64_t>> leaves) {
+  StarConfig c;
+  c.centre = centre;
+  c.leaves = std::move(leaves);
+  return c;
+}
+
+TEST(StarOrder, ComparesWithinSectorsOnly) {
+  EXPECT_TRUE(star_leq(cfg(0, {{1, 1}}), cfg(0, {{1, 5}})));
+  EXPECT_FALSE(star_leq(cfg(0, {{1, 5}}), cfg(0, {{1, 1}})));
+  EXPECT_FALSE(star_leq(cfg(1, {{1, 1}}), cfg(0, {{1, 5}})));     // centre
+  EXPECT_FALSE(star_leq(cfg(0, {{1, 1}}), cfg(0, {{2, 5}})));     // support
+  EXPECT_FALSE(star_leq(cfg(0, {{1, 1}}), cfg(0, {{1, 2}, {2, 1}})));
+  EXPECT_TRUE(star_leq(cfg(0, {{1, 1}, {2, 2}}), cfg(0, {{1, 1}, {2, 3}})));
+}
+
+TEST(UpwardClosedSet, InsertSubsumesAndPrunes) {
+  UpwardClosedStarSet s;
+  EXPECT_TRUE(s.insert(cfg(0, {{1, 3}})));
+  EXPECT_FALSE(s.insert(cfg(0, {{1, 5}})));  // covered
+  EXPECT_TRUE(s.contains(cfg(0, {{1, 3}})));
+  EXPECT_FALSE(s.contains(cfg(0, {{1, 2}})));
+  EXPECT_TRUE(s.insert(cfg(0, {{1, 1}})));  // subsumes the old element
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.max_count(), 1);
+}
+
+TEST(Backward, ExistsLabelStableRejection) {
+  // Flooding machine: a star is stably rejecting iff nothing is lit.
+  const auto m = make_exists_label(1, 2);
+  const auto analysis = analyse_cutoff(*m);
+  ASSERT_TRUE(analysis.has_value());
+  EXPECT_TRUE(symbolically_stably_rejecting(*analysis, cfg(0, {{0, 7}})));
+  EXPECT_FALSE(
+      symbolically_stably_rejecting(*analysis, cfg(0, {{0, 3}, {1, 1}})));
+  EXPECT_FALSE(symbolically_stably_rejecting(*analysis, cfg(1, {{0, 2}})));
+  // Fully lit stars are stably accepting; partially lit ones are not *yet*
+  // accepting but can only become lit — they are not stably accepting
+  // (acceptance requires all nodes accepting *now* and forever; a dark node
+  // will flip, so the configuration itself is not accepting but reaches a
+  // stably accepting one).
+  EXPECT_TRUE(symbolically_stably_accepting(*analysis, cfg(1, {{1, 4}})));
+  EXPECT_FALSE(symbolically_stably_accepting(*analysis, cfg(1, {{0, 1}})));
+  // The computed Lemma 3.5 constant: counts never matter beyond presence.
+  EXPECT_EQ(analysis->m, 1);
+  EXPECT_EQ(analysis->K, 1 * (2 - 1) + 2);
+}
+
+// Property-based cross-validation: random non-counting machines, symbolic
+// stable rejection versus the explicit forward search of star_counted.hpp.
+FunctionMachine::Spec random_machine_spec(int n, Rng& rng) {
+  // δ(q, N) factors through (q, presence bitmask); random table with a bias
+  // towards silence so runs have structure.
+  const int masks = 1 << n;
+  auto table = std::make_shared<std::vector<State>>(
+      static_cast<std::size_t>(n * masks));
+  for (int q = 0; q < n; ++q) {
+    for (int mask = 0; mask < masks; ++mask) {
+      (*table)[static_cast<std::size_t>(q * masks + mask)] =
+          rng.chance(0.5) ? static_cast<State>(q)
+                          : static_cast<State>(rng.index(
+                                static_cast<std::size_t>(n)));
+    }
+  }
+  auto verdicts = std::make_shared<std::vector<Verdict>>();
+  for (int q = 0; q < n; ++q) {
+    verdicts->push_back(rng.chance(0.5) ? Verdict::Reject : Verdict::Accept);
+  }
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = n;
+  spec.num_states = n;
+  spec.init = [](Label l) { return static_cast<State>(l); };
+  spec.step = [table, n](State q, const Neighbourhood& nb) {
+    int mask = 0;
+    for (auto [s, c] : nb.entries()) mask |= 1 << s;
+    return (*table)[static_cast<std::size_t>(q * (1 << n) + mask)];
+  };
+  spec.verdict = [verdicts](State q) {
+    return (*verdicts)[static_cast<std::size_t>(q)];
+  };
+  return spec;
+}
+
+class SymbolicVsExplicit : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymbolicVsExplicit, StableRejectionAgrees) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = 3;
+  FunctionMachine machine(random_machine_spec(n, rng));
+  const auto analysis = analyse_cutoff(machine, {.max_basis = 200'000});
+  ASSERT_TRUE(analysis.has_value());
+  // Enumerate all star configurations with at most 3 leaves.
+  int checked = 0;
+  for (State centre = 0; centre < n; ++centre) {
+    for (int a = 0; a <= 3; ++a) {
+      for (int b = 0; a + b <= 3; ++b) {
+        for (int c = 0; a + b + c <= 3; ++c) {
+          if (a + b + c == 0) continue;
+          StarConfig conf;
+          conf.centre = centre;
+          if (a) conf.leaves.push_back({0, a});
+          if (b) conf.leaves.push_back({1, b});
+          if (c) conf.leaves.push_back({2, c});
+          const auto explicit_rej = is_stably_rejecting(machine, conf);
+          ASSERT_TRUE(explicit_rej.has_value());
+          EXPECT_EQ(symbolically_stably_rejecting(*analysis, conf),
+                    *explicit_rej)
+              << "machine seed " << GetParam() << " centre " << centre
+              << " leaves (" << a << "," << b << "," << c << ")";
+          const auto explicit_acc = is_stably_accepting(machine, conf);
+          ASSERT_TRUE(explicit_acc.has_value());
+          EXPECT_EQ(symbolically_stably_accepting(*analysis, conf),
+                    *explicit_acc);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMachines, SymbolicVsExplicit,
+                         ::testing::Range(0, 25));
+
+TEST(Cutoff, MCapsMembership) {
+  // The defining property of m: capping counts at m preserves stable
+  // rejection — checked on the flooding machine and a random machine.
+  Rng rng(4242);
+  for (int trial = 0; trial < 5; ++trial) {
+    FunctionMachine machine(random_machine_spec(3, rng));
+    const auto analysis = analyse_cutoff(machine, {.max_basis = 200'000});
+    ASSERT_TRUE(analysis.has_value());
+    const std::int64_t m = analysis->m;
+    for (State centre = 0; centre < 3; ++centre) {
+      for (int a = 0; a <= 5; ++a) {
+        for (int b = 0; a + b <= 5; ++b) {
+          if (a + b == 0) continue;
+          StarConfig conf;
+          conf.centre = centre;
+          if (a) conf.leaves.push_back({0, a});
+          if (b) conf.leaves.push_back({1, b});
+          StarConfig capped;
+          capped.centre = centre;
+          if (a) capped.leaves.push_back({0, std::min<std::int64_t>(a, m)});
+          if (b) capped.leaves.push_back({1, std::min<std::int64_t>(b, m)});
+          EXPECT_EQ(symbolically_stably_rejecting(*analysis, conf),
+                    symbolically_stably_rejecting(*analysis, capped));
+        }
+      }
+    }
+  }
+}
+
+TEST(Cutoff, PredicateLevelCutoffOnStarDecisions) {
+  // Lemma 3.5's conclusion at the decision level: the flooding machine's
+  // star verdicts depend only on the leaf counts capped at the computed K.
+  const auto m = make_exists_label(1, 2);
+  const auto analysis = analyse_cutoff(*m);
+  ASSERT_TRUE(analysis.has_value());
+  const auto K = analysis->K;
+  for (Label centre : {0, 1}) {
+    for (int dark = 0; dark <= K + 2; ++dark) {
+      for (int lit = 0; dark + lit <= K + 2; ++lit) {
+        if (dark + lit < 2) continue;  // paper convention: >= 3 nodes
+        std::vector<Label> leaves;
+        leaves.insert(leaves.end(), static_cast<std::size_t>(dark), 0);
+        leaves.insert(leaves.end(), static_cast<std::size_t>(lit), 1);
+        std::vector<Label> capped_leaves;
+        capped_leaves.insert(capped_leaves.end(),
+                             static_cast<std::size_t>(std::min<int>(dark, K)),
+                             0);
+        capped_leaves.insert(capped_leaves.end(),
+                             static_cast<std::size_t>(std::min<int>(lit, K)),
+                             1);
+        if (capped_leaves.size() < 2) continue;
+        const auto a =
+            decide_star_pseudo_stochastic(*m, centre, leaves).decision;
+        const auto b =
+            decide_star_pseudo_stochastic(*m, centre, capped_leaves).decision;
+        EXPECT_EQ(a, b) << "centre " << centre << " dark " << dark << " lit "
+                        << lit;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dawn

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/threshold_daf.hpp"
+#include "dawn/trace/census.hpp"
+#include "dawn/trace/recorder.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(Recorder, TranscriptShowsStatesAndSelections) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_line({1, 0, 0});
+  RunRecorder rec(*m, g);
+  Config c = initial_config(*m, g);
+  rec.record(c, {});
+  const Selection sel{1};
+  c = successor(*m, g, c, sel);
+  rec.record(c, sel);
+  const std::string t = rec.transcript();
+  EXPECT_NE(t.find("t=0"), std::string::npos);
+  EXPECT_NE(t.find("sel={1}"), std::string::npos);
+  EXPECT_NE(t.find("lit"), std::string::npos);
+  EXPECT_NE(t.find("dark"), std::string::npos);
+}
+
+TEST(Recorder, CsvHasHeaderAndRows) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_line({1, 0});
+  RunRecorder rec(*m, g);
+  rec.record(initial_config(*m, g), {});
+  const std::string csv = rec.csv();
+  EXPECT_NE(csv.find("step,selection,node0,node1"), std::string::npos);
+  EXPECT_NE(csv.find("\"lit\""), std::string::npos);
+}
+
+TEST(Recorder, TruncatesAtCapacity) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_line({1, 0});
+  RunRecorder rec(*m, g, 2);
+  const Config c = initial_config(*m, g);
+  for (int i = 0; i < 5; ++i) rec.record(c, {});
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_TRUE(rec.truncated());
+  EXPECT_NE(rec.transcript().find("truncated"), std::string::npos);
+}
+
+TEST(Recorder, CommittedProjectionReadable) {
+  // On a compiled machine the committed projection shows overlay states,
+  // not wave tuples.
+  const auto m = compile_weak_broadcast(make_threshold_overlay(2, 0, 2));
+  const std::string t =
+      record_round_robin(*m, make_cycle({0, 0, 1}), 12, /*committed=*/true);
+  EXPECT_NE(t.find("lvl"), std::string::npos);
+  EXPECT_EQ(t.find("ph1"), std::string::npos) << "committed view leaked waves";
+}
+
+TEST(Census, CountsDistinctStatesAndConfigs) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_cycle({0, 0, 1, 0});
+  const Census census = census_random_run(*m, g, 10'000, 3);
+  EXPECT_EQ(census.distinct_states, 2u);
+  EXPECT_GE(census.distinct_configs, 2u);
+  EXPECT_LE(census.distinct_configs, 16u);
+}
+
+TEST(Census, CompiledStackIsLazilySmall) {
+  // The compiled threshold machine touches far fewer states than its
+  // nominal Q ∪ Q×{1,2}×Q^Q space.
+  const auto m = compile_weak_broadcast(make_threshold_overlay(2, 0, 2));
+  const Census census =
+      census_random_run(*m, make_cycle({0, 0, 1, 0}), 50'000, 5);
+  EXPECT_LE(census.distinct_states, 40u);
+  EXPECT_GE(census.distinct_states, 4u);
+}
+
+}  // namespace
+}  // namespace dawn

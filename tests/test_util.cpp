@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dawn/util/check.hpp"
+#include "dawn/util/hash.hpp"
+#include "dawn/util/interner.hpp"
+#include "dawn/util/rng.hpp"
+#include "dawn/util/table.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(Check, ThrowsLogicErrorWithMessage) {
+  try {
+    DAWN_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { DAWN_CHECK(2 + 2 == 4); }
+
+TEST(Interner, AssignsDenseStableIds) {
+  Interner<std::string> in;
+  EXPECT_EQ(in.id("a"), 0);
+  EXPECT_EQ(in.id("b"), 1);
+  EXPECT_EQ(in.id("a"), 0);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.value(1), "b");
+}
+
+TEST(Interner, FindDoesNotCreate) {
+  Interner<std::string> in;
+  EXPECT_EQ(in.find("missing"), -1);
+  EXPECT_EQ(in.size(), 0u);
+  in.id("x");
+  EXPECT_EQ(in.find("x"), 0);
+}
+
+TEST(Interner, StableAcrossReallocation) {
+  Interner<std::vector<int>, VectorHash<int>> in;
+  std::vector<std::int32_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(in.id({i, i * 2}));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.id({i, i * 2}), ids[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(in.value(ids[static_cast<std::size_t>(i)])[0], i);
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng(9);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Hash, MixesSmallIntegers) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t i = 0; i < 100; ++i) hashes.insert(hash_mix(i));
+  EXPECT_EQ(hashes.size(), 100u);
+}
+
+TEST(Hash, VectorHashDistinguishesPermutations) {
+  VectorHash<int> h;
+  EXPECT_NE(h({1, 2, 3}), h({3, 2, 1}));
+  EXPECT_EQ(h({1, 2, 3}), h({1, 2, 3}));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"class", "power"});
+  t.add_row({"DAF", "NL"});
+  t.add_row({"dAF", "Cutoff"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| DAF"), std::string::npos);
+  EXPECT_NE(out.find("Cutoff"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dawn

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/pp_majority.hpp"
+#include "dawn/protocols/threshold_daf.hpp"
+#include "dawn/verify/verify.hpp"
+
+namespace dawn {
+namespace {
+
+TEST(Verify, FloodingPassesOnFullBattery) {
+  const auto m = make_exists_label(1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 3;
+  opts.check_synchronous = true;  // dAf: adversarial-robust
+  const auto report = verify_machine(*m, pred_exists(1, 2), opts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.instances, 50);
+}
+
+TEST(Verify, FloodingOnCliquesLargeWindow) {
+  const auto m = make_exists_label(1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 8;
+  const auto report = verify_machine_on_cliques(*m, pred_exists(1, 2), opts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Verify, ThresholdOverlayPasses) {
+  const auto overlay = make_threshold_overlay(2, 0, 2);
+  VerifyOptions opts;
+  opts.count_bound = 4;
+  const auto report =
+      verify_overlay_on_cliques(*overlay, pred_threshold(0, 2, 2), opts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Verify, PopulationMajorityWithPromise) {
+  const auto proto = make_majority_protocol(0, 1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 4;
+  const auto report = verify_population_on_cliques(
+      proto, pred_majority_gt(0, 1, 2),
+      [](const LabelCount& L) { return L[0] != L[1]; }, opts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Verify, CatchesWrongPredicate) {
+  // The flooding machine does NOT decide "at least two": the verifier must
+  // find counterexamples (x = 1 accepted though the predicate rejects).
+  const auto m = make_exists_label(1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 3;
+  const auto report =
+      verify_machine_on_cliques(*m, pred_threshold(1, 2, 2), opts);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_EQ(report.failures.front().decision, Decision::Accept);
+  EXPECT_FALSE(report.failures.front().expected_accept);
+}
+
+TEST(Verify, CatchesInconsistency) {
+  // The population tie case shows up as an Inconsistent failure.
+  const auto proto = make_majority_protocol(0, 1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 2;
+  const auto report =
+      verify_population_on_cliques(proto, pred_majority_gt(0, 1, 2), {}, opts);
+  EXPECT_FALSE(report.ok());
+  bool saw_inconsistent = false;
+  for (const auto& f : report.failures) {
+    saw_inconsistent |= f.decision == Decision::Inconsistent;
+  }
+  EXPECT_TRUE(saw_inconsistent) << report.summary();
+}
+
+TEST(Verify, ReportSummaryMentionsFailures) {
+  const auto m = make_exists_label(1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 2;
+  const auto report =
+      verify_machine_on_cliques(*m, pred_threshold(1, 2, 2), opts);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("failures"), std::string::npos);
+  EXPECT_NE(s.find("expected reject"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dawn
