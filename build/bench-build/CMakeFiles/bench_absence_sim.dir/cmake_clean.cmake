@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_absence_sim"
+  "../bench/bench_absence_sim.pdb"
+  "CMakeFiles/bench_absence_sim.dir/bench_absence_sim.cpp.o"
+  "CMakeFiles/bench_absence_sim.dir/bench_absence_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_absence_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

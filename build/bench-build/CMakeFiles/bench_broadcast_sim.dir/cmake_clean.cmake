@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_broadcast_sim"
+  "../bench/bench_broadcast_sim.pdb"
+  "CMakeFiles/bench_broadcast_sim.dir/bench_broadcast_sim.cpp.o"
+  "CMakeFiles/bench_broadcast_sim.dir/bench_broadcast_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broadcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

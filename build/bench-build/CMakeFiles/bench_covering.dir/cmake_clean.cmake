@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_covering"
+  "../bench/bench_covering.pdb"
+  "CMakeFiles/bench_covering.dir/bench_covering.cpp.o"
+  "CMakeFiles/bench_covering.dir/bench_covering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_covering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cutoff_protocols"
+  "../bench/bench_cutoff_protocols.pdb"
+  "CMakeFiles/bench_cutoff_protocols.dir/bench_cutoff_protocols.cpp.o"
+  "CMakeFiles/bench_cutoff_protocols.dir/bench_cutoff_protocols.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cutoff_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

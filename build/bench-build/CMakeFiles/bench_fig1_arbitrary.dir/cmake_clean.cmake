@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_arbitrary"
+  "../bench/bench_fig1_arbitrary.pdb"
+  "CMakeFiles/bench_fig1_arbitrary.dir/bench_fig1_arbitrary.cpp.o"
+  "CMakeFiles/bench_fig1_arbitrary.dir/bench_fig1_arbitrary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_arbitrary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_halting_splice"
+  "../bench/bench_fig3_halting_splice.pdb"
+  "CMakeFiles/bench_fig3_halting_splice.dir/bench_fig3_halting_splice.cpp.o"
+  "CMakeFiles/bench_fig3_halting_splice.dir/bench_fig3_halting_splice.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_halting_splice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_rendezvous"
+  "../bench/bench_fig4_rendezvous.pdb"
+  "CMakeFiles/bench_fig4_rendezvous.dir/bench_fig4_rendezvous.cpp.o"
+  "CMakeFiles/bench_fig4_rendezvous.dir/bench_fig4_rendezvous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_layers"
+  "../bench/bench_layers.pdb"
+  "CMakeFiles/bench_layers.dir/bench_layers.cpp.o"
+  "CMakeFiles/bench_layers.dir/bench_layers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

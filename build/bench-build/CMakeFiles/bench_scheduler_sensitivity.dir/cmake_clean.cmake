@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scheduler_sensitivity"
+  "../bench/bench_scheduler_sensitivity.pdb"
+  "CMakeFiles/bench_scheduler_sensitivity.dir/bench_scheduler_sensitivity.cpp.o"
+  "CMakeFiles/bench_scheduler_sensitivity.dir/bench_scheduler_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_token_reset.cpp" "bench-build/CMakeFiles/bench_token_reset.dir/bench_token_reset.cpp.o" "gcc" "bench-build/CMakeFiles/bench_token_reset.dir/bench_token_reset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dawn_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_props.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

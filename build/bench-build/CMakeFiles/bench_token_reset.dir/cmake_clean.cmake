@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_token_reset"
+  "../bench/bench_token_reset.pdb"
+  "CMakeFiles/bench_token_reset.dir/bench_token_reset.cpp.o"
+  "CMakeFiles/bench_token_reset.dir/bench_token_reset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_token_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

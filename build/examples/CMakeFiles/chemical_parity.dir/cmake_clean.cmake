@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_parity.dir/chemical_parity.cpp.o"
+  "CMakeFiles/chemical_parity.dir/chemical_parity.cpp.o.d"
+  "chemical_parity"
+  "chemical_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_cli.dir/dawn_cli.cpp.o"
+  "CMakeFiles/dawn_cli.dir/dawn_cli.cpp.o.d"
+  "dawn_cli"
+  "dawn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

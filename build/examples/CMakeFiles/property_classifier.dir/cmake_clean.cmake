@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_classifier.dir/property_classifier.cpp.o"
+  "CMakeFiles/property_classifier.dir/property_classifier.cpp.o.d"
+  "property_classifier"
+  "property_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_grid_majority.dir/sensor_grid_majority.cpp.o"
+  "CMakeFiles/sensor_grid_majority.dir/sensor_grid_majority.cpp.o.d"
+  "sensor_grid_majority"
+  "sensor_grid_majority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_grid_majority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

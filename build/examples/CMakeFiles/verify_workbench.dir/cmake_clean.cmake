@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_workbench.dir/verify_workbench.cpp.o"
+  "CMakeFiles/verify_workbench.dir/verify_workbench.cpp.o.d"
+  "verify_workbench"
+  "verify_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dawn/automata/classes.cpp" "src/CMakeFiles/dawn_automata.dir/dawn/automata/classes.cpp.o" "gcc" "src/CMakeFiles/dawn_automata.dir/dawn/automata/classes.cpp.o.d"
+  "/root/repo/src/dawn/automata/combinators.cpp" "src/CMakeFiles/dawn_automata.dir/dawn/automata/combinators.cpp.o" "gcc" "src/CMakeFiles/dawn_automata.dir/dawn/automata/combinators.cpp.o.d"
+  "/root/repo/src/dawn/automata/config.cpp" "src/CMakeFiles/dawn_automata.dir/dawn/automata/config.cpp.o" "gcc" "src/CMakeFiles/dawn_automata.dir/dawn/automata/config.cpp.o.d"
+  "/root/repo/src/dawn/automata/machine.cpp" "src/CMakeFiles/dawn_automata.dir/dawn/automata/machine.cpp.o" "gcc" "src/CMakeFiles/dawn_automata.dir/dawn/automata/machine.cpp.o.d"
+  "/root/repo/src/dawn/automata/memoized.cpp" "src/CMakeFiles/dawn_automata.dir/dawn/automata/memoized.cpp.o" "gcc" "src/CMakeFiles/dawn_automata.dir/dawn/automata/memoized.cpp.o.d"
+  "/root/repo/src/dawn/automata/neighbourhood.cpp" "src/CMakeFiles/dawn_automata.dir/dawn/automata/neighbourhood.cpp.o" "gcc" "src/CMakeFiles/dawn_automata.dir/dawn/automata/neighbourhood.cpp.o.d"
+  "/root/repo/src/dawn/automata/run.cpp" "src/CMakeFiles/dawn_automata.dir/dawn/automata/run.cpp.o" "gcc" "src/CMakeFiles/dawn_automata.dir/dawn/automata/run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dawn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

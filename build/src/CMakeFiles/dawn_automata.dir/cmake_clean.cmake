@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_automata.dir/dawn/automata/classes.cpp.o"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/classes.cpp.o.d"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/combinators.cpp.o"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/combinators.cpp.o.d"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/config.cpp.o"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/config.cpp.o.d"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/machine.cpp.o"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/machine.cpp.o.d"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/memoized.cpp.o"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/memoized.cpp.o.d"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/neighbourhood.cpp.o"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/neighbourhood.cpp.o.d"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/run.cpp.o"
+  "CMakeFiles/dawn_automata.dir/dawn/automata/run.cpp.o.d"
+  "libdawn_automata.a"
+  "libdawn_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dawn/extensions/absence.cpp" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/absence.cpp.o" "gcc" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/absence.cpp.o.d"
+  "/root/repo/src/dawn/extensions/absence_engine.cpp" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/absence_engine.cpp.o" "gcc" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/absence_engine.cpp.o.d"
+  "/root/repo/src/dawn/extensions/broadcast.cpp" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/broadcast.cpp.o" "gcc" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/broadcast.cpp.o.d"
+  "/root/repo/src/dawn/extensions/broadcast_engine.cpp" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/broadcast_engine.cpp.o" "gcc" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/broadcast_engine.cpp.o.d"
+  "/root/repo/src/dawn/extensions/population.cpp" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/population.cpp.o" "gcc" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/population.cpp.o.d"
+  "/root/repo/src/dawn/extensions/population_engine.cpp" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/population_engine.cpp.o" "gcc" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/population_engine.cpp.o.d"
+  "/root/repo/src/dawn/extensions/simulation_check.cpp" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/simulation_check.cpp.o" "gcc" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/simulation_check.cpp.o.d"
+  "/root/repo/src/dawn/extensions/strong_broadcast.cpp" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/strong_broadcast.cpp.o" "gcc" "src/CMakeFiles/dawn_extensions.dir/dawn/extensions/strong_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dawn_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/absence.cpp.o"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/absence.cpp.o.d"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/absence_engine.cpp.o"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/absence_engine.cpp.o.d"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/broadcast.cpp.o"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/broadcast.cpp.o.d"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/broadcast_engine.cpp.o"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/broadcast_engine.cpp.o.d"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/population.cpp.o"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/population.cpp.o.d"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/population_engine.cpp.o"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/population_engine.cpp.o.d"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/simulation_check.cpp.o"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/simulation_check.cpp.o.d"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/strong_broadcast.cpp.o"
+  "CMakeFiles/dawn_extensions.dir/dawn/extensions/strong_broadcast.cpp.o.d"
+  "libdawn_extensions.a"
+  "libdawn_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

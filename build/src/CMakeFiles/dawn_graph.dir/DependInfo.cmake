@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dawn/graph/covering.cpp" "src/CMakeFiles/dawn_graph.dir/dawn/graph/covering.cpp.o" "gcc" "src/CMakeFiles/dawn_graph.dir/dawn/graph/covering.cpp.o.d"
+  "/root/repo/src/dawn/graph/generators.cpp" "src/CMakeFiles/dawn_graph.dir/dawn/graph/generators.cpp.o" "gcc" "src/CMakeFiles/dawn_graph.dir/dawn/graph/generators.cpp.o.d"
+  "/root/repo/src/dawn/graph/graph.cpp" "src/CMakeFiles/dawn_graph.dir/dawn/graph/graph.cpp.o" "gcc" "src/CMakeFiles/dawn_graph.dir/dawn/graph/graph.cpp.o.d"
+  "/root/repo/src/dawn/graph/metrics.cpp" "src/CMakeFiles/dawn_graph.dir/dawn/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/dawn_graph.dir/dawn/graph/metrics.cpp.o.d"
+  "/root/repo/src/dawn/graph/splice.cpp" "src/CMakeFiles/dawn_graph.dir/dawn/graph/splice.cpp.o" "gcc" "src/CMakeFiles/dawn_graph.dir/dawn/graph/splice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dawn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

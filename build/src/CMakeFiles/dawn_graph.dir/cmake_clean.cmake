@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_graph.dir/dawn/graph/covering.cpp.o"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/covering.cpp.o.d"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/generators.cpp.o"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/generators.cpp.o.d"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/graph.cpp.o"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/graph.cpp.o.d"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/metrics.cpp.o"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/metrics.cpp.o.d"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/splice.cpp.o"
+  "CMakeFiles/dawn_graph.dir/dawn/graph/splice.cpp.o.d"
+  "libdawn_graph.a"
+  "libdawn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_props.dir/dawn/props/classes.cpp.o"
+  "CMakeFiles/dawn_props.dir/dawn/props/classes.cpp.o.d"
+  "CMakeFiles/dawn_props.dir/dawn/props/predicates.cpp.o"
+  "CMakeFiles/dawn_props.dir/dawn/props/predicates.cpp.o.d"
+  "libdawn_props.a"
+  "libdawn_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

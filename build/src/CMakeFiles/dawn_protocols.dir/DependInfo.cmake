@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dawn/protocols/boolean.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/boolean.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/boolean.cpp.o.d"
+  "/root/repo/src/dawn/protocols/cutoff_construction.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/cutoff_construction.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/cutoff_construction.cpp.o.d"
+  "/root/repo/src/dawn/protocols/example46.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/example46.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/example46.cpp.o.d"
+  "/root/repo/src/dawn/protocols/exists_label.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/exists_label.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/exists_label.cpp.o.d"
+  "/root/repo/src/dawn/protocols/formula.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/formula.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/formula.cpp.o.d"
+  "/root/repo/src/dawn/protocols/halting_flood.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/halting_flood.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/halting_flood.cpp.o.d"
+  "/root/repo/src/dawn/protocols/majority_bounded.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/majority_bounded.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/majority_bounded.cpp.o.d"
+  "/root/repo/src/dawn/protocols/parity_strong.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/parity_strong.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/parity_strong.cpp.o.d"
+  "/root/repo/src/dawn/protocols/pp_majority.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/pp_majority.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/pp_majority.cpp.o.d"
+  "/root/repo/src/dawn/protocols/pp_mod.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/pp_mod.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/pp_mod.cpp.o.d"
+  "/root/repo/src/dawn/protocols/threshold_daf.cpp" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/threshold_daf.cpp.o" "gcc" "src/CMakeFiles/dawn_protocols.dir/dawn/protocols/threshold_daf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dawn_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_props.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/boolean.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/boolean.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/cutoff_construction.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/cutoff_construction.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/example46.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/example46.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/exists_label.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/exists_label.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/formula.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/formula.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/halting_flood.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/halting_flood.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/majority_bounded.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/majority_bounded.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/parity_strong.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/parity_strong.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/pp_majority.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/pp_majority.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/pp_mod.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/pp_mod.cpp.o.d"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/threshold_daf.cpp.o"
+  "CMakeFiles/dawn_protocols.dir/dawn/protocols/threshold_daf.cpp.o.d"
+  "libdawn_protocols.a"
+  "libdawn_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_sched.dir/dawn/sched/replay.cpp.o"
+  "CMakeFiles/dawn_sched.dir/dawn/sched/replay.cpp.o.d"
+  "CMakeFiles/dawn_sched.dir/dawn/sched/scheduler.cpp.o"
+  "CMakeFiles/dawn_sched.dir/dawn/sched/scheduler.cpp.o.d"
+  "libdawn_sched.a"
+  "libdawn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dawn/semantics/clique_counted.cpp" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/clique_counted.cpp.o" "gcc" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/clique_counted.cpp.o.d"
+  "/root/repo/src/dawn/semantics/explicit_space.cpp" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/explicit_space.cpp.o" "gcc" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/explicit_space.cpp.o.d"
+  "/root/repo/src/dawn/semantics/scc.cpp" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/scc.cpp.o" "gcc" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/scc.cpp.o.d"
+  "/root/repo/src/dawn/semantics/simulate.cpp" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/simulate.cpp.o" "gcc" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/simulate.cpp.o.d"
+  "/root/repo/src/dawn/semantics/star_counted.cpp" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/star_counted.cpp.o" "gcc" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/star_counted.cpp.o.d"
+  "/root/repo/src/dawn/semantics/sync_run.cpp" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/sync_run.cpp.o" "gcc" "src/CMakeFiles/dawn_semantics.dir/dawn/semantics/sync_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dawn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

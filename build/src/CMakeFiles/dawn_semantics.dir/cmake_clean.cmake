@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/clique_counted.cpp.o"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/clique_counted.cpp.o.d"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/explicit_space.cpp.o"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/explicit_space.cpp.o.d"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/scc.cpp.o"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/scc.cpp.o.d"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/simulate.cpp.o"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/simulate.cpp.o.d"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/star_counted.cpp.o"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/star_counted.cpp.o.d"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/sync_run.cpp.o"
+  "CMakeFiles/dawn_semantics.dir/dawn/semantics/sync_run.cpp.o.d"
+  "libdawn_semantics.a"
+  "libdawn_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

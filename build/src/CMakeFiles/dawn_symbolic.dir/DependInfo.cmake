@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dawn/symbolic/backward.cpp" "src/CMakeFiles/dawn_symbolic.dir/dawn/symbolic/backward.cpp.o" "gcc" "src/CMakeFiles/dawn_symbolic.dir/dawn/symbolic/backward.cpp.o.d"
+  "/root/repo/src/dawn/symbolic/cutoff.cpp" "src/CMakeFiles/dawn_symbolic.dir/dawn/symbolic/cutoff.cpp.o" "gcc" "src/CMakeFiles/dawn_symbolic.dir/dawn/symbolic/cutoff.cpp.o.d"
+  "/root/repo/src/dawn/symbolic/star_order.cpp" "src/CMakeFiles/dawn_symbolic.dir/dawn/symbolic/star_order.cpp.o" "gcc" "src/CMakeFiles/dawn_symbolic.dir/dawn/symbolic/star_order.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dawn_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dawn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_symbolic.dir/dawn/symbolic/backward.cpp.o"
+  "CMakeFiles/dawn_symbolic.dir/dawn/symbolic/backward.cpp.o.d"
+  "CMakeFiles/dawn_symbolic.dir/dawn/symbolic/cutoff.cpp.o"
+  "CMakeFiles/dawn_symbolic.dir/dawn/symbolic/cutoff.cpp.o.d"
+  "CMakeFiles/dawn_symbolic.dir/dawn/symbolic/star_order.cpp.o"
+  "CMakeFiles/dawn_symbolic.dir/dawn/symbolic/star_order.cpp.o.d"
+  "libdawn_symbolic.a"
+  "libdawn_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdawn_symbolic.a"
+)

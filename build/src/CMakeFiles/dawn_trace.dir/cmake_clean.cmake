@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_trace.dir/dawn/trace/census.cpp.o"
+  "CMakeFiles/dawn_trace.dir/dawn/trace/census.cpp.o.d"
+  "CMakeFiles/dawn_trace.dir/dawn/trace/recorder.cpp.o"
+  "CMakeFiles/dawn_trace.dir/dawn/trace/recorder.cpp.o.d"
+  "libdawn_trace.a"
+  "libdawn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_util.dir/dawn/util/rng.cpp.o"
+  "CMakeFiles/dawn_util.dir/dawn/util/rng.cpp.o.d"
+  "CMakeFiles/dawn_util.dir/dawn/util/table.cpp.o"
+  "CMakeFiles/dawn_util.dir/dawn/util/table.cpp.o.d"
+  "libdawn_util.a"
+  "libdawn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dawn_verify.dir/dawn/verify/simulation_verify.cpp.o"
+  "CMakeFiles/dawn_verify.dir/dawn/verify/simulation_verify.cpp.o.d"
+  "CMakeFiles/dawn_verify.dir/dawn/verify/verify.cpp.o"
+  "CMakeFiles/dawn_verify.dir/dawn/verify/verify.cpp.o.d"
+  "libdawn_verify.a"
+  "libdawn_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dawn_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

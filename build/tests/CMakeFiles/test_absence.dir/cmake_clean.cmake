@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_absence.dir/test_absence.cpp.o"
+  "CMakeFiles/test_absence.dir/test_absence.cpp.o.d"
+  "test_absence"
+  "test_absence.pdb"
+  "test_absence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_absence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classes_metrics.dir/test_classes_metrics.cpp.o"
+  "CMakeFiles/test_classes_metrics.dir/test_classes_metrics.cpp.o.d"
+  "test_classes_metrics"
+  "test_classes_metrics.pdb"
+  "test_classes_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classes_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formula.dir/test_formula.cpp.o"
+  "CMakeFiles/test_formula.dir/test_formula.cpp.o.d"
+  "test_formula"
+  "test_formula.pdb"
+  "test_formula[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_majority_bounded.dir/test_majority_bounded.cpp.o"
+  "CMakeFiles/test_majority_bounded.dir/test_majority_bounded.cpp.o.d"
+  "test_majority_bounded"
+  "test_majority_bounded.pdb"
+  "test_majority_bounded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_majority_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

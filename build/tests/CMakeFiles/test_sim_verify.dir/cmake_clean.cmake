@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_verify.dir/test_sim_verify.cpp.o"
+  "CMakeFiles/test_sim_verify.dir/test_sim_verify.cpp.o.d"
+  "test_sim_verify"
+  "test_sim_verify.pdb"
+  "test_sim_verify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

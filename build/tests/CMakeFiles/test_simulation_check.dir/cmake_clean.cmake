@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation_check.dir/test_simulation_check.cpp.o"
+  "CMakeFiles/test_simulation_check.dir/test_simulation_check.cpp.o.d"
+  "test_simulation_check"
+  "test_simulation_check.pdb"
+  "test_simulation_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
