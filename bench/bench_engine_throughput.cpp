@@ -1,0 +1,213 @@
+// Engine throughput: steps/sec and node-activations/sec, old vs new path.
+//
+// Measures the reference full-copy stepper (the seed engine: Config copy +
+// O(n) consensus rescan per step) against the incremental engine (in-place
+// two-phase writes, allocation-free neighbourhoods, O(changed) consensus)
+// across graph sizes and selection densities. Emits BENCH_engine.json so the
+// perf trajectory is tracked across PRs; the headline cell is the exclusive
+// scheduler on the n=1000 bounded-degree graph, where the incremental engine
+// must hold >= 5x steps/sec over the seed stepper.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/automata/run.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/util/table.hpp"
+
+namespace dawn {
+namespace {
+
+// The flooding machine shape: mostly-silent transitions, verdicts on every
+// state — representative of the protocol zoo's hot loops without compiled-
+// stack overhead polluting the engine comparison.
+std::shared_ptr<Machine> gossip_machine() {
+  FunctionMachine::Spec spec;
+  spec.beta = 3;
+  spec.num_labels = 2;
+  spec.num_states = 4;
+  spec.init = [](Label l) { return static_cast<State>(l); };
+  spec.step = [](State s, const Neighbourhood& n) {
+    const int ones = n.sum([](State q) { return q % 2 == 1; });
+    if (ones > n.beta() / 2 && s % 2 == 0) return static_cast<State>(s + 1);
+    if (ones == 0 && s % 2 == 1) return static_cast<State>(s - 1);
+    return s;
+  };
+  spec.verdict = [](State s) {
+    return s % 2 == 1 ? Verdict::Accept : Verdict::Reject;
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+struct Cell {
+  std::string engine;
+  std::string scheduler;
+  int n = 0;
+  int k = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t activations = 0;
+  double seconds = 0.0;
+  double steps_per_sec = 0.0;
+  double activations_per_sec = 0.0;
+};
+
+Cell measure(const Machine& machine, const Graph& g, Scheduler& sched,
+             StepEngine engine, std::uint64_t steps, int k) {
+  Cell cell;
+  cell.engine = engine == StepEngine::Incremental ? "incremental" : "fullcopy";
+  cell.scheduler = sched.name();
+  cell.n = g.n();
+  cell.k = k;
+  Run run(machine, g, engine);
+  Selection sel;
+  const auto start = std::chrono::steady_clock::now();
+  if (engine == StepEngine::Incremental) {
+    // The production driver loop (what simulate() runs): reused selection
+    // buffer through the allocation-free select_into path.
+    while (run.steps() < steps) {
+      sched.select_into(g, machine, run.config(), run.steps(), sel);
+      run.apply(sel);
+    }
+  } else {
+    // The seed driver loop, verbatim: a fresh Selection per step.
+    while (run.steps() < steps) {
+      run.apply(sched.select(g, machine, run.config(), run.steps()));
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  cell.steps = run.steps();
+  cell.activations = run.activations();
+  cell.seconds = std::chrono::duration<double>(stop - start).count();
+  if (cell.seconds > 0.0) {
+    cell.steps_per_sec = static_cast<double>(cell.steps) / cell.seconds;
+    cell.activations_per_sec =
+        static_cast<double>(cell.activations) / cell.seconds;
+  }
+  return cell;
+}
+
+void write_json(const std::vector<Cell>& cells, double headline_speedup) {
+  std::FILE* f = std::fopen("BENCH_engine.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_engine.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
+  std::fprintf(f, "  \"headline_exclusive_n1000_speedup\": %.2f,\n",
+               headline_speedup);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"engine\": \"%s\", \"scheduler\": \"%s\", \"n\": %d, "
+        "\"max_degree\": %d, \"steps\": %llu, \"activations\": %llu, "
+        "\"seconds\": %.6f, \"steps_per_sec\": %.1f, "
+        "\"activations_per_sec\": %.1f}%s\n",
+        c.engine.c_str(), c.scheduler.c_str(), c.n, c.k,
+        static_cast<unsigned long long>(c.steps),
+        static_cast<unsigned long long>(c.activations), c.seconds,
+        c.steps_per_sec, c.activations_per_sec,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace dawn
+
+int main() {
+  using namespace dawn;
+  std::printf(
+      "Engine throughput: full-copy (seed) vs incremental stepping\n"
+      "===========================================================\n\n");
+
+  const auto machine = gossip_machine();
+  const int k = 3;
+  std::vector<Cell> cells;
+  double headline_old = 0.0, headline_new = 0.0;
+
+  Table t({"n", "scheduler", "engine", "steps", "steps/sec", "activ/sec",
+           "speedup"});
+  for (const int n : {100, 1000, 10000}) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<Label> labels(static_cast<std::size_t>(n));
+    for (auto& l : labels) l = rng.chance(0.5) ? 1 : 0;
+    const Graph g = make_random_bounded_degree(labels, k, n / 2, rng);
+
+    struct SchedCase {
+      std::string name;
+      std::function<std::unique_ptr<Scheduler>()> make;
+      std::uint64_t steps;
+    };
+    // Exclusive: the sparse Δ=1 regime the incremental engine targets.
+    // Liberal p=0.01: sparse multi-node selections. Synchronous: the dense
+    // regime, where both engines do Θ(n) step work but the incremental one
+    // still skips the copy and the consensus rescan.
+    std::vector<SchedCase> schedulers;
+    schedulers.push_back(
+        {"exclusive",
+         [] { return std::make_unique<RandomExclusiveScheduler>(9); },
+         n >= 10000 ? 200'000u : 400'000u});
+    schedulers.push_back(
+        {"liberal-1%",
+         [] { return std::make_unique<RandomLiberalScheduler>(9, 0.01); },
+         n >= 10000 ? 20'000u : 100'000u});
+    schedulers.push_back(
+        {"synchronous", [] { return std::make_unique<SynchronousScheduler>(); },
+         n >= 10000 ? 2'000u : 20'000u});
+
+    for (auto& sc : schedulers) {
+      // Best-of-3 with interleaved engine order: single-core boxes with
+      // noisy neighbours swing individual runs by 2-3x, and the best rep is
+      // the least-perturbed estimate of the engine's actual throughput.
+      Cell best[2];
+      for (int rep = 0; rep < 3; ++rep) {
+        for (const StepEngine engine :
+             {StepEngine::FullCopy, StepEngine::Incremental}) {
+          // Fresh identically-seeded scheduler per run for a fair stream.
+          const auto sched = sc.make();
+          const Cell cell = measure(*machine, g, *sched, engine, sc.steps, k);
+          Cell& slot = best[engine == StepEngine::Incremental ? 1 : 0];
+          if (cell.steps_per_sec > slot.steps_per_sec) slot = cell;
+        }
+      }
+      for (const Cell& cell : {best[0], best[1]}) {
+        cells.push_back(cell);
+        const double speedup = cell.engine == "incremental" &&
+                                       best[0].steps_per_sec > 0.0
+                                   ? cell.steps_per_sec / best[0].steps_per_sec
+                                   : 1.0;
+        t.add_row({std::to_string(n), sc.name, cell.engine,
+                   std::to_string(cell.steps),
+                   std::to_string(static_cast<long long>(cell.steps_per_sec)),
+                   std::to_string(
+                       static_cast<long long>(cell.activations_per_sec)),
+                   cell.engine == "incremental"
+                       ? std::to_string(speedup).substr(0, 5) + "x"
+                       : "-"});
+      }
+      if (n == 1000 && sc.name == "exclusive") {
+        headline_old = best[0].steps_per_sec;
+        headline_new = best[1].steps_per_sec;
+      }
+    }
+  }
+  t.print();
+
+  const double headline =
+      headline_old > 0.0 ? headline_new / headline_old : 0.0;
+  std::printf(
+      "\nheadline (exclusive scheduler, n=1000 bounded-degree): %.1fx "
+      "steps/sec over the seed stepper (target >= 5x)\n",
+      headline);
+  write_json(cells, headline);
+  std::printf("wrote BENCH_engine.json\n");
+  return headline >= 5.0 ? 0 : 1;
+}

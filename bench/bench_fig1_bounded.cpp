@@ -16,6 +16,7 @@
 #include "dawn/sched/scheduler.hpp"
 #include "dawn/semantics/simulate.hpp"
 #include "dawn/semantics/sync_run.hpp"
+#include "dawn/semantics/trials.hpp"
 #include "dawn/util/table.hpp"
 
 int main() {
@@ -43,17 +44,35 @@ int main() {
       {"random-deg3 4v4",
        make_random_bounded_degree({0, 0, 0, 0, 1, 1, 1, 1}, 3, 4, rng), 3});
 
+  // Every (input × scheduler) cell is an independent long simulation; fan
+  // them across the trial runner's thread pool. Each job owns its machine
+  // (compiled stacks intern lazily and are not shareable across threads) and
+  // its scheduler; results come back in cell order.
+  const std::size_t num_scheds = make_adversary_battery(17).size();
+  std::vector<std::function<SimulateResult()>> jobs;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (std::size_t s = 0; s < num_scheds; ++s) {
+      jobs.push_back([&inputs, i, s] {
+        const auto& input = inputs[i];
+        const auto aut = make_majority_bounded(input.k);
+        auto sched = std::move(make_adversary_battery(17)[s]);
+        SimulateOptions opts;
+        opts.max_steps = 30'000'000;
+        opts.stable_window = 300'000;
+        return simulate(*aut.machine, input.graph, *sched, opts);
+      });
+    }
+  }
+  const auto results = run_jobs(std::move(jobs));
+
   Table t({"input", "expected", "synchronous", "round-robin", "starvation",
            "greedy", "permutation", "random"});
-  for (const auto& input : inputs) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& input = inputs[i];
     const bool expected = pred(input.graph.label_count(2));
-    const auto aut = make_majority_bounded(input.k);
     std::vector<std::string> row{input.name, expected ? "accept" : "reject"};
-    for (auto& sched : make_adversary_battery(17)) {
-      SimulateOptions opts;
-      opts.max_steps = 30'000'000;
-      opts.stable_window = 300'000;
-      const auto r = simulate(*aut.machine, input.graph, *sched, opts);
+    for (std::size_t s = 0; s < num_scheds; ++s) {
+      const auto& r = results[i * num_scheds + s];
       std::string cell = r.verdict == Verdict::Accept ? "accept" : "reject";
       if (!r.converged) cell += "!?";
       if ((r.verdict == Verdict::Accept) != expected) cell += " WRONG";

@@ -23,6 +23,7 @@
 #include "dawn/protocols/threshold_daf.hpp"
 #include "dawn/sched/scheduler.hpp"
 #include "dawn/semantics/simulate.hpp"
+#include "dawn/semantics/trials.hpp"
 #include "dawn/util/table.hpp"
 
 namespace dawn {
@@ -64,41 +65,63 @@ int main() {
       "==============================================================\n\n");
 
   // Input: ring of 9 nodes, labels 0,1 alternating with a 0 surplus
-  // (#0 = 5, #1 = 4).
-  const std::vector<Label> labels{0, 1, 0, 1, 0, 1, 0, 1, 0};
-  const Graph ring = make_cycle(labels);
+  // (#0 = 5, #1 = 4); each job rebuilds it so cells share no state.
 
   struct Row {
     std::string name;
-    std::shared_ptr<Machine> machine;
-    std::string fairness;  // which fairness class the protocol needs
-    bool expected;         // the correct verdict on this input
+    MachineFactory machine;  // fresh machine per cell (thread ownership)
+    std::string fairness;    // which fairness class the protocol needs
+    bool expected;           // the correct verdict on this input
   };
   // On this input: #0 = 5, #1 = 4.
   std::vector<Row> rows;
-  rows.push_back({"flooding exists(1)", make_exists_label(1, 2), "f", true});
+  rows.push_back(
+      {"flooding exists(1)", [] { return make_exists_label(1, 2); }, "f",
+       true});
   rows.push_back({"absence flood (L4.9)",
-                  compile_absence(absence_flood_machine(), 2), "f", true});
+                  [] { return compile_absence(absence_flood_machine(), 2); },
+                  "f", true});
+  rows.push_back({"Sec6.1 majority",
+                  [] { return make_majority_bounded(2).machine; }, "f", true});
   rows.push_back(
-      {"Sec6.1 majority", make_majority_bounded(2).machine, "f", true});
-  rows.push_back(
-      {"threshold x>=3 (C.5)", make_threshold_daf(3, 0, 2), "F", true});
-  rows.push_back(
-      {"PP majority (L4.10; needs clique)", make_majority_daf(0, 1, 2), "F", true});
+      {"threshold x>=3 (C.5)", [] { return make_threshold_daf(3, 0, 2); }, "F",
+       true});
+  rows.push_back({"PP majority (L4.10; needs clique)",
+                  [] { return make_majority_daf(0, 1, 2); }, "F", true});
   rows.push_back({"parity pipeline (L5.1)",
-                  make_mod_counter_daf(2, 1, 0, 2).machine, "F", true});
+                  [] { return make_mod_counter_daf(2, 1, 0, 2).machine; }, "F",
+                  true});
 
   std::vector<std::string> header{"protocol", "class"};
   for (auto& sched : make_adversary_battery(2)) header.push_back(sched->name());
   Table t(header);
 
-  for (auto& row : rows) {
+  // Fan the (protocol × scheduler) grid across the trial runner: each cell
+  // is an independent 20M-step budget, so this is the slowest bench in the
+  // suite when run serially.
+  const std::size_t num_scheds = make_adversary_battery(2).size();
+  std::vector<std::function<SimulateResult()>> jobs;
+  for (const auto& row : rows) {
+    for (std::size_t s = 0; s < num_scheds; ++s) {
+      jobs.push_back([&row, s] {
+        const auto machine = row.machine();
+        const std::vector<Label> labels{0, 1, 0, 1, 0, 1, 0, 1, 0};
+        const Graph g = make_cycle(labels);
+        auto sched = std::move(make_adversary_battery(2)[s]);
+        SimulateOptions opts;
+        opts.max_steps = 20'000'000;
+        opts.stable_window = 200'000;
+        return simulate(*machine, g, *sched, opts);
+      });
+    }
+  }
+  const auto results = run_jobs(std::move(jobs));
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
     std::vector<std::string> cells{row.name, row.fairness};
-    for (auto& sched : make_adversary_battery(2)) {
-      SimulateOptions opts;
-      opts.max_steps = 20'000'000;
-      opts.stable_window = 200'000;
-      const auto r = simulate(*row.machine, ring, *sched, opts);
+    for (std::size_t s = 0; s < num_scheds; ++s) {
+      const auto& r = results[i * num_scheds + s];
       // For F-class protocols a deterministic schedule is outside the
       // fairness guarantee: there, both non-convergence AND a stable WRONG
       // consensus are allowed failures (e.g. round-robin lets the same

@@ -23,10 +23,11 @@ void successor_into(const Machine& m, const Graph& g, const Config& config,
                     std::span<const NodeId> selection, Config& out) {
   DAWN_CHECK(config.size() == static_cast<std::size_t>(g.n()));
   out = config;
+  Neighbourhood scratch;
   for (NodeId v : selection) {
-    const auto n = Neighbourhood::of(g, config, v, m.beta());
+    Neighbourhood::of_into(g, config, v, m.beta(), scratch);
     out[static_cast<std::size_t>(v)] =
-        m.step(config[static_cast<std::size_t>(v)], n);
+        m.step(config[static_cast<std::size_t>(v)], scratch);
   }
 }
 

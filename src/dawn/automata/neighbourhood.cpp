@@ -9,29 +9,53 @@ namespace dawn {
 Neighbourhood Neighbourhood::of(const Graph& g,
                                 const std::vector<State>& config, NodeId v,
                                 int beta) {
-  DAWN_CHECK(beta >= 1);
   Neighbourhood n;
-  n.beta_ = beta;
+  of_into(g, config, v, beta, n);
+  return n;
+}
+
+void Neighbourhood::of_into(const Graph& g, const std::vector<State>& config,
+                            NodeId v, int beta, Neighbourhood& out) {
+  DAWN_CHECK(beta >= 1);
+  out.beta_ = beta;
+  auto& entries = out.entries_;
+  entries.clear();
   auto nbrs = g.neighbours(v);
-  n.entries_.reserve(nbrs.size());
-  for (NodeId u : nbrs) {
-    n.entries_.emplace_back(config[static_cast<std::size_t>(u)], 1);
+  if (entries.capacity() < nbrs.size()) entries.reserve(nbrs.size());
+  if (nbrs.size() <= 16) {
+    // Degrees in the target workloads are small (bounded-degree families):
+    // accumulate each neighbour directly into the sorted capped list in one
+    // pass — no sort/merge stages, no resize.
+    for (NodeId u : nbrs) {
+      const State q = config[static_cast<std::size_t>(u)];
+      std::size_t j = entries.size();
+      while (j > 0 && entries[j - 1].first >= q) --j;
+      if (j < entries.size() && entries[j].first == q) {
+        if (entries[j].second < beta) ++entries[j].second;
+      } else {
+        entries.insert(entries.begin() + static_cast<std::ptrdiff_t>(j),
+                       {q, 1});
+      }
+    }
+    return;
   }
-  std::sort(n.entries_.begin(), n.entries_.end());
-  // Merge runs of equal states, capping at beta.
-  std::size_t out = 0;
-  for (std::size_t i = 0; i < n.entries_.size();) {
+  // Hub fallback: sort all occurrences, then merge runs capped at beta.
+  for (NodeId u : nbrs) {
+    entries.emplace_back(config[static_cast<std::size_t>(u)], 1);
+  }
+  std::sort(entries.begin(), entries.end());
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < entries.size();) {
     std::size_t j = i;
     int c = 0;
-    while (j < n.entries_.size() && n.entries_[j].first == n.entries_[i].first) {
+    while (j < entries.size() && entries[j].first == entries[i].first) {
       ++c;
       ++j;
     }
-    n.entries_[out++] = {n.entries_[i].first, std::min(c, beta)};
+    entries[o++] = {entries[i].first, std::min(c, beta)};
     i = j;
   }
-  n.entries_.resize(out);
-  return n;
+  entries.resize(o);
 }
 
 Neighbourhood Neighbourhood::from_counts(
@@ -56,21 +80,6 @@ int Neighbourhood::count(State q) const {
       [](const std::pair<State, int>& e, State s) { return e.first < s; });
   if (it != entries_.end() && it->first == q) return it->second;
   return 0;
-}
-
-bool Neighbourhood::any(const std::function<bool(State)>& pred) const {
-  for (const auto& [q, c] : entries_) {
-    if (pred(q)) return true;
-  }
-  return false;
-}
-
-int Neighbourhood::sum(const std::function<bool(State)>& pred) const {
-  int total = 0;
-  for (const auto& [q, c] : entries_) {
-    if (pred(q)) total += c;
-  }
-  return total;
 }
 
 }  // namespace dawn

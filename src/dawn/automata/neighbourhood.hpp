@@ -8,9 +8,14 @@
 // of capped counts over disjoint state sets (the paper's N[a,b] notation) are
 // themselves exact-or-saturated lower bounds; `count_at_least` exposes the
 // common "is the capped sum >= t" query soundly for t <= β.
+//
+// Hot-path construction: `of` allocates a fresh entry list per call, which
+// dominates the per-activation cost of a simulation step. `of_into` instead
+// reuses the entry storage of a caller-owned Neighbourhood, so a tight loop
+// (Run::apply, the explicit-space BFS, the greedy adversary) performs zero
+// heap allocations once its scratch has warmed up to the maximum degree.
 #pragma once
 
-#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -30,6 +35,11 @@ class Neighbourhood {
   static Neighbourhood of(const Graph& g, const std::vector<State>& config,
                           NodeId v, int beta);
 
+  // Allocation-free variant: rebuilds `out` in place, reusing its entry
+  // storage. Semantically identical to `out = of(g, config, v, beta)`.
+  static void of_into(const Graph& g, const std::vector<State>& config,
+                      NodeId v, int beta, Neighbourhood& out);
+
   // Builds a neighbourhood directly from (state, count) pairs (counts are
   // capped at beta). Used by the counted-configuration semantics and tests.
   static Neighbourhood from_counts(
@@ -38,12 +48,26 @@ class Neighbourhood {
   // Capped count of neighbours in state q.
   int count(State q) const;
 
-  // True iff some neighbour is in a state satisfying `pred`.
-  bool any(const std::function<bool(State)>& pred) const;
+  // True iff some neighbour is in a state satisfying `pred`. Templated so
+  // per-step predicates inline instead of going through std::function.
+  template <typename Pred>
+  bool any(Pred&& pred) const {
+    for (const auto& [q, c] : entries_) {
+      if (pred(q)) return true;
+    }
+    return false;
+  }
 
   // Sum of capped counts over states satisfying `pred`. Exact if < beta was
   // never hit; otherwise a lower bound (callers compare against values <= β).
-  int sum(const std::function<bool(State)>& pred) const;
+  template <typename Pred>
+  int sum(Pred&& pred) const {
+    int total = 0;
+    for (const auto& [q, c] : entries_) {
+      if (pred(q)) total += c;
+    }
+    return total;
+  }
 
   // All (state, capped count) entries, sorted by state; counts are >= 1.
   std::span<const std::pair<State, int>> entries() const { return entries_; }

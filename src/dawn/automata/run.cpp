@@ -2,24 +2,111 @@
 
 namespace dawn {
 
-Run::Run(const Machine& machine, const Graph& graph)
+Run::Run(const Machine& machine, const Graph& graph, StepEngine engine)
     : machine_(machine),
       graph_(graph),
+      engine_(engine),
       config_(initial_config(machine, graph)) {
-  consensus_ = consensus(machine_, config_);
+  verdicts_.resize(config_.size());
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    verdicts_[i] = verdict_of(config_[i]);
+    if (verdicts_[i] == Verdict::Accept) ++accept_nodes_;
+    if (verdicts_[i] == Verdict::Reject) ++reject_nodes_;
+  }
+  const auto n = static_cast<std::int64_t>(config_.size());
+  consensus_ = accept_nodes_ == n   ? Verdict::Accept
+               : reject_nodes_ == n ? Verdict::Reject
+                                    : Verdict::Neutral;
   consensus_since_ = 0;
 }
 
 void Run::apply(std::span<const NodeId> selection) {
+  if (engine_ == StepEngine::Incremental) {
+    apply_incremental(selection);
+  } else {
+    apply_full_copy(selection);
+  }
+  activations_ += selection.size();
+  ++steps_;
+  note_consensus_after_step();
+}
+
+void Run::apply_incremental(std::span<const NodeId> selection) {
+  if (selection.size() == 1) {
+    // Exclusive-scheduler fast path (the dominant regime): one node, so no
+    // simultaneity to preserve and no staging buffer needed.
+    const NodeId v = selection.front();
+    const auto idx = static_cast<std::size_t>(v);
+    Neighbourhood::of_into(graph_, config_, v, machine_.beta(), nbh_scratch_);
+    const State next = machine_.step(config_[idx], nbh_scratch_);
+    if (next == config_[idx]) return;
+    last_change_step_ = steps_ + 1;
+    commit(idx, next);
+    return;
+  }
+  // Phase 1: evaluate δ against the pre-step configuration for every
+  // selected node; stage only actual changes. Reading exclusively from
+  // config_ here is what preserves the simultaneous-evaluation semantics.
+  staged_.clear();
+  for (NodeId v : selection) {
+    const auto idx = static_cast<std::size_t>(v);
+    Neighbourhood::of_into(graph_, config_, v, machine_.beta(), nbh_scratch_);
+    const State next = machine_.step(config_[idx], nbh_scratch_);
+    if (next != config_[idx]) staged_.emplace_back(v, next);
+  }
+  if (staged_.empty()) return;
+  last_change_step_ = steps_ + 1;
+  // Phase 2: commit writes and maintain the verdict partition counters.
+  for (const auto& [v, next] : staged_) {
+    commit(static_cast<std::size_t>(v), next);
+  }
+}
+
+void Run::commit(std::size_t idx, State next) {
+  config_[idx] = next;
+  const Verdict now = verdict_of(next);
+  const Verdict was = verdicts_[idx];
+  if (now == was) return;
+  if (was == Verdict::Accept) --accept_nodes_;
+  if (was == Verdict::Reject) --reject_nodes_;
+  if (now == Verdict::Accept) ++accept_nodes_;
+  if (now == Verdict::Reject) ++reject_nodes_;
+  verdicts_[idx] = now;
+}
+
+void Run::apply_full_copy(std::span<const NodeId> selection) {
   successor_into(machine_, graph_, config_, selection, scratch_);
   if (scratch_ != config_) last_change_step_ = steps_ + 1;
   config_.swap(scratch_);
-  ++steps_;
-  const Verdict now = consensus(machine_, config_);
+}
+
+void Run::note_consensus_after_step() {
+  Verdict now;
+  if (engine_ == StepEngine::Incremental) {
+    const auto n = static_cast<std::int64_t>(config_.size());
+    now = accept_nodes_ == n   ? Verdict::Accept
+          : reject_nodes_ == n ? Verdict::Reject
+                               : Verdict::Neutral;
+  } else {
+    now = consensus(machine_, config_);
+  }
   if (now != consensus_) {
     consensus_ = now;
     consensus_since_ = steps_;
   }
+}
+
+Verdict Run::verdict_of(State s) {
+  if (s < 0) return machine_.verdict(s);  // defensive: ids are dense >= 0
+  const auto idx = static_cast<std::size_t>(s);
+  if (idx >= verdict_memo_.size()) {
+    verdict_memo_.resize(idx + 1, kVerdictUnknown);
+  }
+  std::int8_t& slot = verdict_memo_[idx];
+  if (slot == kVerdictUnknown) {
+    slot = static_cast<std::int8_t>(machine_.verdict(s));
+  }
+  return static_cast<Verdict>(slot);
 }
 
 std::uint64_t Run::consensus_held_for() const {

@@ -4,29 +4,54 @@
 // an accepting state. On an infinite run this is a limit property; `Run`
 // tracks how long the current uniform verdict has held, which the simulation
 // driver (semantics/simulate.hpp) and the exact deciders interpret.
+//
+// Two step engines share this interface (see docs/ENGINE.md):
+//
+//  * StepEngine::Incremental (default) — O(Δ) stepping. A selection is
+//    applied in two phases: phase 1 evaluates δ for every selected node
+//    against the *current* configuration (simultaneous semantics), staging
+//    only the (node, new state) pairs that actually change into a reusable
+//    scratch; phase 2 commits the staged writes and updates per-verdict
+//    population counters, so the consensus check is O(changed) instead of
+//    O(n) and no Config is ever copied. Neighbourhoods are built through the
+//    allocation-free Neighbourhood::of_into path.
+//  * StepEngine::FullCopy — the original reference semantics: builds the
+//    successor configuration into a scratch copy and rescans all n nodes for
+//    consensus. Kept behind the same API so differential tests can pin the
+//    incremental engine against it bit-for-bit.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "dawn/automata/config.hpp"
 #include "dawn/automata/machine.hpp"
+#include "dawn/automata/neighbourhood.hpp"
 #include "dawn/graph/graph.hpp"
 
 namespace dawn {
 
+enum class StepEngine : std::uint8_t { Incremental, FullCopy };
+
 class Run {
  public:
-  Run(const Machine& machine, const Graph& graph);
+  Run(const Machine& machine, const Graph& graph,
+      StepEngine engine = StepEngine::Incremental);
 
   const Config& config() const { return config_; }
   const Machine& machine() const { return machine_; }
   const Graph& graph() const { return graph_; }
+  StepEngine engine() const { return engine_; }
 
   // Applies one selection (simultaneous evaluation).
   void apply(std::span<const NodeId> selection);
 
   std::uint64_t steps() const { return steps_; }
+
+  // Total node activations so far (sum of selection sizes across steps).
+  std::uint64_t activations() const { return activations_; }
 
   // Uniform verdict of the current configuration, Neutral if mixed.
   Verdict current_consensus() const { return consensus_; }
@@ -41,14 +66,38 @@ class Run {
   std::uint64_t last_change_step() const { return last_change_step_; }
 
  private:
+  void apply_incremental(std::span<const NodeId> selection);
+  void apply_full_copy(std::span<const NodeId> selection);
+  // Writes `next` into config_[idx] and keeps verdicts_/counters in sync.
+  void commit(std::size_t idx, State next);
+  void note_consensus_after_step();
+
   const Machine& machine_;
   const Graph& graph_;
+  StepEngine engine_;
   Config config_;
-  Config scratch_;
+  Config scratch_;  // FullCopy engine only
   std::uint64_t steps_ = 0;
+  std::uint64_t activations_ = 0;
   std::uint64_t last_change_step_ = 0;
   Verdict consensus_ = Verdict::Neutral;
   std::uint64_t consensus_since_ = 0;
+
+  // Incremental engine state. `verdicts_[v]` caches machine_.verdict of
+  // config_[v]; the three counters partition the node set, so the consensus
+  // is Accept iff accept_nodes_ == n (resp. Reject), recomputed in O(1).
+  std::vector<Verdict> verdicts_;
+  std::int64_t accept_nodes_ = 0;
+  std::int64_t reject_nodes_ = 0;
+  std::vector<std::pair<NodeId, State>> staged_;  // phase-1 scratch
+  Neighbourhood nbh_scratch_;
+
+  // Per-state verdict memo (state ids are dense and verdict is a pure
+  // function of the state, as MemoizedMachine also relies on). Turns the
+  // per-changed-node verdict call into an array load after warm-up.
+  Verdict verdict_of(State s);
+  static constexpr std::int8_t kVerdictUnknown = -1;
+  std::vector<std::int8_t> verdict_memo_;
 };
 
 }  // namespace dawn

@@ -9,7 +9,9 @@ std::shared_ptr<BroadcastOverlay> make_example46_overlay() {
   inner.num_states = 3;
   inner.init = [](Label l) { return static_cast<State>(l); };
   inner.step = [](State s, const Neighbourhood& n) {
-    if (s == kExample46X && n.count(kExample46A) > 0) return kExample46A;
+    if (s == kExample46X && n.any([](State q) { return q == kExample46A; })) {
+      return kExample46A;
+    }
     return s;
   };
   inner.verdict = [](State) { return Verdict::Neutral; };

@@ -12,7 +12,7 @@ std::shared_ptr<Machine> make_exists_label(Label target, int num_labels) {
   spec.num_states = 2;
   spec.init = [target](Label l) { return static_cast<State>(l == target); };
   spec.step = [](State s, const Neighbourhood& n) {
-    if (s == 0 && n.count(1) > 0) return State{1};
+    if (s == 0 && n.any([](State q) { return q == 1; })) return State{1};
     return s;
   };
   spec.verdict = [](State s) {

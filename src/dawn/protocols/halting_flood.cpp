@@ -13,7 +13,7 @@ std::shared_ptr<Machine> make_halting_flood(Label target, int num_labels) {
   spec.init = [target](Label l) { return static_cast<State>(l == target); };
   spec.step = [](State s, const Neighbourhood& n) {
     if (s >= 2) return s;  // halted
-    if (s == 1 || n.count(1) > 0) return State{2};
+    if (s == 1 || n.any([](State q) { return q == 1; })) return State{2};
     return State{3};
   };
   spec.verdict = [](State s) {

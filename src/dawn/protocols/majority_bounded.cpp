@@ -239,15 +239,14 @@ BoundedThresholdAutomaton make_homogeneous_threshold_daf(
       const int x = enc.x_of(s);
       const int role = enc.role_of(s);
       // N[a,b]: number of neighbours with contribution in [a, b]. Degree is
-      // bounded by k = β, so capped counts are exact.
+      // bounded by k = β, so capped counts are exact. The templated sum
+      // inlines the predicate (no per-activation std::function dispatch).
       auto range_count = [&](int lo, int hi) {
-        int total = 0;
-        for (auto [q, c] : n.entries()) {
-          if (!enc.is_pair(q)) continue;
+        return n.sum([&](State q) {
+          if (!enc.is_pair(q)) return false;
           const int y = enc.x_of(q);
-          if (y >= lo && y <= hi) total += c;
-        }
-        return total;
+          return y >= lo && y <= hi;
+        });
       };
       int next = x;
       if (x > k) {

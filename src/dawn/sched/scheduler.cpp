@@ -6,33 +6,69 @@
 
 namespace dawn {
 
-Selection SynchronousScheduler::select(const Graph& g, const Machine&,
-                                       const Config&, std::uint64_t) {
-  Selection s(static_cast<std::size_t>(g.n()));
-  std::iota(s.begin(), s.end(), 0);
-  return s;
-}
-
-Selection RandomExclusiveScheduler::select(const Graph& g, const Machine&,
-                                           const Config&, std::uint64_t) {
-  return {static_cast<NodeId>(rng_.index(static_cast<std::size_t>(g.n())))};
-}
-
-Selection RandomLiberalScheduler::select(const Graph& g, const Machine&,
-                                         const Config&, std::uint64_t) {
+Selection SynchronousScheduler::select(const Graph& g, const Machine& m,
+                                       const Config& c, std::uint64_t step) {
   Selection s;
-  for (NodeId v = 0; v < g.n(); ++v) {
-    if (rng_.chance(p_)) s.push_back(v);
-  }
-  if (s.empty()) {
-    s.push_back(static_cast<NodeId>(rng_.index(static_cast<std::size_t>(g.n()))));
-  }
+  select_into(g, m, c, step, s);
   return s;
 }
 
-Selection RoundRobinScheduler::select(const Graph& g, const Machine&,
-                                      const Config&, std::uint64_t step) {
-  return {static_cast<NodeId>(step % static_cast<std::uint64_t>(g.n()))};
+void SynchronousScheduler::select_into(const Graph& g, const Machine&,
+                                       const Config&, std::uint64_t,
+                                       Selection& out) {
+  out.resize(static_cast<std::size_t>(g.n()));
+  std::iota(out.begin(), out.end(), 0);
+}
+
+Selection RandomExclusiveScheduler::select(const Graph& g, const Machine& m,
+                                           const Config& c,
+                                           std::uint64_t step) {
+  Selection s;
+  select_into(g, m, c, step, s);
+  return s;
+}
+
+void RandomExclusiveScheduler::select_into(const Graph& g, const Machine&,
+                                           const Config&, std::uint64_t,
+                                           Selection& out) {
+  out.clear();
+  out.push_back(static_cast<NodeId>(rng_.index(static_cast<std::size_t>(g.n()))));
+}
+
+Selection RandomLiberalScheduler::select(const Graph& g, const Machine& m,
+                                         const Config& c, std::uint64_t step) {
+  Selection s;
+  select_into(g, m, c, step, s);
+  return s;
+}
+
+void RandomLiberalScheduler::select_into(const Graph& g, const Machine&,
+                                         const Config&, std::uint64_t,
+                                         Selection& out) {
+  out.clear();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (rng_.chance(p_)) out.push_back(v);
+  }
+  if (out.empty()) {
+    // Guard against the empty selection (a no-op step that would silently
+    // burn the driver's max_steps budget): fall back to one random node.
+    out.push_back(
+        static_cast<NodeId>(rng_.index(static_cast<std::size_t>(g.n()))));
+  }
+}
+
+Selection RoundRobinScheduler::select(const Graph& g, const Machine& m,
+                                      const Config& c, std::uint64_t step) {
+  Selection s;
+  select_into(g, m, c, step, s);
+  return s;
+}
+
+void RoundRobinScheduler::select_into(const Graph& g, const Machine&,
+                                      const Config&, std::uint64_t step,
+                                      Selection& out) {
+  out.clear();
+  out.push_back(static_cast<NodeId>(step % static_cast<std::uint64_t>(g.n())));
 }
 
 StarvationScheduler::StarvationScheduler(NodeId victim, int period)
@@ -40,19 +76,39 @@ StarvationScheduler::StarvationScheduler(NodeId victim, int period)
   DAWN_CHECK(period >= 2);
 }
 
-Selection StarvationScheduler::select(const Graph& g, const Machine&,
-                                      const Config&, std::uint64_t step) {
-  if (step % static_cast<std::uint64_t>(period_) == 0) return {victim_};
+Selection StarvationScheduler::select(const Graph& g, const Machine& m,
+                                      const Config& c, std::uint64_t step) {
+  Selection s;
+  select_into(g, m, c, step, s);
+  return s;
+}
+
+void StarvationScheduler::select_into(const Graph& g, const Machine&,
+                                      const Config&, std::uint64_t step,
+                                      Selection& out) {
+  out.clear();
+  if (step % static_cast<std::uint64_t>(period_) == 0) {
+    out.push_back(victim_);
+    return;
+  }
   // Round-robin over the other nodes.
   const auto others = static_cast<std::uint64_t>(g.n() - 1);
   DAWN_CHECK(others >= 1);
   auto idx = static_cast<NodeId>(step % others);
   if (idx >= victim_) ++idx;
-  return {idx};
+  out.push_back(idx);
 }
 
-Selection PermutationScheduler::select(const Graph& g, const Machine&,
-                                       const Config&, std::uint64_t) {
+Selection PermutationScheduler::select(const Graph& g, const Machine& m,
+                                       const Config& c, std::uint64_t step) {
+  Selection s;
+  select_into(g, m, c, step, s);
+  return s;
+}
+
+void PermutationScheduler::select_into(const Graph& g, const Machine&,
+                                       const Config&, std::uint64_t,
+                                       Selection& out) {
   if (cursor_ >= order_.size()) {
     order_.resize(static_cast<std::size_t>(g.n()));
     for (NodeId v = 0; v < g.n(); ++v) {
@@ -61,7 +117,8 @@ Selection PermutationScheduler::select(const Graph& g, const Machine&,
     rng_.shuffle(order_);
     cursor_ = 0;
   }
-  return {order_[cursor_++]};
+  out.clear();
+  out.push_back(order_[cursor_++]);
 }
 
 GreedyAdversary::GreedyAdversary(std::uint64_t seed, int patience)
@@ -87,8 +144,8 @@ Selection GreedyAdversary::select(const Graph& g, const Machine& machine,
   const std::size_t start = rng_.index(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto v = static_cast<NodeId>((start + i) % n);
-    const auto nb = Neighbourhood::of(g, config, v, machine.beta());
-    if (machine.step(config[static_cast<std::size_t>(v)], nb) ==
+    Neighbourhood::of_into(g, config, v, machine.beta(), nbh_scratch_);
+    if (machine.step(config[static_cast<std::size_t>(v)], nbh_scratch_) ==
         config[static_cast<std::size_t>(v)]) {
       if (++wasted_ >= patience_) forcing_ = true;
       return {v};

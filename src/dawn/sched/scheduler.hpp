@@ -43,6 +43,16 @@ class Scheduler {
   virtual Selection select(const Graph& g, const Machine& machine,
                            const Config& config, std::uint64_t step) = 0;
 
+  // Allocation-free variant for hot loops: overwrites `out` with the
+  // selection, reusing its capacity. The built-in schedulers override this
+  // (the simulation driver calls it every step); the default delegates to
+  // select() so external/wrapping schedulers keep working unchanged.
+  virtual void select_into(const Graph& g, const Machine& machine,
+                           const Config& config, std::uint64_t step,
+                           Selection& out) {
+    out = select(g, machine, config, step);
+  }
+
   virtual std::string name() const = 0;
 };
 
@@ -50,6 +60,8 @@ class SynchronousScheduler : public Scheduler {
  public:
   Selection select(const Graph& g, const Machine&, const Config&,
                    std::uint64_t) override;
+  void select_into(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t, Selection& out) override;
   std::string name() const override { return "synchronous"; }
 };
 
@@ -58,6 +70,8 @@ class RandomExclusiveScheduler : public Scheduler {
   explicit RandomExclusiveScheduler(std::uint64_t seed) : rng_(seed) {}
   Selection select(const Graph& g, const Machine&, const Config&,
                    std::uint64_t) override;
+  void select_into(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t, Selection& out) override;
   std::string name() const override { return "random-exclusive"; }
 
  private:
@@ -69,6 +83,8 @@ class RandomLiberalScheduler : public Scheduler {
   RandomLiberalScheduler(std::uint64_t seed, double p) : rng_(seed), p_(p) {}
   Selection select(const Graph& g, const Machine&, const Config&,
                    std::uint64_t) override;
+  void select_into(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t, Selection& out) override;
   std::string name() const override { return "random-liberal"; }
 
  private:
@@ -80,6 +96,8 @@ class RoundRobinScheduler : public Scheduler {
  public:
   Selection select(const Graph& g, const Machine&, const Config&,
                    std::uint64_t step) override;
+  void select_into(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t step, Selection& out) override;
   std::string name() const override { return "round-robin"; }
 };
 
@@ -90,6 +108,8 @@ class StarvationScheduler : public Scheduler {
   StarvationScheduler(NodeId victim, int period);
   Selection select(const Graph& g, const Machine&, const Config&,
                    std::uint64_t step) override;
+  void select_into(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t step, Selection& out) override;
   std::string name() const override { return "starvation"; }
 
  private:
@@ -105,6 +125,8 @@ class PermutationScheduler : public Scheduler {
   explicit PermutationScheduler(std::uint64_t seed) : rng_(seed) {}
   Selection select(const Graph& g, const Machine&, const Config&,
                    std::uint64_t step) override;
+  void select_into(const Graph& g, const Machine&, const Config&,
+                   std::uint64_t step, Selection& out) override;
   std::string name() const override { return "permutation"; }
 
  private:
@@ -128,6 +150,7 @@ class GreedyAdversary : public Scheduler {
   int wasted_ = 0;
   std::size_t force_next_ = 0;
   bool forcing_ = false;
+  Neighbourhood nbh_scratch_;  // reused across the per-step probe loop
 };
 
 // The adversary battery used by the bounded-degree experiments: synchronous,

@@ -24,6 +24,7 @@ ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
   // self-steps are not edges: a frozen configuration is then a singleton
   // bottom SCC, which the classification treats as "stays here forever" —
   // exactly its behaviour under any schedule.
+  Neighbourhood nb;
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
@@ -33,7 +34,7 @@ ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
     const Config current = configs.value(static_cast<std::int32_t>(head));
     Config next = current;
     for (NodeId v = 0; v < g.n(); ++v) {
-      const auto nb = Neighbourhood::of(g, current, v, machine.beta());
+      Neighbourhood::of_into(g, current, v, machine.beta(), nb);
       const State s = machine.step(current[static_cast<std::size_t>(v)], nb);
       if (s == current[static_cast<std::size_t>(v)]) continue;  // silent
       next[static_cast<std::size_t>(v)] = s;

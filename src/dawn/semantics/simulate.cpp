@@ -1,31 +1,32 @@
 #include "dawn/semantics/simulate.hpp"
 
 #include "dawn/automata/run.hpp"
+#include "dawn/util/check.hpp"
 
 namespace dawn {
 
 SimulateResult simulate(const Machine& machine, const Graph& g,
                         Scheduler& scheduler, const SimulateOptions& opts) {
-  Run run(machine, g);
+  Run run(machine, g, opts.engine);
   SimulateResult result;
+  Selection sel;  // reused across steps (select_into is allocation-free)
   while (run.steps() < opts.max_steps) {
-    const Selection sel =
-        scheduler.select(g, machine, run.config(), run.steps());
+    scheduler.select_into(g, machine, run.config(), run.steps(), sel);
+    DAWN_CHECK_MSG(!sel.empty(),
+                   "scheduler returned an empty selection (a no-op step "
+                   "that would silently burn max_steps)");
     run.apply(sel);
     if (run.current_consensus() != Verdict::Neutral &&
         run.consensus_held_for() >= opts.stable_window) {
       result.converged = true;
-      result.verdict = run.current_consensus();
-      result.convergence_step = run.steps() - run.consensus_held_for();
-      result.total_steps = run.steps();
-      return result;
+      break;
     }
   }
-  result.converged = false;
   result.verdict = run.current_consensus();
-  result.convergence_step =
-      run.consensus_held_for() > 0 ? run.steps() - run.consensus_held_for()
-                                   : run.steps();
+  // One meaning for both branches: the step the final consensus was
+  // established at; steps() when the run ended Neutral (consensus_held_for
+  // is 0 there, so the formula degenerates correctly).
+  result.convergence_step = run.steps() - run.consensus_held_for();
   result.total_steps = run.steps();
   return result;
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "dawn/automata/machine.hpp"
+#include "dawn/automata/run.hpp"
 #include "dawn/graph/graph.hpp"
 #include "dawn/sched/scheduler.hpp"
 
@@ -20,15 +21,24 @@ struct SimulateOptions {
   std::uint64_t max_steps = 1'000'000;
   // Declare convergence once a uniform verdict has been held this long.
   std::uint64_t stable_window = 10'000;
+  // Which step engine drives the run. Incremental is the production path;
+  // FullCopy is the reference semantics kept for differential testing.
+  StepEngine engine = StepEngine::Incremental;
 };
 
 struct SimulateResult {
   bool converged = false;
   Verdict verdict = Verdict::Neutral;
-  // First step from which the final verdict was held (the convergence time
-  // reported by the benches).
+  // First step from which `verdict` was held continuously to the end of the
+  // run (the convergence time reported by the benches). The meaning is the
+  // same in both branches: if the run ended with a non-Neutral consensus —
+  // converged or not — this is the step that consensus was established at;
+  // if the run ended Neutral, no verdict is held and this equals
+  // `total_steps`.
   std::uint64_t convergence_step = 0;
   std::uint64_t total_steps = 0;
+
+  bool operator==(const SimulateResult&) const = default;
 };
 
 SimulateResult simulate(const Machine& machine, const Graph& g,

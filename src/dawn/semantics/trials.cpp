@@ -1,0 +1,104 @@
+#include "dawn/semantics/trials.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+namespace {
+
+int resolve_threads(int requested, std::size_t jobs) {
+  int t = requested;
+  if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
+  if (t <= 0) t = 1;
+  if (static_cast<std::size_t>(t) > jobs) t = static_cast<int>(jobs);
+  return t < 1 ? 1 : t;
+}
+
+// Work-stealing-free pool: an atomic cursor over the job index space. Each
+// slot is written by exactly one worker, so no further synchronisation is
+// needed beyond the joins.
+template <typename Job>
+void fan_out(std::size_t num_jobs, int num_threads, const Job& job) {
+  if (num_jobs == 0) return;
+  const int threads = resolve_threads(num_threads, num_jobs);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < num_jobs; ++i) job(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = cursor.fetch_add(1); i < num_jobs;
+           i = cursor.fetch_add(1)) {
+        job(i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t base_seed, int trial) {
+  // splitmix64 (Steele et al.): a bijective mix, so distinct trials never
+  // collide and the stream is independent of evaluation order.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull *
+                                    (static_cast<std::uint64_t>(trial) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<TrialOutcome> run_trials(const MachineFactory& machine_factory,
+                                     const Graph& g,
+                                     const SchedulerFactory& scheduler_factory,
+                                     const TrialOptions& opts) {
+  DAWN_CHECK(opts.num_trials >= 0);
+  DAWN_CHECK(machine_factory != nullptr);
+  DAWN_CHECK(scheduler_factory != nullptr);
+  std::vector<TrialOutcome> outcomes(
+      static_cast<std::size_t>(opts.num_trials));
+  fan_out(outcomes.size(), opts.num_threads, [&](std::size_t i) {
+    TrialOutcome& out = outcomes[i];
+    out.trial = static_cast<int>(i);
+    out.seed = trial_seed(opts.base_seed, out.trial);
+    const auto machine = machine_factory();
+    const auto scheduler = scheduler_factory(out.seed);
+    out.result = simulate(*machine, g, *scheduler, opts.sim);
+  });
+  return outcomes;
+}
+
+std::vector<SimulateResult> run_jobs(
+    std::vector<std::function<SimulateResult()>> jobs, int num_threads) {
+  std::vector<SimulateResult> results(jobs.size());
+  fan_out(jobs.size(), num_threads,
+          [&](std::size_t i) { results[i] = jobs[i](); });
+  return results;
+}
+
+TrialSummary summarize(const std::vector<TrialOutcome>& outcomes) {
+  TrialSummary s;
+  s.num_trials = static_cast<int>(outcomes.size());
+  double total_convergence = 0.0;
+  for (const auto& o : outcomes) {
+    s.max_total_steps = std::max(s.max_total_steps, o.result.total_steps);
+    if (!o.result.converged) continue;
+    ++s.converged;
+    if (o.result.verdict == Verdict::Accept) ++s.accepted;
+    if (o.result.verdict == Verdict::Reject) ++s.rejected;
+    total_convergence += static_cast<double>(o.result.convergence_step);
+  }
+  if (s.converged > 0) {
+    s.mean_convergence_step = total_convergence / s.converged;
+  }
+  return s;
+}
+
+}  // namespace dawn

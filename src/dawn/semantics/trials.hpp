@@ -1,0 +1,87 @@
+// Parallel trial runner: fan independent seeded simulations across threads.
+//
+// Statistical experiments (the Figure 1 grids, scheduler-sensitivity sweeps,
+// convergence studies) are embarrassingly parallel: every (input × scheduler
+// × seed) cell is an independent simulation. This module runs such cells on
+// a std::thread pool while keeping results *deterministic regardless of
+// thread count*:
+//
+//  * each trial's seed is a pure function of (base_seed, trial index) via a
+//    splitmix64 mix, never of scheduling order;
+//  * each trial owns its scheduler and — through the factory — its machine,
+//    so lazily-interning compiled machines (whose mutable interners are not
+//    thread-safe) are never shared across threads;
+//  * results land in a preallocated slot indexed by trial, so the output
+//    order is the trial order, not the completion order.
+//
+// Two layers: `run_trials` for the common N-seeded-repetitions shape, and
+// `run_jobs` for heterogeneous cell grids (each job is an arbitrary closure
+// returning a SimulateResult; the closure must own all mutable state it
+// touches).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/simulate.hpp"
+
+namespace dawn {
+
+// Fresh machine per trial. Called on the worker thread that owns the trial;
+// must not share mutable state with other trials (compiled machines intern
+// states lazily and are not thread-safe).
+using MachineFactory = std::function<std::shared_ptr<const Machine>()>;
+
+// Fresh scheduler per trial, seeded with the trial's deterministic seed.
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(std::uint64_t seed)>;
+
+struct TrialOptions {
+  int num_trials = 8;
+  // 0 = hardware_concurrency (at least 1). The result is identical for every
+  // value; threads only change wall-clock time.
+  int num_threads = 0;
+  std::uint64_t base_seed = 0x5eed;
+  SimulateOptions sim;
+};
+
+struct TrialOutcome {
+  int trial = 0;
+  std::uint64_t seed = 0;
+  SimulateResult result;
+};
+
+struct TrialSummary {
+  int num_trials = 0;
+  int converged = 0;
+  int accepted = 0;  // converged with verdict Accept
+  int rejected = 0;  // converged with verdict Reject
+  double mean_convergence_step = 0.0;  // over converged trials
+  std::uint64_t max_total_steps = 0;
+};
+
+// Deterministic per-trial seed: splitmix64 of base_seed + trial. Stable
+// across platforms and thread counts; exposed so benches can label runs.
+std::uint64_t trial_seed(std::uint64_t base_seed, int trial);
+
+// Runs `opts.num_trials` independent simulations of `machine_factory()` on
+// `g` under `scheduler_factory(seed_i)`. Outcomes are indexed by trial.
+std::vector<TrialOutcome> run_trials(const MachineFactory& machine_factory,
+                                     const Graph& g,
+                                     const SchedulerFactory& scheduler_factory,
+                                     const TrialOptions& opts);
+
+// Lower-level fan-out for heterogeneous grids: runs every job on the pool,
+// returning results in job order. Each job must own its machine, graph
+// reference and scheduler (no shared mutable state across jobs).
+std::vector<SimulateResult> run_jobs(
+    std::vector<std::function<SimulateResult()>> jobs, int num_threads = 0);
+
+TrialSummary summarize(const std::vector<TrialOutcome>& outcomes);
+
+}  // namespace dawn

@@ -103,6 +103,19 @@ TEST(Sched, LiberalNeverEmpty) {
   }
 }
 
+TEST(Sched, LiberalNeverEmptyEvenAtZeroProbability) {
+  // The p = 0 corner would produce all-empty selections without the guard:
+  // every step a silent no-op that burns max_steps.
+  RandomLiberalScheduler s(4, 0.0);
+  const Graph g = make_cycle({0, 0, 0});
+  const auto m = make_exists_label(0, 1);
+  const Config c = initial_config(*m, g);
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    const Selection sel = s.select(g, *m, c, t);
+    ASSERT_EQ(sel.size(), 1u);  // guard falls back to one random node
+  }
+}
+
 TEST(Sched, GreedyAdversaryPrefersSilentMoves) {
   // On a graph with label 1 present, the flooding machine's lit nodes and
   // far-away dark nodes are silent; greedy should pick those when possible,

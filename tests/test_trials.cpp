@@ -1,0 +1,88 @@
+// The parallel trial runner's contract: determinism regardless of thread
+// count, trial-indexed result order, and pure-function seeding.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/majority_bounded.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/trials.hpp"
+
+namespace dawn {
+namespace {
+
+TrialOptions small_options(int num_trials, int num_threads) {
+  TrialOptions opts;
+  opts.num_trials = num_trials;
+  opts.num_threads = num_threads;
+  opts.base_seed = 42;
+  opts.sim.max_steps = 5'000;
+  opts.sim.stable_window = 200;
+  return opts;
+}
+
+TEST(Trials, SeedIsAPureFunctionOfBaseAndIndex) {
+  EXPECT_EQ(trial_seed(1, 0), trial_seed(1, 0));
+  EXPECT_NE(trial_seed(1, 0), trial_seed(1, 1));
+  EXPECT_NE(trial_seed(1, 0), trial_seed(2, 0));
+}
+
+TEST(Trials, ResultsIdenticalAcrossThreadCounts) {
+  const Graph g = make_cycle({0, 1, 0, 1, 0, 1, 0, 0, 1});
+  const MachineFactory machine = [] {
+    // Compiled + lazily interning: per-trial construction is exactly what
+    // makes sharing across threads unnecessary.
+    return make_majority_bounded(2).machine;
+  };
+  const SchedulerFactory scheduler = [](std::uint64_t seed) {
+    return std::make_unique<RandomExclusiveScheduler>(seed);
+  };
+  const auto serial = run_trials(machine, g, scheduler, small_options(6, 1));
+  const auto parallel = run_trials(machine, g, scheduler, small_options(6, 4));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].trial, static_cast<int>(i));
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].result, parallel[i].result);
+  }
+}
+
+TEST(Trials, FloodAcceptsOnEveryTrial) {
+  const Graph g = make_line({1, 0, 0, 0, 0, 0, 0});
+  const MachineFactory machine = [] { return make_exists_label(1, 2); };
+  const SchedulerFactory scheduler = [](std::uint64_t seed) {
+    return std::make_unique<RandomExclusiveScheduler>(seed);
+  };
+  const auto outcomes = run_trials(machine, g, scheduler, small_options(8, 0));
+  const TrialSummary s = summarize(outcomes);
+  EXPECT_EQ(s.num_trials, 8);
+  EXPECT_EQ(s.converged, 8);
+  EXPECT_EQ(s.accepted, 8);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_GT(s.mean_convergence_step, 0.0);
+}
+
+TEST(Trials, RunJobsPreservesJobOrder) {
+  const Graph g = make_line({1, 0, 0, 0});
+  std::vector<std::function<SimulateResult()>> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back([i, &g] {
+      const auto machine = make_exists_label(1, 2);
+      RandomExclusiveScheduler sched(static_cast<std::uint64_t>(i));
+      SimulateOptions opts;
+      opts.max_steps = 2'000;
+      opts.stable_window = 100;
+      return simulate(*machine, g, sched, opts);
+    });
+  }
+  const auto serial = run_jobs(jobs, 1);
+  const auto parallel = run_jobs(jobs, 3);
+  ASSERT_EQ(serial.size(), 5u);
+  EXPECT_EQ(serial, parallel);
+  for (const auto& r : serial) EXPECT_EQ(r.verdict, Verdict::Accept);
+}
+
+}  // namespace
+}  // namespace dawn
