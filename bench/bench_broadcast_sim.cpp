@@ -14,6 +14,7 @@
 #include "dawn/extensions/broadcast.hpp"
 #include "dawn/graph/generators.hpp"
 #include "dawn/graph/metrics.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/protocols/threshold_daf.hpp"
 #include "dawn/util/table.hpp"
 
@@ -62,7 +63,7 @@ void BM_AbstractOverlayStep(benchmark::State& state) {
 BENCHMARK(BM_AbstractOverlayStep)->Arg(8)->Arg(32)->Arg(128);
 
 // Wave latency table (printed after the benchmark run).
-void wave_latency_table() {
+void wave_latency_table(obs::BenchReport& report, bool smoke) {
   std::printf("\nwave latency: round-robin selections per broadcast wave\n");
   Table t({"topology", "n", "diameter", "selections to complete wave",
            "selections per node"});
@@ -71,13 +72,13 @@ void wave_latency_table() {
     Graph graph;
   };
   std::vector<Case> cases;
-  for (int n : {6, 12, 24}) {
+  for (int n : smoke ? std::vector<int>{6, 12} : std::vector<int>{6, 12, 24}) {
     std::vector<Label> labels(static_cast<std::size_t>(n), 0);
     labels[0] = 1;
     labels[1] = 1;
     cases.push_back({"cycle", make_cycle(labels)});
   }
-  for (int side : {3, 5}) {
+  for (int side : smoke ? std::vector<int>{3} : std::vector<int>{3, 5}) {
     std::vector<Label> labels(static_cast<std::size_t>(side * side), 0);
     labels[0] = labels[1] = 1;
     cases.push_back({"grid", make_grid(side, side, labels)});
@@ -109,6 +110,14 @@ void wave_latency_table() {
     t.add_row({tc.name, std::to_string(tc.graph.n()),
                std::to_string(diameter(tc.graph)),
                done ? std::to_string(selections) : "timeout", per_node});
+    obs::JsonValue& row = report.add_row();
+    row.set("topology", obs::JsonValue(tc.name));
+    row.set("n", obs::JsonValue(tc.graph.n()));
+    row.set("diameter", obs::JsonValue(diameter(tc.graph)));
+    row.set("wave_completed", obs::JsonValue(done));
+    row.set("selections", obs::JsonValue(selections));
+    row.set("selections_per_node",
+            obs::JsonValue(static_cast<double>(selections) / tc.graph.n()));
   }
   t.print();
   std::printf(
@@ -120,11 +129,19 @@ void wave_latency_table() {
 }  // namespace dawn
 
 int main(int argc, char** argv) {
+  const bool smoke = dawn::obs::smoke_mode(argc, argv);
   std::printf(
       "E8 / Lemma 4.7: weak-broadcast simulation overhead\n"
       "===================================================\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  dawn::wave_latency_table();
+  if (!smoke) {
+    // google-benchmark rejects flags it doesn't know, so the timing pass
+    // only runs at full sizing (--smoke exists to prove the analysis path).
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  dawn::obs::BenchReport report("broadcast_sim", smoke);
+  dawn::wave_latency_table(report, smoke);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

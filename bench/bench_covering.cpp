@@ -10,6 +10,7 @@
 #include "dawn/automata/config.hpp"
 #include "dawn/graph/covering.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/protocols/exists_label.hpp"
 #include "dawn/semantics/sync_run.hpp"
 #include "dawn/util/table.hpp"
@@ -44,14 +45,18 @@ bool pointwise_equal_runs(const Machine& m, const Graph& g,
 }  // namespace
 }  // namespace dawn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
       "E6 / Lemma 3.2 + Cor 3.3: covering invariance of adversarial runs\n"
       "=================================================================\n\n");
 
   const auto m = make_exists_label(1, 2);
   Rng rng(9);
+  const int max_lambda = smoke ? 2 : 4;
+  obs::BenchReport report("covering", smoke);
+  report.meta("pointwise_steps", obs::JsonValue(50));
 
   Table t({"base graph", "lambda", "cover nodes", "covering valid",
            "runs pointwise equal", "verdict G", "verdict H"});
@@ -65,7 +70,7 @@ int main() {
   bases.push_back({"grid 3x2", make_grid(3, 2, {0, 0, 1, 0, 0, 0})});
 
   for (const auto& base : bases) {
-    for (int lambda = 2; lambda <= 4; ++lambda) {
+    for (int lambda = 2; lambda <= max_lambda; ++lambda) {
       // Lemma 3.2 speaks about connected coverings (the paper convention);
       // retry random lifts until the cover is connected.
       Covering cov = lift(base.graph, lambda, rng);
@@ -80,6 +85,14 @@ int main() {
       t.add_row({base.name, std::to_string(lambda),
                  std::to_string(cov.cover.n()), valid ? "yes" : "NO?!",
                  equal ? "yes" : "NO?!", to_string(dg), to_string(dh)});
+      obs::JsonValue& row = report.add_row();
+      row.set("part", obs::JsonValue("lift"));
+      row.set("base", obs::JsonValue(base.name));
+      row.set("lambda", obs::JsonValue(lambda));
+      row.set("cover_nodes", obs::JsonValue(cov.cover.n()));
+      row.set("covering_valid", obs::JsonValue(valid));
+      row.set("pointwise_equal", obs::JsonValue(equal));
+      row.set("verdicts_equal", obs::JsonValue(dg == dh));
     }
   }
   t.print();
@@ -98,11 +111,18 @@ int main() {
       for (Label x : labels) l += std::to_string(x);
       t2.add_row({l, std::to_string(lambda), to_string(a), to_string(b),
                   a == b ? "yes" : "NO?!"});
+      obs::JsonValue& row = report.add_row();
+      row.set("part", obs::JsonValue("cycle_cover"));
+      row.set("labels", obs::JsonValue(l));
+      row.set("lambda", obs::JsonValue(lambda));
+      row.set("verdicts_equal", obs::JsonValue(a == b));
     }
   }
   t2.print();
   std::printf(
       "\nshape check vs paper: all coverings indistinguishable => DAf can\n"
       "only decide ISM properties (Figure 1 bounded-degree upper bound).\n");
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

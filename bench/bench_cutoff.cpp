@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/props/classes.hpp"
 #include "dawn/protocols/exists_label.hpp"
 #include "dawn/semantics/star_counted.hpp"
@@ -123,21 +124,42 @@ FunctionMachine::Spec random_spec(int n, Rng& rng) {
 }  // namespace
 }  // namespace dawn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
       "E7 / Lemmas 3.4 + 3.5: cutoffs, measured and computed\n"
       "=====================================================\n\n");
+
+  const std::int64_t sens_bound = smoke ? 4 : 6;
+  const int random_trials = smoke ? 2 : 6;
+  const std::size_t max_basis = smoke ? 100'000u : 500'000u;
+  obs::BenchReport report("cutoff", smoke);
+  report.meta("sensitivity_bound", obs::JsonValue(sens_bound));
+  report.meta("random_trials", obs::JsonValue(random_trials));
+  report.meta("max_basis", obs::JsonValue(max_basis));
 
   std::printf("(a) Lemma 3.4 — DAf verdicts depend only on |L|_{beta+1}:\n");
   Table t({"machine", "beta", "bound beta+1", "observed sensitivity K"});
   {
     const auto flood = make_exists_label(0, 2);
-    t.add_row({"exists(a) flooding", "1", "2",
-               std::to_string(observed_sensitivity(*flood, 6))});
+    const auto k_flood = observed_sensitivity(*flood, sens_bound);
+    t.add_row({"exists(a) flooding", "1", "2", std::to_string(k_flood)});
     const auto two = two_witnesses();
-    t.add_row({"x_a >= 2 (counting)", "2", "3",
-               std::to_string(observed_sensitivity(*two, 6))});
+    const auto k_two = observed_sensitivity(*two, sens_bound);
+    t.add_row({"x_a >= 2 (counting)", "2", "3", std::to_string(k_two)});
+    for (const auto& [name, beta, bound, k] :
+         {std::tuple<const char*, int, int, std::int64_t>{
+              "exists(a) flooding", 1, 2, k_flood},
+          {"x_a >= 2 (counting)", 2, 3, k_two}}) {
+      obs::JsonValue& row = report.add_row();
+      row.set("part", obs::JsonValue("sensitivity"));
+      row.set("machine", obs::JsonValue(name));
+      row.set("beta", obs::JsonValue(beta));
+      row.set("bound", obs::JsonValue(bound));
+      row.set("observed_k", obs::JsonValue(k));
+      row.set("within_bound", obs::JsonValue(k <= bound));
+    }
   }
   t.print();
 
@@ -157,6 +179,13 @@ int main() {
                 std::to_string(analysis->reach_non_accepting.size()),
                 std::to_string(analysis->m), std::to_string(analysis->K),
                 "yes (tests)", std::to_string(ms)});
+    obs::JsonValue& row = report.add_row();
+    row.set("part", obs::JsonValue("symbolic"));
+    row.set("machine", obs::JsonValue("exists(a) flooding"));
+    row.set("m", obs::JsonValue(analysis->m));
+    row.set("K", obs::JsonValue(analysis->K));
+    row.set("validated", obs::JsonValue(true));
+    row.set("time_ms", obs::JsonValue(ms));
   }
   {
     const auto crafted = needs_two();
@@ -180,19 +209,31 @@ int main() {
                 std::to_string(analysis->reach_non_accepting.size()),
                 std::to_string(analysis->m), std::to_string(analysis->K),
                 valid ? "yes" : "NO?!", std::to_string(ms)});
+    obs::JsonValue& row = report.add_row();
+    row.set("part", obs::JsonValue("symbolic"));
+    row.set("machine", obs::JsonValue("crafted: needs two witnesses"));
+    row.set("m", obs::JsonValue(analysis->m));
+    row.set("K", obs::JsonValue(analysis->K));
+    row.set("validated", obs::JsonValue(valid));
+    row.set("time_ms", obs::JsonValue(ms));
   }
   Rng rng(31337);
-  for (int trial = 0; trial < 6; ++trial) {
+  for (int trial = 0; trial < random_trials; ++trial) {
     const int n = 3 + trial % 2;
     FunctionMachine machine(random_spec(n, rng));
     const auto start = std::chrono::steady_clock::now();
-    const auto analysis = analyse_cutoff(machine, {.max_basis = 500'000});
+    const auto analysis = analyse_cutoff(machine, {.max_basis = max_basis});
     const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                         std::chrono::steady_clock::now() - start)
                         .count();
     if (!analysis) {
       t2.add_row({"random #" + std::to_string(trial), std::to_string(n), "-",
                   "-", "-", "-", "budget", std::to_string(ms)});
+      obs::JsonValue& row = report.add_row();
+      row.set("part", obs::JsonValue("symbolic"));
+      row.set("machine", obs::JsonValue("random #" + std::to_string(trial)));
+      row.set("budget_exhausted", obs::JsonValue(true));
+      row.set("time_ms", obs::JsonValue(ms));
       continue;
     }
     // Validate the symbolic stable-rejection classification against the
@@ -217,10 +258,19 @@ int main() {
                 std::to_string(analysis->reach_non_accepting.size()),
                 std::to_string(analysis->m), std::to_string(analysis->K),
                 valid ? "yes" : "NO?!", std::to_string(ms)});
+    obs::JsonValue& row = report.add_row();
+    row.set("part", obs::JsonValue("symbolic"));
+    row.set("machine", obs::JsonValue("random #" + std::to_string(trial)));
+    row.set("m", obs::JsonValue(analysis->m));
+    row.set("K", obs::JsonValue(analysis->K));
+    row.set("validated", obs::JsonValue(valid));
+    row.set("time_ms", obs::JsonValue(ms));
   }
   t2.print();
   std::printf(
       "\nshape check vs paper: every dAF automaton has a finite cutoff K"
       "\n(Lemma 3.5); majority admits none (E1) => dAF cannot decide it.\n");
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "dawn/extensions/broadcast_engine.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/props/classes.hpp"
 #include "dawn/props/predicates.hpp"
 #include "dawn/protocols/exists_label.hpp"
@@ -25,15 +26,27 @@
 namespace dawn {
 namespace {
 
-void verdict_tables() {
-  std::printf("\nexact verdicts over all label counts <= 4 (x = #label0):\n");
+void verdict_tables(obs::BenchReport& report, bool smoke) {
+  const int window = smoke ? 3 : 4;
+  const int max_k = smoke ? 2 : 4;
+  std::printf("\nexact verdicts over all label counts <= %d (x = #label0):\n",
+              window);
   Table t({"protocol", "class", "window instances", "all correct"});
+  auto add_protocol_row = [&report](const std::string& protocol,
+                                    const char* cls, int instances, bool ok) {
+    obs::JsonValue& row = report.add_row();
+    row.set("part", obs::JsonValue("verdicts"));
+    row.set("protocol", obs::JsonValue(protocol));
+    row.set("class", obs::JsonValue(cls));
+    row.set("instances", obs::JsonValue(instances));
+    row.set("all_correct", obs::JsonValue(ok));
+  };
   {
     const auto m = make_exists_label(0, 2);
     const auto pred = pred_exists(0, 2);
     int instances = 0;
     bool ok = true;
-    for_each_count(2, 4, [&](const LabelCount& L) {
+    for_each_count(2, window, [&](const LabelCount& L) {
       if (L[0] + L[1] < 2) return;
       const auto d = decide_clique_pseudo_stochastic(*m, L).decision;
       ok = ok && (d == Decision::Accept) == pred(L);
@@ -41,13 +54,14 @@ void verdict_tables() {
     });
     t.add_row({"exists(a) flooding", "dAf", std::to_string(instances),
                ok ? "yes" : "NO?!"});
+    add_protocol_row("exists(a) flooding", "dAf", instances, ok);
   }
-  for (int k = 1; k <= 4; ++k) {
+  for (int k = 1; k <= max_k; ++k) {
     const auto overlay = make_threshold_overlay(k, 0, 2);
     const auto pred = pred_threshold(0, k, 2);
     int instances = 0;
     bool ok = true;
-    for_each_count(2, 4, [&](const LabelCount& L) {
+    for_each_count(2, window, [&](const LabelCount& L) {
       if (L[0] + L[1] < 2) return;
       const auto d = decide_overlay_strong_counted(*overlay, L).decision;
       ok = ok && (d == Decision::Accept) == pred(L);
@@ -55,6 +69,8 @@ void verdict_tables() {
     });
     t.add_row({"x >= " + std::to_string(k) + " (Lemma C.5)", "dAF",
                std::to_string(instances), ok ? "yes" : "NO?!"});
+    add_protocol_row("x >= " + std::to_string(k) + " (Lemma C.5)", "dAF",
+                     instances, ok);
   }
   t.print();
 
@@ -64,7 +80,8 @@ void verdict_tables() {
       "\ngeneric Prop. C.6 construction on random Cutoff(K) predicates:\n");
   Table t2({"predicate", "K", "components", "instances", "all correct"});
   Rng rng(777);
-  for (int trial = 0; trial < 3; ++trial) {
+  const int trials = smoke ? 1 : 3;
+  for (int trial = 0; trial < trials; ++trial) {
     const int K = 1 + trial % 2;
     auto accept = std::make_shared<std::vector<bool>>();
     for (int i = 0; i < (K + 1) * (K + 1); ++i) {
@@ -80,12 +97,18 @@ void verdict_tables() {
     const auto machine = make_cutoff_automaton(pred, K);
     VerifyOptions opts;
     opts.count_bound = K == 1 ? 3 : 2;
-    opts.max_configs = 6'000'000;
-    const auto report = verify_machine_on_cliques(*machine, pred, opts);
+    opts.max_configs = smoke ? 1'000'000 : 6'000'000;
+    const auto vr = verify_machine_on_cliques(*machine, pred, opts);
     t2.add_row({pred.name, std::to_string(K),
                 std::to_string(machine->num_components()),
-                std::to_string(report.instances),
-                report.ok() ? "yes" : "NO?!"});
+                std::to_string(vr.instances), vr.ok() ? "yes" : "NO?!"});
+    obs::JsonValue& row = report.add_row();
+    row.set("part", obs::JsonValue("prop_c6"));
+    row.set("predicate", obs::JsonValue(pred.name));
+    row.set("K", obs::JsonValue(K));
+    row.set("components", obs::JsonValue(machine->num_components()));
+    row.set("instances", obs::JsonValue(vr.instances));
+    row.set("all_correct", obs::JsonValue(vr.ok()));
   }
   t2.print();
   std::printf(
@@ -126,11 +149,17 @@ BENCHMARK(BM_DecideCompiledThresholdExplicit)->Arg(3)->Arg(4);
 }  // namespace dawn
 
 int main(int argc, char** argv) {
+  const bool smoke = dawn::obs::smoke_mode(argc, argv);
   std::printf(
       "E12 / Props C.4 + C.6: Cutoff(1) and Cutoff protocols\n"
       "=====================================================\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  dawn::verdict_tables();
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  dawn::obs::BenchReport report("cutoff_protocols", smoke);
+  dawn::verdict_tables(report, smoke);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "dawn/automata/machine.hpp"
 #include "dawn/automata/run.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/sched/scheduler.hpp"
 #include "dawn/util/table.hpp"
 
@@ -91,51 +92,27 @@ Cell measure(const Machine& machine, const Graph& g, Scheduler& sched,
   return cell;
 }
 
-void write_json(const std::vector<Cell>& cells, double headline_speedup) {
-  std::FILE* f = std::fopen("BENCH_engine.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_engine.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
-  std::fprintf(f, "  \"headline_exclusive_n1000_speedup\": %.2f,\n",
-               headline_speedup);
-  std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    std::fprintf(
-        f,
-        "    {\"engine\": \"%s\", \"scheduler\": \"%s\", \"n\": %d, "
-        "\"max_degree\": %d, \"steps\": %llu, \"activations\": %llu, "
-        "\"seconds\": %.6f, \"steps_per_sec\": %.1f, "
-        "\"activations_per_sec\": %.1f}%s\n",
-        c.engine.c_str(), c.scheduler.c_str(), c.n, c.k,
-        static_cast<unsigned long long>(c.steps),
-        static_cast<unsigned long long>(c.activations), c.seconds,
-        c.steps_per_sec, c.activations_per_sec,
-        i + 1 < cells.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-}
-
 }  // namespace
 }  // namespace dawn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
       "Engine throughput: full-copy (seed) vs incremental stepping\n"
       "===========================================================\n\n");
 
   const auto machine = gossip_machine();
   const int k = 3;
+  const int reps = smoke ? 1 : 3;
   std::vector<Cell> cells;
   double headline_old = 0.0, headline_new = 0.0;
 
   Table t({"n", "scheduler", "engine", "steps", "steps/sec", "activ/sec",
            "speedup"});
-  for (const int n : {100, 1000, 10000}) {
+  const std::vector<int> sizes = smoke ? std::vector<int>{100, 1000}
+                                       : std::vector<int>{100, 1000, 10000};
+  for (const int n : sizes) {
     Rng rng(static_cast<std::uint64_t>(n));
     std::vector<Label> labels(static_cast<std::size_t>(n));
     for (auto& l : labels) l = rng.chance(0.5) ? 1 : 0;
@@ -162,13 +139,16 @@ int main() {
     schedulers.push_back(
         {"synchronous", [] { return std::make_unique<SynchronousScheduler>(); },
          n >= 10000 ? 2'000u : 20'000u});
+    if (smoke) {
+      for (auto& sc : schedulers) sc.steps /= 20;
+    }
 
     for (auto& sc : schedulers) {
       // Best-of-3 with interleaved engine order: single-core boxes with
       // noisy neighbours swing individual runs by 2-3x, and the best rep is
       // the least-perturbed estimate of the engine's actual throughput.
       Cell best[2];
-      for (int rep = 0; rep < 3; ++rep) {
+      for (int rep = 0; rep < reps; ++rep) {
         for (const StepEngine engine :
              {StepEngine::FullCopy, StepEngine::Incremental}) {
           // Fresh identically-seeded scheduler per run for a fair stream.
@@ -207,7 +187,25 @@ int main() {
       "\nheadline (exclusive scheduler, n=1000 bounded-degree): %.1fx "
       "steps/sec over the seed stepper (target >= 5x)\n",
       headline);
-  write_json(cells, headline);
-  std::printf("wrote BENCH_engine.json\n");
-  return headline >= 5.0 ? 0 : 1;
+
+  obs::BenchReport report("engine_throughput", smoke);
+  report.meta("headline_exclusive_n1000_speedup", obs::JsonValue(headline));
+  report.meta("max_degree", obs::JsonValue(k));
+  for (const Cell& c : cells) {
+    obs::JsonValue& row = report.add_row();
+    row.set("engine", obs::JsonValue(c.engine));
+    row.set("scheduler", obs::JsonValue(c.scheduler));
+    row.set("n", obs::JsonValue(c.n));
+    row.set("max_degree", obs::JsonValue(c.k));
+    row.set("steps", obs::JsonValue(c.steps));
+    row.set("activations", obs::JsonValue(c.activations));
+    row.set("seconds", obs::JsonValue(c.seconds));
+    row.set("steps_per_sec", obs::JsonValue(c.steps_per_sec));
+    row.set("activations_per_sec", obs::JsonValue(c.activations_per_sec));
+  }
+  const std::string path = report.write(".", "engine");
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  // The >= 5x gate only means something at full sizing; smoke runs exist to
+  // prove the bench executes and emits a schema-valid report.
+  return smoke ? 0 : (headline >= 5.0 ? 0 : 1);
 }

@@ -17,6 +17,7 @@
 #include "dawn/extensions/broadcast_engine.hpp"
 #include "dawn/extensions/population_engine.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/props/classes.hpp"
 #include "dawn/props/predicates.hpp"
 #include "dawn/protocols/exists_label.hpp"
@@ -65,13 +66,13 @@ std::string verify_exists() {
 
 // dAF row: the Lemma C.5 threshold protocol, exact on counted cliques plus
 // explicit topologies for small inputs.
-std::string verify_threshold(int k) {
+std::string verify_threshold(int k, int max_count) {
   const auto overlay = make_threshold_overlay(k, 0, 2);
   const auto machine = make_threshold_daf(k, 0, 2);
   const auto pred = pred_threshold(0, k, 2);
   int instances = 0;
   bool ok = true;
-  for_each_count(2, 4, [&](const LabelCount& L) {
+  for_each_count(2, max_count, [&](const LabelCount& L) {
     if (L[0] + L[1] < 2) return;
     const auto d = decide_overlay_strong_counted(*overlay, L).decision;
     ok = ok && (d == Decision::Accept) == pred(L);
@@ -87,13 +88,13 @@ std::string verify_threshold(int k) {
 }
 
 // DAF row, parity: the Lemma 5.1 pipeline input protocol, exact.
-std::string verify_parity() {
+std::string verify_parity(int max_count) {
   const auto proto = make_mod_counter_protocol(2, 0, 0, 2);
   const auto overlay = strong_protocol_as_overlay(proto);
   const auto pred = pred_mod(0, 2, 0, 2);
   int instances = 0;
   bool ok = true;
-  for_each_count(2, 4, [&](const LabelCount& L) {
+  for_each_count(2, max_count, [&](const LabelCount& L) {
     if (L[0] + L[1] < 3) return;
     const auto d = decide_overlay_strong_counted(*overlay, L).decision;
     ok = ok && (d == Decision::Accept) == pred(L);
@@ -104,12 +105,12 @@ std::string verify_parity() {
 
 // DAF row, majority: the population protocol (clique semantics, no ties)
 // compiled via Lemma 4.10.
-std::string verify_majority() {
+std::string verify_majority(int max_count) {
   const auto proto = make_majority_protocol(0, 1, 2);
   const auto pred = pred_majority_gt(0, 1, 2);
   int instances = 0;
   bool ok = true;
-  for_each_count(2, 4, [&](const LabelCount& L) {
+  for_each_count(2, max_count, [&](const LabelCount& L) {
     if (L[0] + L[1] < 3 || L[0] == L[1]) return;  // promise: no ties
     const auto d = decide_population_counted(proto, L).decision;
     ok = ok && (d == Decision::Accept) == pred(L);
@@ -121,38 +122,68 @@ std::string verify_majority() {
 }  // namespace
 }  // namespace dawn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
       "E1 / Figure 1 (arbitrary graphs): decision power per class\n"
       "===========================================================\n\n");
 
   // Window evidence for the impossibility cells.
-  const std::int64_t B = 8;
+  const std::int64_t B = smoke ? 5 : 8;
+  const int max_count = smoke ? 3 : 4;
   const bool majority_no_cutoff = least_cutoff(pred_majority_ge(0, 1, 2), B) < 0;
   const bool parity_no_cutoff = least_cutoff(pred_mod(0, 2, 0, 2), B) < 0;
   const std::int64_t thr3_cutoff = least_cutoff(pred_threshold(0, 3, 2), B);
   const bool exists_cutoff1 = admits_cutoff(pred_exists(0, 2), 1, B);
+
+  const std::string r_exists = verify_exists();
+  const std::string r_threshold = verify_threshold(3, max_count);
+  const std::string r_majority = verify_majority(max_count);
+  const std::string r_parity = verify_parity(max_count);
 
   Table t({"class", "exists(a)  [Cutoff(1)]", "x>=3  [Cutoff]",
            "majority  [NL]", "parity  [NL]"});
   t.add_row({"Daf/daf/DaF (halting)", "no: non-trivial (Lemma 3.1)",
              "no: non-trivial (Lemma 3.1)", "no: non-trivial (Lemma 3.1)",
              "no: non-trivial (Lemma 3.1)"});
-  t.add_row({"dAf = DAf [Cutoff(1)]", verify_exists(),
+  t.add_row({"dAf = DAf [Cutoff(1)]", r_exists,
              "no: cutoff=" + std::to_string(thr3_cutoff) + ">1 (Prop C.3)",
              std::string("no: no cutoff (Cor 3.6") +
                  (majority_no_cutoff ? ", verified)" : "?!)"),
              std::string("no: no cutoff (Lemma 3.4") +
                  (parity_no_cutoff ? ", verified)" : "?!)")});
-  t.add_row({"dAF [Cutoff]", verify_exists(), verify_threshold(3),
+  t.add_row({"dAF [Cutoff]", r_exists, r_threshold,
              std::string("no: no cutoff (Lemma 3.5") +
                  (majority_no_cutoff ? ", verified)" : "?!)"),
              std::string("no: no cutoff (Lemma 3.5") +
                  (parity_no_cutoff ? ", verified)" : "?!)")});
-  t.add_row({"DAF [NL]", verify_exists(), verify_threshold(3),
-             verify_majority(), verify_parity()});
+  t.add_row({"DAF [NL]", r_exists, r_threshold, r_majority, r_parity});
   t.print();
+
+  obs::BenchReport report("fig1_arbitrary", smoke);
+  report.meta("count_bound", obs::JsonValue(B));
+  report.meta("max_count", obs::JsonValue(max_count));
+  report.meta("exists_cutoff1", obs::JsonValue(exists_cutoff1));
+  report.meta("threshold3_least_cutoff", obs::JsonValue(thr3_cutoff));
+  report.meta("majority_no_cutoff", obs::JsonValue(majority_no_cutoff));
+  report.meta("parity_no_cutoff", obs::JsonValue(parity_no_cutoff));
+  const struct {
+    const char* predicate;
+    const std::string* result;
+  } checks[] = {{"exists", &r_exists},
+                {"threshold3", &r_threshold},
+                {"majority", &r_majority},
+                {"parity", &r_parity}};
+  for (const auto& c : checks) {
+    obs::JsonValue& row = report.add_row();
+    row.set("predicate", obs::JsonValue(c.predicate));
+    row.set("result", obs::JsonValue(*c.result));
+    row.set("ok",
+            obs::JsonValue(c.result->find("BROKEN") == std::string::npos));
+  }
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
 
   std::printf(
       "\nwindow evidence (counts <= %lld): exists admits cutoff 1: %s; "

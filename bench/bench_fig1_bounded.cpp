@@ -9,6 +9,7 @@
 #include <string>
 
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/props/classes.hpp"
 #include "dawn/props/predicates.hpp"
 #include "dawn/protocols/exists_label.hpp"
@@ -19,11 +20,14 @@
 #include "dawn/semantics/trials.hpp"
 #include "dawn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
       "E2 / Figure 1 (bounded degree): DAf decides majority adversarially\n"
       "===================================================================\n\n");
+  const std::uint64_t max_steps = smoke ? 2'000'000 : 30'000'000;
+  const std::uint64_t stable_window = smoke ? 50'000 : 300'000;
 
   // --- DAf majority (Section 6.1) across degree-bounded inputs and the
   // --- full adversary battery. Every cell must match #a >= #b.
@@ -52,13 +56,14 @@ int main() {
   std::vector<std::function<SimulateResult()>> jobs;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     for (std::size_t s = 0; s < num_scheds; ++s) {
-      jobs.push_back([&inputs, i, s] {
+      jobs.push_back([&inputs, i, s, max_steps, stable_window] {
         const auto& input = inputs[i];
         const auto aut = make_majority_bounded(input.k);
         auto sched = std::move(make_adversary_battery(17)[s]);
         SimulateOptions opts;
-        opts.max_steps = 30'000'000;
-        opts.stable_window = 300'000;
+        opts.max_steps = max_steps;
+        opts.stable_window = stable_window;
+        opts.collect_metrics = true;
         return simulate(*aut.machine, input.graph, *sched, opts);
       });
     }
@@ -108,5 +113,26 @@ int main() {
   std::printf(
       "\nshape check vs paper: majority decided by DAf under every adversary"
       "\non bounded degree; impossible for it on arbitrary graphs (E1).\n");
+
+  obs::BenchReport report("fig1_bounded", smoke);
+  report.meta("max_steps", obs::JsonValue(max_steps));
+  report.meta("stable_window", obs::JsonValue(stable_window));
+  const auto battery = make_adversary_battery(17);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const bool expected = pred(inputs[i].graph.label_count(2));
+    for (std::size_t s = 0; s < num_scheds; ++s) {
+      const auto& r = results[i * num_scheds + s];
+      obs::JsonValue& row = report.add_row();
+      row.set("input", obs::JsonValue(inputs[i].name));
+      row.set("scheduler", obs::JsonValue(battery[s]->name()));
+      row.set("expected", obs::JsonValue(expected));
+      row.set("accepted", obs::JsonValue(r.verdict == Verdict::Accept));
+      row.set("converged", obs::JsonValue(r.converged));
+      row.set("convergence_step", obs::JsonValue(r.convergence_step));
+      report.add_metrics(row, r.metrics);
+    }
+  }
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -8,11 +8,13 @@
 //     shown as in the figure.
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "dawn/automata/config.hpp"
 #include "dawn/extensions/broadcast.hpp"
 #include "dawn/extensions/broadcast_engine.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/protocols/example46.hpp"
 
 namespace dawn {
@@ -20,19 +22,26 @@ namespace {
 
 constexpr State kA = kExample46A, kB = kExample46B, kX = kExample46X;
 
-void print_abstract(const BroadcastRun& run, const char* what) {
-  std::printf("  %-28s", what);
+std::string abstract_states(const BroadcastRun& run) {
+  std::string out;
   for (State s : run.config()) {
-    std::printf(" %s", run.overlay().inner().state_name(s).c_str());
+    if (!out.empty()) out += ' ';
+    out += run.overlay().inner().state_name(s);
   }
-  std::printf("\n");
+  return out;
+}
+
+void print_abstract(const BroadcastRun& run, const char* what) {
+  std::printf("  %-28s %s\n", what, abstract_states(run).c_str());
 }
 
 }  // namespace
 }  // namespace dawn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
+  obs::BenchReport report("fig2_broadcast_trace", smoke);
   std::printf(
       "E3 / Figure 2: weak-broadcast run on the line a-x-x-x-b\n"
       "=======================================================\n\n");
@@ -43,33 +52,46 @@ int main() {
 
   std::printf("(a) abstract run (Definition 4.5 semantics):\n");
   BroadcastRun run(*overlay, g);
-  print_abstract(run, "initial");
+  auto record_abstract = [&](const char* stage) {
+    print_abstract(run, stage);
+    obs::JsonValue& row = report.add_row();
+    row.set("part", obs::JsonValue("abstract"));
+    row.set("stage", obs::JsonValue(stage));
+    row.set("states", obs::JsonValue(abstract_states(run)));
+  };
+  record_abstract("initial");
   // Both ends broadcast simultaneously; nodes 1,2 receive a!'s signal,
   // node 3 receives b!'s — the receiver split of the figure.
   run.apply_broadcast({0, 4}, rng,
                       [](NodeId v) -> NodeId { return v <= 2 ? 0 : 4; });
-  print_abstract(run, "after simultaneous a!,b!");
+  record_abstract("after simultaneous a!,b!");
   // The node that turned a at position 3? No: node 3 kept x; its
   // neighbourhood transition fires next to an a neighbour.
   run.apply_neighbourhood(3);
-  print_abstract(run, "after nu-transition at 3");
+  record_abstract("after nu-transition at 3");
   run.apply_broadcast({4}, rng);
-  print_abstract(run, "after b! from the end");
+  record_abstract("after b! from the end");
 
   std::printf(
       "\n(b) compiled machine (Lemma 4.7), first wave; '|' marks phase:\n");
   const auto compiled = compile_weak_broadcast(overlay);
   Config c = initial_config(*compiled, g);
-  auto show = [&](const char* what) {
-    std::printf("  %-28s", what);
+  auto compiled_states = [&] {
+    std::string out;
     for (State s : c) {
-      const int ph = compiled->phase_of(s);
-      std::printf(" %s|%d",
-                  compiled->overlay().inner().state_name(
-                      compiled->inner_of(s)).c_str(),
-                  ph);
+      if (!out.empty()) out += ' ';
+      out += compiled->overlay().inner().state_name(compiled->inner_of(s));
+      out += '|';
+      out += std::to_string(compiled->phase_of(s));
     }
-    std::printf("\n");
+    return out;
+  };
+  auto show = [&](const char* what) {
+    std::printf("  %-28s %s\n", what, compiled_states().c_str());
+    obs::JsonValue& row = report.add_row();
+    row.set("part", obs::JsonValue("compiled"));
+    row.set("stage", obs::JsonValue(what));
+    row.set("states", obs::JsonValue(compiled_states()));
   };
   show("initial");
   const NodeId order[] = {0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1, 2, 3, 4};
@@ -84,5 +106,7 @@ int main() {
   std::printf(
       "\nshape check vs paper: the broadcast propagates as a 0->1->2->0 wave;"
       "\nreceivers adopt the response while initiators keep theirs.\n");
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

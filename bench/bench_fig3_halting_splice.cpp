@@ -10,19 +10,25 @@
 #include "dawn/automata/config.hpp"
 #include "dawn/graph/generators.hpp"
 #include "dawn/graph/splice.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/protocols/halting_flood.hpp"
 #include "dawn/semantics/sync_run.hpp"
 #include "dawn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
       "E4 / Figure 3: the Lemma 3.1 splice defeats halting acceptance\n"
       "==============================================================\n\n");
 
   const auto m = make_halting_flood(0, 2);
+  const bool halting = check_halting_on(*m, 4);
   std::printf("automaton is halting (Y/N absorbing): %s\n\n",
-              check_halting_on(*m, 4) ? "verified" : "NO?!");
+              halting ? "verified" : "NO?!");
+
+  obs::BenchReport report("fig3_halting_splice", smoke);
+  report.meta("halting_verified", obs::JsonValue(halting));
 
   Table t({"input", "decision", "halted accepting", "halted rejecting"});
   auto run_and_count = [&](const std::string& name, const Graph& g) {
@@ -41,15 +47,25 @@ int main() {
     }
     t.add_row({name, to_string(d.decision), std::to_string(acc),
                std::to_string(rej)});
+    obs::JsonValue& row = report.add_row();
+    row.set("input", obs::JsonValue(name));
+    row.set("n", obs::JsonValue(g.n()));
+    row.set("decision", obs::JsonValue(to_string(d.decision)));
+    row.set("halted_accepting", obs::JsonValue(acc));
+    row.set("halted_rejecting", obs::JsonValue(rej));
   };
 
-  for (int n : {4, 6, 8}) {
+  const std::vector<int> cycle_sizes = smoke ? std::vector<int>{4, 6}
+                                             : std::vector<int>{4, 6, 8};
+  const std::vector<int> splice_copies = smoke ? std::vector<int>{3}
+                                               : std::vector<int>{3, 5, 7};
+  for (int n : cycle_sizes) {
     run_and_count("all-a cycle, n=" + std::to_string(n),
                   make_cycle(std::vector<Label>(static_cast<std::size_t>(n), 0)));
     run_and_count("a-free cycle, n=" + std::to_string(n),
                   make_cycle(std::vector<Label>(static_cast<std::size_t>(n), 1)));
   }
-  for (int copies : {3, 5, 7}) {
+  for (int copies : splice_copies) {
     const Graph g = make_cycle(std::vector<Label>(4, 0));
     const Graph h = make_cycle(std::vector<Label>(4, 1));
     const Splice s = splice_cyclic(g, {0, 1}, copies, h, {0, 1}, copies);
@@ -62,5 +78,7 @@ int main() {
   std::printf(
       "\nshape check vs paper: uniform cycles are decided; every splice ends"
       "\nwith both halted verdicts present => inconsistent, exactly Lemma 3.1.\n");
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

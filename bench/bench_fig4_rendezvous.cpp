@@ -11,12 +11,14 @@
 #include "dawn/extensions/population.hpp"
 #include "dawn/extensions/population_engine.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/props/predicates.hpp"
 #include "dawn/protocols/pp_majority.hpp"
 #include "dawn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
       "E5 / Figure 4: rendez-vous simulation by a DAF automaton\n"
       "========================================================\n\n");
@@ -47,9 +49,15 @@ int main() {
   std::printf(
       "\n(b) selections per committed rendez-vous on growing cliques\n"
       "    (majority protocol, random exclusive scheduling):\n\n");
+  obs::BenchReport report("fig4_rendezvous", smoke);
+  const int max_n = smoke ? 6 : 12;
+  const std::uint64_t budget = smoke ? 400'000u : 2'000'000u;
+  const std::uint64_t window = smoke ? 20'000u : 50'000u;
+  report.meta("selection_budget", obs::JsonValue(budget));
+  report.meta("consensus_window", obs::JsonValue(window));
   Table t({"n", "a-nodes", "b-nodes", "selections", "rendezvous",
            "selections/rendezvous", "final verdict ok"});
-  for (int n = 4; n <= 12; n += 2) {
+  for (int n = 4; n <= max_n; n += 2) {
     const int a = n / 2 + 1, b = n - a;
     LabelCount L{a, b};
     const Graph g = make_clique(labels_from_count(L));
@@ -61,7 +69,7 @@ int main() {
     const auto pred = pred_majority_gt(0, 1, 2);
     std::uint64_t consensus_since = 0;
     bool done = false;
-    for (std::uint64_t tmax = 2'000'000; selections < tmax && !done;) {
+    for (const std::uint64_t tmax = budget; selections < tmax && !done;) {
       const auto v =
           static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n())));
       const State before = c[static_cast<std::size_t>(v)];
@@ -83,23 +91,33 @@ int main() {
       }
       if (!consensus) {
         consensus_since = selections;
-      } else if (selections - consensus_since > 50'000) {
+      } else if (selections - consensus_since > window) {
         done = true;
       }
     }
     const std::uint64_t pairs = rendezvous / 2;
+    const double per_pair = pairs ? static_cast<double>(consensus_since) /
+                                        static_cast<double>(pairs)
+                                  : 0.0;
     char ratio[32];
-    std::snprintf(ratio, sizeof ratio, "%.1f",
-                  pairs ? static_cast<double>(consensus_since) /
-                              static_cast<double>(pairs)
-                        : 0.0);
+    std::snprintf(ratio, sizeof ratio, "%.1f", per_pair);
     t.add_row({std::to_string(n), std::to_string(a), std::to_string(b),
                std::to_string(consensus_since), std::to_string(pairs), ratio,
                done ? "yes" : "timeout"});
+    obs::JsonValue& row = report.add_row();
+    row.set("n", obs::JsonValue(n));
+    row.set("a_nodes", obs::JsonValue(a));
+    row.set("b_nodes", obs::JsonValue(b));
+    row.set("selections", obs::JsonValue(consensus_since));
+    row.set("rendezvous", obs::JsonValue(pairs));
+    row.set("selections_per_rendezvous", obs::JsonValue(per_pair));
+    row.set("converged", obs::JsonValue(done));
   }
   t.print();
   std::printf(
       "\nshape check vs paper: a rendez-vous costs a constant-factor number"
       "\nof selections (5 on an idle edge; contention adds cancellations).\n");
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

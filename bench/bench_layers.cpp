@@ -8,10 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "dawn/automata/config.hpp"
 #include "dawn/automata/memoized.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/protocols/majority_bounded.hpp"
 #include "dawn/protocols/parity_strong.hpp"
 #include "dawn/trace/census.hpp"
@@ -80,28 +82,39 @@ void BM_Lemma51_FullStack(benchmark::State& state) {
 }
 BENCHMARK(BM_Lemma51_FullStack);
 
-void census_table() {
-  std::printf("\nlazily materialised state spaces (random run, 300k steps, "
-              "8-ring):\n");
-  Table t({"machine", "distinct states", "distinct configs"});
+void census_table(obs::BenchReport& report, bool smoke) {
+  const std::uint64_t steps = smoke ? 50'000 : 300'000;
+  std::printf("\nlazily materialised state spaces (random run, %lluk steps, "
+              "8-ring):\n",
+              static_cast<unsigned long long>(steps / 1000));
+  // One census per full stack: Machine::footprint() reports every layer's
+  // interner size through Census::layers, so the per-layer breakdown no
+  // longer needs a separate run per pipeline stage.
+  Table t({"stack", "layer", "interned states"});
   const auto aut = make_majority_bounded(2);
   const auto daf = make_mod_counter_daf(2, 0, 0, 2);
-  struct Row {
+  struct Stack {
     const char* name;
     const Machine* m;
   };
-  const Row rows[] = {
-      {"Sec 6.1: cancel layer (explicit Q)", aut.detect_inner.get()},
-      {"Sec 6.1: + absence compile", aut.detect_machine.get()},
-      {"Sec 6.1: + broadcasts", aut.bc_machine.get()},
-      {"Sec 6.1: full stack (DAf)", aut.machine.get()},
-      {"Lemma 5.1: token layer", daf.token.get()},
-      {"Lemma 5.1: full stack (DAF)", daf.machine.get()},
+  const Stack stacks[] = {
+      {"Sec 6.1 majority (DAf)", aut.machine.get()},
+      {"Lemma 5.1 parity (DAF)", daf.machine.get()},
   };
-  for (const Row& row : rows) {
-    const Census census = census_random_run(*row.m, ring8(), 300'000, 11);
-    t.add_row({row.name, std::to_string(census.distinct_states),
-               std::to_string(census.distinct_configs)});
+  for (const Stack& stack : stacks) {
+    const Census census = census_random_run(*stack.m, ring8(), steps, 11);
+    for (const LayerFootprint& layer : census.layers) {
+      t.add_row({stack.name, layer.layer,
+                 std::to_string(layer.interned_states)});
+    }
+    t.add_row({stack.name, "(total interned)",
+               std::to_string(census.total_interned())});
+    t.add_row({stack.name, "(distinct states / configs)",
+               std::to_string(census.distinct_states) + " / " +
+                   std::to_string(census.distinct_configs)});
+    obs::JsonValue& row = report.add_row();
+    row.set("stack", obs::JsonValue(stack.name));
+    report.add_census(row, census);
   }
   t.print();
   std::printf(
@@ -114,11 +127,18 @@ void census_table() {
 }  // namespace dawn
 
 int main(int argc, char** argv) {
+  const bool smoke = dawn::obs::smoke_mode(argc, argv);
   std::printf(
       "Ablation: per-layer cost of the compilation pipelines\n"
       "=====================================================\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  dawn::census_table();
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  dawn::obs::BenchReport report("layers", smoke);
+  report.meta("graph", dawn::obs::JsonValue("8-ring"));
+  dawn::census_table(report, smoke);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/props/predicates.hpp"
 #include "dawn/protocols/majority_bounded.hpp"
 #include "dawn/sched/scheduler.hpp"
@@ -19,6 +20,9 @@
 
 namespace dawn {
 namespace {
+
+std::uint64_t g_max_steps = 60'000'000;
+std::uint64_t g_stable_window = 300'000;
 
 std::vector<Label> votes(int n, int yes, Rng& rng) {
   std::vector<Label> labels(static_cast<std::size_t>(n), 1);
@@ -32,12 +36,16 @@ std::vector<Label> votes(int n, int yes, Rng& rng) {
   return labels;
 }
 
-std::string run_cell(const Machine& machine, const Graph& g, Scheduler& sched,
-                     bool expected) {
+SimulateResult run_cell(const Machine& machine, const Graph& g,
+                        Scheduler& sched) {
   SimulateOptions opts;
-  opts.max_steps = 60'000'000;
-  opts.stable_window = 300'000;
-  const auto r = simulate(machine, g, sched, opts);
+  opts.max_steps = g_max_steps;
+  opts.stable_window = g_stable_window;
+  opts.collect_metrics = true;
+  return simulate(machine, g, sched, opts);
+}
+
+std::string cell_text(const SimulateResult& r, bool expected) {
   if (!r.converged) return "timeout";
   std::string cell = std::to_string(r.convergence_step);
   if ((r.verdict == Verdict::Accept) != expected) cell += " WRONG";
@@ -47,18 +55,38 @@ std::string run_cell(const Machine& machine, const Graph& g, Scheduler& sched,
 }  // namespace
 }  // namespace dawn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
+  if (smoke) {
+    g_max_steps = 3'000'000;
+    g_stable_window = 50'000;
+  }
   std::printf(
       "E11 / Prop 6.3: bounded-degree DAf majority — convergence study\n"
       "===============================================================\n\n");
   Rng rng(404);
   const auto pred = pred_majority_ge(0, 1, 2);
+  obs::BenchReport report("majority_bounded", smoke);
+  report.meta("max_steps", obs::JsonValue(g_max_steps));
+  report.meta("stable_window", obs::JsonValue(g_stable_window));
+  auto add_result_row = [&report](const char* part, const SimulateResult& r,
+                                  bool expected) -> obs::JsonValue& {
+    obs::JsonValue& row = report.add_row();
+    row.set("part", obs::JsonValue(part));
+    row.set("expected", obs::JsonValue(expected));
+    row.set("accepted", obs::JsonValue(r.verdict == Verdict::Accept));
+    row.set("converged", obs::JsonValue(r.converged));
+    row.set("convergence_step", obs::JsonValue(r.convergence_step));
+    report.add_metrics(row, r.metrics);
+    return row;
+  };
 
   std::printf("(a) steps to consensus vs n (synchronous schedule):\n");
   {
     Table t({"family", "n", "yes", "no", "expected", "steps (sync)"});
-    for (int n : {4, 6, 8, 10, 12}) {
+    for (int n : smoke ? std::vector<int>{4, 6}
+                       : std::vector<int>{4, 6, 8, 10, 12}) {
       for (const bool majority_yes : {true, false}) {
         const int yes = majority_yes ? n / 2 + 1 : n / 2 - 1;
         const auto labels = votes(n, yes, rng);
@@ -76,9 +104,15 @@ int main() {
           const auto aut = make_majority_bounded(fam.k);
           SynchronousScheduler sync;
           const LabelCount L = fam.graph.label_count(2);
+          const auto r = run_cell(*aut.machine, fam.graph, sync);
           t.add_row({fam.name, std::to_string(n), std::to_string(L[0]),
                      std::to_string(L[1]), pred(L) ? "accept" : "reject",
-                     run_cell(*aut.machine, fam.graph, sync, pred(L))});
+                     cell_text(r, pred(L))});
+          obs::JsonValue& row = add_result_row("size_sweep", r, pred(L));
+          row.set("family", obs::JsonValue(fam.name));
+          row.set("n", obs::JsonValue(n));
+          row.set("yes", obs::JsonValue(L[0]));
+          row.set("no", obs::JsonValue(L[1]));
         }
       }
     }
@@ -89,15 +123,21 @@ int main() {
   {
     Table t({"yes", "no", "margin", "expected", "steps (sync)"});
     const int n = 10;
-    for (int yes : {10, 8, 6, 5, 4, 2, 0}) {
+    for (int yes : smoke ? std::vector<int>{10, 5, 0}
+                         : std::vector<int>{10, 8, 6, 5, 4, 2, 0}) {
       const auto labels = votes(n, yes, rng);
       const Graph g = make_cycle(labels);
       const auto aut = make_majority_bounded(2);
       SynchronousScheduler sync;
       const LabelCount L = g.label_count(2);
+      const auto r = run_cell(*aut.machine, g, sync);
       t.add_row({std::to_string(yes), std::to_string(n - yes),
                  std::to_string(2 * yes - n), pred(L) ? "accept" : "reject",
-                 run_cell(*aut.machine, g, sync, pred(L))});
+                 cell_text(r, pred(L))});
+      obs::JsonValue& row = add_result_row("margin_sweep", r, pred(L));
+      row.set("n", obs::JsonValue(n));
+      row.set("yes", obs::JsonValue(yes));
+      row.set("margin", obs::JsonValue(2 * yes - n));
     }
     t.print();
   }
@@ -108,14 +148,20 @@ int main() {
     const auto labels = votes(8, 3, rng);
     const Graph g = make_cycle(labels);
     const auto aut = make_majority_bounded(2);
+    const bool expected = pred(g.label_count(2));
     for (auto& sched : make_adversary_battery(31)) {
-      t.add_row({sched->name(),
-                 run_cell(*aut.machine, g, *sched, pred(g.label_count(2)))});
+      const auto r = run_cell(*aut.machine, g, *sched);
+      t.add_row({sched->name(), cell_text(r, expected)});
+      obs::JsonValue& row = add_result_row("adversary_sweep", r, expected);
+      row.set("scheduler", obs::JsonValue(sched->name()));
+      row.set("n", obs::JsonValue(8));
     }
     t.print();
   }
   std::printf(
       "\nshape check vs paper: majority decided on every bounded-degree\n"
       "instance under every adversary — impossible on arbitrary graphs (E1).\n");
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

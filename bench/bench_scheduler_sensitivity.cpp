@@ -16,6 +16,7 @@
 
 #include "dawn/extensions/absence.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/protocols/exists_label.hpp"
 #include "dawn/protocols/majority_bounded.hpp"
 #include "dawn/protocols/parity_strong.hpp"
@@ -58,8 +59,11 @@ std::shared_ptr<AbsenceMachine> absence_flood_machine() {
 }  // namespace
 }  // namespace dawn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
+  const std::uint64_t max_steps = smoke ? 2'000'000 : 20'000'000;
+  const std::uint64_t stable_window = smoke ? 50'000 : 200'000;
   std::printf(
       "E14: convergence steps per protocol x scheduler (9-node input)\n"
       "==============================================================\n\n");
@@ -103,14 +107,15 @@ int main() {
   std::vector<std::function<SimulateResult()>> jobs;
   for (const auto& row : rows) {
     for (std::size_t s = 0; s < num_scheds; ++s) {
-      jobs.push_back([&row, s] {
+      jobs.push_back([&row, s, max_steps, stable_window] {
         const auto machine = row.machine();
         const std::vector<Label> labels{0, 1, 0, 1, 0, 1, 0, 1, 0};
         const Graph g = make_cycle(labels);
         auto sched = std::move(make_adversary_battery(2)[s]);
         SimulateOptions opts;
-        opts.max_steps = 20'000'000;
-        opts.stable_window = 200'000;
+        opts.max_steps = max_steps;
+        opts.stable_window = stable_window;
+        opts.collect_metrics = true;
         return simulate(*machine, g, *sched, opts);
       });
     }
@@ -146,5 +151,30 @@ int main() {
       "starve handshakes and level promotions — stabilising to the WRONG\n"
       "consensus — which is exactly why the fairness axis changes the\n"
       "decision power.\n");
+
+  obs::BenchReport report("scheduler_sensitivity", smoke);
+  report.meta("max_steps", obs::JsonValue(max_steps));
+  report.meta("stable_window", obs::JsonValue(stable_window));
+  const auto battery = make_adversary_battery(2);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t s = 0; s < num_scheds; ++s) {
+      const auto& r = results[i * num_scheds + s];
+      const bool correct =
+          r.converged && (r.verdict == Verdict::Accept) == rows[i].expected;
+      obs::JsonValue& row = report.add_row();
+      row.set("protocol", obs::JsonValue(rows[i].name));
+      row.set("fairness_class", obs::JsonValue(rows[i].fairness));
+      row.set("scheduler", obs::JsonValue(battery[s]->name()));
+      row.set("converged", obs::JsonValue(r.converged));
+      row.set("correct", obs::JsonValue(correct));
+      // Failures are allowed for F-class protocols under deterministic
+      // schedules (outside the fairness class), never for f-class rows.
+      row.set("failure_allowed", obs::JsonValue(rows[i].fairness == "F"));
+      row.set("convergence_step", obs::JsonValue(r.convergence_step));
+      report.add_metrics(row, r.metrics);
+    }
+  }
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

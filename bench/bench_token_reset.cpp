@@ -10,15 +10,23 @@
 
 #include "dawn/automata/config.hpp"
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
 #include "dawn/props/predicates.hpp"
 #include "dawn/protocols/parity_strong.hpp"
 #include "dawn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
       "E10 / Lemma 5.1: token collisions and resets (parity pipeline)\n"
       "==============================================================\n\n");
+
+  const std::uint64_t step_cap = smoke ? 400'000u : 2'000'000u;
+  const std::uint64_t settle_window = smoke ? 100'000u : 500'000u;
+  obs::BenchReport report("token_reset", smoke);
+  report.meta("step_cap", obs::JsonValue(step_cap));
+  report.meta("settle_window", obs::JsonValue(settle_window));
 
   const auto pred = pred_mod(0, 2, 0, 2);
   Table t({"topology", "n", "#x", "resets seen", "tokens at end",
@@ -29,7 +37,7 @@ int main() {
     Graph graph;
   };
   std::vector<Case> cases;
-  for (int n : {3, 4, 5, 6}) {
+  for (int n : smoke ? std::vector<int>{3, 4} : std::vector<int>{3, 4, 5, 6}) {
     std::vector<Label> labels(static_cast<std::size_t>(n), 1);
     for (int i = 0; i < (n + 1) / 2; ++i) labels[static_cast<std::size_t>(i)] = 0;
     cases.push_back({"clique", make_clique(labels)});
@@ -47,7 +55,7 @@ int main() {
     bool had_error = false;
     std::uint64_t one_token_at = 0;
     int tokens = tc.graph.n();
-    for (std::uint64_t s = 0; s < 2'000'000; ++s) {
+    for (std::uint64_t s = 0; s < step_cap; ++s) {
       const Selection sel{static_cast<NodeId>(
           rng.index(static_cast<std::size_t>(tc.graph.n())))};
       c = successor(*daf.machine, tc.graph, c, sel);
@@ -69,7 +77,7 @@ int main() {
       if (one_token_at == 0 && now_tokens == 1 && !any_error) {
         one_token_at = s;
       }
-      if (one_token_at != 0 && s - one_token_at > 500'000) break;
+      if (one_token_at != 0 && s - one_token_at > settle_window) break;
     }
     // Verdict of the committed protocol projection.
     bool all_accept = true, all_reject = true;
@@ -86,10 +94,22 @@ int main() {
                std::to_string(L[0]), std::to_string(resets),
                std::to_string(tokens), std::to_string(one_token_at), verdict,
                pred(L) ? "accept" : "reject"});
+    obs::JsonValue& row = report.add_row();
+    row.set("topology", obs::JsonValue(tc.name));
+    row.set("n", obs::JsonValue(tc.graph.n()));
+    row.set("num_x", obs::JsonValue(L[0]));
+    row.set("resets", obs::JsonValue(resets));
+    row.set("resets_within_bound", obs::JsonValue(resets <= tc.graph.n() - 1));
+    row.set("tokens_at_end", obs::JsonValue(tokens));
+    row.set("steps_to_one_token", obs::JsonValue(one_token_at));
+    row.set("verdict", obs::JsonValue(verdict));
+    row.set("expected", obs::JsonValue(pred(L) ? "accept" : "reject"));
   }
   t.print();
   std::printf(
       "\nshape check vs paper: resets <= initial tokens - 1 = n - 1; the\n"
       "token count reaches 1 and the run stabilises to the parity verdict.\n");
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -16,11 +16,16 @@
 //                         default for small inputs
 //     --simulate          simulation under the adversary battery
 //     --trace N           print the first N steps of a round-robin run
+//     --metrics           collect run metrics and print the merged snapshot
+//                         (implies --simulate)
+//     --trace-jsonl PATH  write a structured JSONL event trace of the first
+//                         simulated run to PATH (implies --simulate)
 //
 // Examples:
 //   dawn_cli exists:1 cycle 0,0,1,0 --exact
 //   dawn_cli majority:2 cycle 0,1,0,1,0 --simulate
 //   dawn_cli mod:0:2:0 clique 0,0,1 --simulate
+//   dawn_cli majority:2 cycle 0,1,0,1,0 --metrics --trace-jsonl run.jsonl
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +35,8 @@
 #include <vector>
 
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/metrics.hpp"
+#include "dawn/obs/trace_log.hpp"
 #include "dawn/protocols/exists_label.hpp"
 #include "dawn/protocols/majority_bounded.hpp"
 #include "dawn/protocols/parity_strong.hpp"
@@ -56,7 +63,8 @@ std::vector<std::string> split(const std::string& s, char sep) {
   if (!why.empty()) std::fprintf(stderr, "error: %s\n\n", why.c_str());
   std::fprintf(stderr,
                "usage: %s <protocol> <topology> <labels> "
-               "[--exact|--simulate] [--trace N]\n"
+               "[--exact|--simulate] [--trace N] [--metrics] "
+               "[--trace-jsonl PATH]\n"
                "  protocols: exists:L  threshold:L:K  mod:L:M:R  "
                "majority-pp  majority:K\n"
                "  topologies: cycle line clique star grid:WxH torus:WxH\n"
@@ -135,8 +143,9 @@ Graph parse_topology(const std::string& spec, const std::vector<Label>& labels,
 int main(int argc, char** argv) {
   if (argc < 4) usage(argv[0]);
 
-  bool exact = false, simulate_mode = false;
+  bool exact = false, simulate_mode = false, want_metrics = false;
   std::uint64_t trace_steps = 0;
+  std::string trace_jsonl;
   for (int i = 4; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--exact")) {
       exact = true;
@@ -144,6 +153,12 @@ int main(int argc, char** argv) {
       simulate_mode = true;
     } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
       trace_steps = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      want_metrics = true;
+      simulate_mode = true;
+    } else if (!std::strcmp(argv[i], "--trace-jsonl") && i + 1 < argc) {
+      trace_jsonl = argv[++i];
+      simulate_mode = true;
     } else {
       usage(argv[0], std::string("unknown option: ") + argv[i]);
     }
@@ -184,16 +199,40 @@ int main(int argc, char** argv) {
     }
   }
   if (simulate_mode || !exact) {
+    obs::RunMetrics merged;
+    obs::TraceLog trace;
+    bool first_run = true;
     for (auto& sched : make_adversary_battery(1)) {
       SimulateOptions opts;
       opts.max_steps = 30'000'000;
       opts.stable_window = 200'000;
+      opts.collect_metrics = want_metrics;
+      // The JSONL trace captures one run (the battery's first); traces are
+      // per-run streams, not aggregates.
+      if (!trace_jsonl.empty() && first_run) opts.trace = &trace;
+      first_run = false;
       const auto r = simulate(*protocol.machine, g, *sched, opts);
+      merged.merge(r.metrics);
       std::printf("  %-18s -> %s%s\n", sched->name().c_str(),
                   r.verdict == Verdict::Accept
                       ? "accept"
                       : (r.verdict == Verdict::Reject ? "reject" : "?"),
                   r.converged ? "" : " [not converged]");
+    }
+    if (want_metrics) {
+      std::printf("\nmetrics (merged over the scheduler battery):\n%s\n",
+                  merged.to_json().dump(2).c_str());
+    }
+    if (!trace_jsonl.empty()) {
+      std::string error;
+      if (trace.write_file(trace_jsonl, &error)) {
+        std::printf("\nwrote %zu trace events to %s%s\n", trace.size(),
+                    trace_jsonl.c_str(),
+                    trace.truncated() ? " (truncated)" : "");
+      } else {
+        std::fprintf(stderr, "trace-jsonl: %s\n", error.c_str());
+        return 1;
+      }
     }
   }
   return 0;

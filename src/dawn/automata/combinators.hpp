@@ -56,6 +56,11 @@ class TaggedMachine : public Machine {
   State pack(State inner, State tag) const;
   std::pair<State, State> unpack(State state) const;
 
+  void footprint(std::vector<LayerFootprint>& out) const override {
+    spec_.inner->footprint(out);
+    out.push_back({"tagged", states_.size()});
+  }
+
  private:
   Spec spec_;
   mutable Interner<std::pair<State, State>, PairHash<State, State>> states_;
@@ -77,6 +82,11 @@ class RememberLastMachine : public Machine {
 
   State current_of(State state) const;  // inner current state
   State last_of(State state) const;     // inner last committed state
+
+  void footprint(std::vector<LayerFootprint>& out) const override {
+    inner_->footprint(out);
+    out.push_back({"remember-last(L4.4)", states_.size()});
+  }
 
  private:
   State pack(State cur, State last) const;
@@ -106,6 +116,9 @@ class VerdictOverrideMachine : public Machine {
   }
   std::string state_name(State state) const override {
     return inner_->state_name(state);
+  }
+  void footprint(std::vector<LayerFootprint>& out) const override {
+    inner_->footprint(out);
   }
 
  private:

@@ -27,6 +27,16 @@ using State = std::int32_t;
 
 enum class Verdict : std::uint8_t { Accept, Reject, Neutral };
 
+// Footprint of one lazily-interning compilation layer: how many structured
+// states the layer has materialised so far. Compiled machines report one
+// entry per layer (inner layers first), so a deep stack like the Section 6.1
+// automaton exposes the growth of every level to the observability layer
+// (trace/census.hpp, obs/metrics.hpp).
+struct LayerFootprint {
+  std::string layer;
+  std::size_t interned_states = 0;
+};
+
 class Machine {
  public:
   virtual ~Machine() = default;
@@ -65,6 +75,13 @@ class Machine {
 
   // Debug name of a state.
   virtual std::string state_name(State state) const;
+
+  // Appends one LayerFootprint per lazily-interning compilation layer, inner
+  // layers first. Plain machines append nothing; wrappers delegate to their
+  // inner machine and then report their own interner.
+  virtual void footprint(std::vector<LayerFootprint>& out) const {
+    (void)out;
+  }
 };
 
 // A machine assembled from callables; the workhorse for hand-written

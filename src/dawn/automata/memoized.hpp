@@ -40,6 +40,11 @@ class MemoizedMachine : public Machine {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  void footprint(std::vector<LayerFootprint>& out) const override {
+    inner_->footprint(out);
+    out.push_back({"memo.step_cache", step_cache_.size()});
+  }
+
  private:
   struct Key {
     State state;

@@ -21,6 +21,8 @@ Run::Run(const Machine& machine, const Graph& graph, StepEngine engine)
 }
 
 void Run::apply(std::span<const NodeId> selection) {
+  last_step_commits_ = 0;
+  if (selection.size() > max_selection_) max_selection_ = selection.size();
   if (engine_ == StepEngine::Incremental) {
     apply_incremental(selection);
   } else {
@@ -64,6 +66,8 @@ void Run::apply_incremental(std::span<const NodeId> selection) {
 
 void Run::commit(std::size_t idx, State next) {
   config_[idx] = next;
+  ++commits_;
+  ++last_step_commits_;
   const Verdict now = verdict_of(next);
   const Verdict was = verdicts_[idx];
   if (now == was) return;
@@ -76,7 +80,18 @@ void Run::commit(std::size_t idx, State next) {
 
 void Run::apply_full_copy(std::span<const NodeId> selection) {
   successor_into(machine_, graph_, config_, selection, scratch_);
-  if (scratch_ != config_) last_change_step_ = steps_ + 1;
+  // Count changed nodes instead of the old scratch_ != config_ test: same
+  // O(n) scan, and the diff count matches the incremental engine's commits
+  // exactly (the differential tests pin this).
+  std::uint64_t diffs = 0;
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (scratch_[i] != config_[i]) ++diffs;
+  }
+  if (diffs > 0) {
+    last_change_step_ = steps_ + 1;
+    commits_ += diffs;
+    last_step_commits_ = diffs;
+  }
   config_.swap(scratch_);
 }
 
@@ -91,6 +106,8 @@ void Run::note_consensus_after_step() {
     now = consensus(machine_, config_);
   }
   if (now != consensus_) {
+    if (consensus_ != Verdict::Neutral) ++consensus_lost_;
+    if (now != Verdict::Neutral) ++consensus_established_;
     consensus_ = now;
     consensus_since_ = steps_;
   }

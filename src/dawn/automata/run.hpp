@@ -53,6 +53,24 @@ class Run {
   // Total node activations so far (sum of selection sizes across steps).
   std::uint64_t activations() const { return activations_; }
 
+  // Node state writes that changed a state. The incremental engine counts
+  // its phase-2 commits; the FullCopy engine counts the diff between the
+  // old and new configurations — the two agree bit-for-bit, which the
+  // differential tests pin. These are plain member counters (not the obs
+  // thread-local sink) so the per-step cost is unconditional but trivial;
+  // semantics/simulate.cpp harvests them once per run.
+  std::uint64_t commits() const { return commits_; }
+
+  // Commits of the most recent apply() (the trace log's "changed" field).
+  std::uint64_t last_step_commits() const { return last_step_commits_; }
+
+  // Consensus churn: transitions into / out of a uniform verdict.
+  std::uint64_t consensus_established() const { return consensus_established_; }
+  std::uint64_t consensus_lost() const { return consensus_lost_; }
+
+  // Largest selection applied so far.
+  std::size_t max_selection_size() const { return max_selection_; }
+
   // Uniform verdict of the current configuration, Neutral if mixed.
   Verdict current_consensus() const { return consensus_; }
 
@@ -80,6 +98,11 @@ class Run {
   std::uint64_t steps_ = 0;
   std::uint64_t activations_ = 0;
   std::uint64_t last_change_step_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t last_step_commits_ = 0;
+  std::uint64_t consensus_established_ = 0;
+  std::uint64_t consensus_lost_ = 0;
+  std::size_t max_selection_ = 0;
   Verdict consensus_ = Verdict::Neutral;
   std::uint64_t consensus_since_ = 0;
 

@@ -91,6 +91,12 @@ class CompiledAbsenceMachine : public Machine {
   int degree_bound() const { return k_; }
   const AbsenceMachine& absence_machine() const { return *machine_; }
 
+  void footprint(std::vector<LayerFootprint>& out) const override {
+    machine_->inner().footprint(out);
+    out.push_back({"absence(L4.9)", states_.size()});
+    out.push_back({"absence.supports", supports_.size()});
+  }
+
  private:
   // Distance labels: 0..2k are Z_{2k+1}; 2k+1 is `root`. root+1 = 1.
   int increment_label(int d) const;

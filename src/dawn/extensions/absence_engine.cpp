@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "dawn/obs/metrics.hpp"
 #include "dawn/util/check.hpp"
 
 namespace dawn {
@@ -19,6 +20,8 @@ AbsenceSyncRun::AbsenceSyncRun(const AbsenceMachine& machine, const Graph& g,
 }
 
 bool AbsenceSyncRun::step() {
+  obs::count(obs::Counter::AbsenceSuperSteps);
+  obs::Stopwatch watch(obs::Timer::AbsenceSuperStep);
   const int beta = machine_.inner().beta();
   // (i) Synchronous neighbourhood transitions.
   std::vector<State> after(config_.size());
@@ -36,6 +39,7 @@ bool AbsenceSyncRun::step() {
   }
   if (initiators.empty()) {
     // The computation hangs: C'' := C (Definition 4.8).
+    obs::count(obs::Counter::AbsenceHangs);
     ++steps_;
     return false;
   }

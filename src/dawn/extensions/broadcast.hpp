@@ -125,6 +125,11 @@ class CompiledBroadcastMachine : public Machine {
 
   const BroadcastOverlay& overlay() const { return *overlay_; }
 
+  void footprint(std::vector<LayerFootprint>& out) const override {
+    overlay_->inner().footprint(out);
+    out.push_back({"broadcast(L4.7)", states_.size()});
+  }
+
  private:
   struct Packed {
     State inner;

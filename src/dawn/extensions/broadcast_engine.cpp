@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "dawn/automata/combinators.hpp"
+#include "dawn/obs/metrics.hpp"
 #include "dawn/semantics/scc.hpp"
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
@@ -34,6 +35,7 @@ BroadcastRun::BroadcastRun(const BroadcastOverlay& overlay, const Graph& g)
 }
 
 bool BroadcastRun::apply_neighbourhood(NodeId v) {
+  obs::count(obs::Counter::OverlaySteps);
   const State s = config_[static_cast<std::size_t>(v)];
   if (overlay_.initiate(s).has_value()) return false;  // initiators sit out
   const auto nb =
@@ -67,6 +69,8 @@ bool BroadcastRun::apply_broadcast(
     }
   }
   if (initiators.empty()) return false;
+  obs::count(obs::Counter::OverlayBroadcasts);
+  obs::Stopwatch watch(obs::Timer::OverlayBroadcast);
 
   std::vector<State> next = config_;
   std::unordered_set<NodeId> initiator_set(initiators.begin(),

@@ -65,6 +65,10 @@ class CompiledPopulationMachine : public Machine {
 
   const GraphPopulationProtocol& protocol() const { return protocol_; }
 
+  void footprint(std::vector<LayerFootprint>& out) const override {
+    out.push_back({"population(L4.10)", states_.size()});
+  }
+
  private:
   struct Packed {
     State q;            // protocol state (pre-commit)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "dawn/obs/metrics.hpp"
 #include "dawn/semantics/scc.hpp"
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
@@ -170,6 +171,7 @@ PopulationSimResult simulate_population(const GraphPopulationProtocol& p,
         static_cast<NodeId>(rng.index(static_cast<std::size_t>(g.n())));
     auto nbrs = g.neighbours(u);
     if (!nbrs.empty()) {
+      obs::count(obs::Counter::PopulationSteps);
       const NodeId v = nbrs[rng.index(nbrs.size())];
       const auto [pu, pv] = p.delta(config[static_cast<std::size_t>(u)],
                                     config[static_cast<std::size_t>(v)]);

@@ -1,0 +1,170 @@
+#include "dawn/obs/export.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace dawn::obs {
+
+BenchReport::BenchReport(std::string_view bench_name, bool smoke)
+    : name_(bench_name) {
+  doc_ = JsonValue::object();
+  doc_.set("schema_version", JsonValue(kBenchSchemaVersion));
+  doc_.set("bench", JsonValue(name_));
+  doc_.set("smoke", JsonValue(smoke));
+  doc_.set("meta", JsonValue::object());
+  doc_.set("results", JsonValue::array());
+}
+
+void BenchReport::meta(const std::string& key, JsonValue value) {
+  doc_.get("meta")->set(key, std::move(value));
+}
+
+JsonValue& BenchReport::add_row() {
+  JsonValue* results = doc_.get("results");
+  results->push_back(JsonValue::object());
+  return results->at(results->size() - 1);
+}
+
+void BenchReport::add_metrics(JsonValue& row, const RunMetrics& metrics,
+                              std::string_view prefix) {
+  // Rows are flat, so the nested to_json() shape is flattened into prefixed
+  // scalar columns; zero entries are omitted, matching to_json().
+  const std::string p(prefix);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (metrics.counters[i] != 0) {
+      row.set(p + name(static_cast<Counter>(i)), metrics.counters[i]);
+    }
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (metrics.gauges[i] != 0) {
+      row.set(p + name(static_cast<Gauge>(i)), metrics.gauges[i]);
+    }
+  }
+  for (std::size_t i = 0; i < kNumTimers; ++i) {
+    const TimerStat& t = metrics.timers[i];
+    if (t.count == 0) continue;
+    const std::string col = p + name(static_cast<Timer>(i));
+    row.set(col + ".count", t.count);
+    row.set(col + ".total_ns", t.total_ns);
+    row.set(col + ".max_ns", t.max_ns);
+  }
+}
+
+void BenchReport::add_census(JsonValue& row, const Census& census,
+                             std::string_view prefix) {
+  const std::string p(prefix);
+  row.set(p + "distinct_states",
+          JsonValue(static_cast<std::uint64_t>(census.distinct_states)));
+  row.set(p + "distinct_configs",
+          JsonValue(static_cast<std::uint64_t>(census.distinct_configs)));
+  row.set(p + "steps", JsonValue(census.steps));
+  row.set(p + "total_interned",
+          JsonValue(static_cast<std::uint64_t>(census.total_interned())));
+  for (std::size_t i = 0; i < census.layers.size(); ++i) {
+    const std::string col = p + "layer" + std::to_string(i) + ".";
+    row.set(col + "name", JsonValue(census.layers[i].layer));
+    row.set(col + "states",
+            JsonValue(static_cast<std::uint64_t>(
+                census.layers[i].interned_states)));
+  }
+}
+
+std::string BenchReport::write(const std::string& dir,
+                               std::string_view file_stem) const {
+  const std::string stem(file_stem.empty() ? std::string_view(name_)
+                                           : file_stem);
+  const std::string path = dir + "/BENCH_" + stem + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "BenchReport: cannot open %s\n", path.c_str());
+    return "";
+  }
+  out << dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "BenchReport: write failed: %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+bool is_flat_scalar_object(const JsonValue& obj, const char* what,
+                           std::string* error) {
+  for (const auto& [key, value] : obj.members()) {
+    if (!value.is_scalar() && !value.is_null()) {
+      return fail(error, std::string(what) + " value for key '" + key +
+                             "' is not a scalar");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool BenchReport::validate(const JsonValue& doc, std::string* error) {
+  if (doc.kind() != JsonValue::Kind::Object) {
+    return fail(error, "document is not an object");
+  }
+  const JsonValue* version = doc.get("schema_version");
+  if (!version || version->kind() != JsonValue::Kind::Int) {
+    return fail(error, "missing integer schema_version");
+  }
+  if (version->as_int() != kBenchSchemaVersion) {
+    return fail(error, "unsupported schema_version " +
+                           std::to_string(version->as_int()));
+  }
+  const JsonValue* bench = doc.get("bench");
+  if (!bench || bench->kind() != JsonValue::Kind::String ||
+      bench->as_string().empty()) {
+    return fail(error, "missing non-empty string 'bench'");
+  }
+  const JsonValue* smoke = doc.get("smoke");
+  if (!smoke || smoke->kind() != JsonValue::Kind::Bool) {
+    return fail(error, "missing boolean 'smoke'");
+  }
+  const JsonValue* meta = doc.get("meta");
+  if (!meta || meta->kind() != JsonValue::Kind::Object) {
+    return fail(error, "missing object 'meta'");
+  }
+  if (!is_flat_scalar_object(*meta, "meta", error)) return false;
+  const JsonValue* results = doc.get("results");
+  if (!results || results->kind() != JsonValue::Kind::Array) {
+    return fail(error, "missing array 'results'");
+  }
+  for (std::size_t i = 0; i < results->size(); ++i) {
+    const JsonValue& row = results->at(i);
+    if (row.kind() != JsonValue::Kind::Object) {
+      return fail(error, "results[" + std::to_string(i) + "] is not an object");
+    }
+    if (!is_flat_scalar_object(
+            row, ("results[" + std::to_string(i) + "]").c_str(), error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void record_census(const Census& census, RunMetrics& metrics) {
+  metrics.gauge_max(Gauge::CensusDistinctStates,
+                    static_cast<std::uint64_t>(census.distinct_states));
+  metrics.gauge_max(Gauge::CensusDistinctConfigs,
+                    static_cast<std::uint64_t>(census.distinct_configs));
+  metrics.gauge_max(Gauge::InternerPeakStates,
+                    static_cast<std::uint64_t>(census.total_interned()));
+}
+
+bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace dawn::obs

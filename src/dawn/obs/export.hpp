@@ -1,0 +1,76 @@
+// Unified experiment exporter: one schema for every BENCH_*.json.
+//
+// Before this layer each bench hand-rolled its own JSON writer, so the
+// reports drifted: different key names, no version field, no way to validate
+// them mechanically. BenchReport is the single writer; tools/bench_schema_check
+// is the matching validator, and CI runs every bench in --smoke mode and
+// checks the emitted files against validate().
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",            // e.g. "engine_throughput"
+//     "smoke": false,               // true when produced by a --smoke run
+//     "meta": { ... },              // flat scalars: headline numbers, config
+//     "results": [ {..row..}, ... ] // flat scalar row objects
+//   }
+//
+// Rows are flat (scalar values only) so the reports stay greppable and
+// trivially loadable into a dataframe. RunMetrics and Census snapshots are
+// flattened into prefixed columns ("metrics.sim.steps", "census.layer0.name").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dawn/obs/json.hpp"
+#include "dawn/obs/metrics.hpp"
+#include "dawn/trace/census.hpp"
+
+namespace dawn::obs {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string_view bench_name, bool smoke = false);
+
+  // Flat scalar metadata (headline numbers, configuration).
+  void meta(const std::string& key, JsonValue value);
+
+  // Starts a new result row and returns it; add scalar columns with set().
+  JsonValue& add_row();
+
+  // Flattens into the current (last) row under a prefix.
+  void add_metrics(JsonValue& row, const RunMetrics& metrics,
+                   std::string_view prefix = "metrics.");
+  void add_census(JsonValue& row, const Census& census,
+                  std::string_view prefix = "census.");
+
+  const JsonValue& json() const { return doc_; }
+  std::string dump(int indent = 2) const { return doc_.dump(indent); }
+
+  // Writes "<dir>/BENCH_<stem>.json" (stem defaults to the bench name);
+  // returns the path written, or "" on failure (error message to stderr).
+  // The stem override exists for reports whose historical file name is
+  // shorter than the bench name (BENCH_engine.json vs "engine_throughput").
+  std::string write(const std::string& dir = ".",
+                    std::string_view file_stem = {}) const;
+
+  // Validates a parsed document against the version-1 schema. Returns true
+  // if valid; otherwise fills `error` with the first violation.
+  static bool validate(const JsonValue& doc, std::string* error = nullptr);
+
+ private:
+  std::string name_;
+  JsonValue doc_;
+};
+
+// Records a census into a metrics sink as gauges (distinct states/configs
+// and the total interned-state footprint across layers).
+void record_census(const Census& census, RunMetrics& metrics);
+
+// Parses `--smoke` from argv; benches call this to decide their sizing.
+bool smoke_mode(int argc, char** argv);
+
+}  // namespace dawn::obs

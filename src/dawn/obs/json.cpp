@@ -1,0 +1,316 @@
+#include "dawn/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn::obs {
+
+void JsonValue::push_back(JsonValue v) {
+  DAWN_CHECK(kind_ == Kind::Array);
+  items_.emplace_back(std::string{}, std::move(v));
+}
+
+std::size_t JsonValue::size() const { return items_.size(); }
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  DAWN_CHECK(kind_ == Kind::Object);
+  for (auto& [k, existing] : items_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  items_.emplace_back(key, std::move(v));
+  return items_.back().second;
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : items_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Int:
+      out += std::to_string(int_);
+      break;
+    case Kind::Double: {
+      if (!std::isfinite(double_)) {
+        out += "null";  // JSON has no NaN/Inf
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.10g", double_);
+      out += buf;
+      // Keep the int/double distinction visible on re-parse.
+      if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+          std::string::npos) {
+        out += ".0";
+      }
+      break;
+    }
+    case Kind::String:
+      escape_into(out, string_);
+      break;
+    case Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        items_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        escape_into(out, items_[i].first);
+        out += indent > 0 ? ": " : ":";
+        items_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // BMP-only UTF-8 encoding (the writer never emits surrogates).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out = JsonValue::object();
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') { ++pos; return true; }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        JsonValue v;
+        if (!parse_value(v)) return false;
+        out.set(key, std::move(v));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') { ++pos; continue; }
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out = JsonValue::array();
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') { ++pos; return true; }
+      while (true) {
+        JsonValue v;
+        if (!parse_value(v)) return false;
+        out.push_back(std::move(v));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') { ++pos; continue; }
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = JsonValue(std::move(s));
+      return true;
+    }
+    if (text.compare(pos, 4, "true") == 0) { pos += 4; out = JsonValue(true); return true; }
+    if (text.compare(pos, 5, "false") == 0) { pos += 5; out = JsonValue(false); return true; }
+    if (text.compare(pos, 4, "null") == 0) { pos += 4; out = JsonValue(); return true; }
+    // Number.
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    bool is_double = false;
+    while (pos < text.size()) {
+      const char d = text[pos];
+      if (d >= '0' && d <= '9') { ++pos; continue; }
+      if (d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-') {
+        if (d == '.' || d == 'e' || d == 'E') is_double = true;
+        // '+'/'-' only valid inside an exponent; accept loosely, strtod
+        // validates below.
+        if (d == '+' || (d == '-' && pos > start)) {
+          if (!is_double) break;
+        }
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (pos == start) return fail("unexpected character");
+    const std::string token(text.substr(start, pos - start));
+    if (is_double) {
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (end == nullptr || *end != '\0') return fail("bad number");
+      out = JsonValue(v);
+    } else {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return fail("bad number");
+      out = JsonValue(v);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text,
+                                          std::string* error) {
+  Parser p{text};
+  JsonValue v;
+  if (!p.parse_value(v)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != p.text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(p.pos);
+    }
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace dawn::obs

@@ -1,0 +1,99 @@
+// Minimal ordered JSON value: enough for the observability layer.
+//
+// The exporter (export.hpp) writes schema-versioned BENCH_*.json files, the
+// trace log (trace_log.hpp) emits JSONL events, and the schema checker tool
+// parses them back — all through this one value type, so the writer and the
+// validator can never drift apart. Objects preserve insertion order (reports
+// stay diffable across runs); numbers keep the int/double distinction
+// (counters round-trip exactly).
+//
+// Deliberately not a general JSON library: no comments, no NaN/Inf (dumped
+// as null), UTF-8 passed through verbatim, \uXXXX parsed for BMP only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dawn::obs {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;                     // null
+  JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+  JsonValue(int v) : kind_(Kind::Int), int_(v) {}
+  JsonValue(long v) : kind_(Kind::Int), int_(v) {}
+  JsonValue(long long v) : kind_(Kind::Int), int_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::Int), int_(v) {}
+  JsonValue(unsigned long v) : kind_(Kind::Int), int_(static_cast<std::int64_t>(v)) {}
+  JsonValue(unsigned long long v) : kind_(Kind::Int), int_(static_cast<std::int64_t>(v)) {}
+  JsonValue(double v) : kind_(Kind::Double), double_(v) {}
+  JsonValue(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  JsonValue(std::string_view s) : kind_(Kind::String), string_(s) {}
+  JsonValue(const char* s) : kind_(Kind::String), string_(s) {}
+
+  static JsonValue array() { JsonValue v; v.kind_ = Kind::Array; return v; }
+  static JsonValue object() { JsonValue v; v.kind_ = Kind::Object; return v; }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_scalar() const {
+    return kind_ == Kind::Bool || kind_ == Kind::Int || kind_ == Kind::Double ||
+           kind_ == Kind::String;
+  }
+
+  // Scalar access; the caller is expected to have checked kind().
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const { return int_; }
+  // Numeric value of an Int or Double.
+  double as_double() const {
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+
+  // Array access.
+  void push_back(JsonValue v);
+  std::size_t size() const;
+  const JsonValue& at(std::size_t i) const { return items_[i].second; }
+  JsonValue& at(std::size_t i) { return items_[i].second; }
+
+  // Object access (insertion-ordered; set replaces an existing key in place).
+  JsonValue& set(const std::string& key, JsonValue v);
+  const JsonValue* get(const std::string& key) const;
+  JsonValue* get(const std::string& key) {
+    return const_cast<JsonValue*>(
+        static_cast<const JsonValue*>(this)->get(key));
+  }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return items_;
+  }
+
+  // Serialisation. indent = 0 gives one line; > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  // Strict parse of one JSON document (trailing whitespace allowed). On
+  // failure returns nullopt and, if given, fills `error` with a message
+  // carrying the byte offset.
+  static std::optional<JsonValue> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  bool operator==(const JsonValue& other) const = default;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  // Array elements (first empty) or object members.
+  std::vector<std::pair<std::string, JsonValue>> items_;
+};
+
+}  // namespace dawn::obs

@@ -1,0 +1,136 @@
+#include "dawn/obs/trace_log.hpp"
+
+#include <fstream>
+
+#include "dawn/obs/metrics.hpp"
+
+namespace dawn::obs {
+
+bool TraceLog::append(JsonValue event) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    count(Counter::TraceEventsDropped);
+    return false;
+  }
+  events_.push_back(std::move(event));
+  return true;
+}
+
+void TraceLog::run_start(std::size_t nodes, std::string_view engine) {
+  JsonValue e = JsonValue::object();
+  e.set("type", JsonValue("run_start"));
+  e.set("nodes", JsonValue(static_cast<std::uint64_t>(nodes)));
+  e.set("engine", JsonValue(engine));
+  append(std::move(e));
+}
+
+void TraceLog::step(std::uint64_t t, const Selection& selection,
+                    std::size_t changed) {
+  JsonValue e = JsonValue::object();
+  e.set("type", JsonValue("step"));
+  e.set("t", JsonValue(t));
+  JsonValue sel = JsonValue::array();
+  for (NodeId v : selection) sel.push_back(JsonValue(static_cast<std::int64_t>(v)));
+  e.set("sel", std::move(sel));
+  e.set("changed", JsonValue(static_cast<std::uint64_t>(changed)));
+  append(std::move(e));
+}
+
+void TraceLog::consensus(std::uint64_t t, std::string_view verdict) {
+  JsonValue e = JsonValue::object();
+  e.set("type", JsonValue("consensus"));
+  e.set("t", JsonValue(t));
+  e.set("verdict", JsonValue(verdict));
+  append(std::move(e));
+}
+
+void TraceLog::consensus_lost(std::uint64_t t) {
+  JsonValue e = JsonValue::object();
+  e.set("type", JsonValue("consensus_lost"));
+  e.set("t", JsonValue(t));
+  append(std::move(e));
+}
+
+void TraceLog::run_end(std::uint64_t t, bool converged,
+                       std::string_view verdict) {
+  // The terminal event must not be dropped — without it a truncated trace is
+  // indistinguishable from a crashed run. Evict the newest step event if
+  // needed.
+  JsonValue e = JsonValue::object();
+  e.set("type", JsonValue("run_end"));
+  e.set("t", JsonValue(t));
+  e.set("converged", JsonValue(converged));
+  e.set("verdict", JsonValue(verdict));
+  if (events_.size() >= max_events_ && !events_.empty()) {
+    events_.pop_back();
+    ++dropped_;
+    count(Counter::TraceEventsDropped);
+  }
+  events_.push_back(std::move(e));
+}
+
+std::string TraceLog::to_jsonl() const {
+  std::string out;
+  for (const JsonValue& e : events_) {
+    out += e.dump();
+    out += '\n';
+  }
+  if (dropped_ > 0) {
+    JsonValue marker = JsonValue::object();
+    marker.set("type", JsonValue("truncated"));
+    marker.set("dropped", JsonValue(static_cast<std::uint64_t>(dropped_)));
+    out += marker.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+bool TraceLog::write_file(const std::string& path, std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  out << to_jsonl();
+  if (!out) {
+    if (error) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<JsonValue>> TraceLog::parse_jsonl(
+    std::string_view text, std::string* error) {
+  std::vector<JsonValue> events;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    std::string line_error;
+    auto value = JsonValue::parse(line, &line_error);
+    if (!value) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": " + line_error;
+      }
+      return std::nullopt;
+    }
+    events.push_back(std::move(*value));
+  }
+  return events;
+}
+
+std::ptrdiff_t TraceLog::first_divergence(const std::vector<JsonValue>& a,
+                                          const std::vector<JsonValue>& b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!(a[i] == b[i])) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace dawn::obs

@@ -1,0 +1,80 @@
+// Structured run tracing: a bounded JSONL event stream.
+//
+// RunRecorder (trace/recorder.hpp) captures full configurations for
+// human-readable transcripts; that is the right tool for small runs but the
+// wrong one for observability — configs are O(n) per step and the output is
+// not machine-diffable. TraceLog records *events*: small, schema'd JSON
+// objects, one per line when serialised (JSONL). A trace is
+//
+//   * bounded — at most `max_events` events are kept; later events are
+//     dropped and counted (Counter::TraceEventsDropped), so tracing a 10^6
+//     step run cannot exhaust memory;
+//   * replayable — step events carry the full selection, so a run can be
+//     re-executed deterministically from its trace without the scheduler or
+//     its seed;
+//   * diffable — first_divergence() finds the first event where two traces
+//     disagree, which turns "two engines behaved differently" into a
+//     pinpointed step index.
+//
+// Event schema (docs/OBSERVABILITY.md has the full reference):
+//   {"type":"run_start","nodes":N,"engine":"incremental"}
+//   {"type":"step","t":T,"sel":[ids],"changed":K}
+//   {"type":"consensus","t":T,"verdict":"accept"|"reject"}
+//   {"type":"consensus_lost","t":T}
+//   {"type":"run_end","t":T,"converged":B,"verdict":...}
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/obs/json.hpp"
+
+namespace dawn::obs {
+
+class TraceLog {
+ public:
+  static constexpr std::size_t kDefaultMaxEvents = 1 << 16;
+
+  explicit TraceLog(std::size_t max_events = kDefaultMaxEvents)
+      : max_events_(max_events) {}
+
+  // Appends an event; returns false (and counts a drop) once full.
+  bool append(JsonValue event);
+
+  // Typed emitters used by the simulation loop.
+  void run_start(std::size_t nodes, std::string_view engine);
+  void step(std::uint64_t t, const Selection& selection, std::size_t changed);
+  void consensus(std::uint64_t t, std::string_view verdict);
+  void consensus_lost(std::uint64_t t);
+  void run_end(std::uint64_t t, bool converged, std::string_view verdict);
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t dropped() const { return dropped_; }
+  bool truncated() const { return dropped_ > 0; }
+  const std::vector<JsonValue>& events() const { return events_; }
+
+  // One `dump(0)` per line; if events were dropped, a final
+  // {"type":"truncated","dropped":K} line records the loss.
+  std::string to_jsonl() const;
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+  // Parses a JSONL document back into events (inverse of to_jsonl).
+  static std::optional<std::vector<JsonValue>> parse_jsonl(
+      std::string_view text, std::string* error = nullptr);
+
+  // Index of the first event where the two streams differ, or -1 if one is
+  // a prefix of the other (compare sizes to distinguish equal from prefix).
+  static std::ptrdiff_t first_divergence(const std::vector<JsonValue>& a,
+                                         const std::vector<JsonValue>& b);
+
+ private:
+  std::size_t max_events_;
+  std::size_t dropped_ = 0;
+  std::vector<JsonValue> events_;
+};
+
+}  // namespace dawn::obs

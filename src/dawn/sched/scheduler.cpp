@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "dawn/obs/metrics.hpp"
 #include "dawn/util/check.hpp"
 
 namespace dawn {
@@ -116,6 +117,7 @@ void PermutationScheduler::select_into(const Graph& g, const Machine&,
     }
     rng_.shuffle(order_);
     cursor_ = 0;
+    obs::count(obs::Counter::SchedPermutationShuffles);
   }
   out.clear();
   out.push_back(order_[cursor_++]);
@@ -132,6 +134,7 @@ Selection GreedyAdversary::select(const Graph& g, const Machine& machine,
   if (forcing_) {
     // Fairness debt: sweep every node once.
     auto v = static_cast<NodeId>(force_next_);
+    if (force_next_ == 0) obs::count(obs::Counter::SchedGreedyForcedSweeps);
     ++force_next_;
     if (force_next_ >= n) {
       forcing_ = false;
@@ -147,6 +150,7 @@ Selection GreedyAdversary::select(const Graph& g, const Machine& machine,
     Neighbourhood::of_into(g, config, v, machine.beta(), nbh_scratch_);
     if (machine.step(config[static_cast<std::size_t>(v)], nbh_scratch_) ==
         config[static_cast<std::size_t>(v)]) {
+      obs::count(obs::Counter::SchedGreedyWasted);
       if (++wasted_ >= patience_) forcing_ = true;
       return {v};
     }

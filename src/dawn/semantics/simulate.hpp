@@ -6,6 +6,13 @@
 // principle leave the consensus later); the exact deciders in this directory
 // are used whenever the configuration space is small enough, and the
 // benches report which method produced each verdict.
+//
+// Observability (docs/OBSERVABILITY.md): with `collect_metrics` set, the
+// run's counters (steps, activations, commits, consensus churn) are
+// harvested into SimulateResult::metrics once at the end — the inner loop
+// carries no metrics code, which is what keeps the enabled overhead within
+// budget. A non-null `trace` additionally records a bounded JSONL event
+// stream (run_start / step / consensus / run_end).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,8 @@
 #include "dawn/automata/machine.hpp"
 #include "dawn/automata/run.hpp"
 #include "dawn/graph/graph.hpp"
+#include "dawn/obs/metrics.hpp"
+#include "dawn/obs/trace_log.hpp"
 #include "dawn/sched/scheduler.hpp"
 
 namespace dawn {
@@ -24,6 +33,11 @@ struct SimulateOptions {
   // Which step engine drives the run. Incremental is the production path;
   // FullCopy is the reference semantics kept for differential testing.
   StepEngine engine = StepEngine::Incremental;
+  // Harvest run counters into SimulateResult::metrics and install the
+  // thread-local sink for the run (interner / scheduler / engine events).
+  bool collect_metrics = false;
+  // Optional structured event stream (not owned; may outlive many runs).
+  obs::TraceLog* trace = nullptr;
 };
 
 struct SimulateResult {
@@ -37,6 +51,10 @@ struct SimulateResult {
   // `total_steps`.
   std::uint64_t convergence_step = 0;
   std::uint64_t total_steps = 0;
+  // Populated when SimulateOptions::collect_metrics is set; empty (all
+  // zeros) otherwise, so default equality still works for the differential
+  // tests that compare engine results.
+  obs::RunMetrics metrics;
 
   bool operator==(const SimulateResult&) const = default;
 };

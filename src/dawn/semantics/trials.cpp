@@ -89,6 +89,7 @@ TrialSummary summarize(const std::vector<TrialOutcome>& outcomes) {
   double total_convergence = 0.0;
   for (const auto& o : outcomes) {
     s.max_total_steps = std::max(s.max_total_steps, o.result.total_steps);
+    s.metrics.merge(o.result.metrics);  // trial-index order: deterministic
     if (!o.result.converged) continue;
     ++s.converged;
     if (o.result.verdict == Verdict::Accept) ++s.accepted;

@@ -63,6 +63,10 @@ struct TrialSummary {
   int rejected = 0;  // converged with verdict Reject
   double mean_convergence_step = 0.0;  // over converged trials
   std::uint64_t max_total_steps = 0;
+  // Per-trial metrics merged in trial-index order (counters add, gauges
+  // max), so the deterministic part is bit-identical for every num_threads.
+  // Empty unless SimulateOptions::collect_metrics was set.
+  obs::RunMetrics metrics;
 };
 
 // Deterministic per-trial seed: splitmix64 of base_seed + trial. Stable

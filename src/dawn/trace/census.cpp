@@ -7,6 +7,12 @@
 
 namespace dawn {
 
+std::size_t Census::total_interned() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.interned_states;
+  return total;
+}
+
 Census census_random_run(const Machine& machine, const Graph& graph,
                          std::uint64_t steps, std::uint64_t seed) {
   Census out;
@@ -26,6 +32,7 @@ Census census_random_run(const Machine& machine, const Graph& graph,
   out.distinct_states = states.size();
   out.distinct_configs = configs.size();
   out.steps = steps;
+  machine.footprint(out.layers);
   return out;
 }
 

@@ -4,9 +4,14 @@
 // for a while and reports how many distinct machine states and distinct
 // configurations a run touches — the practical footprint of each
 // compilation layer (reported by the benches alongside the overheads).
+//
+// Per-layer sizes come from Machine::footprint(): every compiled layer
+// appends its interner size, so `layers` shows where the state blow-up
+// lives without the benches poking at each compiled class by hand.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dawn/automata/machine.hpp"
 #include "dawn/graph/graph.hpp"
@@ -18,6 +23,11 @@ struct Census {
   std::size_t distinct_states = 0;   // machine states seen on any node
   std::size_t distinct_configs = 0;  // configurations seen
   std::uint64_t steps = 0;
+  // Interner sizes per compilation layer, innermost first (after the run).
+  std::vector<LayerFootprint> layers;
+
+  // Total interned states across layers (peak footprint of the stack).
+  std::size_t total_interned() const;
 };
 
 // Random exclusive run of `steps` selections.

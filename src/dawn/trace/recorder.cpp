@@ -11,6 +11,7 @@ RunRecorder::RunRecorder(const Machine& machine, const Graph& graph,
 void RunRecorder::record(const Config& config, const Selection& selection) {
   if (steps_.size() >= max_records_) {
     truncated_ = true;
+    ++dropped_;
     return;
   }
   steps_.push_back({config, selection});
@@ -37,7 +38,10 @@ std::string RunRecorder::transcript(bool committed_only) const {
     }
     out << '\n';
   }
-  if (truncated_) out << "... (recording truncated)\n";
+  if (truncated_) {
+    out << "... truncated after " << steps_.size() << " steps (" << dropped_
+        << " dropped) ...\n";
+  }
   return out.str();
 }
 
@@ -56,6 +60,11 @@ std::string RunRecorder::csv(bool committed_only) const {
       out << ",\"" << cell(machine_, s, committed_only) << '"';
     }
     out << '\n';
+  }
+  if (truncated_) {
+    // Comment row (ignored by csv readers configured with comment='#').
+    out << "# truncated after " << steps_.size() << " steps (" << dropped_
+        << " dropped)\n";
   }
   return out.str();
 }

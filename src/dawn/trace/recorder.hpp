@@ -35,6 +35,8 @@ class RunRecorder {
 
   std::size_t size() const { return steps_.size(); }
   bool truncated() const { return truncated_; }
+  // Steps offered after capacity was reached (not recorded).
+  std::size_t dropped() const { return dropped_; }
 
  private:
   struct Step {
@@ -46,6 +48,7 @@ class RunRecorder {
   std::size_t max_records_;
   std::vector<Step> steps_;
   bool truncated_ = false;
+  std::size_t dropped_ = 0;
 };
 
 // Convenience: run `steps` selections from the scheduler-free round-robin

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dawn/obs/metrics.hpp"  // header-only use: obs::count / gauge_max
 #include "dawn/util/check.hpp"
 
 namespace dawn {
@@ -25,6 +26,10 @@ class Interner {
     const auto new_id = static_cast<std::int32_t>(values_.size());
     values_.push_back(value);
     ids_.emplace(values_.back(), new_id);
+    // Insertions are rare after warm-up (compiled stacks saturate), so the
+    // thread-local sink check stays off the steady-state path.
+    obs::count(obs::Counter::InternerInserts);
+    obs::gauge_max(obs::Gauge::InternerPeakStates, values_.size());
     return new_id;
   }
 

@@ -46,6 +46,35 @@ TEST(Recorder, TruncatesAtCapacity) {
   EXPECT_NE(rec.transcript().find("truncated"), std::string::npos);
 }
 
+TEST(Recorder, TruncationMarkerNamesTheDroppedCount) {
+  // The marker must say exactly how much is missing — "recording stopped"
+  // without a count makes a truncated transcript look like a short run.
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_line({1, 0});
+  RunRecorder rec(*m, g, 2);
+  const Config c = initial_config(*m, g);
+  for (int i = 0; i < 5; ++i) rec.record(c, {});
+  EXPECT_EQ(rec.dropped(), 3u);
+  EXPECT_NE(rec.transcript().find("truncated after 2 steps (3 dropped)"),
+            std::string::npos);
+  // CSV marker is a '#' comment row so readers with comment='#' skip it.
+  const std::string csv = rec.csv();
+  EXPECT_NE(csv.find("\n# truncated after 2 steps (3 dropped)"),
+            std::string::npos);
+}
+
+TEST(Recorder, NoTruncationMarkerWithinCapacity) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_line({1, 0});
+  RunRecorder rec(*m, g, 8);
+  const Config c = initial_config(*m, g);
+  for (int i = 0; i < 3; ++i) rec.record(c, {});
+  EXPECT_FALSE(rec.truncated());
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.transcript().find("truncated"), std::string::npos);
+  EXPECT_EQ(rec.csv().find("#"), std::string::npos);
+}
+
 TEST(Recorder, CommittedProjectionReadable) {
   // On a compiled machine the committed projection shows overlay states,
   // not wave tuples.
@@ -73,6 +102,34 @@ TEST(Census, CompiledStackIsLazilySmall) {
       census_random_run(*m, make_cycle({0, 0, 1, 0}), 50'000, 5);
   EXPECT_LE(census.distinct_states, 40u);
   EXPECT_GE(census.distinct_states, 4u);
+}
+
+TEST(Census, ReportsPerLayerInternerSizes) {
+  // The per-layer breakdown comes from Machine::footprint(), so a census of
+  // the full stack is enough — no per-stage re-runs (bench_layers relies on
+  // this).
+  const auto m = compile_weak_broadcast(make_threshold_overlay(2, 0, 2));
+  const Census census =
+      census_random_run(*m, make_cycle({0, 0, 1, 0}), 20'000, 5);
+  ASSERT_FALSE(census.layers.empty());
+  bool found_broadcast = false;
+  std::size_t sum = 0;
+  for (const auto& layer : census.layers) {
+    sum += layer.interned_states;
+    if (layer.layer == "broadcast(L4.7)") {
+      found_broadcast = true;
+      EXPECT_GT(layer.interned_states, 0u);
+    }
+  }
+  EXPECT_TRUE(found_broadcast);
+  EXPECT_EQ(census.total_interned(), sum);
+}
+
+TEST(Census, PlainMachineHasNoLayers) {
+  const auto m = make_exists_label(1, 2);
+  const Census census = census_random_run(*m, make_cycle({0, 1, 0}), 1'000, 1);
+  EXPECT_TRUE(census.layers.empty());
+  EXPECT_EQ(census.total_interned(), 0u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "dawn/graph/generators.hpp"
+#include "dawn/obs/metrics.hpp"
 #include "dawn/protocols/exists_label.hpp"
 #include "dawn/protocols/majority_bounded.hpp"
 #include "dawn/sched/scheduler.hpp"
@@ -62,6 +63,67 @@ TEST(Trials, FloodAcceptsOnEveryTrial) {
   EXPECT_EQ(s.accepted, 8);
   EXPECT_EQ(s.rejected, 0);
   EXPECT_GT(s.mean_convergence_step, 0.0);
+}
+
+TEST(Trials, SummarizeAveragesOverConvergedTrialsOnly) {
+  // A timed-out trial contributes to num_trials and max_total_steps but must
+  // not drag the convergence mean towards its (meaningless) step count.
+  std::vector<TrialOutcome> outcomes(3);
+  outcomes[0].result.converged = true;
+  outcomes[0].result.verdict = Verdict::Accept;
+  outcomes[0].result.convergence_step = 10;
+  outcomes[0].result.total_steps = 100;
+  outcomes[1].result.converged = false;
+  outcomes[1].result.convergence_step = 5'000;
+  outcomes[1].result.total_steps = 5'000;
+  outcomes[2].result.converged = true;
+  outcomes[2].result.verdict = Verdict::Reject;
+  outcomes[2].result.convergence_step = 30;
+  outcomes[2].result.total_steps = 200;
+  const TrialSummary s = summarize(outcomes);
+  EXPECT_EQ(s.num_trials, 3);
+  EXPECT_EQ(s.converged, 2);
+  EXPECT_EQ(s.accepted, 1);
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_DOUBLE_EQ(s.mean_convergence_step, 20.0);
+  EXPECT_EQ(s.max_total_steps, 5'000u);
+}
+
+TEST(Trials, SummarizeOfNothingIsAllZeros) {
+  const TrialSummary s = summarize({});
+  EXPECT_EQ(s.num_trials, 0);
+  EXPECT_EQ(s.converged, 0);
+  EXPECT_EQ(s.accepted, 0);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_DOUBLE_EQ(s.mean_convergence_step, 0.0);
+  EXPECT_EQ(s.max_total_steps, 0u);
+  EXPECT_TRUE(s.metrics.empty());
+}
+
+TEST(Trials, MergedMetricsIdenticalAcrossThreadCounts) {
+  // The summary merges per-trial metrics in trial-index order, so the
+  // deterministic part (counters + gauges) is bit-identical whether the
+  // trials ran on one thread or four.
+  const Graph g = make_cycle({0, 1, 0, 1, 0, 1, 0, 0, 1});
+  const MachineFactory machine = [] {
+    return make_majority_bounded(2).machine;
+  };
+  const SchedulerFactory scheduler = [](std::uint64_t seed) {
+    return std::make_unique<RandomExclusiveScheduler>(seed);
+  };
+  auto serial_opts = small_options(6, 1);
+  serial_opts.sim.collect_metrics = true;
+  auto parallel_opts = small_options(6, 4);
+  parallel_opts.sim.collect_metrics = true;
+  const TrialSummary s1 =
+      summarize(run_trials(machine, g, scheduler, serial_opts));
+  const TrialSummary s4 =
+      summarize(run_trials(machine, g, scheduler, parallel_opts));
+  ASSERT_FALSE(s1.metrics.empty());
+  EXPECT_TRUE(s1.metrics.deterministic_equal(s4.metrics));
+  EXPECT_EQ(s1.metrics.counter(obs::Counter::SimRuns), 6u);
+  EXPECT_GT(s1.metrics.counter(obs::Counter::SimSteps), 0u);
+  EXPECT_GT(s1.metrics.gauge(obs::Gauge::InternerPeakStates), 0u);
 }
 
 TEST(Trials, RunJobsPreservesJobOrder) {

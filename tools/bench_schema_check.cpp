@@ -1,0 +1,57 @@
+// Validates BENCH_*.json files against the version-1 exporter schema.
+//
+// Usage: bench_schema_check FILE...
+//
+// Exit 0 iff every file parses as JSON and passes BenchReport::validate().
+// CI's bench-smoke job runs every bench with --smoke and then this checker
+// over the emitted reports, so a bench whose output drifts from the shared
+// schema fails the build rather than silently producing an unloadable file.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dawn/obs/export.hpp"
+#include "dawn/obs/json.hpp"
+
+int main(int argc, char** argv) {
+  using dawn::obs::BenchReport;
+  using dawn::obs::JsonValue;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_*.json...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", path);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    const auto doc = JsonValue::parse(buf.str(), &error);
+    if (!doc) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path, error.c_str());
+      ++failures;
+      continue;
+    }
+    if (!BenchReport::validate(*doc, &error)) {
+      std::fprintf(stderr, "%s: schema violation: %s\n", path, error.c_str());
+      ++failures;
+      continue;
+    }
+    const auto* bench = doc->get("bench");
+    const auto* results = doc->get("results");
+    std::printf("%s: ok (bench=%s, %zu result rows)\n", path,
+                bench->as_string().c_str(), results->size());
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d of %d file(s) failed validation\n", failures,
+                 argc - 1);
+  }
+  return failures == 0 ? 0 : 1;
+}
