@@ -43,7 +43,7 @@
 #include "dawn/protocols/pp_majority.hpp"
 #include "dawn/protocols/threshold_daf.hpp"
 #include "dawn/sched/scheduler.hpp"
-#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/decision.hpp"
 #include "dawn/semantics/simulate.hpp"
 #include "dawn/trace/recorder.hpp"
 
@@ -190,12 +190,15 @@ int main(int argc, char** argv) {
   }
 
   if (exact) {
-    const auto r = decide_pseudo_stochastic(*protocol.machine, g,
-                                            {.max_configs = 4'000'000});
-    std::printf("exact decision: %s (%zu configurations explored)\n",
-                to_string(r.decision).c_str(), r.num_configs);
+    DecisionRequest req;
+    req.budget = {.max_configs = 4'000'000, .max_threads = 0, .deadline_ms = 0};
+    const DecisionReport r = decide(*protocol.machine, g, req);
+    std::printf("exact decision: %s via %s (%zu configurations explored)\n",
+                to_string(r.decision).c_str(), to_string(r.method).c_str(),
+                r.configs_explored);
     if (r.decision == Decision::Unknown) {
-      std::printf("(state space too large — try --simulate)\n");
+      std::printf("(%s — try --simulate)\n",
+                  to_string(r.unknown_reason).c_str());
     }
   }
   if (simulate_mode || !exact) {

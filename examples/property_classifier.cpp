@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "dawn/graph/generators.hpp"
 #include "dawn/props/classes.hpp"
 #include "dawn/props/predicates.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/semantics/decision.hpp"
 #include "dawn/util/table.hpp"
 
 int main() {
@@ -62,5 +65,19 @@ int main() {
       "\n(window: label counts <= %lld; 'none' = refuted on the window, "
       "class columns follow Figure 1)\n",
       static_cast<long long>(bound));
+
+  // Spot-check one classification with the unified decider: exists(0) is
+  // Cutoff(1), so the flooding automaton decides it on every topology.
+  // dawn::decide routes each instance to the right engine automatically.
+  const auto flood = make_exists_label(0, 2);
+  std::printf("\nexists(0) via dawn::decide:\n");
+  for (const auto& [name, g] :
+       {std::pair<const char*, Graph>{"clique", make_clique({0, 1, 1, 1})},
+        {"star", make_star(1, {0, 1, 1})},
+        {"cycle", make_cycle({1, 1, 0, 1, 1})}}) {
+    const DecisionReport r = decide(*flood, g);
+    std::printf("  %-6s -> %-6s via %s\n", name,
+                to_string(r.decision).c_str(), to_string(r.method).c_str());
+  }
   return 0;
 }

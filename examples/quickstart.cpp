@@ -11,7 +11,7 @@
 #include "dawn/graph/generators.hpp"
 #include "dawn/protocols/exists_label.hpp"
 #include "dawn/sched/scheduler.hpp"
-#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/decision.hpp"
 #include "dawn/semantics/simulate.hpp"
 #include "dawn/semantics/sync_run.hpp"
 
@@ -45,10 +45,12 @@ int main() {
   // 2. Decide exactly. Pseudo-stochastic semantics = bottom SCCs of the
   //    configuration graph; adversarial semantics (for consistent automata)
   //    = the synchronous run's cycle.
-  const auto exact = decide_pseudo_stochastic(*automaton, g);
+  const DecisionReport exact = decide(*automaton, g);
   const auto sync = decide_synchronous(*automaton, g);
-  std::printf("\nexact pseudo-stochastic decision: %s (%zu configurations)\n",
-              to_string(exact.decision).c_str(), exact.num_configs);
+  std::printf("\nexact pseudo-stochastic decision: %s via %s "
+              "(%zu configurations)\n",
+              to_string(exact.decision).c_str(),
+              to_string(exact.method).c_str(), exact.configs_explored);
   std::printf("synchronous-run decision:         %s (prefix %llu, cycle %llu)\n",
               to_string(sync.decision).c_str(),
               static_cast<unsigned long long>(sync.prefix_length),

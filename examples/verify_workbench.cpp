@@ -18,6 +18,7 @@
 #include "dawn/graph/generators.hpp"
 #include "dawn/props/classes.hpp"
 #include "dawn/props/predicates.hpp"
+#include "dawn/semantics/decision.hpp"
 #include "dawn/symbolic/cutoff.hpp"
 #include "dawn/trace/census.hpp"
 #include "dawn/verify/verify.hpp"
@@ -93,6 +94,35 @@ int main() {
     std::printf("verification: %s\n", report.summary().c_str());
     std::printf("(the Inconsistent verdicts are the bug: runs flip between "
                 "consensuses forever)\n");
+  }
+
+  std::printf("\n== single instances through the unified decider ==\n");
+  {
+    // dawn::decide picks the engine per topology: counted semantics on the
+    // clique, the sharded parallel explicit engine on the ring.
+    const auto m = flooding();
+    for (const auto& [name, g] :
+         {std::pair<const char*, Graph>{"clique", make_clique({0, 0, 1, 0})},
+          {"ring", make_cycle({0, 0, 1, 0, 0, 0})}}) {
+      const DecisionReport r = decide(*m, g);
+      std::printf("%s: %s via %s (%zu configs, %zu bottom SCCs)\n", name,
+                  to_string(r.decision).c_str(), to_string(r.method).c_str(),
+                  r.configs_explored, r.num_bottom_sccs);
+    }
+    // A starved budget is reported as config-cap, not as a counterexample.
+    DecisionRequest req;
+    req.budget = {.max_configs = 4, .max_threads = 1, .deadline_ms = 0};
+    const DecisionReport capped =
+        decide(*m, make_cycle({0, 0, 1, 0, 0, 0}), req);
+    std::printf("starved budget: %s (%s)\n",
+                to_string(capped.decision).c_str(),
+                to_string(capped.unknown_reason).c_str());
+    VerifyOptions tiny = opts;
+    tiny.budget = {.max_configs = 4, .max_threads = 1, .deadline_ms = 0};
+    tiny.check_synchronous = false;
+    const auto report = verify_machine(*m, pred, tiny);
+    std::printf("verify under the starved budget: %s\n",
+                report.summary().c_str());
   }
 
   std::printf("\n== a predicate no dAF automaton can decide ==\n");

@@ -73,6 +73,13 @@ class Machine {
   // by the symbolic engine); nullopt for lazily-interned machines.
   virtual std::optional<int> num_states() const { return std::nullopt; }
 
+  // Whether step()/verdict()/committed() may be called concurrently from
+  // several threads on this one instance. Compiled machines intern states
+  // lazily through mutable caches, so the default is false; the parallel
+  // exploration engines clamp such machines to one worker. Pure machines
+  // (FunctionMachine with side-effect-free callables) override to true.
+  virtual bool parallel_step_safe() const { return false; }
+
   // Debug name of a state.
   virtual std::string state_name(State state) const;
 
@@ -85,7 +92,10 @@ class Machine {
 };
 
 // A machine assembled from callables; the workhorse for hand-written
-// automata (P_cancel, the flooding automaton, test fixtures).
+// automata (P_cancel, the flooding automaton, test fixtures). The callables
+// must be pure (no shared mutable state): FunctionMachine advertises
+// parallel_step_safe(), so the parallel deciders will call them from many
+// threads at once.
 class FunctionMachine : public Machine {
  public:
   struct Spec {
@@ -108,6 +118,7 @@ class FunctionMachine : public Machine {
   Verdict verdict(State state) const override { return spec_.verdict(state); }
   std::optional<int> num_states() const override;
   std::string state_name(State state) const override;
+  bool parallel_step_safe() const override { return true; }
 
  private:
   Spec spec_;

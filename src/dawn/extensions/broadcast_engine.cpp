@@ -182,6 +182,7 @@ OverlayDecideResult decide_overlay_strong(const BroadcastOverlay& overlay,
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
       result.num_configs = configs.size();
       return result;
     }
@@ -251,6 +252,7 @@ OverlayDecideResult decide_overlay_weak(const BroadcastOverlay& overlay,
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
       result.num_configs = configs.size();
       return result;
     }
@@ -333,16 +335,7 @@ OverlayDecideResult decide_overlay_strong_counted(
     const BroadcastOverlay& overlay, const LabelCount& L,
     const OverlayDecideOptions& opts) {
   OverlayDecideResult result;
-  struct CountedConfigHash {
-    std::size_t operator()(const CountedConfig& c) const {
-      std::size_t seed = c.size();
-      for (auto [q, n] : c) {
-        hash_combine(seed, static_cast<std::uint64_t>(q));
-        hash_combine(seed, static_cast<std::uint64_t>(n));
-      }
-      return seed;
-    }
-  };
+  // CountedConfigHash comes from clique_counted.hpp.
   Interner<CountedConfig, CountedConfigHash> configs;
   std::vector<std::vector<std::int32_t>> adj;
 
@@ -385,6 +378,7 @@ OverlayDecideResult decide_overlay_strong_counted(
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
       result.num_configs = configs.size();
       return result;
     }

@@ -83,12 +83,12 @@ OverlaySimResult simulate_overlay_random(const BroadcastOverlay& overlay,
                                          const Graph& g, Rng& rng,
                                          const OverlaySimOptions& opts = {});
 
-struct OverlayDecideOptions {
-  std::size_t max_configs = 1'000'000;
-};
+// Deprecated alias, kept for one release (see semantics/budget.hpp).
+using OverlayDecideOptions = ExploreBudget;
 
 struct OverlayDecideResult {
   Decision decision = Decision::Unknown;
+  UnknownReason reason = UnknownReason::None;
   std::size_t num_configs = 0;
 };
 

@@ -21,16 +21,7 @@ Verdict pp_consensus(const GraphPopulationProtocol& p,
   return first;
 }
 
-struct CountedConfigHash {
-  std::size_t operator()(const CountedConfig& c) const {
-    std::size_t seed = c.size();
-    for (auto [q, n] : c) {
-      hash_combine(seed, static_cast<std::uint64_t>(q));
-      hash_combine(seed, static_cast<std::uint64_t>(n));
-    }
-    return seed;
-  }
-};
+// CountedConfigHash comes from clique_counted.hpp.
 
 void bump(CountedConfig& c, State q, std::int64_t delta) {
   auto it = std::lower_bound(
@@ -70,6 +61,7 @@ PopulationDecideResult decide_population(const GraphPopulationProtocol& p,
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
       result.num_configs = configs.size();
       return result;
     }
@@ -121,6 +113,7 @@ PopulationDecideResult decide_population_counted(
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
       result.num_configs = configs.size();
       return result;
     }

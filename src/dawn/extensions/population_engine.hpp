@@ -17,12 +17,12 @@
 
 namespace dawn {
 
-struct PopulationDecideOptions {
-  std::size_t max_configs = 1'000'000;
-};
+// Deprecated alias, kept for one release (see semantics/budget.hpp).
+using PopulationDecideOptions = ExploreBudget;
 
 struct PopulationDecideResult {
   Decision decision = Decision::Unknown;
+  UnknownReason reason = UnknownReason::None;
   std::size_t num_configs = 0;
 };
 

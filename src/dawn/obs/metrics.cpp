@@ -23,6 +23,10 @@ const char* name(Counter c) {
     case Counter::AbsenceHangs: return "absence.hangs";
     case Counter::PopulationSteps: return "population.steps";
     case Counter::TraceEventsDropped: return "trace.events_dropped";
+    case Counter::ExploreConfigs: return "explore.configs";
+    case Counter::ExploreEdges: return "explore.edges";
+    case Counter::ExploreLevels: return "explore.levels";
+    case Counter::ExploreSteals: return "explore.steals";
     case Counter::kCount: break;
   }
   return "counter.unknown";
@@ -34,6 +38,9 @@ const char* name(Gauge g) {
     case Gauge::CensusDistinctStates: return "census.distinct_states";
     case Gauge::CensusDistinctConfigs: return "census.distinct_configs";
     case Gauge::InternerPeakStates: return "interner.peak_states";
+    case Gauge::ExploreShardPeak: return "explore.shard_peak";
+    case Gauge::ExploreFrontierPeak: return "explore.frontier_peak";
+    case Gauge::ExploreThreads: return "explore.threads";
     case Gauge::kCount: break;
   }
   return "gauge.unknown";

@@ -52,6 +52,11 @@ enum class Counter : std::uint16_t {
   AbsenceHangs,          // absence super-steps that hung (no initiator)
   PopulationSteps,       // population protocol: pair interactions
   TraceEventsDropped,    // trace log events beyond capacity
+  ExploreConfigs,        // explicit exploration: configurations interned
+  ExploreEdges,          // explicit exploration: transitions generated
+  ExploreLevels,         // explicit exploration: BFS levels (frontier waves)
+  ExploreSteals,         // explicit exploration: cross-worker chunk claims;
+                         // scheduling-dependent, excluded from determinism
   kCount,
 };
 
@@ -61,6 +66,9 @@ enum class Gauge : std::uint16_t {
   CensusDistinctStates,  // census snapshot: distinct machine states
   CensusDistinctConfigs, // census snapshot: distinct configurations
   InternerPeakStates,    // largest single interner observed
+  ExploreShardPeak,      // explicit exploration: largest store shard
+  ExploreFrontierPeak,   // explicit exploration: largest BFS frontier
+  ExploreThreads,        // explicit exploration: workers actually used
   kCount,
 };
 

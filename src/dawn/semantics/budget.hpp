@@ -1,0 +1,68 @@
+// ExploreBudget: the one resource-limit struct shared by every decider.
+//
+// Before this header each decision procedure carried its own ad-hoc cap
+// (`ExplicitOptions::max_configs`, `CliqueOptions::max_configs`, ...), so
+// budgets could not be threaded uniformly through `verify` or the decide()
+// facade, and "ran out of budget" was indistinguishable from a genuine
+// Unknown. ExploreBudget unifies the caps (configurations, threads,
+// wall-clock) and the legacy option structs survive as thin aliases for one
+// release (see explicit_space.hpp, clique_counted.hpp, star_counted.hpp,
+// broadcast_engine.hpp, population_engine.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace dawn {
+
+struct ExploreBudget {
+  // Abort with Decision::Unknown (reason ConfigCap) if more configurations
+  // are reached.
+  std::size_t max_configs = 2'000'000;
+
+  // Worker threads for the parallel exploration paths. 1 = sequential (the
+  // default: bit-compatible with the pre-parallel deciders); 0 = all
+  // hardware threads. Machines whose step() is not thread-safe (lazily
+  // interning compiled stacks) are transparently clamped to 1.
+  int max_threads = 1;
+
+  // Wall-clock deadline in milliseconds; 0 = none. Deadline aborts report
+  // UnknownReason::Deadline and are OUTSIDE the determinism contract (how
+  // far an exploration gets in a fixed time is machine-dependent).
+  std::uint64_t deadline_ms = 0;
+
+  int resolve_threads() const {
+    int t = max_threads;
+    if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
+    return t < 1 ? 1 : t;
+  }
+
+  bool operator==(const ExploreBudget&) const = default;
+};
+
+// Cheap deadline checks for exploration loops: reads the clock only when a
+// deadline is actually set.
+class DeadlineClock {
+ public:
+  explicit DeadlineClock(const ExploreBudget& budget)
+      : enabled_(budget.deadline_ms > 0) {
+    if (enabled_) {
+      end_ = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(budget.deadline_ms);
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  bool expired() const {
+    return enabled_ && std::chrono::steady_clock::now() >= end_;
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point end_;
+};
+
+}  // namespace dawn

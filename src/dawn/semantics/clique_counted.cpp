@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dawn/semantics/parallel_explore.hpp"
 #include "dawn/semantics/scc.hpp"
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
@@ -10,14 +11,16 @@
 namespace dawn {
 namespace {
 
-struct CountedConfigHash {
-  std::size_t operator()(const CountedConfig& c) const {
-    std::size_t seed = c.size();
-    for (auto [q, n] : c) {
-      hash_combine(seed, static_cast<std::uint64_t>(q));
-      hash_combine(seed, static_cast<std::uint64_t>(n));
+// Per-worker successor generator for the parallel engine.
+struct CountedExpander {
+  const Machine& machine;
+  template <typename Emit>
+  void operator()(const CountedConfig& current, Emit&& emit) {
+    for (auto [q, n] : current) {
+      const CountedConfig next = counted_successor(machine, current, q);
+      if (next == current) continue;  // silent
+      emit(next);
     }
-    return seed;
   }
 };
 
@@ -94,6 +97,7 @@ CliqueResult decide_clique_pseudo_stochastic(const Machine& machine,
   CliqueResult result;
   Interner<CountedConfig, CountedConfigHash> configs;
   std::vector<std::vector<std::int32_t>> adj;
+  DeadlineClock deadline(opts);
 
   configs.id(initial_counted_config(machine, L));
   adj.emplace_back();
@@ -101,6 +105,13 @@ CliqueResult decide_clique_pseudo_stochastic(const Machine& machine,
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
+      result.num_configs = configs.size();
+      return result;
+    }
+    if (deadline.enabled() && (head & 1023) == 0 && deadline.expired()) {
+      result.decision = Decision::Unknown;
+      result.reason = UnknownReason::Deadline;
       result.num_configs = configs.size();
       return result;
     }
@@ -125,6 +136,21 @@ CliqueResult decide_clique_pseudo_stochastic(const Machine& machine,
   result.decision = cls.decision;
   result.num_bottom_sccs = cls.num_bottom_sccs;
   return result;
+}
+
+CliqueResult decide_clique_pseudo_stochastic_parallel(
+    const Machine& machine, const LabelCount& L, const ExploreBudget& budget,
+    ExploreStats* stats) {
+  ExploreBudget clamped = budget;
+  clamped.max_threads = explore_threads(machine, budget);
+  const ExploreOutcome out =
+      explore_and_classify<CountedConfig, CountedConfigHash>(
+          initial_counted_config(machine, L),
+          [&](int) { return CountedExpander{machine}; },
+          [&](const CountedConfig& c) { return counted_consensus(machine, c); },
+          clamped, stats);
+  return CliqueResult{out.decision, out.reason, out.num_configs,
+                      out.num_bottom_sccs};
 }
 
 }  // namespace dawn

@@ -19,19 +19,32 @@
 
 #include "dawn/automata/machine.hpp"
 #include "dawn/graph/graph.hpp"
+#include "dawn/semantics/budget.hpp"
 #include "dawn/semantics/decision.hpp"
+#include "dawn/util/hash.hpp"
 
 namespace dawn {
 
 // Sorted (state, count) pairs with count >= 1.
 using CountedConfig = std::vector<std::pair<State, std::int64_t>>;
 
-struct CliqueOptions {
-  std::size_t max_configs = 2'000'000;
+struct CountedConfigHash {
+  std::size_t operator()(const CountedConfig& c) const {
+    std::size_t seed = c.size();
+    for (auto [q, n] : c) {
+      hash_combine(seed, static_cast<std::uint64_t>(q));
+      hash_combine(seed, static_cast<std::uint64_t>(n));
+    }
+    return seed;
+  }
 };
+
+// Deprecated alias, kept for one release (see semantics/budget.hpp).
+using CliqueOptions = ExploreBudget;
 
 struct CliqueResult {
   Decision decision = Decision::Unknown;
+  UnknownReason reason = UnknownReason::None;
   std::size_t num_configs = 0;
   std::size_t num_bottom_sccs = 0;
 };
@@ -50,5 +63,15 @@ CountedConfig counted_successor(const Machine& machine,
 CliqueResult decide_clique_pseudo_stochastic(const Machine& machine,
                                              const LabelCount& L,
                                              const CliqueOptions& opts = {});
+
+struct ExploreStats;
+
+// Frontier-parallel sharded variant (semantics/parallel_explore.hpp); same
+// contract as decide_pseudo_stochastic_parallel in explicit_space.hpp:
+// thread-count-invariant results, capped counts clamped to the budget,
+// non-thread-safe machines clamped to one worker.
+CliqueResult decide_clique_pseudo_stochastic_parallel(
+    const Machine& machine, const LabelCount& L, const ExploreBudget& b = {},
+    ExploreStats* stats = nullptr);
 
 }  // namespace dawn

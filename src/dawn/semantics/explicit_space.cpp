@@ -4,8 +4,9 @@
 #include <vector>
 
 #include "dawn/automata/config.hpp"
-#include "dawn/util/check.hpp"
+#include "dawn/semantics/parallel_explore.hpp"
 #include "dawn/semantics/scc.hpp"
+#include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
 #include "dawn/util/interner.hpp"
 
@@ -16,6 +17,7 @@ ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
   ExplicitResult result;
   Interner<Config, VectorHash<State>> configs;
   std::vector<std::vector<std::int32_t>> adj;
+  DeadlineClock deadline(opts);
 
   configs.id(initial_config(machine, g));
   adj.emplace_back();
@@ -28,6 +30,13 @@ ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
+      result.num_configs = configs.size();
+      return result;
+    }
+    if (deadline.enabled() && (head & 1023) == 0 && deadline.expired()) {
+      result.decision = Decision::Unknown;
+      result.reason = UnknownReason::Deadline;
       result.num_configs = configs.size();
       return result;
     }
@@ -56,6 +65,49 @@ ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
   return result;
 }
 
+namespace {
+
+// Per-worker successor generator for the parallel engine: exclusive
+// selection, silent steps skipped, scratch reused across calls.
+struct ExplicitExpander {
+  const Machine& machine;
+  const Graph& g;
+  Neighbourhood nb;
+  Config scratch;
+
+  template <typename Emit>
+  void operator()(const Config& current, Emit&& emit) {
+    scratch = current;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const auto vu = static_cast<std::size_t>(v);
+      Neighbourhood::of_into(g, current, v, machine.beta(), nb);
+      const State s = machine.step(current[vu], nb);
+      if (s == current[vu]) continue;  // silent
+      scratch[vu] = s;
+      emit(scratch);
+      scratch[vu] = current[vu];
+    }
+  }
+};
+
+}  // namespace
+
+ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
+                                                 const Graph& g,
+                                                 const ExploreBudget& budget,
+                                                 ExploreStats* stats) {
+  ExploreBudget clamped = budget;
+  clamped.max_threads = explore_threads(machine, budget);
+  const ExploreOutcome out = explore_and_classify<Config, VectorHash<State>>(
+      initial_config(machine, g),
+      [&](int) {
+        return ExplicitExpander{machine, g, Neighbourhood{}, Config{}};
+      },
+      [&](const Config& c) { return consensus(machine, c); }, clamped, stats);
+  return ExplicitResult{out.decision, out.reason, out.num_configs,
+                        out.num_bottom_sccs};
+}
+
 ExplicitResult decide_pseudo_stochastic_liberal(const Machine& machine,
                                                 const Graph& g,
                                                 const ExplicitOptions& opts) {
@@ -63,6 +115,7 @@ ExplicitResult decide_pseudo_stochastic_liberal(const Machine& machine,
   ExplicitResult result;
   Interner<Config, VectorHash<State>> configs;
   std::vector<std::vector<std::int32_t>> adj;
+  DeadlineClock deadline(opts);
 
   configs.id(initial_config(machine, g));
   adj.emplace_back();
@@ -72,6 +125,13 @@ ExplicitResult decide_pseudo_stochastic_liberal(const Machine& machine,
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
+      result.num_configs = configs.size();
+      return result;
+    }
+    if (deadline.enabled() && (head & 255) == 0 && deadline.expired()) {
+      result.decision = Decision::Unknown;
+      result.reason = UnknownReason::Deadline;
       result.num_configs = configs.size();
       return result;
     }

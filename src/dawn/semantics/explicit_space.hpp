@@ -23,23 +23,41 @@
 
 #include "dawn/automata/machine.hpp"
 #include "dawn/graph/graph.hpp"
+#include "dawn/semantics/budget.hpp"
 #include "dawn/semantics/decision.hpp"
 
 namespace dawn {
 
-struct ExplicitOptions {
-  // Abort with Decision::Unknown if more configurations are reached.
-  std::size_t max_configs = 1'000'000;
-};
+// Deprecated alias, kept for one release: the per-decider option structs
+// merged into the shared ExploreBudget (semantics/budget.hpp).
+using ExplicitOptions = ExploreBudget;
 
 struct ExplicitResult {
   Decision decision = Decision::Unknown;
+  // Why decision == Unknown (budget cap vs deadline); None otherwise. Capped
+  // runs used to be indistinguishable from genuine unknowns.
+  UnknownReason reason = UnknownReason::None;
   std::size_t num_configs = 0;   // configurations explored
   std::size_t num_bottom_sccs = 0;
 };
 
 ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
                                         const ExplicitOptions& opts = {});
+
+struct ExploreStats;
+
+// The frontier-parallel sharded engine (semantics/parallel_explore.hpp) on
+// the same exclusive-selection semantics. The result is bit-identical for
+// every budget.max_threads, and matches decide_pseudo_stochastic exactly on
+// every run that completes; on capped runs both return
+// Unknown/ConfigCap, but this engine clamps num_configs to the cap (the
+// sequential decider reports how far it happened to get). The sequential
+// decider above stays as the differential reference. Machines without
+// parallel_step_safe() are clamped to one worker.
+ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
+                                                 const Graph& g,
+                                                 const ExploreBudget& b = {},
+                                                 ExploreStats* stats = nullptr);
 
 // The same decision under LIBERAL selection: every nonempty subset of nodes
 // is a permitted selection, evaluated simultaneously. Exponential in |V| per

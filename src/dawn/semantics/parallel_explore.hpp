@@ -1,0 +1,324 @@
+// Frontier-parallel sharded explicit-state exploration.
+//
+// The generic engine behind the parallel pseudo-stochastic deciders
+// (explicit configurations, counted clique / star configurations). It runs
+// a level-synchronous BFS over the configuration graph:
+//
+//  * configurations are interned into a striped, hash-sharded store (64
+//    shards, each an independently locked hash map — the concurrent
+//    counterpart of util/interner.hpp);
+//  * each BFS level's frontier is expanded by a persistent WorkerPool
+//    (semantics/trials.hpp), workers claiming fixed-size chunks through an
+//    atomic cursor; successors, edges and verdicts land in per-worker
+//    buffers, so the hot path takes no lock but the owning shard's;
+//  * the resulting graph is condensed by the parallel-friendly SCC pass in
+//    semantics/scc.{hpp,cpp} and classified by the bottom-SCC rule.
+//
+// Determinism contract: the decision, the number of reachable
+// configurations, and the number of bottom SCCs are properties of the
+// reachable configuration graph, not of the exploration order — so the
+// returned ExploreOutcome is bit-identical for every thread count,
+// including budget-capped outcomes (the explored count is clamped to the
+// cap). Wall-clock deadline aborts are the one documented exception. The
+// sequential deciders remain in place as the differential reference; see
+// docs/DECIDERS.md and tests/test_decide.cpp.
+//
+// Thread safety: workers call Machine::step / verdict concurrently, so the
+// machine must advertise parallel_step_safe(); use explore_threads() to
+// clamp the worker count for machines that do not.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dawn/automata/machine.hpp"
+#include "dawn/obs/metrics.hpp"
+#include "dawn/semantics/budget.hpp"
+#include "dawn/semantics/decision.hpp"
+#include "dawn/semantics/scc.hpp"
+#include "dawn/semantics/trials.hpp"
+
+namespace dawn {
+
+// Occupancy / scheduling counters for one exploration, reported through the
+// obs::RunMetrics sink and surfaced by bench_explicit_parallel. `steals` —
+// chunk claims that deviate from a static round-robin split — depends on
+// scheduling and is OUTSIDE the determinism contract; everything else is
+// thread-count-invariant (frontier sizes are per-level reachable sets).
+struct ExploreStats {
+  std::size_t configs = 0;
+  std::size_t edges = 0;
+  std::size_t levels = 0;
+  std::size_t steals = 0;
+  std::size_t shard_peak = 0;     // largest shard at the end (occupancy)
+  std::size_t frontier_peak = 0;  // largest BFS level
+  int threads = 1;                // workers actually used
+};
+
+struct ExploreOutcome {
+  Decision decision = Decision::Unknown;
+  UnknownReason reason = UnknownReason::None;
+  std::size_t num_configs = 0;
+  std::size_t num_bottom_sccs = 0;
+};
+
+// Striped concurrent interner: values are spread over 2^kShardBits
+// independently locked shards by (high) hash bits, so concurrent interning
+// mostly touches distinct locks. A value's *global* id packs (local id,
+// shard): gids are stable while exploring but not dense; after exploration
+// finalize() freezes per-shard prefix offsets and dense() maps gids onto
+// [0, size) for the SCC pass.
+template <typename ConfigT, typename Hash>
+class ShardedConfigStore {
+ public:
+  static constexpr int kShardBits = 6;
+  static constexpr std::size_t kNumShards = std::size_t{1} << kShardBits;
+  static constexpr std::size_t kShardMask = kNumShards - 1;
+
+  struct InternResult {
+    std::int64_t gid = 0;
+    bool fresh = false;
+  };
+
+  InternResult intern(const ConfigT& value) {
+    const std::size_t h = Hash{}(value);
+    // High-ish bits pick the shard; unordered_map buckets use the low bits,
+    // so shard choice and in-shard placement stay decorrelated.
+    Shard& s = shards_[(h >> 24) & kShardMask];
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto local = static_cast<std::int32_t>(s.ids.size());
+    const auto [it, fresh] = s.ids.try_emplace(value, local);
+    if (fresh) total_.fetch_add(1, std::memory_order_relaxed);
+    return {pack(it->second, (h >> 24) & kShardMask), fresh};
+  }
+
+  std::size_t size() const { return total_.load(std::memory_order_relaxed); }
+
+  // Freezes the dense remap. Call once, after all interning is done.
+  void finalize() {
+    std::int32_t offset = 0;
+    for (std::size_t sh = 0; sh < kNumShards; ++sh) {
+      offsets_[sh] = offset;
+      const std::size_t occupancy = shards_[sh].ids.size();
+      offset += static_cast<std::int32_t>(occupancy);
+      if (occupancy > shard_peak_) shard_peak_ = occupancy;
+    }
+  }
+
+  // Dense id in [0, size) for a gid returned by intern(). Valid after
+  // finalize().
+  std::int32_t dense(std::int64_t gid) const {
+    return offsets_[static_cast<std::size_t>(gid) & kShardMask] +
+           static_cast<std::int32_t>(gid >> kShardBits);
+  }
+
+  std::size_t shard_peak() const { return shard_peak_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::unordered_map<ConfigT, std::int32_t, Hash> ids;
+  };
+
+  static std::int64_t pack(std::int32_t local, std::size_t shard) {
+    return (static_cast<std::int64_t>(local) << kShardBits) |
+           static_cast<std::int64_t>(shard);
+  }
+
+  std::array<Shard, kNumShards> shards_;
+  std::array<std::int32_t, kNumShards> offsets_{};
+  std::atomic<std::size_t> total_{0};
+  std::size_t shard_peak_ = 0;
+};
+
+// Worker count for exploring `machine` under `budget`: machines whose
+// step() is not thread-safe are clamped to one worker (the engine still
+// runs, just sequentially — results are identical either way).
+inline int explore_threads(const Machine& machine,
+                           const ExploreBudget& budget) {
+  const int t = budget.resolve_threads();
+  return machine.parallel_step_safe() ? t : 1;
+}
+
+// Explores the configuration graph from `initial` and classifies its bottom
+// SCCs.
+//
+//  * make_expander(worker) must return a per-worker expander; calling
+//    expander(config, emit) invokes emit(succ) once per successor of
+//    `config` (duplicates allowed; silent self-steps must be skipped). The
+//    emitted reference may point at worker-local scratch — the engine
+//    copies what it keeps.
+//  * verdict_of(config) returns the configuration's uniform verdict
+//    (Neutral if mixed). Called once per distinct configuration, from
+//    whichever worker interned it first.
+//
+// Both callables run concurrently on budget.resolve_threads() workers; pass
+// a budget clamped via explore_threads() when the machine is not
+// thread-safe.
+template <typename ConfigT, typename Hash, typename MakeExpander,
+          typename VerdictOf>
+ExploreOutcome explore_and_classify(const ConfigT& initial,
+                                    MakeExpander&& make_expander,
+                                    VerdictOf&& verdict_of,
+                                    const ExploreBudget& budget,
+                                    ExploreStats* stats_out = nullptr) {
+  const int threads = budget.resolve_threads();
+  ShardedConfigStore<ConfigT, Hash> store;
+  DeadlineClock deadline(budget);
+
+  struct FrontierEntry {
+    std::int64_t gid;
+    ConfigT config;  // value copy: never read another shard's value vector
+  };
+  struct WorkerBuffers {
+    std::vector<FrontierEntry> next;
+    std::vector<std::pair<std::int64_t, std::int64_t>> edges;  // src, dst
+    std::vector<std::pair<std::int64_t, Verdict>> verdicts;
+    std::size_t steals = 0;
+  };
+
+  WorkerPool pool(threads);
+  const auto num_workers = static_cast<std::size_t>(pool.num_workers());
+  std::vector<WorkerBuffers> buffers(num_workers);
+  std::vector<decltype(make_expander(0))> expanders;
+  expanders.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    expanders.push_back(make_expander(static_cast<int>(w)));
+  }
+
+  ExploreStats stats;
+  stats.threads = pool.num_workers();
+
+  std::vector<FrontierEntry> frontier;
+  {
+    const auto seeded = store.intern(initial);
+    frontier.push_back({seeded.gid, initial});
+    buffers[0].verdicts.emplace_back(seeded.gid, verdict_of(initial));
+  }
+
+  bool capped = false;
+  bool expired = false;
+  while (!frontier.empty()) {
+    ++stats.levels;
+    if (frontier.size() > stats.frontier_peak) {
+      stats.frontier_peak = frontier.size();
+    }
+    // Chunks small enough that uneven expansion cost rebalances, large
+    // enough that the cursor isn't contended.
+    const std::size_t chunk =
+        std::min<std::size_t>(256, frontier.size() / (num_workers * 4) + 1);
+    std::atomic<std::size_t> cursor{0};
+    pool.run([&](int worker) {
+      WorkerBuffers& buf = buffers[static_cast<std::size_t>(worker)];
+      auto& expander = expanders[static_cast<std::size_t>(worker)];
+      for (;;) {
+        // Overshooting workers only waste a capped level's tail; the
+        // outcome is already determined, so stop claiming work.
+        if (store.size() > budget.max_configs) break;
+        if (deadline.enabled() && deadline.expired()) break;
+        const std::size_t begin = cursor.fetch_add(chunk);
+        if (begin >= frontier.size()) break;
+        const std::size_t end = std::min(begin + chunk, frontier.size());
+        if ((begin / chunk) % num_workers !=
+            static_cast<std::size_t>(worker)) {
+          ++buf.steals;  // claim deviates from a static round-robin split
+        }
+        for (std::size_t i = begin; i < end; ++i) {
+          const FrontierEntry& entry = frontier[i];
+          expander(entry.config, [&](const ConfigT& succ) {
+            const auto interned = store.intern(succ);
+            buf.edges.emplace_back(entry.gid, interned.gid);
+            if (interned.fresh) {
+              buf.verdicts.emplace_back(interned.gid, verdict_of(succ));
+              buf.next.push_back({interned.gid, succ});
+            }
+          });
+        }
+      }
+    });
+    if (store.size() > budget.max_configs) {
+      capped = true;
+      break;
+    }
+    if (deadline.expired()) {
+      expired = true;
+      break;
+    }
+    frontier.clear();
+    for (auto& buf : buffers) {
+      for (auto& entry : buf.next) frontier.push_back(std::move(entry));
+      buf.next.clear();
+    }
+  }
+
+  for (const auto& buf : buffers) stats.steals += buf.steals;
+
+  ExploreOutcome outcome;
+  if (capped || expired) {
+    outcome.decision = Decision::Unknown;
+    outcome.reason = capped ? UnknownReason::ConfigCap : UnknownReason::Deadline;
+    // Clamp so capped outcomes are thread-count-independent: how far past
+    // the cap the workers got is scheduling noise.
+    outcome.num_configs =
+        capped ? budget.max_configs : std::min(store.size(), budget.max_configs);
+    stats.configs = outcome.num_configs;
+    if (stats_out != nullptr) *stats_out = stats;
+    obs::count(obs::Counter::ExploreConfigs, stats.configs);
+    obs::count(obs::Counter::ExploreLevels, stats.levels);
+    obs::count(obs::Counter::ExploreSteals, stats.steals);
+    obs::gauge_max(obs::Gauge::ExploreFrontierPeak, stats.frontier_peak);
+    obs::gauge_max(obs::Gauge::ExploreThreads,
+                   static_cast<std::uint64_t>(stats.threads));
+    return outcome;
+  }
+
+  store.finalize();
+  const std::size_t total = store.size();
+  std::vector<std::vector<std::int32_t>> adj(total);
+  std::vector<Verdict> verdicts(total, Verdict::Neutral);
+  std::size_t num_edges = 0;
+  for (auto& buf : buffers) {
+    for (const auto& [gid, verdict] : buf.verdicts) {
+      verdicts[static_cast<std::size_t>(store.dense(gid))] = verdict;
+    }
+    num_edges += buf.edges.size();
+    for (const auto& [src, dst] : buf.edges) {
+      adj[static_cast<std::size_t>(store.dense(src))].push_back(
+          store.dense(dst));
+    }
+    buf.edges.clear();
+    buf.edges.shrink_to_fit();
+    buf.verdicts.clear();
+    buf.verdicts.shrink_to_fit();
+  }
+
+  stats.configs = total;
+  stats.edges = num_edges;
+  stats.shard_peak = store.shard_peak();
+
+  const BottomClassification cls = classify_bottom_sccs(
+      adj, [&](std::size_t i) { return verdicts[i]; }, threads);
+
+  outcome.decision = cls.decision;
+  outcome.num_configs = total;
+  outcome.num_bottom_sccs = cls.num_bottom_sccs;
+
+  if (stats_out != nullptr) *stats_out = stats;
+  obs::count(obs::Counter::ExploreConfigs, stats.configs);
+  obs::count(obs::Counter::ExploreEdges, stats.edges);
+  obs::count(obs::Counter::ExploreLevels, stats.levels);
+  obs::count(obs::Counter::ExploreSteals, stats.steals);
+  obs::gauge_max(obs::Gauge::ExploreShardPeak, stats.shard_peak);
+  obs::gauge_max(obs::Gauge::ExploreFrontierPeak, stats.frontier_peak);
+  obs::gauge_max(obs::Gauge::ExploreThreads,
+                 static_cast<std::uint64_t>(stats.threads));
+  return outcome;
+}
+
+}  // namespace dawn

@@ -6,6 +6,21 @@
 // exactly one reachable bottom SCC infinitely often, so the automaton
 // accepts iff every reachable bottom SCC is uniformly accepting, rejects iff
 // uniformly rejecting, and is inconsistent otherwise.
+//
+// Two SCC engines share the entry points below:
+//
+//  * max_threads <= 1 (or a small graph): the seed's iterative Tarjan.
+//  * otherwise: trim + forward–backward reachability partitioning
+//    (Fleischer/Hendrickson/Pinar). A peeling pass first emits the
+//    singleton SCCs that dominate the DAG-like configuration graphs of
+//    monotone protocols; the remaining subgraph is split recursively into
+//    F∩B / F\S / B\S / rest subproblems that a worker team processes
+//    independently, falling back to Tarjan on small subproblems.
+//
+// The two engines may number components differently, but the canonical
+// quantities every decider consumes — the component PARTITION, `count`,
+// `is_bottom`, and the classification — are identical for every thread
+// count.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +38,8 @@ struct SccInfo {
   std::vector<bool> is_bottom;          // per SCC id
 };
 
-SccInfo compute_sccs(const std::vector<std::vector<std::int32_t>>& adj);
+SccInfo compute_sccs(const std::vector<std::vector<std::int32_t>>& adj,
+                     int max_threads = 1);
 
 struct BottomClassification {
   Decision decision = Decision::Unknown;
@@ -31,9 +47,11 @@ struct BottomClassification {
 };
 
 // `verdict_of(i)` must return the uniform verdict of configuration i
-// (Accept / Reject, or Neutral for a mixed configuration).
+// (Accept / Reject, or Neutral for a mixed configuration). With
+// max_threads > 1 it may be called from several threads concurrently.
 BottomClassification classify_bottom_sccs(
     const std::vector<std::vector<std::int32_t>>& adj,
-    const std::function<Verdict(std::size_t)>& verdict_of);
+    const std::function<Verdict(std::size_t)>& verdict_of,
+    int max_threads = 1);
 
 }  // namespace dawn

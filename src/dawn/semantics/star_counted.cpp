@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "dawn/semantics/parallel_explore.hpp"
 #include "dawn/semantics/scc.hpp"
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
@@ -41,6 +42,17 @@ Neighbourhood leaf_view(const Machine& machine, const StarConfig& c) {
   const std::pair<State, int> counts[] = {{c.centre, 1}};
   return Neighbourhood::from_counts(counts, machine.beta());
 }
+
+// Per-worker successor generator for the parallel engine.
+struct StarExpander {
+  const Machine& machine;
+  template <typename Emit>
+  void operator()(const StarConfig& current, Emit&& emit) {
+    for (const StarConfig& next : star_successors(machine, current)) {
+      emit(next);
+    }
+  }
+};
 
 template <typename Visit>
 bool explore(const Machine& machine, const StarConfig& start,
@@ -119,11 +131,19 @@ StarResult decide_star_pseudo_stochastic(const Machine& machine, Label centre,
   StarResult result;
   Interner<StarConfig, StarConfigHash> configs;
   std::vector<std::vector<std::int32_t>> adj;
+  DeadlineClock deadline(opts);
   configs.id(initial_star_config(machine, centre, leaves));
   adj.emplace_back();
   for (std::size_t head = 0; head < configs.size(); ++head) {
     if (configs.size() > opts.max_configs) {
       result.decision = Decision::Unknown;
+      result.reason = UnknownReason::ConfigCap;
+      result.num_configs = configs.size();
+      return result;
+    }
+    if (deadline.enabled() && (head & 1023) == 0 && deadline.expired()) {
+      result.decision = Decision::Unknown;
+      result.reason = UnknownReason::Deadline;
       result.num_configs = configs.size();
       return result;
     }
@@ -144,6 +164,20 @@ StarResult decide_star_pseudo_stochastic(const Machine& machine, Label centre,
   result.decision = cls.decision;
   result.num_bottom_sccs = cls.num_bottom_sccs;
   return result;
+}
+
+StarResult decide_star_pseudo_stochastic_parallel(
+    const Machine& machine, Label centre, const std::vector<Label>& leaves,
+    const ExploreBudget& budget, ExploreStats* stats) {
+  ExploreBudget clamped = budget;
+  clamped.max_threads = explore_threads(machine, budget);
+  const ExploreOutcome out = explore_and_classify<StarConfig, StarConfigHash>(
+      initial_star_config(machine, centre, leaves),
+      [&](int) { return StarExpander{machine}; },
+      [&](const StarConfig& c) { return star_consensus(machine, c); }, clamped,
+      stats);
+  return StarResult{out.decision, out.reason, out.num_configs,
+                    out.num_bottom_sccs};
 }
 
 std::optional<bool> is_stably_rejecting(const Machine& machine,

@@ -20,6 +20,7 @@
 
 #include "dawn/automata/machine.hpp"
 #include "dawn/graph/graph.hpp"
+#include "dawn/semantics/budget.hpp"
 #include "dawn/semantics/decision.hpp"
 
 namespace dawn {
@@ -48,12 +49,12 @@ std::vector<StarConfig> star_successors(const Machine& machine,
 // Verdict of the configuration (Neutral if mixed).
 Verdict star_consensus(const Machine& machine, const StarConfig& config);
 
-struct StarOptions {
-  std::size_t max_configs = 2'000'000;
-};
+// Deprecated alias, kept for one release (see semantics/budget.hpp).
+using StarOptions = ExploreBudget;
 
 struct StarResult {
   Decision decision = Decision::Unknown;
+  UnknownReason reason = UnknownReason::None;
   std::size_t num_configs = 0;
   std::size_t num_bottom_sccs = 0;
 };
@@ -62,6 +63,14 @@ struct StarResult {
 StarResult decide_star_pseudo_stochastic(const Machine& machine, Label centre,
                                          const std::vector<Label>& leaves,
                                          const StarOptions& opts = {});
+
+struct ExploreStats;
+
+// Frontier-parallel sharded variant (semantics/parallel_explore.hpp); same
+// contract as decide_pseudo_stochastic_parallel in explicit_space.hpp.
+StarResult decide_star_pseudo_stochastic_parallel(
+    const Machine& machine, Label centre, const std::vector<Label>& leaves,
+    const ExploreBudget& b = {}, ExploreStats* stats = nullptr);
 
 // C is stably rejecting iff every configuration reachable from C is
 // rejecting (the proof's key notion). Returns nullopt on budget exhaustion.

@@ -5,20 +5,40 @@
 #include <vector>
 
 #include "dawn/automata/config.hpp"
+#include "dawn/semantics/parallel_explore.hpp"
+#include "dawn/semantics/trials.hpp"
 #include "dawn/util/hash.hpp"
 
 namespace dawn {
 
 SyncResult decide_synchronous(const Machine& machine, const Graph& g,
                               std::uint64_t max_steps) {
+  return decide_synchronous(
+      machine, g,
+      ExploreBudget{.max_configs = static_cast<std::size_t>(max_steps),
+                    .max_threads = 1,
+                    .deadline_ms = 0});
+}
+
+SyncResult decide_synchronous(const Machine& machine, const Graph& g,
+                              const ExploreBudget& budget) {
   SyncResult result;
   std::unordered_map<Config, std::uint64_t, VectorHash<State>> seen;
   std::vector<Config> trace;
+  const std::uint64_t max_steps = budget.max_configs;
+  DeadlineClock deadline(budget);
 
-  Selection all(static_cast<std::size_t>(g.n()));
-  std::iota(all.begin(), all.end(), 0);
+  // Splitting a synchronous step across workers only pays off when the
+  // per-step work (n neighbourhood evaluations) dwarfs the barrier cost.
+  const int threads =
+      g.n() >= 256 ? explore_threads(machine, budget) : 1;
+  WorkerPool pool(threads);
+  const auto num_workers = static_cast<std::size_t>(pool.num_workers());
+  std::vector<Neighbourhood> scratch(num_workers);
 
+  const auto n = static_cast<std::size_t>(g.n());
   Config current = initial_config(machine, g);
+  Config next(n);
   for (std::uint64_t t = 0; t <= max_steps; ++t) {
     auto it = seen.find(current);
     if (it != seen.end()) {
@@ -38,11 +58,30 @@ SyncResult decide_synchronous(const Machine& machine, const Graph& g,
       }
       return result;
     }
+    if (deadline.enabled() && deadline.expired()) {
+      result.decision = Decision::Unknown;
+      result.reason = UnknownReason::Deadline;
+      return result;
+    }
     seen.emplace(current, t);
     trace.push_back(current);
-    current = successor(machine, g, current, all);
+    // Synchronous successor: every node steps on `current`'s
+    // neighbourhoods. Workers own disjoint node ranges of `next`.
+    pool.run([&](int worker) {
+      const auto w = static_cast<std::size_t>(worker);
+      const std::size_t begin = n * w / num_workers;
+      const std::size_t end = n * (w + 1) / num_workers;
+      Neighbourhood& nb = scratch[w];
+      for (std::size_t v = begin; v < end; ++v) {
+        Neighbourhood::of_into(g, current, static_cast<NodeId>(v),
+                               machine.beta(), nb);
+        next[v] = machine.step(current[v], nb);
+      }
+    });
+    current = next;
   }
   result.decision = Decision::Unknown;
+  result.reason = UnknownReason::StepCap;
   return result;
 }
 

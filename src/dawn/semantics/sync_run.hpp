@@ -17,17 +17,28 @@
 
 #include "dawn/automata/machine.hpp"
 #include "dawn/graph/graph.hpp"
+#include "dawn/semantics/budget.hpp"
 #include "dawn/semantics/decision.hpp"
 
 namespace dawn {
 
 struct SyncResult {
   Decision decision = Decision::Unknown;
+  UnknownReason reason = UnknownReason::None;  // StepCap / Deadline on Unknown
   std::uint64_t prefix_length = 0;  // steps before the cycle is entered
   std::uint64_t cycle_length = 0;
 };
 
 SyncResult decide_synchronous(const Machine& machine, const Graph& g,
                               std::uint64_t max_steps = 1'000'000);
+
+// Budgeted variant: budget.max_configs bounds the run length (each step
+// stores one configuration, so the caps coincide), budget.deadline_ms
+// applies, and on large graphs the per-step successor computation is split
+// across budget.max_threads workers in fixed node ranges — the run itself
+// is deterministic, so the result is identical for every thread count.
+// Machines without parallel_step_safe() are clamped to one worker.
+SyncResult decide_synchronous(const Machine& machine, const Graph& g,
+                              const ExploreBudget& budget);
 
 }  // namespace dawn

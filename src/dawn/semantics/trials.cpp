@@ -18,11 +18,69 @@ int resolve_threads(int requested, std::size_t jobs) {
   return t < 1 ? 1 : t;
 }
 
-// Work-stealing-free pool: an atomic cursor over the job index space. Each
-// slot is written by exactly one worker, so no further synchronisation is
+}  // namespace
+
+WorkerPool::WorkerPool(int num_threads) {
+  int t = num_threads;
+  if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
+  if (t < 1) t = 1;
+  helpers_.reserve(static_cast<std::size_t>(t - 1));
+  for (int w = 1; w < t; ++w) {
+    helpers_.emplace_back([this, w] { helper_main(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& th : helpers_) th.join();
+}
+
+void WorkerPool::helper_main(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_ == helpers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::run(const std::function<void(int)>& task) {
+  if (helpers_.empty()) {
+    task(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    done_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  task(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_ == helpers_.size(); });
+  task_ = nullptr;
+}
+
+// Work-stealing-free fan-out: an atomic cursor over the job index space.
+// Each index is claimed by exactly one worker, so no synchronisation is
 // needed beyond the joins.
-template <typename Job>
-void fan_out(std::size_t num_jobs, int num_threads, const Job& job) {
+void parallel_for(std::size_t num_jobs, int num_threads,
+                  const std::function<void(std::size_t)>& job) {
   if (num_jobs == 0) return;
   const int threads = resolve_threads(num_threads, num_jobs);
   if (threads == 1) {
@@ -31,19 +89,17 @@ void fan_out(std::size_t num_jobs, int num_threads, const Job& job) {
   }
   std::atomic<std::size_t> cursor{0};
   std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (std::size_t i = cursor.fetch_add(1); i < num_jobs;
-           i = cursor.fetch_add(1)) {
-        job(i);
-      }
-    });
-  }
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  const auto drain = [&] {
+    for (std::size_t i = cursor.fetch_add(1); i < num_jobs;
+         i = cursor.fetch_add(1)) {
+      job(i);
+    }
+  };
+  for (int t = 1; t < threads; ++t) pool.emplace_back(drain);
+  drain();
   for (auto& th : pool) th.join();
 }
-
-}  // namespace
 
 std::uint64_t trial_seed(std::uint64_t base_seed, int trial) {
   // splitmix64 (Steele et al.): a bijective mix, so distinct trials never
@@ -64,7 +120,7 @@ std::vector<TrialOutcome> run_trials(const MachineFactory& machine_factory,
   DAWN_CHECK(scheduler_factory != nullptr);
   std::vector<TrialOutcome> outcomes(
       static_cast<std::size_t>(opts.num_trials));
-  fan_out(outcomes.size(), opts.num_threads, [&](std::size_t i) {
+  parallel_for(outcomes.size(), opts.num_threads, [&](std::size_t i) {
     TrialOutcome& out = outcomes[i];
     out.trial = static_cast<int>(i);
     out.seed = trial_seed(opts.base_seed, out.trial);
@@ -78,8 +134,8 @@ std::vector<TrialOutcome> run_trials(const MachineFactory& machine_factory,
 std::vector<SimulateResult> run_jobs(
     std::vector<std::function<SimulateResult()>> jobs, int num_threads) {
   std::vector<SimulateResult> results(jobs.size());
-  fan_out(jobs.size(), num_threads,
-          [&](std::size_t i) { results[i] = jobs[i](); });
+  parallel_for(jobs.size(), num_threads,
+               [&](std::size_t i) { results[i] = jobs[i](); });
   return results;
 }
 

@@ -20,9 +20,13 @@
 // touches).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "dawn/automata/machine.hpp"
@@ -31,6 +35,53 @@
 #include "dawn/semantics/simulate.hpp"
 
 namespace dawn {
+
+// A persistent team of worker threads for phased parallel algorithms (the
+// level-synchronous frontier exploration, the FB-SCC partitioning). Unlike
+// the one-shot fan-out below, the threads survive between run() calls, so a
+// BFS with thousands of short levels pays thread start-up once, not per
+// level.
+//
+// run(task) executes task(worker) on every worker — the calling thread
+// participates as worker 0, the pool contributes workers 1..n-1 — and
+// returns when all of them have finished. Calls are serialised (no
+// reentrancy). With num_threads <= 1 no threads are spawned and run()
+// degenerates to task(0) inline.
+class WorkerPool {
+ public:
+  // num_threads counts the caller: a pool of 4 spawns 3 helper threads.
+  // <= 0 means hardware_concurrency.
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(helpers_.size()) + 1; }
+
+  void run(const std::function<void(int)>& task);
+
+ private:
+  void helper_main(int worker);
+
+  std::vector<std::thread> helpers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t done_ = 0;
+  bool stop_ = false;
+};
+
+// One-shot dynamic fan-out: runs job(i) for i in [0, num_jobs) on up to
+// num_threads threads (0 = hardware_concurrency), handing out indices
+// through an atomic cursor. Each index is executed exactly once; the job
+// must own or synchronise any state it shares. Blocks until all jobs
+// finish. With one thread (or one job) everything runs inline on the
+// caller.
+void parallel_for(std::size_t num_jobs, int num_threads,
+                  const std::function<void(std::size_t)>& job);
 
 // Fresh machine per trial. Called on the worker thread that owns the trial;
 // must not share mutable state with other trials (compiled machines intern

@@ -1,7 +1,9 @@
 #include "dawn/verify/verify.hpp"
 
+#include <memory>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 #include "dawn/extensions/broadcast_engine.hpp"
 #include "dawn/extensions/population_engine.hpp"
@@ -13,45 +15,188 @@
 namespace dawn {
 namespace {
 
-void record(VerifyReport& report, const LabelCount& L,
-            const std::string& topology, Decision decision, bool expected,
-            const std::string& detail = "") {
+// One decided (instance, topology) pair, produced inside a worker and merged
+// into the report in deterministic instance order afterwards.
+struct InstanceEntry {
+  LabelCount counts;
+  std::string topology;
+  Decision decision = Decision::Unknown;
+  UnknownReason reason = UnknownReason::None;
+  bool expected = false;
+  std::string detail;
+};
+
+bool is_budget_reason(UnknownReason reason) {
+  return reason == UnknownReason::ConfigCap ||
+         reason == UnknownReason::Deadline ||
+         reason == UnknownReason::StepCap;
+}
+
+void record(VerifyReport& report, const InstanceEntry& e) {
   ++report.instances;
-  const bool good = (decision == Decision::Accept && expected) ||
-                    (decision == Decision::Reject && !expected);
+  const bool good = (e.decision == Decision::Accept && e.expected) ||
+                    (e.decision == Decision::Reject && !e.expected);
   if (good) return;
-  if (decision == Decision::Unknown) report.complete = false;
-  report.failures.push_back({L, topology, decision, expected, detail});
+  if (e.decision == Decision::Unknown && is_budget_reason(e.reason)) {
+    // Budget exhaustion is "not yet checked", not a counterexample.
+    report.complete = false;
+    report.capped.push_back({e.counts, e.topology, e.reason});
+    return;
+  }
+  if (e.decision == Decision::Unknown) report.complete = false;
+  report.failures.push_back(
+      {e.counts, e.topology, e.decision, e.expected, e.detail});
 }
 
 std::int64_t total(const LabelCount& L) {
   return std::accumulate(L.begin(), L.end(), std::int64_t{0});
 }
 
-template <typename Fn>
-void for_each_window_count(const LabellingPredicate& pred,
-                           const VerifyOptions& opts, Fn fn) {
+ExploreBudget effective_budget(const VerifyOptions& opts) {
+  ExploreBudget b = opts.budget;
+  if (b.max_configs == 0) b.max_configs = opts.max_configs;
+  return b;
+}
+
+// Enumerates the verification window up front so instances can be dealt to
+// workers; `expected` is evaluated here (sequentially) so predicates need
+// not be thread-safe.
+struct Instance {
+  LabelCount counts;
+  bool expected = false;
+};
+
+std::vector<Instance> enumerate_window(
+    const LabellingPredicate& pred, const VerifyOptions& opts,
+    const std::function<bool(const LabelCount&)>& promise = {}) {
+  std::vector<Instance> window;
   for_each_count(pred.num_labels, opts.count_bound, [&](const LabelCount& L) {
     if (total(L) < opts.min_nodes) return;
-    fn(L);
+    if (promise && !promise(L)) return;
+    window.push_back({L, pred(L)});
   });
+  return window;
+}
+
+void append_counts(std::ostringstream& out, const LabelCount& counts) {
+  out << "L=(";
+  for (std::size_t l = 0; l < counts.size(); ++l) {
+    out << (l ? "," : "") << counts[l];
+  }
+  out << ")";
+}
+
+// Decides every topology of one instance. Uses the unified facade: Auto
+// dispatches cliques (and two-node stars/lines, which are cliques) to the
+// counted engine and everything else to the sharded explicit engine.
+std::vector<InstanceEntry> decide_instance(const Machine& machine,
+                                           const Instance& inst,
+                                           const ExploreBudget& budget,
+                                           const VerifyOptions& opts) {
+  std::vector<InstanceEntry> out;
+  const auto labels = labels_from_count(inst.counts);
+  std::vector<std::pair<std::string, Graph>> graphs;
+  if (opts.cliques) graphs.emplace_back("clique", make_clique(labels));
+  if (opts.cycles && labels.size() >= 3) {
+    graphs.emplace_back("cycle", make_cycle(labels));
+  }
+  if (opts.lines && labels.size() >= 2) {
+    graphs.emplace_back("line", make_line(labels));
+  }
+  if (opts.stars && labels.size() >= 2) {
+    std::vector<Label> leaves(labels.begin() + 1, labels.end());
+    graphs.emplace_back("star", make_star(labels.front(), leaves));
+  }
+  for (const auto& [name, g] : graphs) {
+    DecisionRequest req;
+    req.budget = budget;
+    const DecisionReport r = decide(machine, g, req);
+    out.push_back({inst.counts, name, r.decision, r.unknown_reason,
+                   inst.expected, ""});
+    if (opts.check_synchronous) {
+      DecisionRequest sreq;
+      sreq.method = DecideMethod::Synchronous;
+      sreq.budget = budget;
+      const DecisionReport s = decide(machine, g, sreq);
+      out.push_back({inst.counts, name + "/sync", s.decision, s.unknown_reason,
+                     inst.expected, ""});
+    }
+  }
+  return out;
+}
+
+VerifyReport verify_machine_impl(const MachineFactory& factory,
+                                 const LabellingPredicate& pred,
+                                 const VerifyOptions& opts, int threads) {
+  const auto window = enumerate_window(pred, opts);
+  const ExploreBudget budget = effective_budget(opts);
+  std::vector<std::vector<InstanceEntry>> slots(window.size());
+  parallel_for(window.size(), threads, [&](std::size_t i) {
+    const auto machine = factory();
+    slots[i] = decide_instance(*machine, window[i], budget, opts);
+  });
+  VerifyReport report;
+  for (const auto& entries : slots) {
+    for (const auto& e : entries) record(report, e);
+  }
+  return report;
+}
+
+VerifyReport verify_cliques_impl(const MachineFactory& factory,
+                                 const LabellingPredicate& pred,
+                                 const VerifyOptions& opts, int threads) {
+  const auto window = enumerate_window(pred, opts);
+  const ExploreBudget budget = effective_budget(opts);
+  std::vector<InstanceEntry> slots(window.size());
+  parallel_for(window.size(), threads, [&](std::size_t i) {
+    const auto machine = factory();
+    const auto r =
+        decide_clique_pseudo_stochastic_parallel(*machine, window[i].counts,
+                                                 budget);
+    slots[i] = {window[i].counts, "clique(counted)", r.decision, r.reason,
+                window[i].expected, ""};
+  });
+  VerifyReport report;
+  for (const auto& e : slots) record(report, e);
+  return report;
+}
+
+// Wraps a caller-owned machine in a non-owning factory. Safe to call from
+// several workers only when the machine is parallel_step_safe().
+MachineFactory borrow(const Machine& machine) {
+  const Machine* raw = &machine;
+  return [raw] {
+    return std::shared_ptr<const Machine>(raw, [](const Machine*) {});
+  };
+}
+
+int shared_machine_threads(const Machine& machine, const VerifyOptions& opts) {
+  return machine.parallel_step_safe() ? opts.instance_threads : 1;
 }
 
 }  // namespace
 
 std::string VerifyReport::summary() const {
   std::ostringstream out;
-  out << instances << " instances, " << failures.size() << " failures"
-      << (complete ? "" : " (incomplete: budget exhausted)");
+  out << instances << " instances, " << failures.size() << " failures";
+  if (!capped.empty()) {
+    out << ", " << capped.size() << " capped (budget exhausted)";
+  } else if (!complete) {
+    out << " (incomplete)";
+  }
   for (std::size_t i = 0; i < failures.size() && i < 5; ++i) {
     const auto& f = failures[i];
-    out << "\n  L=(";
-    for (std::size_t l = 0; l < f.counts.size(); ++l) {
-      out << (l ? "," : "") << f.counts[l];
-    }
-    out << ") on " << f.topology << ": got " << to_string(f.decision)
+    out << "\n  ";
+    append_counts(out, f.counts);
+    out << " on " << f.topology << ": got " << to_string(f.decision)
         << ", expected " << (f.expected_accept ? "accept" : "reject");
     if (!f.detail.empty()) out << " [" << f.detail << "]";
+  }
+  for (std::size_t i = 0; i < capped.size() && i < 5; ++i) {
+    const auto& c = capped[i];
+    out << "\n  capped ";
+    append_counts(out, c.counts);
+    out << " on " << c.topology << " (" << to_string(c.reason) << ")";
   }
   return out.str();
 }
@@ -59,56 +204,40 @@ std::string VerifyReport::summary() const {
 VerifyReport verify_machine(const Machine& machine,
                             const LabellingPredicate& pred,
                             const VerifyOptions& opts) {
-  VerifyReport report;
-  for_each_window_count(pred, opts, [&](const LabelCount& L) {
-    const bool expected = pred(L);
-    const auto labels = labels_from_count(L);
-    std::vector<std::pair<std::string, Graph>> graphs;
-    if (opts.cliques) graphs.emplace_back("clique", make_clique(labels));
-    if (opts.cycles && labels.size() >= 3) {
-      graphs.emplace_back("cycle", make_cycle(labels));
-    }
-    if (opts.lines && labels.size() >= 2) {
-      graphs.emplace_back("line", make_line(labels));
-    }
-    if (opts.stars && labels.size() >= 2) {
-      std::vector<Label> leaves(labels.begin() + 1, labels.end());
-      graphs.emplace_back("star", make_star(labels.front(), leaves));
-    }
-    for (const auto& [name, g] : graphs) {
-      const auto r =
-          decide_pseudo_stochastic(machine, g, {.max_configs = opts.max_configs});
-      record(report, L, name, r.decision, expected);
-      if (opts.check_synchronous) {
-        const auto s = decide_synchronous(machine, g);
-        record(report, L, name + "/sync", s.decision, expected);
-      }
-    }
-  });
-  return report;
+  return verify_machine_impl(borrow(machine), pred, opts,
+                             shared_machine_threads(machine, opts));
+}
+
+VerifyReport verify_machine(const MachineFactory& factory,
+                            const LabellingPredicate& pred,
+                            const VerifyOptions& opts) {
+  return verify_machine_impl(factory, pred, opts, opts.instance_threads);
 }
 
 VerifyReport verify_machine_on_cliques(const Machine& machine,
                                        const LabellingPredicate& pred,
                                        const VerifyOptions& opts) {
-  VerifyReport report;
-  for_each_window_count(pred, opts, [&](const LabelCount& L) {
-    const auto r = decide_clique_pseudo_stochastic(
-        machine, L, {.max_configs = opts.max_configs});
-    record(report, L, "clique(counted)", r.decision, pred(L));
-  });
-  return report;
+  return verify_cliques_impl(borrow(machine), pred, opts,
+                             shared_machine_threads(machine, opts));
+}
+
+VerifyReport verify_machine_on_cliques(const MachineFactory& factory,
+                                       const LabellingPredicate& pred,
+                                       const VerifyOptions& opts) {
+  return verify_cliques_impl(factory, pred, opts, opts.instance_threads);
 }
 
 VerifyReport verify_overlay_on_cliques(const BroadcastOverlay& overlay,
                                        const LabellingPredicate& pred,
                                        const VerifyOptions& opts) {
+  const auto window = enumerate_window(pred, opts);
+  const ExploreBudget budget = effective_budget(opts);
   VerifyReport report;
-  for_each_window_count(pred, opts, [&](const LabelCount& L) {
-    const auto r = decide_overlay_strong_counted(
-        overlay, L, {.max_configs = opts.max_configs});
-    record(report, L, "clique(strong-bc)", r.decision, pred(L));
-  });
+  for (const Instance& inst : window) {
+    const auto r = decide_overlay_strong_counted(overlay, inst.counts, budget);
+    record(report, {inst.counts, "clique(strong-bc)", r.decision, r.reason,
+                    inst.expected, ""});
+  }
   return report;
 }
 
@@ -116,13 +245,14 @@ VerifyReport verify_population_on_cliques(
     const GraphPopulationProtocol& protocol, const LabellingPredicate& pred,
     const std::function<bool(const LabelCount&)>& promise,
     const VerifyOptions& opts) {
+  const auto window = enumerate_window(pred, opts, promise);
+  const ExploreBudget budget = effective_budget(opts);
   VerifyReport report;
-  for_each_window_count(pred, opts, [&](const LabelCount& L) {
-    if (promise && !promise(L)) return;
-    const auto r = decide_population_counted(protocol, L,
-                                             {.max_configs = opts.max_configs});
-    record(report, L, "clique(rendezvous)", r.decision, pred(L));
-  });
+  for (const Instance& inst : window) {
+    const auto r = decide_population_counted(protocol, inst.counts, budget);
+    record(report, {inst.counts, "clique(rendezvous)", r.decision, r.reason,
+                    inst.expected, ""});
+  }
   return report;
 }
 

@@ -7,6 +7,12 @@
 // adversarial fairness of consistent automata), and report counterexamples
 // — wrong verdicts AND consistency violations, which for stable-consensus
 // automata are bugs just as much.
+//
+// Sweeps parallelise on two axes: across instances (instance_threads; the
+// MachineFactory overloads give every worker its own machine so compiled
+// automata can fan out too) and within an instance (budget.max_threads,
+// forwarded to the sharded exploration engine). Budget-exhausted instances
+// are reported separately from counterexamples — see VerifyReport::capped.
 #pragma once
 
 #include <functional>
@@ -18,7 +24,9 @@
 #include "dawn/extensions/population.hpp"
 #include "dawn/graph/generators.hpp"
 #include "dawn/props/predicates.hpp"
+#include "dawn/semantics/budget.hpp"
 #include "dawn/semantics/decision.hpp"
+#include "dawn/semantics/trials.hpp"
 
 namespace dawn {
 
@@ -28,8 +36,19 @@ struct VerifyOptions {
   // Skip inputs with fewer nodes (the paper convention needs >= 3; some
   // protocols also assume a minimum population).
   int min_nodes = 3;
-  // Budget per instance for the explicit/counted deciders.
+  // Per-instance budget for the deciders. budget.max_configs == 0 defers to
+  // the deprecated max_configs field below; budget.max_threads is the
+  // WITHIN-instance worker count (default 1 — instance-level parallelism
+  // already saturates a sweep of many small instances).
+  ExploreBudget budget = {.max_configs = 0, .max_threads = 1, .deadline_ms = 0};
+  // Deprecated: use budget.max_configs. Still honoured so existing sweeps
+  // compile unchanged; ignored when budget.max_configs is non-zero.
   std::size_t max_configs = 2'000'000;
+  // Worker threads ACROSS instances (0 = all hardware threads). Overloads
+  // taking a shared `const Machine&` clamp this to 1 unless the machine
+  // reports parallel_step_safe(); pass a MachineFactory to parallelise
+  // compiled/interning machines (each worker builds its own instance).
+  int instance_threads = 0;
   // Also check the synchronous run (valid for adversarial-class automata;
   // for F-class automata synchronous runs need not stabilise).
   bool check_synchronous = false;
@@ -48,11 +67,20 @@ struct Counterexample {
   std::string detail;
 };
 
+// An instance the decider could not finish within its budget. Kept apart
+// from `failures`: a capped instance is "not yet checked", not a bug.
+struct CappedInstance {
+  LabelCount counts;
+  std::string topology;
+  UnknownReason reason = UnknownReason::ConfigCap;
+};
+
 struct VerifyReport {
   int instances = 0;
   std::vector<Counterexample> failures;
-  // False if some instance exhausted the decider budget (those are reported
-  // as failures with decision Unknown).
+  // Instances whose decider exhausted its budget (config cap, deadline or
+  // step cap). Non-empty capped => complete == false.
+  std::vector<CappedInstance> capped;
   bool complete = true;
 
   bool ok() const { return failures.empty() && complete; }
@@ -60,8 +88,13 @@ struct VerifyReport {
 };
 
 // Verifies a plain machine under exact pseudo-stochastic semantics over the
-// topology battery (and optionally the synchronous run).
+// topology battery (and optionally the synchronous run). The shared-machine
+// overload parallelises across instances only for parallel_step_safe()
+// machines; the factory overload parallelises for any machine.
 VerifyReport verify_machine(const Machine& machine,
+                            const LabellingPredicate& pred,
+                            const VerifyOptions& opts = {});
+VerifyReport verify_machine(const MachineFactory& factory,
                             const LabellingPredicate& pred,
                             const VerifyOptions& opts = {});
 
@@ -70,9 +103,13 @@ VerifyReport verify_machine(const Machine& machine,
 VerifyReport verify_machine_on_cliques(const Machine& machine,
                                        const LabellingPredicate& pred,
                                        const VerifyOptions& opts = {});
+VerifyReport verify_machine_on_cliques(const MachineFactory& factory,
+                                       const LabellingPredicate& pred,
+                                       const VerifyOptions& opts = {});
 
 // Verifies a broadcast overlay under strong (singleton) broadcast
-// semantics on counted cliques.
+// semantics on counted cliques. Sequential across instances (overlay
+// implementations carry no thread-safety contract).
 VerifyReport verify_overlay_on_cliques(const BroadcastOverlay& overlay,
                                        const LabellingPredicate& pred,
                                        const VerifyOptions& opts = {});

@@ -1,0 +1,315 @@
+// The unified decider facade and the frontier-parallel exploration engine:
+// differential tests against the sequential deciders, bit-identical
+// determinism across thread counts, dispatch, budgets and UnknownReason.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/props/predicates.hpp"
+#include "dawn/protocols/cutoff_construction.hpp"
+#include "dawn/protocols/exists_label.hpp"
+#include "dawn/protocols/halting_flood.hpp"
+#include "dawn/protocols/pp_mod.hpp"
+#include "dawn/protocols/threshold_daf.hpp"
+#include "dawn/semantics/clique_counted.hpp"
+#include "dawn/semantics/decision.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/parallel_explore.hpp"
+#include "dawn/semantics/star_counted.hpp"
+#include "dawn/util/rng.hpp"
+#include "dawn/verify/verify.hpp"
+
+namespace dawn {
+namespace {
+
+// The "flood retreats" bug: runs never stabilise, so the exact decider must
+// answer Inconsistent on graphs where both labels are present.
+std::shared_ptr<Machine> buggy_flooding() {
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = 2;
+  spec.num_states = 2;
+  spec.init = [](Label l) { return static_cast<State>(l); };
+  spec.step = [](State s, const Neighbourhood& n) {
+    if (s == 0 && n.count(1) > 0) return State{1};
+    if (s == 1 && n.count(0) > 0) return State{0};
+    return s;
+  };
+  spec.verdict = [](State s) {
+    return s == 1 ? Verdict::Accept : Verdict::Reject;
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<Machine>>> machines() {
+  return {
+      {"exists", make_exists_label(1, 2)},
+      {"halting-flood", make_halting_flood(1, 2)},
+      {"threshold-daf", make_threshold_daf(2, 0, 2)},
+      {"mod-daf", make_mod_population_daf(2, 0, 0, 2)},
+      {"cutoff1", make_cutoff1_automaton(pred_exists(1, 2))},
+      {"buggy-flood", buggy_flooding()},
+  };
+}
+
+std::vector<std::pair<std::string, Graph>> topologies() {
+  Rng rng(7);
+  const std::vector<Label> labels = {0, 1, 0, 0, 1, 0};
+  return {
+      {"clique", make_clique(labels)},
+      {"cycle", make_cycle(labels)},
+      {"line", make_line(labels)},
+      {"star", make_star(labels.front(), {1, 0, 0, 1, 0})},
+      {"grid", make_grid(2, 3, labels)},
+      {"random", make_random_connected(labels, 3, rng)},
+  };
+}
+
+TEST(ParallelExplicit, MatchesSequentialOnEveryTopology) {
+  for (const auto& [mname, m] : machines()) {
+    for (const auto& [gname, g] : topologies()) {
+      const auto seq = decide_pseudo_stochastic(*m, g, {.max_configs = 500'000});
+      const auto par = decide_pseudo_stochastic_parallel(
+          *m, g, {.max_configs = 500'000, .max_threads = 8});
+      ASSERT_NE(seq.decision, Decision::Unknown) << mname << "/" << gname;
+      EXPECT_EQ(par.decision, seq.decision) << mname << "/" << gname;
+      EXPECT_EQ(par.reason, seq.reason) << mname << "/" << gname;
+      EXPECT_EQ(par.num_configs, seq.num_configs) << mname << "/" << gname;
+      EXPECT_EQ(par.num_bottom_sccs, seq.num_bottom_sccs)
+          << mname << "/" << gname;
+    }
+  }
+}
+
+TEST(ParallelExplicit, BuggyProtocolIsInconsistentInBothEngines) {
+  const auto m = buggy_flooding();
+  const Graph g = make_cycle({0, 1, 0, 0, 1});
+  const auto seq = decide_pseudo_stochastic(*m, g);
+  const auto par = decide_pseudo_stochastic_parallel(*m, g);
+  EXPECT_EQ(seq.decision, Decision::Inconsistent);
+  EXPECT_EQ(par.decision, Decision::Inconsistent);
+  EXPECT_EQ(par.num_configs, seq.num_configs);
+}
+
+TEST(ParallelExplicit, CapMatchesSequentialPredicate) {
+  // The parallel engine must call "budget exhausted" on exactly the same
+  // instances as the sequential one: reachable configs > max_configs.
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_cycle({0, 0, 1, 0, 0, 0});
+  const auto full = decide_pseudo_stochastic(*m, g);
+  ASSERT_NE(full.decision, Decision::Unknown);
+  // Exactly at the reachable count: fits, both complete.
+  for (int threads : {1, 8}) {
+    const auto r = decide_pseudo_stochastic_parallel(
+        *m, g, {.max_configs = full.num_configs, .max_threads = threads});
+    EXPECT_EQ(r.decision, full.decision) << threads;
+    EXPECT_EQ(r.reason, UnknownReason::None) << threads;
+  }
+  // One below: both must report the config cap.
+  const auto seq = decide_pseudo_stochastic(
+      *m, g, {.max_configs = full.num_configs - 1});
+  EXPECT_EQ(seq.decision, Decision::Unknown);
+  EXPECT_EQ(seq.reason, UnknownReason::ConfigCap);
+  for (int threads : {1, 8}) {
+    const auto r = decide_pseudo_stochastic_parallel(
+        *m, g, {.max_configs = full.num_configs - 1, .max_threads = threads});
+    EXPECT_EQ(r.decision, Decision::Unknown) << threads;
+    EXPECT_EQ(r.reason, UnknownReason::ConfigCap) << threads;
+  }
+}
+
+TEST(ParallelCounted, CliqueAndStarMatchSequential) {
+  for (const auto& [mname, m] : machines()) {
+    for (const LabelCount& L :
+         std::vector<LabelCount>{{3, 2}, {5, 1}, {2, 6}, {4, 4}}) {
+      const auto seq = decide_clique_pseudo_stochastic(*m, L);
+      const auto par =
+          decide_clique_pseudo_stochastic_parallel(*m, L, {.max_threads = 8});
+      EXPECT_EQ(par.decision, seq.decision) << mname;
+      EXPECT_EQ(par.num_configs, seq.num_configs) << mname;
+      EXPECT_EQ(par.num_bottom_sccs, seq.num_bottom_sccs) << mname;
+
+      std::vector<Label> leaves;
+      for (Label l = 0; l < 2; ++l) {
+        for (std::int64_t i = 0; i < L[static_cast<std::size_t>(l)]; ++i) {
+          leaves.push_back(l);
+        }
+      }
+      const auto sseq = decide_star_pseudo_stochastic(*m, 0, leaves);
+      const auto spar = decide_star_pseudo_stochastic_parallel(
+          *m, 0, leaves, {.max_threads = 8});
+      EXPECT_EQ(spar.decision, sseq.decision) << mname;
+      EXPECT_EQ(spar.num_configs, sseq.num_configs) << mname;
+      EXPECT_EQ(spar.num_bottom_sccs, sseq.num_bottom_sccs) << mname;
+    }
+  }
+}
+
+TEST(Decide, ReportsAreBitIdenticalAcrossThreadCounts) {
+  for (const auto& [mname, m] : machines()) {
+    for (const auto& [gname, g] : topologies()) {
+      for (std::size_t cap : {std::size_t{2'000'000}, std::size_t{10}}) {
+        DecisionRequest req;
+        req.budget = {.max_configs = cap, .max_threads = 1, .deadline_ms = 0};
+        const DecisionReport one = decide(*m, g, req);
+        for (int threads : {2, 8}) {
+          req.budget.max_threads = threads;
+          const DecisionReport many = decide(*m, g, req);
+          EXPECT_TRUE(many == one)
+              << mname << "/" << gname << " cap=" << cap << " threads="
+              << threads << ": " << to_string(many.decision) << "/"
+              << to_string(many.unknown_reason) << " vs "
+              << to_string(one.decision) << "/"
+              << to_string(one.unknown_reason);
+        }
+      }
+    }
+  }
+}
+
+TEST(Decide, AutoDispatchPicksTheCountedEngines) {
+  const auto m = make_exists_label(1, 2);
+  const auto on = [&](const Graph& g) { return decide(*m, g); };
+  EXPECT_EQ(on(make_clique({0, 1, 0, 0})).method, DecideMethod::CountedClique);
+  EXPECT_EQ(on(make_star(0, {1, 0, 0})).method, DecideMethod::CountedStar);
+  EXPECT_EQ(on(make_cycle({0, 1, 0, 0})).method, DecideMethod::Explicit);
+  EXPECT_EQ(on(make_line({0, 1, 0, 0})).method, DecideMethod::Explicit);
+}
+
+TEST(Decide, CountedEnginesAgreeWithExplicitOnTheirTopologies) {
+  for (const auto& [mname, m] : machines()) {
+    for (const Graph& g : {make_clique({0, 1, 0, 1, 0}),
+                           make_star(0, {1, 0, 0, 1})}) {
+      DecisionRequest exp;
+      exp.method = DecideMethod::Explicit;
+      const DecisionReport via_auto = decide(*m, g);
+      const DecisionReport via_explicit = decide(*m, g, exp);
+      EXPECT_NE(via_auto.method, DecideMethod::Explicit) << mname;
+      EXPECT_EQ(via_auto.decision, via_explicit.decision) << mname;
+    }
+  }
+}
+
+TEST(Decide, SynchronousAndSimulateMethods) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_cycle({0, 0, 1, 0, 0});
+
+  DecisionRequest sync;
+  sync.method = DecideMethod::Synchronous;
+  const DecisionReport s = decide(*m, g, sync);
+  EXPECT_EQ(s.decision, Decision::Accept);
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.method, DecideMethod::Synchronous);
+
+  DecisionRequest sim;
+  sim.method = DecideMethod::Simulate;
+  const DecisionReport r = decide(*m, g, sim);
+  EXPECT_EQ(r.decision, Decision::Accept);
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(r.method, DecideMethod::Simulate);
+}
+
+TEST(Decide, ConfigCapIsReportedAsBudgetExhaustion) {
+  const auto m = make_exists_label(1, 2);
+  DecisionRequest req;
+  req.budget = {.max_configs = 3, .max_threads = 4, .deadline_ms = 0};
+  const DecisionReport r = decide(*m, make_cycle({0, 0, 1, 0, 0, 0}), req);
+  EXPECT_EQ(r.decision, Decision::Unknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::ConfigCap);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_EQ(r.configs_explored, std::size_t{3});
+}
+
+TEST(Decide, DeadlineIsReportedAsBudgetExhaustion) {
+  // A state space far too large for a 1 ms deadline.
+  const auto m = make_threshold_daf(3, 0, 2);
+  std::vector<Label> labels(18, 0);
+  DecisionRequest req;
+  req.method = DecideMethod::Explicit;
+  req.budget = {.max_configs = 1'000'000'000, .max_threads = 2,
+                .deadline_ms = 1};
+  const DecisionReport r = decide(*m, make_cycle(labels), req);
+  EXPECT_EQ(r.decision, Decision::Unknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::Deadline);
+  EXPECT_TRUE(r.budget_exhausted);
+}
+
+TEST(Decide, CrossCheckAgreesWithPlainRun) {
+  for (const auto& [gname, g] : topologies()) {
+    DecisionRequest req;
+    req.cross_check = true;
+    req.budget.max_threads = 4;
+    const auto m = make_exists_label(1, 2);
+    const DecisionReport checked = decide(*m, g, req);
+    const DecisionReport plain = decide(*m, g);
+    EXPECT_NE(checked.unknown_reason, UnknownReason::CrossCheck) << gname;
+    EXPECT_EQ(checked.decision, plain.decision) << gname;
+  }
+}
+
+TEST(Verify, CappedInstancesAreSeparatedFromCounterexamples) {
+  const auto m = make_exists_label(1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 3;
+  opts.budget = {.max_configs = 6, .max_threads = 1, .deadline_ms = 0};
+  const auto report = verify_machine(*m, pred_exists(1, 2), opts);
+  EXPECT_FALSE(report.capped.empty());
+  EXPECT_TRUE(report.failures.empty()) << report.summary();
+  EXPECT_FALSE(report.complete);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("capped"), std::string::npos);
+  for (const auto& c : report.capped) {
+    EXPECT_EQ(c.reason, UnknownReason::ConfigCap);
+  }
+}
+
+TEST(Verify, FactoryOverloadMatchesSharedMachine) {
+  VerifyOptions seq_opts;
+  seq_opts.count_bound = 3;
+  seq_opts.instance_threads = 1;
+  VerifyOptions par_opts = seq_opts;
+  par_opts.instance_threads = 8;
+
+  const auto shared = make_exists_label(1, 2);
+  const auto a = verify_machine(*shared, pred_exists(1, 2), seq_opts);
+  const auto b = verify_machine(
+      [] { return std::shared_ptr<const Machine>(make_exists_label(1, 2)); },
+      pred_exists(1, 2), par_opts);
+  EXPECT_EQ(a.instances, b.instances);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+  EXPECT_EQ(a.capped.size(), b.capped.size());
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+}
+
+TEST(Verify, DeprecatedMaxConfigsFieldStillHonoured) {
+  const auto m = make_exists_label(1, 2);
+  VerifyOptions opts;
+  opts.count_bound = 3;
+  opts.max_configs = 2;  // legacy spelling of the budget cap
+  const auto report = verify_machine_on_cliques(*m, pred_exists(1, 2), opts);
+  EXPECT_FALSE(report.complete);
+  EXPECT_FALSE(report.capped.empty());
+}
+
+TEST(ParallelExplicit, StatsAreReported) {
+  const auto m = make_exists_label(1, 2);
+  const Graph g = make_cycle({0, 0, 1, 0, 0, 0, 0, 0});
+  ExploreStats stats;
+  const auto r = decide_pseudo_stochastic_parallel(
+      *m, g, {.max_configs = 2'000'000, .max_threads = 4}, &stats);
+  ASSERT_NE(r.decision, Decision::Unknown);
+  EXPECT_EQ(stats.configs, r.num_configs);
+  EXPECT_GT(stats.edges, 0u);
+  EXPECT_GT(stats.levels, 0u);
+  EXPECT_GE(stats.threads, 1);
+  EXPECT_GT(stats.shard_peak, 0u);
+  EXPECT_GT(stats.frontier_peak, 0u);
+}
+
+}  // namespace
+}  // namespace dawn
