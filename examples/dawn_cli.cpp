@@ -46,6 +46,7 @@
 #include "dawn/semantics/decision.hpp"
 #include "dawn/semantics/simulate.hpp"
 #include "dawn/trace/recorder.hpp"
+#include "dawn/util/parse.hpp"
 
 using namespace dawn;
 
@@ -73,6 +74,18 @@ std::vector<std::string> split(const std::string& s, char sep) {
   std::exit(2);
 }
 
+// atoi turned typos into silent zeros ("exists:x" ran exists:0); every
+// numeric token goes through the checked parser and names itself on error.
+int num(const char* argv0, const std::string& what, const std::string& token,
+        std::int64_t lo, std::int64_t hi) {
+  const auto v = parse_int(token, lo, hi);
+  if (!v) {
+    usage(argv0, what + " needs an integer in [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "], got '" + token + "'");
+  }
+  return static_cast<int>(*v);
+}
+
 struct Parsed {
   std::shared_ptr<Machine> machine;
   std::string description;
@@ -83,21 +96,21 @@ Parsed parse_protocol(const std::string& spec, const char* argv0) {
   const auto parts = split(spec, ':');
   Parsed out;
   if (parts[0] == "exists" && parts.size() == 2) {
-    const Label l = std::atoi(parts[1].c_str());
+    const Label l = num(argv0, "exists:L", parts[1], 0, 63);
     out.num_labels = l + 1 < 2 ? 2 : l + 1;
     out.machine = make_exists_label(l, out.num_labels);
     out.description = "flooding (dAf): exists label " + parts[1];
   } else if (parts[0] == "threshold" && parts.size() == 3) {
-    const Label l = std::atoi(parts[1].c_str());
-    const int k = std::atoi(parts[2].c_str());
+    const Label l = num(argv0, "threshold:L", parts[1], 0, 63);
+    const int k = num(argv0, "threshold K", parts[2], 1, 1 << 20);
     out.num_labels = l + 1 < 2 ? 2 : l + 1;
     out.machine = make_threshold_daf(k, l, out.num_labels);
     out.description =
         "Lemma C.5 (dAF): #label" + parts[1] + " >= " + parts[2];
   } else if (parts[0] == "mod" && parts.size() == 4) {
-    const Label l = std::atoi(parts[1].c_str());
-    const int m = std::atoi(parts[2].c_str());
-    const int r = std::atoi(parts[3].c_str());
+    const Label l = num(argv0, "mod:L", parts[1], 0, 63);
+    const int m = num(argv0, "mod M", parts[2], 2, 1 << 20);
+    const int r = num(argv0, "mod R", parts[3], 0, m - 1);
     out.num_labels = l + 1 < 2 ? 2 : l + 1;
     out.machine = make_mod_counter_daf(m, r, l, out.num_labels).machine;
     out.description = "Lemma 5.1 pipeline (DAF): #label" + parts[1] + " = " +
@@ -109,7 +122,7 @@ Parsed parse_protocol(const std::string& spec, const char* argv0) {
         "population protocol via Lemma 4.10 (DAF): #l0 > #l1, cliques, "
         "no ties";
   } else if (parts[0] == "majority" && parts.size() == 2) {
-    const int k = std::atoi(parts[1].c_str());
+    const int k = num(argv0, "majority:K", parts[1], 1, 1 << 20);
     out.num_labels = 2;
     out.machine = make_majority_bounded(k).machine;
     out.description = "Section 6.1 (DAf): #l0 >= #l1 on degree <= " + parts[1];
@@ -132,8 +145,9 @@ Graph parse_topology(const std::string& spec, const std::vector<Label>& labels,
   if ((parts[0] == "grid" || parts[0] == "torus") && parts.size() == 2) {
     const auto dims = split(parts[1], 'x');
     if (dims.size() != 2) usage(argv0, "grid needs WxH");
-    return make_grid(std::atoi(dims[0].c_str()), std::atoi(dims[1].c_str()),
-                     labels, parts[0] == "torus");
+    return make_grid(num(argv0, "grid W", dims[0], 2, 1 << 15),
+                     num(argv0, "grid H", dims[1], 2, 1 << 15), labels,
+                     parts[0] == "torus");
   }
   usage(argv0, "unknown topology: " + spec);
 }
@@ -152,7 +166,8 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--simulate")) {
       simulate_mode = true;
     } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
-      trace_steps = std::strtoull(argv[++i], nullptr, 10);
+      trace_steps = static_cast<std::uint64_t>(
+          num(argv[0], "--trace", argv[++i], 1, 1 << 30));
     } else if (!std::strcmp(argv[i], "--metrics")) {
       want_metrics = true;
       simulate_mode = true;
@@ -168,7 +183,7 @@ int main(int argc, char** argv) {
 
   std::vector<Label> labels;
   for (const auto& tok : split(argv[3], ',')) {
-    const Label l = std::atoi(tok.c_str());
+    const Label l = num(argv[0], "label", tok, 0, 63);
     labels.push_back(l);
     if (l + 1 > protocol.num_labels) {
       usage(argv[0], "label " + tok + " outside the protocol's alphabet");

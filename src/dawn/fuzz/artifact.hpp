@@ -1,0 +1,52 @@
+// Replayable divergence artifacts.
+//
+// When the fuzzer finds (and shrinks) a divergence it emits two files:
+//
+//   <name>.case.json   — the full FuzzCase (machine spec, graph, schedule)
+//                        plus the pair name and divergence detail, enough to
+//                        re-run the check on any host;
+//   <name>.trace.jsonl — the obs::TraceLog event stream of the case's
+//                        schedule replayed on the incremental engine, so a
+//                        divergence can be inspected (and diffed with
+//                        TraceLog::first_divergence) without rebuilding.
+//
+// `dawn_fuzz --replay <file>.case.json` reloads the artifact and re-runs
+// its oracle pair; the regression tests pin shrunk artifacts the same way.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dawn/fuzz/gen.hpp"
+#include "dawn/obs/json.hpp"
+#include "dawn/obs/trace_log.hpp"
+
+namespace dawn::fuzz {
+
+struct DivergenceArtifact {
+  std::string pair;    // oracle pair name (oracle.hpp registry)
+  std::string detail;  // human-readable divergence description
+  FuzzCase c;
+};
+
+obs::JsonValue case_to_json(const FuzzCase& c);
+std::optional<FuzzCase> case_from_json(const obs::JsonValue& v,
+                                       std::string* error = nullptr);
+
+obs::JsonValue artifact_to_json(const DivergenceArtifact& a);
+std::optional<DivergenceArtifact> artifact_from_json(
+    const obs::JsonValue& v, std::string* error = nullptr);
+
+bool write_artifact(const std::string& path, const DivergenceArtifact& a,
+                    std::string* error = nullptr);
+std::optional<DivergenceArtifact> load_artifact(const std::string& path,
+                                                std::string* error = nullptr);
+
+// The case's schedule (one full cycle) replayed on the incremental engine,
+// as a bounded JSONL event stream.
+obs::TraceLog trace_case(const FuzzCase& c);
+
+// Parses an AutomatonClass from its xyz name ("dAf", "DAF", ...).
+std::optional<AutomatonClass> class_from_name(const std::string& name);
+
+}  // namespace dawn::fuzz

@@ -1,0 +1,95 @@
+#include "dawn/fuzz/fuzz.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn::fuzz {
+namespace {
+
+// A divergence must shrink against the pair that found it, and the shrunk
+// case must still diverge (a shrinker that "fixes" the bug would mask it).
+DivergenceArtifact shrink_divergence(const OraclePair& pair, FuzzCase c,
+                                     std::string detail,
+                                     const FuzzOptions& opts) {
+  if (opts.shrink) {
+    const auto still_diverges = [&pair](const FuzzCase& candidate) {
+      return pair.applicable(candidate) &&
+             pair.check(candidate).has_value();
+    };
+    c = shrink_case(std::move(c), still_diverges, opts.shrink_opts);
+    // Re-derive the detail from the shrunk case (step indices etc. moved).
+    if (auto shrunk_detail = pair.check(c)) detail = std::move(*shrunk_detail);
+  }
+  return {pair.name, std::move(detail), std::move(c)};
+}
+
+}  // namespace
+
+std::string FuzzReport::summary() const {
+  std::ostringstream out;
+  out << cases << " cases";
+  for (const PairStats& s : per_pair) {
+    out << "\n  " << s.name << ": " << s.checked << " checked, " << s.skipped
+        << " skipped";
+  }
+  if (divergences.empty()) {
+    out << "\n  no divergences";
+  }
+  for (const DivergenceArtifact& d : divergences) {
+    out << "\n  DIVERGENCE [" << d.pair << "] " << d.detail << " (shape "
+        << d.c.shape << ", class " << d.c.machine.cls.name() << ", n="
+        << d.c.graph.n() << ")";
+  }
+  return out.str();
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  const auto& registry = oracle_pairs();
+  std::vector<const OraclePair*> selected;
+  if (opts.pairs.empty()) {
+    for (const OraclePair& pair : registry) selected.push_back(&pair);
+  } else {
+    for (const std::string& name : opts.pairs) {
+      const OraclePair* pair = find_pair(name);
+      DAWN_CHECK_MSG(pair != nullptr, "unknown oracle pair: " + name);
+      selected.push_back(pair);
+    }
+  }
+
+  FuzzReport report;
+  for (const OraclePair* pair : selected) {
+    report.per_pair.push_back({pair->name, 0, 0});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto expired = [&] {
+    if (opts.budget_ms == 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    return static_cast<std::uint64_t>(elapsed.count()) >= opts.budget_ms;
+  };
+
+  Rng rng(opts.seed);
+  for (int i = 0; i < opts.budget_cases && !expired(); ++i) {
+    const FuzzCase c = gen_case(rng, opts.gen);
+    ++report.cases;
+    for (std::size_t p = 0; p < selected.size(); ++p) {
+      const OraclePair& pair = *selected[p];
+      if (!pair.applicable(c)) {
+        ++report.per_pair[p].skipped;
+        continue;
+      }
+      ++report.per_pair[p].checked;
+      if (auto detail = pair.check(c)) {
+        report.divergences.push_back(
+            shrink_divergence(pair, c, std::move(*detail), opts));
+        if (opts.stop_on_divergence) return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dawn::fuzz

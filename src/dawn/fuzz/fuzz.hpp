@@ -1,0 +1,59 @@
+// The differential fuzzing driver: generate cases, run every applicable
+// oracle pair, shrink divergences, report.
+//
+// One run_fuzz() call is one reproducible campaign: the case stream is a
+// pure function of options.seed, so `dawn_fuzz --seed S --budget N` found
+// on a CI log replays exactly — and after a fix, re-running the same seed
+// confirms the divergence is gone. Divergent cases are greedily shrunk
+// (fuzz/shrink.hpp) before they are reported, so what lands in the report
+// (and on disk, via fuzz/artifact.hpp) is the small version.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dawn/fuzz/artifact.hpp"
+#include "dawn/fuzz/gen.hpp"
+#include "dawn/fuzz/oracle.hpp"
+#include "dawn/fuzz/shrink.hpp"
+
+namespace dawn::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  // Number of generated cases; every applicable registered pair runs on
+  // each.
+  int budget_cases = 200;
+  // Optional wall-clock bound in milliseconds (0 = none); checked between
+  // cases, so one case can overshoot by its own runtime.
+  std::uint64_t budget_ms = 0;
+  // Pair names to run (empty = all). Unknown names are a caller error,
+  // checked up front.
+  std::vector<std::string> pairs;
+  bool shrink = true;
+  CaseGenOptions gen;
+  ShrinkOptions shrink_opts;
+  // Stop the campaign at the first divergence (the CI smoke mode: one
+  // shrunk artifact is enough to file the bug).
+  bool stop_on_divergence = false;
+};
+
+struct PairStats {
+  std::string name;
+  int checked = 0;
+  int skipped = 0;  // applicable() said no
+};
+
+struct FuzzReport {
+  int cases = 0;
+  std::vector<PairStats> per_pair;
+  std::vector<DivergenceArtifact> divergences;  // already shrunk
+
+  bool ok() const { return divergences.empty(); }
+  std::string summary() const;
+};
+
+FuzzReport run_fuzz(const FuzzOptions& opts);
+
+}  // namespace dawn::fuzz

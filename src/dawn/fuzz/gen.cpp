@@ -1,0 +1,271 @@
+#include "dawn/fuzz/gen.hpp"
+
+#include <algorithm>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/util/check.hpp"
+#include "dawn/util/hash.hpp"
+
+namespace dawn::fuzz {
+namespace {
+
+// Domain separators so the init / step / verdict streams of one seed are
+// independent.
+constexpr std::uint64_t kInitSalt = 0x1a2b3c4d00000001ULL;
+constexpr std::uint64_t kStepSalt = 0x1a2b3c4d00000002ULL;
+constexpr std::uint64_t kVerdictSalt = 0x1a2b3c4d00000003ULL;
+
+std::uint64_t mix2(std::uint64_t a, std::uint64_t b) {
+  return hash_mix(a ^ hash_mix(b));
+}
+
+bool is_halting_class(const MachineSpec& spec) {
+  return spec.cls.acceptance == AcceptanceKind::Halting;
+}
+
+int num_halting(const MachineSpec& spec) {
+  return spec.halt_accept + spec.halt_reject;
+}
+
+}  // namespace
+
+std::shared_ptr<Machine> build_machine(const MachineSpec& spec) {
+  DAWN_CHECK(spec.num_states >= 1 && spec.num_labels >= 1 && spec.beta >= 1);
+  DAWN_CHECK(spec.halt_accept >= 0 && spec.halt_reject >= 0);
+  DAWN_CHECK_MSG(num_halting(spec) <= spec.num_states,
+                 "halting states exceed the state count");
+  DAWN_CHECK_MSG(!is_halting_class(spec) || num_halting(spec) >= 1,
+                 "a halting-class machine needs at least one halting state");
+  const MachineSpec s = spec;  // captured by value below
+  const auto states = static_cast<std::uint64_t>(s.num_states);
+  const int halting = num_halting(s);
+  FunctionMachine::Spec fm;
+  fm.beta = s.beta;
+  fm.num_labels = s.num_labels;
+  fm.num_states = s.num_states;
+  fm.init = [s, states, halting](Label label) {
+    // Halting classes start in a transient state (a node born halted is a
+    // constant, not a protocol); stable-consensus classes start anywhere.
+    const std::uint64_t h =
+        mix2(s.seed ^ kInitSalt, static_cast<std::uint64_t>(label));
+    if (is_halting_class(s) && halting < s.num_states) {
+      const std::uint64_t transient = states - static_cast<std::uint64_t>(halting);
+      return static_cast<State>(static_cast<std::uint64_t>(halting) +
+                                h % transient);
+    }
+    return static_cast<State>(h % states);
+  };
+  fm.step = [s, states](State q, const Neighbourhood& n) {
+    // Halting states are absorbing: once a node announces a verdict it
+    // never moves again (the a-class acceptance discipline).
+    if (is_halting_class(s) && q < num_halting(s)) return q;
+    std::uint64_t h = mix2(s.seed ^ kStepSalt, static_cast<std::uint64_t>(q));
+    for (const auto& [state, count] : n.entries()) {
+      h = mix2(h, (static_cast<std::uint64_t>(state) << 8) |
+                      static_cast<std::uint64_t>(count));
+    }
+    return static_cast<State>(h % states);
+  };
+  fm.verdict = [s](State q) {
+    if (is_halting_class(s)) {
+      if (q < s.halt_accept) return Verdict::Accept;
+      if (q < num_halting(s)) return Verdict::Reject;
+      return Verdict::Neutral;
+    }
+    switch (mix2(s.seed ^ kVerdictSalt, static_cast<std::uint64_t>(q)) % 3) {
+      case 0: return Verdict::Accept;
+      case 1: return Verdict::Reject;
+      default: return Verdict::Neutral;
+    }
+  };
+  return std::make_shared<FunctionMachine>(std::move(fm));
+}
+
+MachineSpec gen_machine(Rng& rng, const MachineGenOptions& opts) {
+  DAWN_CHECK(opts.min_states >= 3 && opts.max_states >= opts.min_states);
+  const auto classes = all_classes();
+  MachineSpec spec;
+  spec.cls = classes[rng.index(classes.size())];
+  spec.num_states = static_cast<int>(rng.uniform(opts.min_states,
+                                                 opts.max_states));
+  spec.num_labels = static_cast<int>(rng.uniform(1, opts.max_labels));
+  spec.beta = spec.cls.detection == DetectionKind::NonCounting
+                  ? 1
+                  : static_cast<int>(rng.uniform(2, 4));
+  spec.seed = static_cast<std::uint64_t>(rng.engine()());
+  if (spec.cls.acceptance == AcceptanceKind::Halting) {
+    // At least one halting state of each polarity and at least one
+    // transient state, so halting runs and non-halting runs both exist.
+    const int budget = spec.num_states - 1;
+    spec.halt_accept = static_cast<int>(rng.uniform(1, budget - 1));
+    spec.halt_reject = static_cast<int>(rng.uniform(1, budget - spec.halt_accept));
+  }
+  return spec;
+}
+
+namespace {
+
+std::vector<Label> random_labels(Rng& rng, int n, int num_labels) {
+  std::vector<Label> labels(static_cast<std::size_t>(n));
+  for (Label& l : labels) {
+    l = static_cast<Label>(rng.index(static_cast<std::size_t>(num_labels)));
+  }
+  return labels;
+}
+
+// Random spanning tree on nodes [base, base + k) of an in-progress builder.
+void add_tree_edges(GraphBuilder& b, Rng& rng, NodeId base, int k) {
+  for (int i = 1; i < k; ++i) {
+    const NodeId parent =
+        base + static_cast<NodeId>(rng.index(static_cast<std::size_t>(i)));
+    b.add_edge(base + static_cast<NodeId>(i), parent);
+  }
+}
+
+}  // namespace
+
+FuzzGraph gen_graph(Rng& rng, const GraphGenOptions& opts) {
+  DAWN_CHECK(opts.min_nodes >= 1 && opts.max_nodes >= opts.min_nodes);
+  DAWN_CHECK(opts.num_labels >= 1);
+  const auto size_at_least = [&](int lo) {
+    return static_cast<int>(
+        rng.uniform(std::max(lo, opts.min_nodes), opts.max_nodes));
+  };
+  // Build the shape menu the node bounds allow; every entry stays reachable
+  // for every option set, so a fixed seed exercises all of them eventually.
+  std::vector<std::string> shapes;
+  if (opts.min_nodes <= 1) shapes.push_back("single-node");
+  shapes.push_back("edgeless");
+  if (opts.max_nodes >= 2) {
+    shapes.insert(shapes.end(),
+                  {"disconnected", "star", "line", "clique", "random"});
+  }
+  if (opts.max_nodes >= 3) shapes.push_back("cycle");
+  if (opts.max_nodes >= 4) {
+    shapes.insert(shapes.end(), {"grid", "bounded-degree"});
+  }
+  const std::string shape = shapes[rng.index(shapes.size())];
+
+  if (shape == "single-node") {
+    GraphBuilder b;
+    b.add_node(random_labels(rng, 1, opts.num_labels)[0]);
+    return {std::move(b).build(), shape};
+  }
+  if (shape == "edgeless") {
+    const int n = size_at_least(1);
+    GraphBuilder b;
+    for (Label l : random_labels(rng, n, opts.num_labels)) b.add_node(l);
+    return {std::move(b).build(), shape};
+  }
+  if (shape == "disconnected") {
+    // Two spanning-tree components with no edge between them (a part of
+    // size 1 is an isolated node).
+    const int n = size_at_least(2);
+    const int first = static_cast<int>(rng.uniform(1, n - 1));
+    GraphBuilder b;
+    for (Label l : random_labels(rng, n, opts.num_labels)) b.add_node(l);
+    add_tree_edges(b, rng, 0, first);
+    add_tree_edges(b, rng, static_cast<NodeId>(first), n - first);
+    return {std::move(b).build(), shape};
+  }
+  if (shape == "star") {
+    const int n = size_at_least(2);
+    const auto labels = random_labels(rng, n, opts.num_labels);
+    return {make_star(labels.front(),
+                      {labels.begin() + 1, labels.end()}),
+            shape};
+  }
+  if (shape == "line") {
+    // Bias long: lines are the worst case for information propagation.
+    const int lo = std::max(opts.min_nodes, (opts.max_nodes + 1) / 2);
+    const int n = static_cast<int>(rng.uniform(std::max(2, lo),
+                                               opts.max_nodes));
+    return {make_line(random_labels(rng, n, opts.num_labels)), shape};
+  }
+  if (shape == "clique") {
+    const int n = size_at_least(2);
+    return {make_clique(random_labels(rng, n, opts.num_labels)), shape};
+  }
+  if (shape == "cycle") {
+    const int n = size_at_least(3);
+    return {make_cycle(random_labels(rng, n, opts.num_labels)), shape};
+  }
+  if (shape == "grid") {
+    const int w = static_cast<int>(rng.uniform(2, std::max(2, opts.max_nodes / 2)));
+    const int h = std::max(2, std::min(opts.max_nodes / w, 1 + static_cast<int>(rng.uniform(1, 3))));
+    return {make_grid(w, h, random_labels(rng, w * h, opts.num_labels)),
+            shape};
+  }
+  if (shape == "bounded-degree") {
+    const int n = size_at_least(3);
+    const int k = static_cast<int>(rng.uniform(2, 4));
+    const int extra = static_cast<int>(rng.uniform(0, n));
+    return {make_random_bounded_degree(random_labels(rng, n, opts.num_labels),
+                                       k, extra, rng),
+            shape};
+  }
+  DAWN_CHECK(shape == "random");
+  const int n = size_at_least(2);
+  const int extra = static_cast<int>(rng.uniform(0, n));
+  return {make_random_connected(random_labels(rng, n, opts.num_labels), extra,
+                                rng),
+          shape};
+}
+
+std::vector<Selection> gen_schedule(Rng& rng, int n, int len) {
+  DAWN_CHECK(n >= 1 && len >= 1);
+  const auto nodes = static_cast<std::size_t>(n);
+  std::vector<Selection> schedule;
+  schedule.reserve(static_cast<std::size_t>(len) + nodes);
+  std::vector<bool> covered(nodes, false);
+  auto note = [&](NodeId v) { covered[static_cast<std::size_t>(v)] = true; };
+  for (int i = 0; i < len; ++i) {
+    Selection sel;
+    switch (rng.index(3)) {
+      case 0: {  // exclusive
+        sel.push_back(static_cast<NodeId>(rng.index(nodes)));
+        break;
+      }
+      case 1: {  // random nonempty subset
+        for (NodeId v = 0; v < n; ++v) {
+          if (rng.chance(0.4)) sel.push_back(v);
+        }
+        if (sel.empty()) sel.push_back(static_cast<NodeId>(rng.index(nodes)));
+        break;
+      }
+      default: {  // synchronous
+        for (NodeId v = 0; v < n; ++v) sel.push_back(v);
+        break;
+      }
+    }
+    for (NodeId v : sel) note(v);
+    schedule.push_back(std::move(sel));
+  }
+  // Coverage pad: a shuffled sweep of the still-unselected nodes, so the
+  // cycled schedule selects every node infinitely often.
+  std::vector<NodeId> missing;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!covered[static_cast<std::size_t>(v)]) missing.push_back(v);
+  }
+  rng.shuffle(missing);
+  for (NodeId v : missing) schedule.push_back({v});
+  return schedule;
+}
+
+FuzzCase gen_case(Rng& rng, const CaseGenOptions& opts) {
+  FuzzCase c;
+  c.machine = gen_machine(rng, opts.machine);
+  GraphGenOptions graph_opts = opts.graph;
+  graph_opts.num_labels = c.machine.num_labels;
+  FuzzGraph fg = gen_graph(rng, graph_opts);
+  c.graph = std::move(fg.graph);
+  c.shape = std::move(fg.shape);
+  const int n = c.graph.n();
+  const int len = static_cast<int>(
+      rng.uniform(n, static_cast<std::int64_t>(n) *
+                         std::max(1, opts.max_schedule_factor)));
+  c.schedule = gen_schedule(rng, n, len);
+  return c;
+}
+
+}  // namespace dawn::fuzz

@@ -1,0 +1,108 @@
+// Seeded generators for differential fuzzing: random machines over all
+// seven {d,D}{a,A}{f,F} classes, random labelled graphs (the paper's
+// families plus the degenerate shapes the convention excludes), and random
+// schedules.
+//
+// Every generator is a pure function of an explicit Rng, so a fuzz case is
+// reproducible from (seed, options) alone, and a MachineSpec rebuilds the
+// same machine byte-for-byte on another host — the property the replay
+// artifacts (fuzz/artifact.hpp) and the CI smoke job rely on.
+//
+// Generated machines are hash-transition machines: δ(q, N) is a splitmix
+// hash of (spec.seed, q, N's sorted capped-count entries) reduced to the
+// state range. This family is adversarial by construction — transitions
+// have no structure for an engine shortcut to exploit — while staying pure
+// (parallel_step_safe) and cheap. Class knobs:
+//
+//   * d vs D   — counting bound: β = 1 vs β in [2, 4];
+//   * a vs A   — halting classes reserve absorbing accept/reject states
+//                (once a node halts its verdict never changes; the class
+//                validity test pins this), stable-consensus classes give
+//                every state a hash-derived verdict;
+//   * f vs F   — fairness is exercised by the schedules, not the machine;
+//                the class tag records which schedule pools apply.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dawn/automata/classes.hpp"
+#include "dawn/automata/config.hpp"
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/graph.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn::fuzz {
+
+// A reproducible description of a generated machine. build_machine(spec) is
+// deterministic: equal specs build machines with identical behaviour.
+struct MachineSpec {
+  AutomatonClass cls;
+  int num_states = 4;
+  int num_labels = 2;
+  int beta = 1;  // 1 for d-classes, [2, 4] for D-classes
+  std::uint64_t seed = 0;
+  // Halting (a) classes only: states [0, halt_accept) are absorbing
+  // accepting, [halt_accept, halt_accept + halt_reject) absorbing rejecting;
+  // the rest are transient with verdict Neutral. Zero for A classes.
+  int halt_accept = 0;
+  int halt_reject = 0;
+
+  bool operator==(const MachineSpec&) const = default;
+};
+
+// Materialises the spec as a pure FunctionMachine (parallel_step_safe).
+std::shared_ptr<Machine> build_machine(const MachineSpec& spec);
+
+struct MachineGenOptions {
+  int min_states = 3;
+  int max_states = 6;
+  int max_labels = 3;
+};
+
+// A random spec; the class is drawn uniformly from all_classes().
+MachineSpec gen_machine(Rng& rng, const MachineGenOptions& opts = {});
+
+// The degenerate shapes are the point: the paper convention (connected,
+// n >= 3, simple) is deliberately not enforced, because the engines must
+// agree on out-of-convention inputs too.
+struct GraphGenOptions {
+  int min_nodes = 1;
+  int max_nodes = 10;
+  int num_labels = 2;
+};
+
+struct FuzzGraph {
+  Graph graph;
+  std::string shape;  // "single-node", "edgeless", "disconnected", ...
+};
+
+FuzzGraph gen_graph(Rng& rng, const GraphGenOptions& opts = {});
+
+// A random finite schedule over n nodes: a mix of singleton, random-subset
+// and full-V selections, padded so every node is selected at least once
+// (cycling the window through sched/replay then yields a fair schedule).
+// Every selection is nonempty. Requires n >= 1 and len >= 1.
+std::vector<Selection> gen_schedule(Rng& rng, int n, int len);
+
+// One generated differential input: a machine, a graph over an alphabet the
+// machine understands, and a schedule covering the graph's nodes.
+struct FuzzCase {
+  MachineSpec machine;
+  Graph graph;
+  std::string shape;
+  std::vector<Selection> schedule;
+};
+
+struct CaseGenOptions {
+  MachineGenOptions machine;
+  GraphGenOptions graph;
+  // Schedule length is drawn from [n, n * max_schedule_factor].
+  int max_schedule_factor = 4;
+};
+
+FuzzCase gen_case(Rng& rng, const CaseGenOptions& opts = {});
+
+}  // namespace dawn::fuzz

@@ -1,0 +1,335 @@
+#include "dawn/fuzz/oracle.hpp"
+
+#include <sstream>
+
+#include "dawn/automata/run.hpp"
+#include "dawn/sched/replay.hpp"
+#include "dawn/sched/scheduler.hpp"
+#include "dawn/semantics/clique_counted.hpp"
+#include "dawn/semantics/decision.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/simulate.hpp"
+#include "dawn/semantics/star_counted.hpp"
+#include "dawn/semantics/sync_run.hpp"
+
+namespace dawn::fuzz {
+namespace {
+
+// Budgets chosen so a smoke run (a few hundred cases) stays in seconds:
+// the decider pairs only fire on small state spaces, and the run-based
+// pairs are linear in the schedule length.
+constexpr std::size_t kSpaceCap = 60'000;     // |Q|^n bound for decider pairs
+constexpr std::size_t kConfigBudget = 120'000;
+constexpr std::uint64_t kSyncStepCap = 20'000;
+constexpr std::uint64_t kSimSteps = 2'000;
+constexpr std::uint64_t kSimWindow = 200;
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Accept: return "accept";
+    case Verdict::Reject: return "reject";
+    case Verdict::Neutral: return "neutral";
+  }
+  return "?";
+}
+
+// Saturating |Q|^n, used to keep the explicit decider off huge spaces.
+std::size_t space_size(const FuzzCase& c) {
+  std::size_t space = 1;
+  for (int i = 0; i < c.graph.n(); ++i) {
+    if (space > kSpaceCap) return kSpaceCap + 1;
+    space *= static_cast<std::size_t>(c.machine.num_states);
+  }
+  return space;
+}
+
+bool small_space(const FuzzCase& c) { return space_size(c) <= kSpaceCap; }
+
+bool is_clique_graph(const Graph& g) {
+  if (g.n() < 2) return false;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (g.degree(v) != g.n() - 1) return false;
+  }
+  return true;
+}
+
+// The unique hub adjacent to every other node, all leaves; -1 otherwise.
+NodeId star_hub(const Graph& g) {
+  if (g.n() < 2) return -1;
+  NodeId hub = -1;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (g.degree(v) == g.n() - 1) {
+      if (hub >= 0) return -1;
+      hub = v;
+    } else if (g.degree(v) != 1) {
+      return -1;
+    }
+  }
+  return hub;
+}
+
+ExploreBudget sequential_budget() {
+  return {.max_configs = kConfigBudget, .max_threads = 1, .deadline_ms = 0};
+}
+
+// -------------------------------------------------------------------------
+// step-engine: FullCopy vs Incremental, lock-step over the schedule (two
+// cycles, so the wrap-around of a replayed window is exercised too).
+
+std::optional<std::string> check_step_engine(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  Run incremental(*machine, c.graph, StepEngine::Incremental);
+  Run reference(*machine, c.graph, StepEngine::FullCopy);
+  const std::size_t len = c.schedule.size();
+  for (std::size_t t = 0; t < 2 * len; ++t) {
+    const Selection& sel = c.schedule[t % len];
+    incremental.apply(sel);
+    reference.apply(sel);
+    const auto diverged = [&](const char* what) {
+      std::ostringstream out;
+      out << "engines diverged at step " << t << " (" << what << ")";
+      return out.str();
+    };
+    if (incremental.config() != reference.config()) return diverged("config");
+    if (incremental.current_consensus() != reference.current_consensus()) {
+      return diverged("consensus");
+    }
+    if (incremental.consensus_held_for() != reference.consensus_held_for()) {
+      return diverged("consensus_held_for");
+    }
+    if (incremental.last_change_step() != reference.last_change_step()) {
+      return diverged("last_change_step");
+    }
+    if (incremental.commits() != reference.commits()) {
+      return diverged("commits");
+    }
+    if (incremental.last_step_commits() != reference.last_step_commits()) {
+      return diverged("last_step_commits");
+    }
+  }
+  return std::nullopt;
+}
+
+// -------------------------------------------------------------------------
+// record-replay: a run recorded through sched/replay must re-execute
+// bit-identically from its recording alone.
+
+std::optional<std::string> check_record_replay(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  SimulateOptions opts;
+  opts.max_steps = kSimSteps;
+  opts.stable_window = kSimWindow;
+  auto inner = std::make_shared<RandomExclusiveScheduler>(c.machine.seed);
+  RecordingScheduler recorder(inner);
+  const SimulateResult original = simulate(*machine, c.graph, recorder, opts);
+  ReplayScheduler replay(recorder.recording());
+  const SimulateResult replayed = simulate(*machine, c.graph, replay, opts);
+  if (original == replayed) return std::nullopt;
+  std::ostringstream out;
+  out << "replayed run differs: original(converged=" << original.converged
+      << ", verdict=" << verdict_name(original.verdict)
+      << ", steps=" << original.total_steps << ") replay(converged="
+      << replayed.converged << ", verdict=" << verdict_name(replayed.verdict)
+      << ", steps=" << replayed.total_steps << ")";
+  return out.str();
+}
+
+// -------------------------------------------------------------------------
+// sync-replay: decide_synchronous detects the limit cycle with its own
+// stepping loop (successor via Neighbourhood::of_into, hash-map cycle
+// detection). Re-derive the classification through the Run engine driven by
+// the replayed synchronous schedule: after prefix_length steps the run must
+// be on the cycle, the cycle must close after cycle_length more steps, and
+// the per-configuration consensus over one traversal must reproduce the
+// decision.
+
+std::optional<std::string> check_sync_replay(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  const SyncResult sync = decide_synchronous(*machine, c.graph, kSyncStepCap);
+  if (sync.decision == Decision::Unknown) return std::nullopt;  // capped
+  Selection everyone;
+  for (NodeId v = 0; v < c.graph.n(); ++v) everyone.push_back(v);
+  Run run(*machine, c.graph, StepEngine::Incremental);
+  for (std::uint64_t t = 0; t < sync.prefix_length; ++t) run.apply(everyone);
+  const Config at_cycle_entry = run.config();
+  bool all_accepting = true;
+  bool all_rejecting = true;
+  for (std::uint64_t i = 0; i < sync.cycle_length; ++i) {
+    const Verdict v = run.current_consensus();
+    if (v != Verdict::Accept) all_accepting = false;
+    if (v != Verdict::Reject) all_rejecting = false;
+    run.apply(everyone);
+  }
+  if (run.config() != at_cycle_entry) {
+    std::ostringstream out;
+    out << "synchronous cycle did not close under Run: prefix="
+        << sync.prefix_length << " cycle=" << sync.cycle_length;
+    return out.str();
+  }
+  const Decision replayed = all_accepting    ? Decision::Accept
+                            : all_rejecting ? Decision::Reject
+                                            : Decision::Inconsistent;
+  if (replayed == sync.decision) return std::nullopt;
+  std::ostringstream out;
+  out << "cycle classification differs: decide_synchronous="
+      << to_string(sync.decision) << " replayed-run=" << to_string(replayed)
+      << " (prefix=" << sync.prefix_length << ", cycle=" << sync.cycle_length
+      << ")";
+  return out.str();
+}
+
+// -------------------------------------------------------------------------
+// explore-par: the sequential explicit decider vs the frontier-parallel
+// sharded engine at 1, 2 and 8 threads. Completed runs must agree on
+// everything; capped runs on (decision, reason) with the parallel count
+// clamped to the cap.
+
+std::optional<std::string> check_explore_par(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  const ExplicitResult seq =
+      decide_pseudo_stochastic(*machine, c.graph, sequential_budget());
+  for (const int threads : {1, 2, 8}) {
+    ExploreBudget budget = sequential_budget();
+    budget.max_threads = threads;
+    const ExplicitResult par =
+        decide_pseudo_stochastic_parallel(*machine, c.graph, budget);
+    std::ostringstream out;
+    out << "parallel(" << threads << " threads) vs sequential: ";
+    if (par.decision != seq.decision || par.reason != seq.reason) {
+      out << "decision " << to_string(par.decision) << "/"
+          << to_string(par.reason) << " vs " << to_string(seq.decision) << "/"
+          << to_string(seq.reason);
+      return out.str();
+    }
+    if (seq.decision == Decision::Unknown) continue;  // counts may differ
+    if (par.num_configs != seq.num_configs) {
+      out << "num_configs " << par.num_configs << " vs " << seq.num_configs;
+      return out.str();
+    }
+    if (par.num_bottom_sccs != seq.num_bottom_sccs) {
+      out << "num_bottom_sccs " << par.num_bottom_sccs << " vs "
+          << seq.num_bottom_sccs;
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+// -------------------------------------------------------------------------
+// clique-counted / star-counted: the explicit decider on the concrete graph
+// vs the counted-configuration quotient. The spaces (and budgets) differ,
+// so only decisions are comparable, and only when both sides completed.
+
+std::optional<std::string> check_clique_counted(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  const ExplicitResult ex =
+      decide_pseudo_stochastic(*machine, c.graph, sequential_budget());
+  const LabelCount L = c.graph.label_count(c.machine.num_labels);
+  const CliqueResult counted =
+      decide_clique_pseudo_stochastic(*machine, L, sequential_budget());
+  if (ex.decision == Decision::Unknown ||
+      counted.decision == Decision::Unknown) {
+    return std::nullopt;  // one side capped: not comparable
+  }
+  if (ex.decision == counted.decision) return std::nullopt;
+  std::ostringstream out;
+  out << "explicit=" << to_string(ex.decision)
+      << " counted-clique=" << to_string(counted.decision);
+  return out.str();
+}
+
+std::optional<std::string> check_star_counted(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  const NodeId hub = star_hub(c.graph);
+  std::vector<Label> leaves;
+  for (NodeId v = 0; v < c.graph.n(); ++v) {
+    if (v != hub) leaves.push_back(c.graph.label(v));
+  }
+  const ExplicitResult ex =
+      decide_pseudo_stochastic(*machine, c.graph, sequential_budget());
+  const StarResult counted = decide_star_pseudo_stochastic(
+      *machine, c.graph.label(hub), leaves, sequential_budget());
+  if (ex.decision == Decision::Unknown ||
+      counted.decision == Decision::Unknown) {
+    return std::nullopt;
+  }
+  if (ex.decision == counted.decision) return std::nullopt;
+  std::ostringstream out;
+  out << "explicit=" << to_string(ex.decision)
+      << " counted-star=" << to_string(counted.decision);
+  return out.str();
+}
+
+// -------------------------------------------------------------------------
+// auto-crosscheck: the facade's built-in differential pin (parallel engine
+// vs its sequential reference, on whichever backend Auto picks) must never
+// fire.
+
+std::optional<std::string> check_auto_crosscheck(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  DecisionRequest req;
+  req.method = DecideMethod::Auto;
+  req.budget = {.max_configs = kConfigBudget, .max_threads = 2,
+                .deadline_ms = 0};
+  req.cross_check = true;
+  const DecisionReport r = decide(*machine, c.graph, req);
+  if (r.unknown_reason != UnknownReason::CrossCheck) return std::nullopt;
+  return "decide(Auto, cross_check) reported a parallel/sequential mismatch "
+         "via " +
+         to_string(r.method);
+}
+
+std::vector<OraclePair> build_registry() {
+  const auto always = [](const FuzzCase&) { return true; };
+  const auto small = [](const FuzzCase& c) { return small_space(c); };
+  std::vector<OraclePair> pairs;
+  pairs.push_back({"step-engine",
+                   "FullCopy vs Incremental Run, lock-step over the schedule",
+                   always, check_step_engine});
+  pairs.push_back({"record-replay",
+                   "a recorded random run vs its sched/replay re-execution",
+                   always, check_record_replay});
+  pairs.push_back({"sync-replay",
+                   "decide_synchronous vs the Run engine on the replayed "
+                   "synchronous schedule",
+                   always, check_sync_replay});
+  pairs.push_back({"explore-par",
+                   "sequential explicit decider vs the sharded parallel "
+                   "engine at 1/2/8 threads",
+                   small, check_explore_par});
+  pairs.push_back(
+      {"clique-counted",
+       "explicit decider vs the counted-configuration decider on cliques",
+       [](const FuzzCase& c) {
+         return small_space(c) && is_clique_graph(c.graph);
+       },
+       check_clique_counted});
+  pairs.push_back(
+      {"star-counted",
+       "explicit decider vs the counted-configuration decider on stars",
+       [](const FuzzCase& c) {
+         return small_space(c) && star_hub(c.graph) >= 0;
+       },
+       check_star_counted});
+  pairs.push_back({"auto-crosscheck",
+                   "decide(Auto) with its built-in parallel/sequential "
+                   "cross-check enabled",
+                   small, check_auto_crosscheck});
+  return pairs;
+}
+
+}  // namespace
+
+const std::vector<OraclePair>& oracle_pairs() {
+  static const std::vector<OraclePair> registry = build_registry();
+  return registry;
+}
+
+const OraclePair* find_pair(const std::string& name) {
+  for (const OraclePair& pair : oracle_pairs()) {
+    if (pair.name == name) return &pair;
+  }
+  return nullptr;
+}
+
+}  // namespace dawn::fuzz

@@ -1,0 +1,170 @@
+#include "dawn/fuzz/shrink.hpp"
+
+#include <algorithm>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn::fuzz {
+namespace {
+
+struct Budget {
+  int remaining;
+  bool spent() const { return remaining <= 0; }
+  bool charge() {
+    if (remaining <= 0) return false;
+    --remaining;
+    return true;
+  }
+};
+
+bool try_case(const FuzzCase& candidate, const StillDiverges& fails,
+              Budget& budget) {
+  if (!budget.charge()) return false;
+  return fails(candidate);
+}
+
+// Schedule after deleting node v from the graph: v disappears from every
+// selection, selections that become empty are dropped, ids above v shift
+// down. Returns an empty schedule if nothing survives (caller rejects).
+std::vector<Selection> remap_schedule(const std::vector<Selection>& schedule,
+                                      NodeId v) {
+  std::vector<Selection> out;
+  out.reserve(schedule.size());
+  for (const Selection& sel : schedule) {
+    Selection mapped;
+    mapped.reserve(sel.size());
+    for (NodeId u : sel) {
+      if (u == v) continue;
+      mapped.push_back(u > v ? u - 1 : u);
+    }
+    if (!mapped.empty()) out.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+// One pass of every move family; returns true if any move stuck.
+bool shrink_round(FuzzCase& c, const StillDiverges& fails, Budget& budget) {
+  bool progressed = false;
+
+  // Move 1: halve the schedule (coarse), then drop single selections (fine,
+  // back to front so indices stay valid).
+  while (c.schedule.size() >= 2 && !budget.spent()) {
+    FuzzCase candidate = c;
+    candidate.schedule.resize(c.schedule.size() / 2);
+    if (!try_case(candidate, fails, budget)) break;
+    c = std::move(candidate);
+    progressed = true;
+  }
+  for (std::size_t i = c.schedule.size(); i-- > 0 && !budget.spent();) {
+    if (c.schedule.size() <= 1) break;
+    FuzzCase candidate = c;
+    candidate.schedule.erase(candidate.schedule.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+    if (try_case(candidate, fails, budget)) {
+      c = std::move(candidate);
+      progressed = true;
+    }
+  }
+
+  // Move 2: thin multi-node selections one node at a time.
+  for (std::size_t i = 0; i < c.schedule.size() && !budget.spent(); ++i) {
+    for (std::size_t j = c.schedule[i].size(); j-- > 0 && !budget.spent();) {
+      if (c.schedule[i].size() <= 1) break;
+      FuzzCase candidate = c;
+      candidate.schedule[i].erase(candidate.schedule[i].begin() +
+                                  static_cast<std::ptrdiff_t>(j));
+      if (try_case(candidate, fails, budget)) {
+        c = std::move(candidate);
+        progressed = true;
+      }
+    }
+  }
+
+  // Move 3: delete graph nodes (highest id first: cheaper remaps).
+  for (NodeId v = c.graph.n(); v-- > 0 && !budget.spent();) {
+    if (c.graph.n() <= 1) break;
+    FuzzCase candidate = c;
+    candidate.graph = remove_graph_node(c.graph, v);
+    candidate.schedule = remap_schedule(c.schedule, v);
+    if (candidate.schedule.empty()) continue;
+    candidate.shape = "shrunk";
+    if (try_case(candidate, fails, budget)) {
+      c = std::move(candidate);
+      progressed = true;
+    }
+  }
+
+  // Move 4: push labels toward 0 (the artifact reads better and the machine
+  // init table shrinks to one row when it sticks everywhere).
+  for (NodeId v = 0; v < c.graph.n() && !budget.spent(); ++v) {
+    if (c.graph.label(v) == 0) continue;
+    FuzzCase candidate = c;
+    std::vector<std::vector<NodeId>> adjacency;
+    std::vector<Label> labels;
+    for (NodeId u = 0; u < c.graph.n(); ++u) {
+      const auto nbrs = c.graph.neighbours(u);
+      adjacency.emplace_back(nbrs.begin(), nbrs.end());
+      labels.push_back(u == v ? 0 : c.graph.label(u));
+    }
+    candidate.graph = Graph(std::move(adjacency), std::move(labels));
+    if (try_case(candidate, fails, budget)) {
+      c = std::move(candidate);
+      progressed = true;
+    }
+  }
+
+  // Move 5: drop machine states. The hash transition reshuffles completely
+  // under a smaller range, so this rarely sticks — but when it does the
+  // machine table shrinks by a full row.
+  while (c.machine.num_states > 2 && !budget.spent()) {
+    FuzzCase candidate = c;
+    --candidate.machine.num_states;
+    const int halting =
+        candidate.machine.halt_accept + candidate.machine.halt_reject;
+    if (halting >= candidate.machine.num_states) {
+      // Keep one transient state; prefer trimming the reject block.
+      if (candidate.machine.halt_reject > 1) {
+        --candidate.machine.halt_reject;
+      } else if (candidate.machine.halt_accept > 1) {
+        --candidate.machine.halt_accept;
+      } else {
+        break;  // 1 + 1 halting states cannot shrink further
+      }
+    }
+    if (!try_case(candidate, fails, budget)) break;
+    c = std::move(candidate);
+    progressed = true;
+  }
+
+  return progressed;
+}
+
+}  // namespace
+
+Graph remove_graph_node(const Graph& g, NodeId v) {
+  DAWN_CHECK(v >= 0 && v < g.n());
+  GraphBuilder b;
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (u != v) b.add_node(g.label(u));
+  }
+  const auto remap = [v](NodeId u) { return u > v ? u - 1 : u; };
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (u == v) continue;
+    for (NodeId w : g.neighbours(u)) {
+      if (w == v || w <= u) continue;  // each edge once, skip the victim
+      b.add_edge(remap(u), remap(w));
+    }
+  }
+  return std::move(b).build();
+}
+
+FuzzCase shrink_case(FuzzCase c, const StillDiverges& fails,
+                     const ShrinkOptions& opts) {
+  Budget budget{opts.max_evaluations};
+  while (!budget.spent()) {
+    if (!shrink_round(c, fails, budget)) break;
+  }
+  return c;
+}
+
+}  // namespace dawn::fuzz

@@ -1,0 +1,39 @@
+// Greedy counterexample shrinking.
+//
+// Given a FuzzCase on which an oracle pair diverges, shrink_case() tries a
+// fixed move set — truncate the schedule, drop single selections, thin
+// multi-node selections, delete graph nodes (remapping the schedule), zero
+// labels, drop machine states — keeping a move only if the divergence
+// persists, and repeats until a full round makes no progress. The result is
+// locally minimal: no single move of the set preserves the divergence, so
+// re-shrinking a shrunk case returns it unchanged (the idempotence the
+// tests pin).
+//
+// The predicate is the oracle pair's check() reduced to a bool; it is
+// re-evaluated per candidate, so the evaluation budget bounds the cost of
+// shrinking against expensive pairs (the decider oracles).
+#pragma once
+
+#include <functional>
+
+#include "dawn/fuzz/gen.hpp"
+
+namespace dawn::fuzz {
+
+// True iff the divergence is still present on the candidate case.
+using StillDiverges = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkOptions {
+  // Hard cap on predicate evaluations; shrinking stops (keeping the best
+  // case so far) when exhausted.
+  int max_evaluations = 400;
+};
+
+FuzzCase shrink_case(FuzzCase c, const StillDiverges& fails,
+                     const ShrinkOptions& opts = {});
+
+// The graph surgery the node-removal move uses; exposed for tests. Removes
+// node v (and its incident edges) and renumbers the ids above it down.
+Graph remove_graph_node(const Graph& g, NodeId v);
+
+}  // namespace dawn::fuzz

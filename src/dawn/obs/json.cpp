@@ -160,6 +160,20 @@ struct Parser {
     return fail(std::string("expected '") + c + "'");
   }
 
+  bool parse_hex4(unsigned& code) {
+    if (pos + 4 > text.size()) return fail("short \\u escape");
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text[pos++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     if (!consume('"')) return false;
     while (pos < text.size()) {
@@ -178,24 +192,38 @@ struct Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos + 4 > text.size()) return fail("short \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text[pos++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return fail("bad \\u escape");
+            if (!parse_hex4(code)) return false;
+            if (code >= 0xdc00 && code <= 0xdfff) {
+              return fail("lone low surrogate in \\u escape");
             }
-            // BMP-only UTF-8 encoding (the writer never emits surrogates).
+            if (code >= 0xd800 && code <= 0xdbff) {
+              // A high surrogate is only valid as the first half of a
+              // \uXXXX\uXXXX pair encoding a supplementary-plane character.
+              if (pos + 2 > text.size() || text[pos] != '\\' ||
+                  text[pos + 1] != 'u') {
+                return fail("unpaired high surrogate in \\u escape");
+              }
+              pos += 2;
+              unsigned low = 0;
+              if (!parse_hex4(low)) return false;
+              if (low < 0xdc00 || low > 0xdfff) {
+                return fail("unpaired high surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            }
             if (code < 0x80) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xc0 | (code >> 6));
               out += static_cast<char>(0x80 | (code & 0x3f));
-            } else {
+            } else if (code < 0x10000) {
               out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xf0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
               out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
               out += static_cast<char>(0x80 | (code & 0x3f));
             }

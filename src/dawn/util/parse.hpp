@@ -1,0 +1,46 @@
+// Checked command-line number parsing.
+//
+// `std::atoi` silently turns garbage into 0 ("--n=abc" becomes n=0) and has
+// undefined behaviour on overflow, which in the CLIs turned typos into
+// plausible-looking runs on the wrong input. parse_int/parse_uint64 accept
+// exactly one base-10 integer spanning the whole token, range-check it, and
+// report the offending token otherwise; the CLIs exit non-zero on nullopt.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace dawn {
+
+// Strict base-10 parse of the whole token into [lo, hi]; nullopt on empty
+// input, trailing garbage, or out-of-range values (including overflow,
+// which strtoll reports via ERANGE and the clamp catches via the bounds).
+inline std::optional<std::int64_t> parse_int(
+    const std::string& token,
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max()) {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  if (v < lo || v > hi) return std::nullopt;
+  return v;
+}
+
+inline std::optional<std::uint64_t> parse_uint64(const std::string& token) {
+  if (token.empty() || token[0] == '-') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+}  // namespace dawn

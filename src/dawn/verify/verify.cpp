@@ -1,6 +1,8 @@
 #include "dawn/verify/verify.hpp"
 
+#include <cstdio>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <sstream>
 #include <utility>
@@ -52,11 +54,30 @@ std::int64_t total(const LabelCount& L) {
   return std::accumulate(L.begin(), L.end(), std::int64_t{0});
 }
 
-ExploreBudget effective_budget(const VerifyOptions& opts) {
+}  // namespace
+
+ExploreBudget resolve_verify_budget(const VerifyOptions& opts) {
   ExploreBudget b = opts.budget;
-  if (b.max_configs == 0) b.max_configs = opts.max_configs;
+  if (b.max_configs != 0) {
+    if (opts.max_configs != kDeprecatedMaxConfigsDefault) {
+      // Both knobs set explicitly: the structured budget wins, the legacy
+      // value is dropped. Warn once per process, not once per instance — a
+      // sweep resolves this thousands of times.
+      static std::once_flag warned;
+      std::call_once(warned, [] {
+        std::fprintf(stderr,
+                     "dawn: warning: VerifyOptions::max_configs is deprecated "
+                     "and ignored because budget.max_configs is also set; "
+                     "drop the legacy field\n");
+      });
+    }
+    return b;
+  }
+  b.max_configs = opts.max_configs;
   return b;
 }
+
+namespace {
 
 // Enumerates the verification window up front so instances can be dealt to
 // workers; `expected` is evaluated here (sequentially) so predicates need
@@ -129,7 +150,7 @@ VerifyReport verify_machine_impl(const MachineFactory& factory,
                                  const LabellingPredicate& pred,
                                  const VerifyOptions& opts, int threads) {
   const auto window = enumerate_window(pred, opts);
-  const ExploreBudget budget = effective_budget(opts);
+  const ExploreBudget budget = resolve_verify_budget(opts);
   std::vector<std::vector<InstanceEntry>> slots(window.size());
   parallel_for(window.size(), threads, [&](std::size_t i) {
     const auto machine = factory();
@@ -146,7 +167,7 @@ VerifyReport verify_cliques_impl(const MachineFactory& factory,
                                  const LabellingPredicate& pred,
                                  const VerifyOptions& opts, int threads) {
   const auto window = enumerate_window(pred, opts);
-  const ExploreBudget budget = effective_budget(opts);
+  const ExploreBudget budget = resolve_verify_budget(opts);
   std::vector<InstanceEntry> slots(window.size());
   parallel_for(window.size(), threads, [&](std::size_t i) {
     const auto machine = factory();
@@ -231,7 +252,7 @@ VerifyReport verify_overlay_on_cliques(const BroadcastOverlay& overlay,
                                        const LabellingPredicate& pred,
                                        const VerifyOptions& opts) {
   const auto window = enumerate_window(pred, opts);
-  const ExploreBudget budget = effective_budget(opts);
+  const ExploreBudget budget = resolve_verify_budget(opts);
   VerifyReport report;
   for (const Instance& inst : window) {
     const auto r = decide_overlay_strong_counted(overlay, inst.counts, budget);
@@ -246,7 +267,7 @@ VerifyReport verify_population_on_cliques(
     const std::function<bool(const LabelCount&)>& promise,
     const VerifyOptions& opts) {
   const auto window = enumerate_window(pred, opts, promise);
-  const ExploreBudget budget = effective_budget(opts);
+  const ExploreBudget budget = resolve_verify_budget(opts);
   VerifyReport report;
   for (const Instance& inst : window) {
     const auto r = decide_population_counted(protocol, inst.counts, budget);

@@ -71,6 +71,56 @@ TEST(Json, ParseErrorsCarryAMessage) {
   EXPECT_FALSE(obs::JsonValue::parse("{} trailing", &error).has_value());
 }
 
+TEST(Json, UnicodeEscapesDecodeBmp) {
+  const auto v = obs::JsonValue::parse(R"("A\u00e9\u20ac")");
+  ASSERT_TRUE(v.has_value());
+  // A, é (2-byte UTF-8), € (3-byte UTF-8).
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, UnicodeEscapesDecodeSurrogatePairs) {
+  // U+1F600 is encoded in JSON as the pair \ud83d\ude00 and must decode to
+  // the single 4-byte UTF-8 sequence, not two 3-byte surrogate encodings.
+  const auto v = obs::JsonValue::parse(R"("\ud83d\ude00")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "\xf0\x9f\x98\x80");
+  // First supplementary-plane character U+10000.
+  const auto lo = obs::JsonValue::parse(R"("\ud800\udc00")");
+  ASSERT_TRUE(lo.has_value());
+  EXPECT_EQ(lo->as_string(), "\xf0\x90\x80\x80");
+  // Last code point U+10FFFF.
+  const auto hi = obs::JsonValue::parse(R"("\udbff\udfff")");
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_EQ(hi->as_string(), "\xf4\x8f\xbf\xbf");
+}
+
+TEST(Json, LoneSurrogatesAreParseErrors) {
+  std::string error;
+  // High surrogate at end of string.
+  EXPECT_FALSE(obs::JsonValue::parse(R"("\ud83d")", &error).has_value());
+  EXPECT_NE(error.find("surrogate"), std::string::npos);
+  // High surrogate followed by a non-surrogate escape.
+  error.clear();
+  EXPECT_FALSE(obs::JsonValue::parse(R"("\ud83dA")", &error).has_value());
+  EXPECT_NE(error.find("surrogate"), std::string::npos);
+  // High surrogate followed by plain text.
+  EXPECT_FALSE(obs::JsonValue::parse(R"("\ud83dxyz")").has_value());
+  // Low surrogate with no preceding high surrogate.
+  error.clear();
+  EXPECT_FALSE(obs::JsonValue::parse(R"("\ude00")", &error).has_value());
+  EXPECT_NE(error.find("surrogate"), std::string::npos);
+}
+
+TEST(Json, NonBmpTextSurvivesDumpParseRoundTrip) {
+  // The writer emits raw UTF-8 bytes; the reader must accept them and any
+  // escaped spelling of the same text.
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("emoji", obs::JsonValue("ok \xf0\x9f\x98\x80"));
+  const auto parsed = obs::JsonValue::parse(doc.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, doc);
+}
+
 // ---------------------------------------------------------------- RunMetrics
 
 TEST(Metrics, MergeAddsCountersMaxesGauges) {

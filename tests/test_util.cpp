@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -8,6 +10,7 @@
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
 #include "dawn/util/interner.hpp"
+#include "dawn/util/parse.hpp"
 #include "dawn/util/rng.hpp"
 #include "dawn/util/table.hpp"
 
@@ -107,6 +110,36 @@ TEST(Table, RendersAlignedColumns) {
 TEST(Table, RejectsWrongWidth) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Parse, AcceptsWholeTokenIntegers) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_uint64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Parse, RejectsGarbageThatAtoiSilentlyZeroed) {
+  // std::atoi("abc") == 0 was the bug this replaces: a typo became a
+  // plausible run on the wrong input.
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("1 2").has_value());
+  EXPECT_FALSE(parse_int("0x10").has_value());
+  EXPECT_FALSE(parse_int("4.5").has_value());
+  EXPECT_FALSE(parse_uint64("-1").has_value());
+  EXPECT_FALSE(parse_uint64("nope").has_value());
+}
+
+TEST(Parse, EnforcesBoundsAndOverflow) {
+  EXPECT_EQ(parse_int("5", 0, 10), 5);
+  EXPECT_FALSE(parse_int("11", 0, 10).has_value());
+  EXPECT_FALSE(parse_int("-1", 0, 10).has_value());
+  // Past INT64_MAX: strtoll saturates and sets ERANGE; must not wrap.
+  EXPECT_FALSE(parse_int("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_uint64("18446744073709551616").has_value());
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// dawn_fuzz — the differential fuzzing driver (docs/FUZZING.md).
+//
+//   dawn_fuzz [--seed N] [--budget N] [--budget-ms N] [--pair NAME]...
+//             [--max-nodes N] [--no-shrink] [--out DIR]
+//   dawn_fuzz --smoke [--out DIR]
+//   dawn_fuzz --replay FILE.case.json
+//   dawn_fuzz --list-pairs
+//
+// Modes:
+//   default      one seeded campaign over the selected oracle pairs;
+//   --smoke      the CI gate: a fixed seed battery with a wall-clock
+//                budget, all pairs, stop at the first divergence;
+//   --replay     reload a shrunk artifact and re-run its oracle pair
+//                (exit 0 = the divergence is gone, 1 = still present);
+//   --list-pairs print the registry and exit.
+//
+// Exit codes: 0 clean, 1 divergence found (artifacts written to --out,
+// default "."), 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dawn/fuzz/fuzz.hpp"
+#include "dawn/util/parse.hpp"
+
+using namespace dawn;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& why = "") {
+  if (!why.empty()) std::fprintf(stderr, "error: %s\n\n", why.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--budget N] [--budget-ms N] "
+               "[--pair NAME]... [--max-nodes N] [--no-shrink] [--out DIR]\n"
+               "       %s --smoke [--out DIR]\n"
+               "       %s --replay FILE.case.json\n"
+               "       %s --list-pairs\n",
+               argv0, argv0, argv0, argv0);
+  std::exit(2);
+}
+
+std::int64_t require_int(const char* argv0, const char* flag,
+                         const std::string& token, std::int64_t lo,
+                         std::int64_t hi) {
+  const auto v = parse_int(token, lo, hi);
+  if (!v) {
+    usage(argv0, std::string(flag) + " needs an integer in [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) +
+                     "], got '" + token + "'");
+  }
+  return *v;
+}
+
+int write_artifacts(const fuzz::FuzzReport& report, const std::string& out_dir) {
+  int index = 0;
+  for (const fuzz::DivergenceArtifact& d : report.divergences) {
+    const std::string stem =
+        out_dir + "/fuzz-" + d.pair + "-" + std::to_string(index++);
+    std::string error;
+    if (!fuzz::write_artifact(stem + ".case.json", d, &error)) {
+      std::fprintf(stderr, "artifact: %s\n", error.c_str());
+      continue;
+    }
+    const auto trace = fuzz::trace_case(d.c);
+    if (!trace.write_file(stem + ".trace.jsonl", &error)) {
+      std::fprintf(stderr, "trace: %s\n", error.c_str());
+      continue;
+    }
+    std::printf("wrote %s.case.json (+.trace.jsonl, %zu events)\n",
+                stem.c_str(), trace.size());
+  }
+  return report.divergences.empty() ? 0 : 1;
+}
+
+int replay_mode(const char* argv0, const std::string& path) {
+  std::string error;
+  const auto artifact = fuzz::load_artifact(path, &error);
+  if (!artifact) usage(argv0, "cannot load artifact: " + error);
+  const fuzz::OraclePair* pair = fuzz::find_pair(artifact->pair);
+  if (pair == nullptr) usage(argv0, "unknown oracle pair: " + artifact->pair);
+  std::printf("replaying [%s] on %s graph, n=%d, class %s\n",
+              pair->name.c_str(), artifact->c.shape.c_str(),
+              artifact->c.graph.n(), artifact->c.machine.cls.name().c_str());
+  if (!pair->applicable(artifact->c)) {
+    std::printf("pair no longer applicable to this case\n");
+    return 0;
+  }
+  if (const auto detail = pair->check(artifact->c)) {
+    std::printf("divergence still present: %s\n", detail->c_str());
+    return 1;
+  }
+  std::printf("divergence gone (the recorded bug is fixed)\n");
+  return 0;
+}
+
+int list_pairs() {
+  for (const fuzz::OraclePair& pair : fuzz::oracle_pairs()) {
+    std::printf("%-16s %s\n", pair.name.c_str(), pair.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::FuzzOptions opts;
+  bool smoke = false;
+  std::string out_dir = ".";
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage(argv[0], std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--seed")) {
+      const auto v = parse_uint64(flag_value("--seed"));
+      if (!v) usage(argv[0], "--seed needs a non-negative integer");
+      opts.seed = *v;
+    } else if (!std::strcmp(argv[i], "--budget")) {
+      opts.budget_cases = static_cast<int>(
+          require_int(argv[0], "--budget", flag_value("--budget"), 1,
+                      10'000'000));
+    } else if (!std::strcmp(argv[i], "--budget-ms")) {
+      opts.budget_ms = static_cast<std::uint64_t>(require_int(
+          argv[0], "--budget-ms", flag_value("--budget-ms"), 1,
+          std::numeric_limits<std::int64_t>::max()));
+    } else if (!std::strcmp(argv[i], "--pair")) {
+      opts.pairs.push_back(flag_value("--pair"));
+    } else if (!std::strcmp(argv[i], "--max-nodes")) {
+      opts.gen.graph.max_nodes = static_cast<int>(require_int(
+          argv[0], "--max-nodes", flag_value("--max-nodes"), 1, 512));
+    } else if (!std::strcmp(argv[i], "--no-shrink")) {
+      opts.shrink = false;
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out_dir = flag_value("--out");
+    } else if (!std::strcmp(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (!std::strcmp(argv[i], "--replay")) {
+      replay_path = flag_value("--replay");
+    } else if (!std::strcmp(argv[i], "--list-pairs")) {
+      return list_pairs();
+    } else {
+      usage(argv[0], std::string("unknown option: ") + argv[i]);
+    }
+  }
+
+  for (const std::string& name : opts.pairs) {
+    if (fuzz::find_pair(name) == nullptr) {
+      usage(argv[0], "unknown oracle pair: " + name +
+                         " (see --list-pairs)");
+    }
+  }
+
+  if (!replay_path.empty()) return replay_mode(argv[0], replay_path);
+
+  if (smoke) {
+    // The CI gate: fixed seeds (reproducible across runs and hosts), a
+    // wall-clock cap so the job cannot hang, stop at the first divergence.
+    int exit_code = 0;
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      fuzz::FuzzOptions smoke_opts = opts;
+      smoke_opts.seed = seed;
+      smoke_opts.budget_cases = 150;
+      smoke_opts.budget_ms = 20'000;
+      smoke_opts.stop_on_divergence = true;
+      const fuzz::FuzzReport report = fuzz::run_fuzz(smoke_opts);
+      std::printf("smoke seed %llu: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  report.summary().c_str());
+      if (!report.ok()) exit_code = write_artifacts(report, out_dir);
+      if (exit_code != 0) return exit_code;
+    }
+    return 0;
+  }
+
+  const fuzz::FuzzReport report = fuzz::run_fuzz(opts);
+  std::printf("%s\n", report.summary().c_str());
+  return write_artifacts(report, out_dir);
+}
