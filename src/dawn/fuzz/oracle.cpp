@@ -216,6 +216,52 @@ std::optional<std::string> check_explore_par(const FuzzCase& c) {
 }
 
 // -------------------------------------------------------------------------
+// canonical-vs-plain: the plain parallel explicit engine vs the same engine
+// with symmetry reduction + bit packing enabled. The reduced run explores a
+// quotient, so counts are only ordered (orbits <= configurations) but the
+// decision must be identical; both runs use the same budget, and a capped
+// side makes the case incomparable (the quotient can finish where the plain
+// space caps out).
+
+std::optional<std::string> check_canonical_vs_plain(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  const ExplicitResult plain =
+      decide_pseudo_stochastic_parallel(*machine, c.graph, sequential_budget());
+  ExploreBudget reduced_budget = sequential_budget();
+  reduced_budget.max_threads = 2;
+  reduced_budget.use_symmetry = true;
+  reduced_budget.use_packing = true;
+  const ExplicitResult reduced =
+      decide_pseudo_stochastic_parallel(*machine, c.graph, reduced_budget);
+  if (!reduced.packed_store) {
+    return std::string("fuzz machines advertise num_states(); the packed "
+                       "store should always engage");
+  }
+  if (plain.decision == Decision::Unknown ||
+      reduced.decision == Decision::Unknown) {
+    return std::nullopt;  // one side capped: not comparable
+  }
+  std::ostringstream out;
+  if (reduced.decision != plain.decision) {
+    out << "plain=" << to_string(plain.decision)
+        << " canonical=" << to_string(reduced.decision)
+        << (reduced.symmetry_reduced ? " (reduced)" : " (group trivial)");
+    return out.str();
+  }
+  if (reduced.num_configs > plain.num_configs) {
+    out << "quotient larger than the full space: canonical="
+        << reduced.num_configs << " plain=" << plain.num_configs;
+    return out.str();
+  }
+  if (!reduced.symmetry_reduced && reduced.num_configs != plain.num_configs) {
+    out << "trivial group but counts differ: canonical=" << reduced.num_configs
+        << " plain=" << plain.num_configs;
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+// -------------------------------------------------------------------------
 // clique-counted / star-counted: the explicit decider on the concrete graph
 // vs the counted-configuration quotient. The spaces (and budgets) differ,
 // so only decisions are comparable, and only when both sides completed.
@@ -297,6 +343,10 @@ std::vector<OraclePair> build_registry() {
                    "sequential explicit decider vs the sharded parallel "
                    "engine at 1/2/8 threads",
                    small, check_explore_par});
+  pairs.push_back({"canonical-vs-plain",
+                   "plain parallel explicit engine vs symmetry-reduced + "
+                   "bit-packed exploration",
+                   small, check_canonical_vs_plain});
   pairs.push_back(
       {"clique-counted",
        "explicit decider vs the counted-configuration decider on cliques",

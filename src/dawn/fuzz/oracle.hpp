@@ -16,6 +16,9 @@
 //                    synchronous schedule (cycle re-classification)
 //   explore-par      sequential explicit decider vs the sharded parallel
 //                    engine at 1/2/8 threads
+//   canonical-vs-plain  plain parallel engine vs symmetry-reduced +
+//                    bit-packed exploration (identical decisions; the
+//                    quotient never stores more than the full space)
 //   clique-counted   explicit decider vs counted-clique decider
 //   star-counted     explicit decider vs counted-star decider
 //   auto-crosscheck  decide(Auto, cross_check=true) must not report

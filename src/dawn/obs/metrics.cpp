@@ -41,6 +41,7 @@ const char* name(Gauge g) {
     case Gauge::ExploreShardPeak: return "explore.shard_peak";
     case Gauge::ExploreFrontierPeak: return "explore.frontier_peak";
     case Gauge::ExploreThreads: return "explore.threads";
+    case Gauge::ExploreStoreBytes: return "explore.store_bytes";
     case Gauge::kCount: break;
   }
   return "gauge.unknown";

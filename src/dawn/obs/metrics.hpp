@@ -69,6 +69,7 @@ enum class Gauge : std::uint16_t {
   ExploreShardPeak,      // explicit exploration: largest store shard
   ExploreFrontierPeak,   // explicit exploration: largest BFS frontier
   ExploreThreads,        // explicit exploration: workers actually used
+  ExploreStoreBytes,     // explicit exploration: config-store occupancy
   kCount,
 };
 

@@ -33,6 +33,20 @@ struct ExploreBudget {
   // far an exploration gets in a fixed time is machine-dependent).
   std::uint64_t deadline_ms = 0;
 
+  // Opt-in exploration accelerators, honoured by the parallel explicit
+  // engine only (the counted backends are already symmetry quotients, and
+  // the sequential decider stays byte-for-byte the unreduced differential
+  // reference — see docs/SYMMETRY.md).
+  //
+  // use_symmetry interns only canonical orbit representatives under the
+  // graph's detected label-preserving automorphisms; the decision is
+  // unchanged, but configs/SCC counts shrink by up to the group order.
+  // use_packing stores configurations bit-packed (ceil(log2|Q|) bits per
+  // node) in per-shard arenas; it needs Machine::num_states() and falls
+  // back to the vector store for lazily-interning machines.
+  bool use_symmetry = false;
+  bool use_packing = false;
+
   int resolve_threads() const {
     int t = max_threads;
     if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());

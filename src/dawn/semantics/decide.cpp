@@ -96,9 +96,19 @@ DecisionReport decide(const Machine& machine, const Graph& g,
       const ExplicitResult r =
           decide_pseudo_stochastic_parallel(machine, g, request.budget);
       fill(report, r);
-      if (request.cross_check &&
-          !agrees(r, decide_pseudo_stochastic(machine, g, request.budget))) {
-        flag_cross_check_failure(report);
+      report.symmetry_reduced = r.symmetry_reduced;
+      report.packed_store = r.packed_store;
+      if (request.cross_check) {
+        const ExplicitResult seq =
+            decide_pseudo_stochastic(machine, g, request.budget);
+        // A symmetry-reduced run counts orbits, so only the decision (and
+        // Unknown reason) is comparable against the unreduced sequential
+        // reference; unreduced runs must match counts too.
+        const bool agree =
+            r.symmetry_reduced
+                ? (r.decision == seq.decision && r.reason == seq.reason)
+                : agrees(r, seq);
+        if (!agree) flag_cross_check_failure(report);
       }
       break;
     }

@@ -146,6 +146,13 @@ struct DecisionReport {
   bool budget_exhausted = false;
   // False for the statistical simulate backend.
   bool exact = true;
+  // Explicit backend only: whether the engine explored the quotient by the
+  // graph's automorphism group (budget.use_symmetry and a nontrivial group
+  // was found — configs_explored / num_bottom_sccs then count orbits) and
+  // whether the bit-packed configuration store was used
+  // (budget.use_packing and the machine advertises num_states()).
+  bool symmetry_reduced = false;
+  bool packed_store = false;
 
   bool ok() const { return decision != Decision::Unknown; }
   bool operator==(const DecisionReport&) const = default;

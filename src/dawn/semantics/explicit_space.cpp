@@ -1,11 +1,14 @@
 #include "dawn/semantics/explicit_space.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "dawn/automata/config.hpp"
+#include "dawn/semantics/packed_config.hpp"
 #include "dawn/semantics/parallel_explore.hpp"
 #include "dawn/semantics/scc.hpp"
+#include "dawn/semantics/symmetry.hpp"
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
 #include "dawn/util/interner.hpp"
@@ -90,22 +93,107 @@ struct ExplicitExpander {
   }
 };
 
+// ExplicitExpander followed by orbit canonicalisation: every emitted
+// successor is mapped to its orbit's canonical representative, so the engine
+// explores the quotient of the configuration graph by the symmetry group.
+// Edges between orbits are preserved (an automorphism commutes with the step
+// relation — symmetry.hpp); orbit-internal moves become self-loops, which
+// the bottom-SCC classification already ignores.
+struct CanonExplicitExpander {
+  const Machine& machine;
+  const Graph& g;
+  const SymmetryGroup& grp;
+  Neighbourhood nb;
+  Config scratch;
+  Config emit_buf;
+  CanonScratch canon;
+
+  template <typename Emit>
+  void operator()(const Config& current, Emit&& emit) {
+    scratch = current;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const auto vu = static_cast<std::size_t>(v);
+      Neighbourhood::of_into(g, current, v, machine.beta(), nb);
+      const State s = machine.step(current[vu], nb);
+      if (s == current[vu]) continue;  // silent
+      scratch[vu] = s;
+      emit_buf = scratch;
+      canonicalize(grp, emit_buf, canon);
+      emit(emit_buf);
+      scratch[vu] = current[vu];
+    }
+  }
+};
+
 }  // namespace
 
 ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
                                                  const Graph& g,
                                                  const ExploreBudget& budget,
-                                                 ExploreStats* stats) {
+                                                 ExploreStats* stats,
+                                                 const SymmetryGroup* symmetry) {
   ExploreBudget clamped = budget;
   clamped.max_threads = explore_threads(machine, budget);
-  const ExploreOutcome out = explore_and_classify<Config, VectorHash<State>>(
-      initial_config(machine, g),
-      [&](int) {
-        return ExplicitExpander{machine, g, Neighbourhood{}, Config{}};
-      },
-      [&](const Config& c) { return consensus(machine, c); }, clamped, stats);
-  return ExplicitResult{out.decision, out.reason, out.num_configs,
-                        out.num_bottom_sccs};
+
+  // Resolve the symmetry group: a caller-supplied override (validated — it
+  // typically comes from closed-form knowledge like grid_symmetry()) or the
+  // group detected from the graph. A trivial group degrades to the plain
+  // unreduced exploration.
+  SymmetryGroup detected;
+  const SymmetryGroup* grp = nullptr;
+  if (budget.use_symmetry) {
+    if (symmetry != nullptr) {
+      validate_symmetry_group(g, *symmetry);
+      grp = symmetry;
+    } else {
+      detected = compute_symmetry(g);
+      grp = &detected;
+    }
+    if (grp->trivial()) grp = nullptr;
+  }
+
+  Config initial = initial_config(machine, g);
+  if (grp != nullptr) {
+    CanonScratch init_scratch;
+    canonicalize(*grp, initial, init_scratch);
+  }
+
+  const std::optional<int> nstates = machine.num_states();
+  const bool packed = budget.use_packing && nstates.has_value();
+
+  const auto verdict_of = [&](const Config& c) { return consensus(machine, c); };
+  const auto run = [&](auto& store) {
+    if (grp != nullptr) {
+      return explore_and_classify_in<Config>(
+          store, initial,
+          [&](int) { return CanonExplicitExpander{machine, g, *grp}; },
+          verdict_of, clamped, stats);
+    }
+    return explore_and_classify_in<Config>(
+        store, initial,
+        [&](int) {
+          return ExplicitExpander{machine, g, Neighbourhood{}, Config{}};
+        },
+        verdict_of, clamped, stats);
+  };
+
+  ExploreOutcome out;
+  if (packed) {
+    PackedConfigStore store(PackedCodec(*nstates, g.n()));
+    out = run(store);
+  } else {
+    ShardedConfigStore<Config, VectorHash<State>> store;
+    out = run(store);
+  }
+
+  ExplicitResult result;
+  result.decision = out.decision;
+  result.reason = out.reason;
+  result.num_configs = out.num_configs;
+  result.num_bottom_sccs = out.num_bottom_sccs;
+  result.symmetry_reduced = grp != nullptr;
+  result.packed_store = packed;
+  return result;
 }
 
 ExplicitResult decide_pseudo_stochastic_liberal(const Machine& machine,

@@ -39,12 +39,22 @@ struct ExplicitResult {
   UnknownReason reason = UnknownReason::None;
   std::size_t num_configs = 0;   // configurations explored
   std::size_t num_bottom_sccs = 0;
+  // Whether the parallel engine interned canonical orbit representatives
+  // (budget.use_symmetry and the graph had a nontrivial automorphism group)
+  // and whether the bit-packed store was used (budget.use_packing and the
+  // machine advertises num_states()). When symmetry_reduced is set,
+  // num_configs / num_bottom_sccs count orbits, not raw configurations —
+  // the decision is unchanged (docs/SYMMETRY.md). Always false for the
+  // sequential decider.
+  bool symmetry_reduced = false;
+  bool packed_store = false;
 };
 
 ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
                                         const ExplicitOptions& opts = {});
 
 struct ExploreStats;
+struct SymmetryGroup;
 
 // The frontier-parallel sharded engine (semantics/parallel_explore.hpp) on
 // the same exclusive-selection semantics. The result is bit-identical for
@@ -54,10 +64,17 @@ struct ExploreStats;
 // sequential decider reports how far it happened to get). The sequential
 // decider above stays as the differential reference. Machines without
 // parallel_step_safe() are clamped to one worker.
-ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
-                                                 const Graph& g,
-                                                 const ExploreBudget& b = {},
-                                                 ExploreStats* stats = nullptr);
+//
+// budget.use_symmetry / budget.use_packing opt into orbit-canonical
+// interning and the bit-packed store (semantics/symmetry.hpp,
+// semantics/packed_config.hpp). With symmetry on, the engine quotients the
+// configuration graph: the decision still matches the sequential reference,
+// but num_configs / num_bottom_sccs count orbits. `symmetry` overrides the
+// detected group (e.g. the closed-form grid_symmetry(); validated before
+// use); nullptr means compute_symmetry(g).
+ExplicitResult decide_pseudo_stochastic_parallel(
+    const Machine& machine, const Graph& g, const ExploreBudget& b = {},
+    ExploreStats* stats = nullptr, const SymmetryGroup* symmetry = nullptr);
 
 // The same decision under LIBERAL selection: every nonempty subset of nodes
 // is a permitted selection, evaluated simultaneously. Exponential in |V| per

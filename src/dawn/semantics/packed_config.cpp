@@ -1,0 +1,151 @@
+#include "dawn/semantics/packed_config.hpp"
+
+#include <algorithm>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+
+int packed_bits_for(int num_states) {
+  DAWN_CHECK_MSG(num_states >= 1, "packed codec needs |Q| >= 1");
+  int bits = 0;
+  // Smallest b with 2^b >= num_states.
+  while ((std::uint64_t{1} << bits) < static_cast<std::uint64_t>(num_states)) {
+    ++bits;
+  }
+  return bits;
+}
+
+PackedCodec::PackedCodec(int num_states, int num_nodes)
+    : num_states_(num_states),
+      bits_(packed_bits_for(num_states)),
+      nodes_(num_nodes) {
+  DAWN_CHECK(num_nodes >= 0);
+  const std::size_t total_bits =
+      static_cast<std::size_t>(bits_) * static_cast<std::size_t>(nodes_);
+  words_ = (total_bits + 63) / 64;
+}
+
+void PackedCodec::encode(const Config& c, std::uint64_t* out) const {
+  DAWN_CHECK(c.size() == static_cast<std::size_t>(nodes_));
+  std::fill(out, out + words_, std::uint64_t{0});
+  if (bits_ == 0) return;  // |Q| = 1: every configuration is the same
+  const auto bits = static_cast<std::size_t>(bits_);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const State s = c[i];
+    DAWN_CHECK_MSG(s >= 0 && s < num_states_,
+                   "state outside the machine's advertised num_states()");
+    const auto v = static_cast<std::uint64_t>(s);
+    const std::size_t off = i * bits;
+    const std::size_t word = off / 64;
+    const std::size_t shift = off % 64;
+    out[word] |= v << shift;
+    // A field straddling a word boundary spills its high bits into the next
+    // word. shift + bits <= 128 always (bits <= 31), and shift > 0 here, so
+    // the 64 - shift shift below is well-defined.
+    if (shift + bits > 64) out[word + 1] |= v >> (64 - shift);
+  }
+}
+
+void PackedCodec::decode(const std::uint64_t* in, Config& out) const {
+  out.assign(static_cast<std::size_t>(nodes_), 0);
+  if (bits_ == 0) return;
+  const auto bits = static_cast<std::size_t>(bits_);
+  const std::uint64_t mask =
+      bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::size_t off = i * bits;
+    const std::size_t word = off / 64;
+    const std::size_t shift = off % 64;
+    std::uint64_t v = in[word] >> shift;
+    if (shift + bits > 64) v |= in[word + 1] << (64 - shift);
+    out[i] = static_cast<State>(v & mask);
+  }
+}
+
+std::uint64_t PackedCodec::hash_words(const std::uint64_t* w, std::size_t n) {
+  std::size_t seed = n;
+  for (std::size_t i = 0; i < n; ++i) hash_combine(seed, w[i]);
+  return static_cast<std::uint64_t>(seed);
+}
+
+PackedConfigStore::InternResult PackedConfigStore::intern(const Config& value) {
+  // Per-thread packing scratch: grows once, then every intern is
+  // allocation-free.
+  static thread_local std::vector<std::uint64_t> scratch;
+  const std::size_t w = codec_.words();
+  scratch.resize(w);
+  codec_.encode(value, scratch.data());
+  const std::uint64_t h = PackedCodec::hash_words(scratch.data(), w);
+  // Splitmix finalizer before extracting shard bits, so low-entropy hash
+  // regions cannot concentrate shards (same scheme as ShardedConfigStore).
+  const std::uint64_t mixed = hash_mix(h);
+  const std::size_t shard_idx = static_cast<std::size_t>(mixed) & kShardMask;
+  Shard& s = shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.slots.empty()) s.slots.assign(64, -1);
+  const std::size_t slot_mask = s.slots.size() - 1;
+  std::size_t pos = static_cast<std::size_t>(mixed >> kShardBits) & slot_mask;
+  for (;;) {
+    const std::int32_t local = s.slots[pos];
+    if (local < 0) break;  // empty slot: `value` is fresh, insert here
+    const auto lu = static_cast<std::size_t>(local);
+    if (s.hashes[lu] == h &&
+        std::equal(scratch.begin(), scratch.end(),
+                   s.arena.begin() + static_cast<std::ptrdiff_t>(lu * w))) {
+      return {pack(local, shard_idx), false};
+    }
+    pos = (pos + 1) & slot_mask;
+  }
+  const auto local = static_cast<std::int32_t>(s.count);
+  s.arena.insert(s.arena.end(), scratch.begin(), scratch.end());
+  s.hashes.push_back(h);
+  s.slots[pos] = local;
+  ++s.count;
+  // Linear probing stays fast below ~0.7 load.
+  if (s.count * 10 >= s.slots.size() * 7) grow(s);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  return {pack(local, shard_idx), true};
+}
+
+void PackedConfigStore::grow(Shard& s) {
+  std::vector<std::int32_t> slots(s.slots.size() * 2, -1);
+  const std::size_t mask = slots.size() - 1;
+  for (std::size_t l = 0; l < s.count; ++l) {
+    std::size_t pos =
+        static_cast<std::size_t>(hash_mix(s.hashes[l]) >> kShardBits) & mask;
+    while (slots[pos] >= 0) pos = (pos + 1) & mask;
+    slots[pos] = static_cast<std::int32_t>(l);
+  }
+  s.slots.swap(slots);
+}
+
+void PackedConfigStore::finalize() {
+  std::int32_t offset = 0;
+  for (std::size_t sh = 0; sh < kNumShards; ++sh) {
+    offsets_[sh] = offset;
+    const std::size_t occupancy = shards_[sh].count;
+    offset += static_cast<std::int32_t>(occupancy);
+    if (occupancy > shard_peak_) shard_peak_ = occupancy;
+  }
+}
+
+std::size_t PackedConfigStore::bytes() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.arena.size() * sizeof(std::uint64_t);
+    total += s.hashes.size() * sizeof(std::uint64_t);
+    total += s.slots.size() * sizeof(std::int32_t);
+  }
+  return total;
+}
+
+void PackedConfigStore::value(std::int64_t gid, Config& out) const {
+  const auto shard_idx = static_cast<std::size_t>(gid) & kShardMask;
+  const auto local = static_cast<std::size_t>(gid >> kShardBits);
+  const Shard& s = shards_[shard_idx];
+  DAWN_CHECK(local < s.count);
+  codec_.decode(s.arena.data() + local * codec_.words(), out);
+}
+
+}  // namespace dawn

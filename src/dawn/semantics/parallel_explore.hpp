@@ -43,6 +43,7 @@
 #include "dawn/semantics/decision.hpp"
 #include "dawn/semantics/scc.hpp"
 #include "dawn/semantics/trials.hpp"
+#include "dawn/util/hash.hpp"
 
 namespace dawn {
 
@@ -58,6 +59,7 @@ struct ExploreStats {
   std::size_t steals = 0;
   std::size_t shard_peak = 0;     // largest shard at the end (occupancy)
   std::size_t frontier_peak = 0;  // largest BFS level
+  std::size_t store_bytes = 0;    // config-store occupancy (see store bytes())
   int threads = 1;                // workers actually used
 };
 
@@ -88,14 +90,19 @@ class ShardedConfigStore {
 
   InternResult intern(const ConfigT& value) {
     const std::size_t h = Hash{}(value);
-    // High-ish bits pick the shard; unordered_map buckets use the low bits,
-    // so shard choice and in-shard placement stay decorrelated.
-    Shard& s = shards_[(h >> 24) & kShardMask];
+    // Run the hash through a splitmix finalizer before extracting shard
+    // bits: raw high-middle bits (the old `h >> 24`) carry little entropy
+    // for some key families and concentrated whole workloads onto a few
+    // shards. unordered_map buckets still consume the unmixed low bits, so
+    // shard choice and in-shard placement stay decorrelated.
+    const std::size_t shard_idx =
+        static_cast<std::size_t>(hash_mix(h)) & kShardMask;
+    Shard& s = shards_[shard_idx];
     std::lock_guard<std::mutex> lock(s.mu);
     const auto local = static_cast<std::int32_t>(s.ids.size());
     const auto [it, fresh] = s.ids.try_emplace(value, local);
     if (fresh) total_.fetch_add(1, std::memory_order_relaxed);
-    return {pack(it->second, (h >> 24) & kShardMask), fresh};
+    return {pack(it->second, shard_idx), fresh};
   }
 
   std::size_t size() const { return total_.load(std::memory_order_relaxed); }
@@ -119,6 +126,28 @@ class ShardedConfigStore {
   }
 
   std::size_t shard_peak() const { return shard_peak_; }
+
+  // Byte-level occupancy: per-entry value payload (including a vector
+  // value's heap block), the hash-node overhead (next pointer + cached
+  // hash), and the bucket arrays. An estimate — node layouts are
+  // implementation-defined — but measured the same way for every store so
+  // packed-vs-vector ratios are meaningful. Single-threaded accounting:
+  // call after exploration, not during.
+  std::size_t bytes() const {
+    using MapT = std::unordered_map<ConfigT, std::int32_t, Hash>;
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.ids.bucket_count() * sizeof(void*);
+      for (const auto& entry : s.ids) {
+        total += sizeof(typename MapT::value_type) + 2 * sizeof(void*);
+        if constexpr (requires { entry.first.capacity(); }) {
+          total += entry.first.capacity() *
+                   sizeof(typename ConfigT::value_type);
+        }
+      }
+    }
+    return total;
+  }
 
  private:
   struct alignas(64) Shard {
@@ -147,8 +176,11 @@ inline int explore_threads(const Machine& machine,
 }
 
 // Explores the configuration graph from `initial` and classifies its bottom
-// SCCs.
+// SCCs, interning into a caller-supplied store.
 //
+//  * `store` implements the ShardedConfigStore contract — intern() /
+//    size() / finalize() / dense() / shard_peak() / bytes(). The packed
+//    store (semantics/packed_config.hpp) is the other implementation.
 //  * make_expander(worker) must return a per-worker expander; calling
 //    expander(config, emit) invokes emit(succ) once per successor of
 //    `config` (duplicates allowed; silent self-steps must be skipped). The
@@ -161,15 +193,14 @@ inline int explore_threads(const Machine& machine,
 // Both callables run concurrently on budget.resolve_threads() workers; pass
 // a budget clamped via explore_threads() when the machine is not
 // thread-safe.
-template <typename ConfigT, typename Hash, typename MakeExpander,
+template <typename ConfigT, typename Store, typename MakeExpander,
           typename VerdictOf>
-ExploreOutcome explore_and_classify(const ConfigT& initial,
-                                    MakeExpander&& make_expander,
-                                    VerdictOf&& verdict_of,
-                                    const ExploreBudget& budget,
-                                    ExploreStats* stats_out = nullptr) {
+ExploreOutcome explore_and_classify_in(Store& store, const ConfigT& initial,
+                                       MakeExpander&& make_expander,
+                                       VerdictOf&& verdict_of,
+                                       const ExploreBudget& budget,
+                                       ExploreStats* stats_out = nullptr) {
   const int threads = budget.resolve_threads();
-  ShardedConfigStore<ConfigT, Hash> store;
   DeadlineClock deadline(budget);
 
   struct FrontierEntry {
@@ -268,10 +299,12 @@ ExploreOutcome explore_and_classify(const ConfigT& initial,
     outcome.num_configs =
         capped ? budget.max_configs : std::min(store.size(), budget.max_configs);
     stats.configs = outcome.num_configs;
+    stats.store_bytes = store.bytes();
     if (stats_out != nullptr) *stats_out = stats;
     obs::count(obs::Counter::ExploreConfigs, stats.configs);
     obs::count(obs::Counter::ExploreLevels, stats.levels);
     obs::count(obs::Counter::ExploreSteals, stats.steals);
+    obs::gauge_max(obs::Gauge::ExploreStoreBytes, stats.store_bytes);
     obs::gauge_max(obs::Gauge::ExploreFrontierPeak, stats.frontier_peak);
     obs::gauge_max(obs::Gauge::ExploreThreads,
                    static_cast<std::uint64_t>(stats.threads));
@@ -301,6 +334,7 @@ ExploreOutcome explore_and_classify(const ConfigT& initial,
   stats.configs = total;
   stats.edges = num_edges;
   stats.shard_peak = store.shard_peak();
+  stats.store_bytes = store.bytes();
 
   const BottomClassification cls = classify_bottom_sccs(
       adj, [&](std::size_t i) { return verdicts[i]; }, threads);
@@ -315,10 +349,26 @@ ExploreOutcome explore_and_classify(const ConfigT& initial,
   obs::count(obs::Counter::ExploreLevels, stats.levels);
   obs::count(obs::Counter::ExploreSteals, stats.steals);
   obs::gauge_max(obs::Gauge::ExploreShardPeak, stats.shard_peak);
+  obs::gauge_max(obs::Gauge::ExploreStoreBytes, stats.store_bytes);
   obs::gauge_max(obs::Gauge::ExploreFrontierPeak, stats.frontier_peak);
   obs::gauge_max(obs::Gauge::ExploreThreads,
                  static_cast<std::uint64_t>(stats.threads));
   return outcome;
+}
+
+// Convenience wrapper with a locally-constructed vector-backed store — the
+// original entry point; the counted deciders use it unchanged.
+template <typename ConfigT, typename Hash, typename MakeExpander,
+          typename VerdictOf>
+ExploreOutcome explore_and_classify(const ConfigT& initial,
+                                    MakeExpander&& make_expander,
+                                    VerdictOf&& verdict_of,
+                                    const ExploreBudget& budget,
+                                    ExploreStats* stats_out = nullptr) {
+  ShardedConfigStore<ConfigT, Hash> store;
+  return explore_and_classify_in<ConfigT>(
+      store, initial, std::forward<MakeExpander>(make_expander),
+      std::forward<VerdictOf>(verdict_of), budget, stats_out);
 }
 
 }  // namespace dawn

@@ -1,0 +1,337 @@
+#include "dawn/semantics/symmetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "dawn/util/check.hpp"
+
+namespace dawn {
+namespace {
+
+// Sorted open neighbourhood of v, with `drop` removed if present.
+std::vector<NodeId> sorted_neighbours(const Graph& g, NodeId v, NodeId drop) {
+  std::vector<NodeId> nb(g.neighbours(v).begin(), g.neighbours(v).end());
+  std::sort(nb.begin(), nb.end());
+  const auto it = std::lower_bound(nb.begin(), nb.end(), drop);
+  if (it != nb.end() && *it == drop) nb.erase(it);
+  return nb;
+}
+
+// Structural twin classes: u ~ v iff label(u) == label(v) and
+// N(u) \ {v} == N(v) \ {u}. Grouping by (label, sorted open neighbourhood)
+// yields the false-twin classes (non-adjacent, shared neighbours); grouping
+// by (label, sorted closed neighbourhood) the true-twin classes (adjacent,
+// e.g. an identically-labelled clique). Each grouping is an equivalence,
+// every transposition inside a class is an automorphism, and a node sits in
+// a non-singleton class of at most one of the two partitions (u,v closed-
+// equal and u,w open-equal forces w adjacent to u — contradiction with
+// false twins being non-adjacent), so the union of the non-singleton
+// classes is disjoint and generates a direct product of symmetric groups.
+std::vector<std::vector<NodeId>> twin_classes(const Graph& g) {
+  std::vector<std::vector<NodeId>> classes;
+  using Key = std::pair<Label, std::vector<NodeId>>;
+  std::map<Key, std::vector<NodeId>> open_groups;
+  std::map<Key, std::vector<NodeId>> closed_groups;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    std::vector<NodeId> open = sorted_neighbours(g, v, /*drop=*/-1);
+    std::vector<NodeId> closed = open;
+    closed.insert(std::lower_bound(closed.begin(), closed.end(), v), v);
+    open_groups[{g.label(v), std::move(open)}].push_back(v);
+    closed_groups[{g.label(v), std::move(closed)}].push_back(v);
+  }
+  for (auto& [key, nodes] : open_groups) {
+    if (nodes.size() >= 2) classes.push_back(std::move(nodes));
+  }
+  for (auto& [key, nodes] : closed_groups) {
+    if (nodes.size() >= 2) classes.push_back(std::move(nodes));
+  }
+  return classes;
+}
+
+// Walks a connected 2-regular graph into cyclic order; the paper convention
+// (no self-loops / parallel edges) makes the walk well-defined.
+std::vector<NodeId> cycle_order(const Graph& g) {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.n()));
+  order.push_back(0);
+  order.push_back(g.neighbours(0)[0]);
+  while (static_cast<int>(order.size()) < g.n()) {
+    const NodeId cur = order.back();
+    const NodeId prev = order[order.size() - 2];
+    const auto nb = g.neighbours(cur);
+    order.push_back(nb[0] == prev ? nb[1] : nb[0]);
+  }
+  return order;
+}
+
+bool label_preserving(const Graph& g, const std::vector<NodeId>& perm) {
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (g.label(perm[static_cast<std::size_t>(v)]) != g.label(v)) return false;
+  }
+  return true;
+}
+
+bool is_identity(const std::vector<NodeId>& perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != static_cast<NodeId>(i)) return false;
+  }
+  return true;
+}
+
+void push_if_admissible(const Graph& g, std::vector<NodeId> perm,
+                        std::vector<std::vector<NodeId>>& out) {
+  if (is_identity(perm) || !label_preserving(g, perm)) return;
+  out.push_back(std::move(perm));
+}
+
+// The dihedral group of a detected cycle (rotations and reflections in the
+// walked cyclic order), filtered down to the label-preserving subgroup.
+std::vector<std::vector<NodeId>> cycle_group(const Graph& g) {
+  const std::vector<NodeId> ord = cycle_order(g);
+  const std::size_t n = ord.size();
+  std::vector<std::vector<NodeId>> perms;
+  std::vector<NodeId> perm(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      perm[static_cast<std::size_t>(ord[i])] = ord[(i + r) % n];
+    }
+    push_if_admissible(g, perm, perms);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      perm[static_cast<std::size_t>(ord[i])] = ord[(r + n - i) % n];
+    }
+    push_if_admissible(g, perm, perms);
+  }
+  return perms;
+}
+
+// The end-to-end reflection of a detected path, if labels are palindromic.
+std::vector<std::vector<NodeId>> line_group(const Graph& g, NodeId end) {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.n()));
+  order.push_back(end);
+  NodeId prev = -1;
+  while (static_cast<int>(order.size()) < g.n()) {
+    const NodeId cur = order.back();
+    const auto nb = g.neighbours(cur);
+    const NodeId next = (nb.size() > 1 && nb[0] == prev) ? nb[1] : nb[0];
+    prev = cur;
+    order.push_back(next);
+  }
+  const std::size_t n = order.size();
+  std::vector<NodeId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[static_cast<std::size_t>(order[i])] = order[n - 1 - i];
+  }
+  std::vector<std::vector<NodeId>> perms;
+  push_if_admissible(g, perm, perms);
+  return perms;
+}
+
+double classes_log_order(const std::vector<std::vector<NodeId>>& classes) {
+  double total = 0.0;
+  for (const auto& cls : classes) {
+    for (std::size_t k = 2; k <= cls.size(); ++k) {
+      total += std::log(static_cast<double>(k));
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double SymmetryGroup::log_order() const {
+  if (!sortable_classes.empty()) return classes_log_order(sortable_classes);
+  if (!permutations.empty()) {
+    return std::log(static_cast<double>(permutations.size() + 1));
+  }
+  return 0.0;
+}
+
+bool is_automorphism(const Graph& g, const std::vector<NodeId>& perm) {
+  if (static_cast<int>(perm.size()) != g.n()) return false;
+  std::vector<bool> seen(perm.size(), false);
+  for (const NodeId image : perm) {
+    if (image < 0 || image >= g.n() || seen[static_cast<std::size_t>(image)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(image)] = true;
+  }
+  if (!label_preserving(g, perm)) return false;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    for (const NodeId u : g.neighbours(v)) {
+      if (!g.has_edge(perm[static_cast<std::size_t>(v)],
+                      perm[static_cast<std::size_t>(u)])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void validate_symmetry_group(const Graph& g, const SymmetryGroup& grp) {
+  DAWN_CHECK_MSG(grp.sortable_classes.empty() || grp.permutations.empty(),
+                 "a SymmetryGroup uses one canonical-form mode, not both");
+  std::vector<bool> claimed(static_cast<std::size_t>(g.n()), false);
+  for (const auto& cls : grp.sortable_classes) {
+    DAWN_CHECK_MSG(cls.size() >= 2, "sortable classes have size >= 2");
+    for (const NodeId v : cls) {
+      DAWN_CHECK(v >= 0 && v < g.n());
+      DAWN_CHECK_MSG(!claimed[static_cast<std::size_t>(v)],
+                     "sortable classes must be disjoint");
+      claimed[static_cast<std::size_t>(v)] = true;
+    }
+    // Every transposition within the class must be an automorphism; by
+    // composition the whole symmetric group then is.
+    std::vector<NodeId> perm(static_cast<std::size_t>(g.n()));
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      perm[i] = static_cast<NodeId>(i);
+    }
+    for (std::size_t a = 0; a < cls.size(); ++a) {
+      for (std::size_t b = a + 1; b < cls.size(); ++b) {
+        std::swap(perm[static_cast<std::size_t>(cls[a])],
+                  perm[static_cast<std::size_t>(cls[b])]);
+        DAWN_CHECK_MSG(is_automorphism(g, perm),
+                       "sortable class nodes must be interchangeable");
+        std::swap(perm[static_cast<std::size_t>(cls[a])],
+                  perm[static_cast<std::size_t>(cls[b])]);
+      }
+    }
+  }
+  for (const auto& perm : grp.permutations) {
+    DAWN_CHECK_MSG(is_automorphism(g, perm),
+                   "every listed permutation must be an automorphism");
+  }
+}
+
+SymmetryGroup compute_symmetry(const Graph& g) {
+  SymmetryGroup twins;
+  twins.sortable_classes = twin_classes(g);
+
+  SymmetryGroup perms;
+  if (g.n() >= 3 && g.is_connected()) {
+    bool all_deg2 = true;
+    int deg1 = 0;
+    NodeId end = -1;
+    bool path_shape = true;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const int d = g.degree(v);
+      if (d != 2) all_deg2 = false;
+      if (d == 1) {
+        ++deg1;
+        if (end < 0) end = v;
+      } else if (d != 2) {
+        path_shape = false;
+      }
+    }
+    if (all_deg2) {
+      perms.permutations = cycle_group(g);
+    } else if (path_shape && deg1 == 2) {
+      perms.permutations = line_group(g, end);
+    }
+  }
+
+  // The larger group wins; ties go to sortable classes (sorting is cheaper
+  // per successor than a lex-min sweep over the group).
+  return perms.log_order() > twins.log_order() ? perms : twins;
+}
+
+SymmetryGroup grid_symmetry(int w, int h, bool torus,
+                            const std::vector<Label>& labels) {
+  DAWN_CHECK(w >= 2 && h >= 2);
+  DAWN_CHECK(labels.size() == static_cast<std::size_t>(w) *
+                                  static_cast<std::size_t>(h));
+  const auto node = [w](int r, int c) { return static_cast<NodeId>(r * w + c); };
+  const std::size_t n = labels.size();
+
+  // Rigid motions of the (torus) grid as (r, c) maps. Transposes need a
+  // square grid. The full candidate set {translation ∘ dihedral} is closed
+  // under composition (a semidirect product), so the label filter below
+  // yields a genuine subgroup.
+  struct Motion {
+    bool transpose;
+    bool flip_r, flip_c;
+    int dr, dc;  // translation, torus only
+  };
+  std::vector<Motion> motions;
+  const int max_dr = torus ? h : 1;
+  const int max_dc = torus ? w : 1;
+  for (int dr = 0; dr < max_dr; ++dr) {
+    for (int dc = 0; dc < max_dc; ++dc) {
+      for (const bool transpose : {false, true}) {
+        if (transpose && w != h) continue;
+        for (const bool flip_r : {false, true}) {
+          for (const bool flip_c : {false, true}) {
+            motions.push_back({transpose, flip_r, flip_c, dr, dc});
+          }
+        }
+      }
+    }
+  }
+
+  SymmetryGroup grp;
+  std::vector<NodeId> perm(n);
+  for (const Motion& m : motions) {
+    bool ok = true;
+    for (int r = 0; r < h && ok; ++r) {
+      for (int c = 0; c < w && ok; ++c) {
+        int rr = m.transpose ? c : r;
+        int cc = m.transpose ? r : c;
+        if (m.flip_r) rr = h - 1 - rr;
+        if (m.flip_c) cc = w - 1 - cc;
+        if (torus) {
+          rr = (rr + m.dr) % h;
+          cc = (cc + m.dc) % w;
+        }
+        const NodeId from = node(r, c);
+        const NodeId to = node(rr, cc);
+        perm[static_cast<std::size_t>(from)] = to;
+        ok = labels[static_cast<std::size_t>(to)] ==
+             labels[static_cast<std::size_t>(from)];
+      }
+    }
+    if (!ok || is_identity(perm)) continue;
+    grp.permutations.push_back(perm);
+  }
+  // Small grids can realise the same node permutation through different
+  // motions (e.g. a 2×2 torus); deduplicate so the lex-min sweep does not
+  // re-test elements.
+  std::sort(grp.permutations.begin(), grp.permutations.end());
+  grp.permutations.erase(
+      std::unique(grp.permutations.begin(), grp.permutations.end()),
+      grp.permutations.end());
+  return grp;
+}
+
+void canonicalize(const SymmetryGroup& grp, Config& c, CanonScratch& scratch) {
+  if (!grp.sortable_classes.empty()) {
+    for (const auto& cls : grp.sortable_classes) {
+      scratch.buf.clear();
+      for (const NodeId v : cls) {
+        scratch.buf.push_back(c[static_cast<std::size_t>(v)]);
+      }
+      std::sort(scratch.buf.begin(), scratch.buf.end());
+      for (std::size_t i = 0; i < cls.size(); ++i) {
+        c[static_cast<std::size_t>(cls[i])] = scratch.buf[i];
+      }
+    }
+    return;
+  }
+  if (grp.permutations.empty()) return;
+  scratch.best = c;
+  scratch.buf.resize(c.size());
+  for (const auto& perm : grp.permutations) {
+    for (std::size_t v = 0; v < c.size(); ++v) {
+      scratch.buf[static_cast<std::size_t>(perm[v])] = c[v];
+    }
+    // Every index of buf was just overwritten, so swapping (rather than
+    // copying) the new minimum in is safe.
+    if (scratch.buf < scratch.best) scratch.best.swap(scratch.buf);
+  }
+  c = scratch.best;
+}
+
+}  // namespace dawn

@@ -1,0 +1,100 @@
+// Graph-symmetry reduction for the explicit-state engines.
+//
+// Agents are anonymous: δ depends only on a node's state and the capped
+// count of neighbour states, and verdicts are per-state. Every
+// label-preserving automorphism π of the input graph therefore commutes
+// with the step relation — π·succ(C, v) = succ(π·C, π(v)) — so reachability,
+// bottom SCCs, and uniform verdicts are invariant under the automorphism
+// group, and the decision can be computed on the quotient of the
+// configuration graph by the group. The explicit engine realises the
+// quotient by interning only a canonical representative of each orbit: on a
+// cycle of n identically-labelled nodes that stores up to 2n× fewer
+// configurations. docs/SYMMETRY.md has the soundness argument in full.
+//
+// A SymmetryGroup comes in exactly one of two canonical-form-friendly
+// shapes (one of the two member vectors is empty):
+//
+//   * sortable classes — disjoint classes of pairwise-interchangeable nodes
+//     (structural twins: equal label and equal neighbourhood modulo each
+//     other), carrying the full symmetric group per class. Canonical form
+//     sorts the states within each class. This covers identically-labelled
+//     cliques (one class of n), star leaves, and arbitrary graphs' twins.
+//   * explicit permutations — a closed permutation group given element by
+//     element (identity omitted). Canonical form is the lexicographic
+//     minimum over all elements. This covers cycle rotations/reflections,
+//     the line reflection, and the closed-form grid/torus groups.
+//
+// Closure matters: taking the minimum over a non-closed subset would make
+// the "canonical" form orbit-dependent and the reduction unsound. All
+// constructors below produce closed groups (a label filter intersects a
+// group with a stabiliser, which is again a group).
+#pragma once
+
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/graph/graph.hpp"
+
+namespace dawn {
+
+struct SymmetryGroup {
+  // Mode A: each class lists node ids whose states may be permuted freely.
+  // Classes are disjoint; each has size >= 2.
+  std::vector<std::vector<NodeId>> sortable_classes;
+  // Mode B: perm[v] is the image of node v; identity excluded. The set
+  // together with the identity must form a group.
+  std::vector<std::vector<NodeId>> permutations;
+
+  bool trivial() const {
+    return sortable_classes.empty() && permutations.empty();
+  }
+
+  // Natural log of the group order (sum of ln k! over classes, or
+  // ln(|perms| + 1)); 0 for the trivial group. Used to pick the larger of
+  // two candidate groups and for reporting.
+  double log_order() const;
+};
+
+// True iff perm is a label-preserving automorphism of g (perm[v] = image).
+bool is_automorphism(const Graph& g, const std::vector<NodeId>& perm);
+
+// Checks a caller-supplied group: exactly one mode populated, every
+// permutation an automorphism, every class pairwise interchangeable.
+// DAWN_CHECKs on violation. Quadratic in group size — meant for groups
+// passed into decide_pseudo_stochastic_parallel from outside, once per
+// decision, not per configuration.
+void validate_symmetry_group(const Graph& g, const SymmetryGroup& grp);
+
+// Detects a sound (sub)group of Aut(g) respecting labels:
+//   * structural twin classes (covers cliques, star leaves, and arbitrary
+//     graphs with interchangeable nodes);
+//   * cycles (connected 2-regular): rotations + reflections that preserve
+//     the labelling;
+//   * lines (paths): the end-to-end reflection when labels are palindromic.
+// Returns the candidate with the largest order; the trivial group when the
+// graph has no detectable symmetry. Grids are not detected from adjacency —
+// use grid_symmetry() when the topology is known.
+SymmetryGroup compute_symmetry(const Graph& g);
+
+// Closed-form group for make_grid(w, h, labels, torus) (row-major node
+// ids): the label-preserving subset of the grid's rigid motions —
+// horizontal/vertical flips (plus transposes when w == h), and for a torus
+// additionally all wraparound translations. The caller must pass the same
+// (w, h, torus, labels) the graph was built with;
+// decide_pseudo_stochastic_parallel validates override groups against the
+// graph before use.
+SymmetryGroup grid_symmetry(int w, int h, bool torus,
+                            const std::vector<Label>& labels);
+
+// Reusable canonicalisation scratch; grows once, then canonicalize() is
+// allocation-free. One per worker — canonicalize() is not re-entrant on a
+// shared scratch.
+struct CanonScratch {
+  Config buf;
+  Config best;
+};
+
+// Maps `c` to its orbit's canonical representative, in place.
+void canonicalize(const SymmetryGroup& grp, Config& c, CanonScratch& scratch);
+
+}  // namespace dawn
