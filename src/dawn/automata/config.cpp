@@ -5,11 +5,16 @@
 namespace dawn {
 
 Config initial_config(const Machine& m, const Graph& g) {
-  Config c(static_cast<std::size_t>(g.n()));
-  for (NodeId v = 0; v < g.n(); ++v) {
-    c[static_cast<std::size_t>(v)] = m.init(g.label(v));
-  }
+  Config c;
+  initial_config_into(m, g, c);
   return c;
+}
+
+void initial_config_into(const Machine& m, const Graph& g, Config& out) {
+  out.resize(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    out[static_cast<std::size_t>(v)] = m.init(g.label(v));
+  }
 }
 
 Config successor(const Machine& m, const Graph& g, const Config& config,

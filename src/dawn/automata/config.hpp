@@ -19,6 +19,10 @@ using Selection = std::vector<NodeId>;
 // C0: every node v starts in δ0(λ(v)).
 Config initial_config(const Machine& m, const Graph& g);
 
+// In-place variant: overwrites `out`, reusing its capacity (the trial
+// runner's per-worker scratch path).
+void initial_config_into(const Machine& m, const Graph& g, Config& out);
+
 // succ_δ(C, S). All neighbourhoods are taken from `config` (simultaneous
 // evaluation), matching the paper's semantics for liberal/synchronous
 // selection; exclusive selection is the |S| = 1 case.

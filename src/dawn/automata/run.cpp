@@ -3,10 +3,24 @@
 namespace dawn {
 
 Run::Run(const Machine& machine, const Graph& graph, StepEngine engine)
+    : Run(machine, graph, engine, RunScratch{}) {}
+
+Run::Run(const Machine& machine, const Graph& graph, StepEngine engine,
+         RunScratch&& scratch)
     : machine_(machine),
       graph_(graph),
       engine_(engine),
-      config_(initial_config(machine, graph)) {
+      config_(std::move(scratch.config)),
+      scratch_(std::move(scratch.full_copy)) {
+  verdicts_ = std::move(scratch.verdicts);
+  staged_ = std::move(scratch.staged);
+  nbh_scratch_ = std::move(scratch.nbh);
+  verdict_memo_ = std::move(scratch.verdict_memo);
+  // Capacity-only adoption: contents are re-derived (the memo could belong
+  // to a different machine instance with different id assignment).
+  staged_.clear();
+  verdict_memo_.clear();
+  initial_config_into(machine, graph, config_);
   verdicts_.resize(config_.size());
   for (std::size_t i = 0; i < config_.size(); ++i) {
     verdicts_[i] = verdict_of(config_[i]);
@@ -18,6 +32,17 @@ Run::Run(const Machine& machine, const Graph& graph, StepEngine engine)
                : reject_nodes_ == n ? Verdict::Reject
                                     : Verdict::Neutral;
   consensus_since_ = 0;
+}
+
+RunScratch Run::release_scratch() && {
+  RunScratch s;
+  s.config = std::move(config_);
+  s.full_copy = std::move(scratch_);
+  s.verdicts = std::move(verdicts_);
+  s.staged = std::move(staged_);
+  s.verdict_memo = std::move(verdict_memo_);
+  s.nbh = std::move(nbh_scratch_);
+  return s;
 }
 
 void Run::apply(std::span<const NodeId> selection) {

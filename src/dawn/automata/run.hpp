@@ -35,10 +35,35 @@ namespace dawn {
 
 enum class StepEngine : std::uint8_t { Incremental, FullCopy };
 
+// Reusable buffer set for Run. Trial loops that construct thousands of
+// short-lived Runs (semantics/trials.cpp) donate the previous trial's
+// buffers so steady-state stepping performs no per-trial heap allocation.
+// The scratch carries *capacity only*: every content is re-derived by the
+// Run constructor. The verdict memo in particular must never survive a
+// machine change — compiled machines assign state ids in encounter order,
+// so id -> verdict is only meaningful within one machine instance.
+struct RunScratch {
+  Config config;
+  Config full_copy;
+  std::vector<Verdict> verdicts;
+  std::vector<std::pair<NodeId, State>> staged;
+  std::vector<std::int8_t> verdict_memo;
+  Neighbourhood nbh;
+};
+
 class Run {
  public:
   Run(const Machine& machine, const Graph& graph,
       StepEngine engine = StepEngine::Incremental);
+
+  // Adopts `scratch`'s buffer capacity (contents are reinitialised). Pair
+  // with release_scratch() to recycle across consecutive Runs.
+  Run(const Machine& machine, const Graph& graph, StepEngine engine,
+      RunScratch&& scratch);
+
+  // Returns the buffers for reuse by a later Run; this Run must not be
+  // stepped afterwards.
+  RunScratch release_scratch() &&;
 
   const Config& config() const { return config_; }
   const Machine& machine() const { return machine_; }

@@ -8,9 +8,11 @@
 #include "dawn/semantics/clique_counted.hpp"
 #include "dawn/semantics/decision.hpp"
 #include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/batched_trials.hpp"
 #include "dawn/semantics/simulate.hpp"
 #include "dawn/semantics/star_counted.hpp"
 #include "dawn/semantics/sync_run.hpp"
+#include "dawn/semantics/trials.hpp"
 
 namespace dawn::fuzz {
 namespace {
@@ -325,6 +327,80 @@ std::optional<std::string> check_auto_crosscheck(const FuzzCase& c) {
          to_string(r.method);
 }
 
+// -------------------------------------------------------------------------
+// scalar-vs-batched: the per-trial scalar runner vs the SoA batched trial
+// engine, across every lockstep scheduler family. Fuzz machines are pure
+// enumerable FunctionMachines, so they must always qualify — a nullopt from
+// the batched path is itself a divergence.
+
+std::optional<std::string> check_scalar_vs_batched(const FuzzCase& c) {
+  const MachineFactory machine = [&c] { return build_machine(c.machine); };
+  struct Family {
+    const char* name;
+    SchedulerFactory factory;
+  };
+  std::vector<Family> families;
+  families.push_back({"exclusive", [](std::uint64_t seed) {
+                        return std::make_unique<RandomExclusiveScheduler>(seed);
+                      }});
+  families.push_back({"round-robin", [](std::uint64_t) {
+                        return std::make_unique<RoundRobinScheduler>();
+                      }});
+  families.push_back({"synchronous", [](std::uint64_t) {
+                        return std::make_unique<SynchronousScheduler>();
+                      }});
+  if (c.graph.n() >= 2) {
+    // Starvation requires a non-victim to rotate through.
+    families.push_back({"starvation", [](std::uint64_t) {
+                          return std::make_unique<StarvationScheduler>(0, 4);
+                        }});
+  }
+  TrialOptions opts;
+  opts.num_trials = 12;
+  opts.num_threads = 1;
+  opts.base_seed = c.machine.seed;
+  opts.batch_width = 8;  // 12 trials -> one full block, one partial
+  opts.sim.max_steps = kSimSteps;
+  opts.sim.stable_window = kSimWindow;
+  opts.sim.collect_metrics = true;
+  for (const auto& family : families) {
+    auto scalar_opts = opts;
+    scalar_opts.batch = TrialBatch::Off;
+    const auto scalar = run_trials(machine, c.graph, family.factory,
+                                   scalar_opts);
+    const auto batched =
+        try_run_trials_batched(machine, c.graph, family.factory, opts);
+    if (!batched.has_value()) {
+      return family.name +
+             std::string(": fuzz machine failed to qualify for batching: ") +
+             batched_trials_disqualifier(machine, c.graph, family.factory,
+                                         opts);
+    }
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      const SimulateResult& s = scalar[i].result;
+      const SimulateResult& b = (*batched)[i].result;
+      if (s.converged != b.converged || s.verdict != b.verdict ||
+          s.convergence_step != b.convergence_step ||
+          s.total_steps != b.total_steps ||
+          !s.metrics.deterministic_equal(b.metrics)) {
+        std::ostringstream out;
+        out << family.name << " trial " << i << ": scalar(converged="
+            << s.converged << ", verdict=" << verdict_name(s.verdict)
+            << ", conv_step=" << s.convergence_step
+            << ", steps=" << s.total_steps << ") batched(converged="
+            << b.converged << ", verdict=" << verdict_name(b.verdict)
+            << ", conv_step=" << b.convergence_step
+            << ", steps=" << b.total_steps << ")"
+            << (s.metrics.deterministic_equal(b.metrics)
+                    ? ""
+                    : " [metrics diverged]");
+        return out.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<OraclePair> build_registry() {
   const auto always = [](const FuzzCase&) { return true; };
   const auto small = [](const FuzzCase& c) { return small_space(c); };
@@ -365,6 +441,10 @@ std::vector<OraclePair> build_registry() {
                    "decide(Auto) with its built-in parallel/sequential "
                    "cross-check enabled",
                    small, check_auto_crosscheck});
+  pairs.push_back({"scalar-vs-batched",
+                   "scalar run_trials vs the SoA batched trial engine "
+                   "across the lockstep scheduler families",
+                   always, check_scalar_vs_batched});
   return pairs;
 }
 

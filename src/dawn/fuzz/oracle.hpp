@@ -23,6 +23,9 @@
 //   star-counted     explicit decider vs counted-star decider
 //   auto-crosscheck  decide(Auto, cross_check=true) must not report
 //                    UnknownReason::CrossCheck
+//   scalar-vs-batched  scalar run_trials vs the SoA batched trial engine
+//                    (per-trial results and deterministic metrics, across
+//                    every lockstep scheduler family)
 #pragma once
 
 #include <functional>

@@ -3,15 +3,39 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <thread>
+
+#include "dawn/util/simd.hpp"
 
 namespace dawn::obs {
+
+namespace {
+
+// The machine tier a report was produced on: without this, a throughput
+// regression across PRs is indistinguishable from a slower CI box.
+JsonValue host_object() {
+  JsonValue host = JsonValue::object();
+  host.set("cores", JsonValue(static_cast<std::uint64_t>(
+                        std::thread::hardware_concurrency())));
+  host.set("simd", JsonValue(simd_tier_name(simd_tier())));
+#ifdef DAWN_OBS_DISABLED
+  host.set("obs_disabled", JsonValue(true));
+#else
+  host.set("obs_disabled", JsonValue(false));
+#endif
+  return host;
+}
+
+}  // namespace
 
 BenchReport::BenchReport(std::string_view bench_name, bool smoke)
     : name_(bench_name) {
   doc_ = JsonValue::object();
   doc_.set("schema_version", JsonValue(kBenchSchemaVersion));
+  doc_.set("schema_minor", JsonValue(kBenchSchemaMinorVersion));
   doc_.set("bench", JsonValue(name_));
   doc_.set("smoke", JsonValue(smoke));
+  doc_.set("host", host_object());
   doc_.set("meta", JsonValue::object());
   doc_.set("results", JsonValue::array());
 }
@@ -128,6 +152,19 @@ bool BenchReport::validate(const JsonValue& doc, std::string* error) {
   const JsonValue* smoke = doc.get("smoke");
   if (!smoke || smoke->kind() != JsonValue::Kind::Bool) {
     return fail(error, "missing boolean 'smoke'");
+  }
+  // Minor-revision fields are optional (minor 0 files predate them) but
+  // must be well-formed when present.
+  if (const JsonValue* minor = doc.get("schema_minor")) {
+    if (minor->kind() != JsonValue::Kind::Int || minor->as_int() < 0) {
+      return fail(error, "schema_minor is not a non-negative integer");
+    }
+  }
+  if (const JsonValue* host = doc.get("host")) {
+    if (host->kind() != JsonValue::Kind::Object) {
+      return fail(error, "'host' is not an object");
+    }
+    if (!is_flat_scalar_object(*host, "host", error)) return false;
   }
   const JsonValue* meta = doc.get("meta");
   if (!meta || meta->kind() != JsonValue::Kind::Object) {

@@ -6,14 +6,20 @@
 // is the matching validator, and CI runs every bench in --smoke mode and
 // checks the emitted files against validate().
 //
-// Schema (version 1):
+// Schema (version 1, minor 1):
 //   {
 //     "schema_version": 1,
+//     "schema_minor": 1,            // additive revisions within version 1
 //     "bench": "<name>",            // e.g. "engine_throughput"
 //     "smoke": false,               // true when produced by a --smoke run
+//     "host": { ... },              // flat scalars: cores, simd tier, obs
 //     "meta": { ... },              // flat scalars: headline numbers, config
 //     "results": [ {..row..}, ... ] // flat scalar row objects
 //   }
+//
+// Minor revisions only ever ADD optional fields, so validate() accepts
+// documents written by any minor within the same major (minor 0 files have
+// neither "schema_minor" nor "host").
 //
 // Rows are flat (scalar values only) so the reports stay greppable and
 // trivially loadable into a dataframe. RunMetrics and Census snapshots are
@@ -30,6 +36,9 @@
 namespace dawn::obs {
 
 inline constexpr int kBenchSchemaVersion = 1;
+// Minor 1: added the "host" object (cores / simd / obs_disabled) so perf
+// reports record the machine tier that produced them.
+inline constexpr int kBenchSchemaMinorVersion = 1;
 
 class BenchReport {
  public:

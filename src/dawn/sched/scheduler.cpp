@@ -1,6 +1,7 @@
 #include "dawn/sched/scheduler.hpp"
 
 #include <numeric>
+#include <typeinfo>
 
 #include "dawn/obs/metrics.hpp"
 #include "dawn/util/check.hpp"
@@ -32,6 +33,7 @@ Selection RandomExclusiveScheduler::select(const Graph& g, const Machine& m,
 void RandomExclusiveScheduler::select_into(const Graph& g, const Machine&,
                                            const Config&, std::uint64_t,
                                            Selection& out) {
+  drawn_ = true;
   out.clear();
   out.push_back(static_cast<NodeId>(rng_.index(static_cast<std::size_t>(g.n()))));
 }
@@ -159,6 +161,120 @@ Selection GreedyAdversary::select(const Graph& g, const Machine& machine,
   // soon so no node is starved forever.
   if (++wasted_ >= patience_) forcing_ = true;
   return {static_cast<NodeId>(rng_.index(n))};
+}
+
+void BatchScheduler::select_batch(const Graph&, std::uint64_t,
+                                  std::span<const std::uint32_t>,
+                                  std::uint32_t*) {
+  DAWN_CHECK_MSG(false, "select_batch called on a non-PerLaneNode scheduler");
+}
+
+NodeId BatchScheduler::shared_node(const Graph&, std::uint64_t) {
+  DAWN_CHECK_MSG(false, "shared_node called on a non-SharedNode scheduler");
+  return 0;
+}
+
+ExclusiveBatchScheduler::ExclusiveBatchScheduler(
+    std::vector<std::uint64_t> seeds) {
+  DAWN_CHECK(!seeds.empty());
+  rngs_.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) rngs_.emplace_back(seed);
+}
+
+void ExclusiveBatchScheduler::select_batch(
+    const Graph& g, std::uint64_t step, std::span<const std::uint32_t> lanes,
+    std::uint32_t* out) {
+  const auto n = static_cast<std::size_t>(g.n());
+  const std::size_t width = rngs_.size();
+  if (buf_.empty()) {
+    buf_.resize(kBufDraws * width);
+    buf_n_ = n;
+  }
+  // Pre-reduced draws are only valid against one bound; the graph is fixed
+  // for the lifetime of a batch scheduler instance.
+  DAWN_CHECK(buf_n_ == n);
+  if (step >= next_refill_) {
+    // Lockstep steps arrive sequentially from 0, so a lane's draw index is
+    // the step index and one matrix serves every lane. Only still-active
+    // lanes are refilled; a retired lane's stale column is never read.
+    DAWN_CHECK_MSG(step == next_refill_,
+                   "batched draws must be consumed in lockstep step order");
+    std::uint64_t raw[kBufDraws];
+    std::uint32_t red[kBufDraws];
+    for (const std::uint32_t lane : lanes) {
+      rngs_[lane].fill_raw(raw, kBufDraws);
+      Rng::index_batch(raw, kBufDraws, n, red);
+      std::uint32_t* col = buf_.data() + lane;
+      for (std::size_t s = 0; s < kBufDraws; ++s) col[s * width] = red[s];
+    }
+    next_refill_ = step + kBufDraws;
+  }
+  const std::uint32_t* row =
+      buf_.data() + (step % kBufDraws) * width;
+  for (std::size_t i = 0; i < lanes.size(); ++i) out[i] = row[lanes[i]];
+}
+
+NodeId RoundRobinBatchScheduler::shared_node(const Graph& g,
+                                             std::uint64_t step) {
+  return static_cast<NodeId>(step % static_cast<std::uint64_t>(g.n()));
+}
+
+NodeId StarvationBatchScheduler::shared_node(const Graph& g,
+                                             std::uint64_t step) {
+  if (step % static_cast<std::uint64_t>(period_) == 0) return victim_;
+  const auto others = static_cast<std::uint64_t>(g.n() - 1);
+  DAWN_CHECK(others >= 1);
+  auto idx = static_cast<NodeId>(step % others);
+  if (idx >= victim_) ++idx;
+  return idx;
+}
+
+std::unique_ptr<BatchScheduler> make_batch_scheduler(
+    std::span<const std::unique_ptr<Scheduler>> lanes) {
+  if (lanes.empty() || lanes.front() == nullptr) return nullptr;
+  // Exact dynamic types only: a subclass may override select_into with
+  // different behaviour, and silently batching it would change results.
+  const auto all_are = [&](const std::type_info& t) {
+    for (const auto& s : lanes) {
+      if (s == nullptr || typeid(*s) != t) return false;
+    }
+    return true;
+  };
+  const Scheduler& first = *lanes.front();
+  if (typeid(first) == typeid(RandomExclusiveScheduler)) {
+    if (!all_are(typeid(RandomExclusiveScheduler))) return nullptr;
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(lanes.size());
+    for (const auto& s : lanes) {
+      const auto& lane = static_cast<const RandomExclusiveScheduler&>(*s);
+      // A drawn lane's stream can no longer be rebuilt from its seed; no
+      // lockstep form mid-stream (run_trials always adopts fresh lanes).
+      if (lane.drawn()) return nullptr;
+      seeds.push_back(lane.seed());
+    }
+    return std::make_unique<ExclusiveBatchScheduler>(std::move(seeds));
+  }
+  if (typeid(first) == typeid(RoundRobinScheduler)) {
+    if (!all_are(typeid(RoundRobinScheduler))) return nullptr;
+    return std::make_unique<RoundRobinBatchScheduler>();
+  }
+  if (typeid(first) == typeid(StarvationScheduler)) {
+    if (!all_are(typeid(StarvationScheduler))) return nullptr;
+    const auto& st = static_cast<const StarvationScheduler&>(first);
+    for (const auto& s : lanes) {
+      const auto& other = static_cast<const StarvationScheduler&>(*s);
+      if (other.victim() != st.victim() || other.period() != st.period()) {
+        return nullptr;
+      }
+    }
+    return std::make_unique<StarvationBatchScheduler>(st.victim(),
+                                                      st.period());
+  }
+  if (typeid(first) == typeid(SynchronousScheduler)) {
+    if (!all_are(typeid(SynchronousScheduler))) return nullptr;
+    return std::make_unique<SynchronousBatchScheduler>();
+  }
+  return nullptr;
 }
 
 std::vector<std::unique_ptr<Scheduler>> make_adversary_battery(

@@ -25,11 +25,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dawn/automata/config.hpp"
 #include "dawn/automata/machine.hpp"
 #include "dawn/graph/graph.hpp"
+#include "dawn/util/mt64.hpp"
 #include "dawn/util/rng.hpp"
 
 namespace dawn {
@@ -67,15 +69,27 @@ class SynchronousScheduler : public Scheduler {
 
 class RandomExclusiveScheduler : public Scheduler {
  public:
-  explicit RandomExclusiveScheduler(std::uint64_t seed) : rng_(seed) {}
+  explicit RandomExclusiveScheduler(std::uint64_t seed)
+      : rng_(seed), seed_(seed) {}
   Selection select(const Graph& g, const Machine&, const Config&,
                    std::uint64_t) override;
   void select_into(const Graph& g, const Machine&, const Config&,
                    std::uint64_t, Selection& out) override;
   std::string name() const override { return "random-exclusive"; }
 
+  // Exposed so make_batch_scheduler can rebuild this lane's generator: an
+  // undrawn engine's state is a pure function of its construction seed
+  // (factories may transform seeds before construction, so seed() is the
+  // post-transform value actually used). Once the scheduler has drawn,
+  // rebuilding would diverge from the consumed stream — drawn() lets the
+  // batched form refuse mid-stream adoption instead.
+  std::uint64_t seed() const { return seed_; }
+  bool drawn() const { return drawn_; }
+
  private:
   Rng rng_;
+  std::uint64_t seed_;
+  bool drawn_ = false;
 };
 
 class RandomLiberalScheduler : public Scheduler {
@@ -111,6 +125,9 @@ class StarvationScheduler : public Scheduler {
   void select_into(const Graph& g, const Machine&, const Config&,
                    std::uint64_t step, Selection& out) override;
   std::string name() const override { return "starvation"; }
+
+  NodeId victim() const { return victim_; }
+  int period() const { return period_; }
 
  private:
   NodeId victim_;
@@ -157,5 +174,102 @@ class GreedyAdversary : public Scheduler {
 // round-robin, starvation of node 0, greedy, and a random run for contrast.
 std::vector<std::unique_ptr<Scheduler>> make_adversary_battery(
     std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Lockstep batched scheduling (the SoA trial engine, docs/ENGINE.md).
+//
+// The batched trial engine steps W independent trials ("lanes") against one
+// shared step counter. A BatchScheduler produces, per lockstep step, the
+// draw for every still-active lane at once. Three shapes cover the built-in
+// schedulers that have a lockstep form:
+//
+//  * PerLaneNode — each lane activates its own single node (random-exclusive:
+//    one engine draw per lane, reduced through the batched Lemire path);
+//  * SharedNode  — every lane activates the same single node (round-robin,
+//    starvation: the draw is a pure function of the step index);
+//  * FullSweep   — every lane activates all nodes (synchronous).
+//
+// Stateful or configuration-inspecting schedulers (greedy adversary,
+// permutation) have no lockstep form; make_batch_scheduler returns nullptr
+// and run_trials falls back to the scalar path.
+class BatchScheduler {
+ public:
+  enum class Shape : std::uint8_t { PerLaneNode, SharedNode, FullSweep };
+
+  virtual ~BatchScheduler() = default;
+
+  virtual Shape shape() const = 0;
+  virtual std::string name() const = 0;
+
+  // PerLaneNode only: out[i] receives the node lane lanes[i] activates at
+  // `step`. Lanes not listed (retired trials) consume no randomness — their
+  // scalar counterparts stopped drawing when their run ended.
+  virtual void select_batch(const Graph& g, std::uint64_t step,
+                            std::span<const std::uint32_t> lanes,
+                            std::uint32_t* out);
+
+  // SharedNode only: the node every lane activates at `step`.
+  virtual NodeId shared_node(const Graph& g, std::uint64_t step);
+};
+
+// The batched form of random-exclusive: one generator per lane (Mt64,
+// bit-identical to the scalar scheduler's std::mt19937_64 stream from the
+// same seed). Draws are pre-reduced 64 lockstep steps ahead into a
+// step-major matrix — one burst per lane keeps its multi-KB generator
+// L1-hot, the reduction is one index_batch call, and consumption is a
+// single sequential load per lane-step. Over-drawing past a lane's
+// retirement is invisible: each lane owns a private generator, and lanes
+// never rejoin, so a lane's draw index always equals the shared step index.
+class ExclusiveBatchScheduler final : public BatchScheduler {
+ public:
+  explicit ExclusiveBatchScheduler(std::vector<std::uint64_t> seeds);
+  Shape shape() const override { return Shape::PerLaneNode; }
+  std::string name() const override { return "random-exclusive/batch"; }
+  void select_batch(const Graph& g, std::uint64_t step,
+                    std::span<const std::uint32_t> lanes,
+                    std::uint32_t* out) override;
+
+ private:
+  static constexpr std::size_t kBufDraws = 64;
+
+  std::vector<Mt64> rngs_;           // lane -> generator
+  std::vector<std::uint32_t> buf_;   // buf_[(step % 64) * lanes + lane]
+  std::uint64_t next_refill_ = 0;    // first step the matrix does not cover
+  std::size_t buf_n_ = 0;            // the bound the buffered draws reduce to
+};
+
+class RoundRobinBatchScheduler final : public BatchScheduler {
+ public:
+  Shape shape() const override { return Shape::SharedNode; }
+  std::string name() const override { return "round-robin/batch"; }
+  NodeId shared_node(const Graph& g, std::uint64_t step) override;
+};
+
+class StarvationBatchScheduler final : public BatchScheduler {
+ public:
+  StarvationBatchScheduler(NodeId victim, int period)
+      : victim_(victim), period_(period) {}
+  Shape shape() const override { return Shape::SharedNode; }
+  std::string name() const override { return "starvation/batch"; }
+  NodeId shared_node(const Graph& g, std::uint64_t step) override;
+
+ private:
+  NodeId victim_;
+  int period_;
+};
+
+class SynchronousBatchScheduler final : public BatchScheduler {
+ public:
+  Shape shape() const override { return Shape::FullSweep; }
+  std::string name() const override { return "synchronous/batch"; }
+};
+
+// Builds the lockstep form of `lanes` (one scalar scheduler per lane, all
+// produced by the same factory). Adopts each lane's generator state wholesale
+// — the batched draws continue the scalar streams bit-for-bit. Returns
+// nullptr if the schedulers have no lockstep form (or the lane kinds /
+// parameters disagree, which a deterministic factory never produces).
+std::unique_ptr<BatchScheduler> make_batch_scheduler(
+    std::span<const std::unique_ptr<Scheduler>> lanes);
 
 }  // namespace dawn

@@ -1,0 +1,61 @@
+// SoA batched trial engine: step 8–64 trials in lockstep (docs/ENGINE.md).
+//
+// The scalar trial runner simulates one trial at a time: every activation
+// builds a sparse Neighbourhood and calls δ through a std::function. When the
+// machine is enumerable (num_states() known, β small), δ restricted to one
+// graph is a finite function of (state, capped neighbour-count signature) —
+// so a block of W independent trials can share every scheduler draw's control
+// flow and run δ as a memoized table lookup over a structure-of-arrays
+// configuration:
+//
+//     soa[v * stride + lane]  — node v's state in trial `lane` (uint8)
+//
+// All lanes of a block share ONE step counter. A lane that converges retires
+// from the active list (active-lane compaction) and is never stepped again —
+// exactly where its scalar run would have stopped — so per-lane results are a
+// pure function of (base_seed, trial index), bit-identical to the scalar
+// path for every batch width and thread count. The scalar path remains the
+// differential oracle (tests/test_batched_trials.cpp and the fuzz pair
+// `scalar-vs-batched` pin the equivalence).
+//
+// Per-node signature kernels are hand-rolled AVX2 behind runtime dispatch
+// (util/simd.hpp); the scalar fallback is mandatory and bit-identical.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dawn/graph/graph.hpp"
+#include "dawn/semantics/trials.hpp"
+
+namespace dawn {
+
+// The lane width a TrialOptions resolves to: batch_width clamped to [8, 64].
+int batched_lane_width(const TrialOptions& opts);
+
+// Why the (machine, scheduler, options) triple cannot take the batched path,
+// or the empty string if it qualifies. Probes the factories once (one
+// machine, one scheduler for trial 0). Qualification requires: non-empty
+// graph, no trace sink, the incremental engine, a parallel-step-safe
+// enumerable machine with num_states in [1, 32] and β in [1, 8], a signature
+// space that fits the memo table, initial states in range, and a scheduler
+// family with a lockstep form (see make_batch_scheduler).
+std::string batched_trials_disqualifier(const MachineFactory& machine_factory,
+                                        const Graph& g,
+                                        const SchedulerFactory& scheduler_factory,
+                                        const TrialOptions& opts);
+
+// Runs the trials through the batched engine, or nullopt if the triple does
+// not qualify (the caller falls back to the scalar path). On success the
+// outcomes are indexed by trial and bit-identical — per-trial results and
+// the deterministic part of the metrics — to the scalar run_trials.
+// Requires what run_trials already requires: the factories are deterministic
+// (every call yields a behaviourally identical machine / an identically
+// seeded scheduler), which also lets one worker's δ table persist across its
+// blocks.
+std::optional<std::vector<TrialOutcome>> try_run_trials_batched(
+    const MachineFactory& machine_factory, const Graph& g,
+    const SchedulerFactory& scheduler_factory, const TrialOptions& opts);
+
+}  // namespace dawn

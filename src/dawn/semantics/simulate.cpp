@@ -22,7 +22,14 @@ const char* verdict_name(Verdict v) {
 
 SimulateResult simulate(const Machine& machine, const Graph& g,
                         Scheduler& scheduler, const SimulateOptions& opts) {
-  Run run(machine, g, opts.engine);
+  SimulateScratch scratch;
+  return simulate(machine, g, scheduler, opts, scratch);
+}
+
+SimulateResult simulate(const Machine& machine, const Graph& g,
+                        Scheduler& scheduler, const SimulateOptions& opts,
+                        SimulateScratch& scratch) {
+  Run run(machine, g, opts.engine, std::move(scratch.run));
   SimulateResult result;
   // Install the sink for the whole run so cold-path events (interner
   // inserts, scheduler probes, engine stage timers) land in the result too.
@@ -39,7 +46,9 @@ SimulateResult simulate(const Machine& machine, const Graph& g,
                                                               : "full_copy");
     }
     Verdict traced_consensus = run.current_consensus();
-    Selection sel;  // reused across steps (select_into is allocation-free)
+    // Reused across steps (select_into is allocation-free) and, through the
+    // scratch, across trials.
+    Selection& sel = scratch.selection;
     while (run.steps() < opts.max_steps) {
       scheduler.select_into(g, machine, run.config(), run.steps(), sel);
       DAWN_CHECK_MSG(!sel.empty(),
@@ -85,6 +94,7 @@ SimulateResult simulate(const Machine& machine, const Graph& g,
     m.add(obs::Counter::ConsensusLost, run.consensus_lost());
     m.gauge_max(obs::Gauge::MaxSelectionSize, run.max_selection_size());
   }
+  scratch.run = std::move(run).release_scratch();
   return result;
 }
 

@@ -62,4 +62,20 @@ struct SimulateResult {
 SimulateResult simulate(const Machine& machine, const Graph& g,
                         Scheduler& scheduler, const SimulateOptions& opts = {});
 
+// Reusable buffers for back-to-back simulate() calls: the Run's internal
+// buffer set plus the selection buffer. A trial worker owns one of these
+// and threads it through every trial it runs, so the per-trial heap
+// allocations (initial config, verdict cache, staging, neighbourhood
+// entries, selection) happen once per worker, not once per trial.
+struct SimulateScratch {
+  RunScratch run;
+  Selection selection;
+};
+
+// As above, but recycling `scratch`'s buffers (their contents are
+// re-derived; results are identical to the scratch-free overload).
+SimulateResult simulate(const Machine& machine, const Graph& g,
+                        Scheduler& scheduler, const SimulateOptions& opts,
+                        SimulateScratch& scratch);
+
 }  // namespace dawn

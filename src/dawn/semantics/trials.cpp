@@ -4,21 +4,18 @@
 #include <atomic>
 #include <thread>
 
+#include "dawn/semantics/batched_trials.hpp"
 #include "dawn/util/check.hpp"
 
 namespace dawn {
 
-namespace {
-
-int resolve_threads(int requested, std::size_t jobs) {
+int resolve_parallel_threads(int requested, std::size_t num_jobs) {
   int t = requested;
   if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
   if (t <= 0) t = 1;
-  if (static_cast<std::size_t>(t) > jobs) t = static_cast<int>(jobs);
+  if (static_cast<std::size_t>(t) > num_jobs) t = static_cast<int>(num_jobs);
   return t < 1 ? 1 : t;
 }
-
-}  // namespace
 
 WorkerPool::WorkerPool(int num_threads) {
   int t = num_threads;
@@ -80,25 +77,32 @@ void WorkerPool::run(const std::function<void(int)>& task) {
 // Each index is claimed by exactly one worker, so no synchronisation is
 // needed beyond the joins.
 void parallel_for(std::size_t num_jobs, int num_threads,
-                  const std::function<void(std::size_t)>& job) {
+                  const std::function<void(int, std::size_t)>& job) {
   if (num_jobs == 0) return;
-  const int threads = resolve_threads(num_threads, num_jobs);
+  const int threads = resolve_parallel_threads(num_threads, num_jobs);
   if (threads == 1) {
-    for (std::size_t i = 0; i < num_jobs; ++i) job(i);
+    for (std::size_t i = 0; i < num_jobs; ++i) job(0, i);
     return;
   }
   std::atomic<std::size_t> cursor{0};
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads - 1));
-  const auto drain = [&] {
+  const auto drain = [&](int worker) {
     for (std::size_t i = cursor.fetch_add(1); i < num_jobs;
          i = cursor.fetch_add(1)) {
-      job(i);
+      job(worker, i);
     }
   };
-  for (int t = 1; t < threads; ++t) pool.emplace_back(drain);
-  drain();
+  for (int t = 1; t < threads; ++t) pool.emplace_back(drain, t);
+  drain(0);
   for (auto& th : pool) th.join();
+}
+
+void parallel_for(std::size_t num_jobs, int num_threads,
+                  const std::function<void(std::size_t)>& job) {
+  parallel_for(num_jobs, num_threads,
+               std::function<void(int, std::size_t)>(
+                   [&job](int, std::size_t i) { job(i); }));
 }
 
 std::uint64_t trial_seed(std::uint64_t base_seed, int trial) {
@@ -118,16 +122,33 @@ std::vector<TrialOutcome> run_trials(const MachineFactory& machine_factory,
   DAWN_CHECK(opts.num_trials >= 0);
   DAWN_CHECK(machine_factory != nullptr);
   DAWN_CHECK(scheduler_factory != nullptr);
+  if (opts.batch != TrialBatch::Off) {
+    auto batched =
+        try_run_trials_batched(machine_factory, g, scheduler_factory, opts);
+    if (batched.has_value()) return std::move(*batched);
+    DAWN_CHECK_MSG(opts.batch != TrialBatch::Force,
+                   "TrialBatch::Force, but the triple does not qualify: " +
+                       batched_trials_disqualifier(machine_factory, g,
+                                                   scheduler_factory, opts));
+  }
   std::vector<TrialOutcome> outcomes(
       static_cast<std::size_t>(opts.num_trials));
-  parallel_for(outcomes.size(), opts.num_threads, [&](std::size_t i) {
-    TrialOutcome& out = outcomes[i];
-    out.trial = static_cast<int>(i);
-    out.seed = trial_seed(opts.base_seed, out.trial);
-    const auto machine = machine_factory();
-    const auto scheduler = scheduler_factory(out.seed);
-    out.result = simulate(*machine, g, *scheduler, opts.sim);
-  });
+  // Per-worker reusable buffers: a worker never runs two trials at once, so
+  // the steady-state trial loop performs no per-trial heap allocation.
+  std::vector<SimulateScratch> scratch(static_cast<std::size_t>(
+      resolve_parallel_threads(opts.num_threads, outcomes.size())));
+  parallel_for(outcomes.size(), opts.num_threads,
+               std::function<void(int, std::size_t)>(
+                   [&](int worker, std::size_t i) {
+                     TrialOutcome& out = outcomes[i];
+                     out.trial = static_cast<int>(i);
+                     out.seed = trial_seed(opts.base_seed, out.trial);
+                     const auto machine = machine_factory();
+                     const auto scheduler = scheduler_factory(out.seed);
+                     out.result = simulate(*machine, g, *scheduler, opts.sim,
+                                           scratch[static_cast<std::size_t>(
+                                               worker)]);
+                   }));
   return outcomes;
 }
 

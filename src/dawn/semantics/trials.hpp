@@ -74,6 +74,11 @@ class WorkerPool {
   bool stop_ = false;
 };
 
+// The worker count parallel_for actually uses for `num_jobs` jobs and a
+// requested thread count (0 = hardware_concurrency, capped at the job
+// count, at least 1). Exposed so callers can pre-size per-worker scratch.
+int resolve_parallel_threads(int requested, std::size_t num_jobs);
+
 // One-shot dynamic fan-out: runs job(i) for i in [0, num_jobs) on up to
 // num_threads threads (0 = hardware_concurrency), handing out indices
 // through an atomic cursor. Each index is executed exactly once; the job
@@ -82,6 +87,13 @@ class WorkerPool {
 // caller.
 void parallel_for(std::size_t num_jobs, int num_threads,
                   const std::function<void(std::size_t)>& job);
+
+// As above, but the job also receives the worker index in
+// [0, resolve_parallel_threads(num_threads, num_jobs)) that claimed it —
+// the key to per-worker reusable scratch: job(worker, i) may freely mutate
+// scratch[worker], because one worker never runs two jobs concurrently.
+void parallel_for(std::size_t num_jobs, int num_threads,
+                  const std::function<void(int, std::size_t)>& job);
 
 // Fresh machine per trial. Called on the worker thread that owns the trial;
 // must not share mutable state with other trials (compiled machines intern
@@ -92,6 +104,16 @@ using MachineFactory = std::function<std::shared_ptr<const Machine>()>;
 using SchedulerFactory =
     std::function<std::unique_ptr<Scheduler>(std::uint64_t seed)>;
 
+// Whether run_trials may route trials through the SoA batched engine
+// (semantics/batched_trials.hpp). Results are bit-identical either way —
+// the batched engine is a pure optimisation, pinned by differential tests
+// and the scalar-vs-batched fuzz pair.
+enum class TrialBatch : std::uint8_t {
+  Auto,   // batched when the (machine, scheduler, options) triple qualifies
+  Off,    // always the scalar per-trial path (the differential oracle)
+  Force,  // batched or DAWN_CHECK failure — for tests and benches
+};
+
 struct TrialOptions {
   int num_trials = 8;
   // 0 = hardware_concurrency (at least 1). The result is identical for every
@@ -99,6 +121,11 @@ struct TrialOptions {
   int num_threads = 0;
   std::uint64_t base_seed = 0x5eed;
   SimulateOptions sim;
+  TrialBatch batch = TrialBatch::Auto;
+  // Lanes per lockstep block for the batched engine; clamped to [8, 64].
+  // Any width gives identical results (trials are seeded by index, and
+  // block boundaries never leak into per-trial state).
+  int batch_width = 32;
 };
 
 struct TrialOutcome {

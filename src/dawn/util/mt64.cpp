@@ -1,0 +1,85 @@
+#include "dawn/util/mt64.hpp"
+
+#include "dawn/util/simd.hpp"
+
+namespace dawn {
+
+namespace {
+
+constexpr int kN = Mt64::kN;
+constexpr int kM = Mt64::kM;
+constexpr std::uint64_t kMatrixA = 0xB5026F5AA96619E9ull;
+constexpr std::uint64_t kUpperMask = 0xFFFFFFFF80000000ull;
+constexpr std::uint64_t kLowerMask = 0x7FFFFFFFull;
+
+// The whole regeneration + tempering body is forced inline into both the
+// scalar and the AVX2 wrapper below, so each wrapper compiles one full copy
+// under its own ISA (an out-of-line helper would keep the baseline codegen).
+__attribute__((always_inline)) inline void twist(std::uint64_t* s) {
+  for (int i = 0; i < kN - kM; ++i) {
+    const std::uint64_t x = (s[i] & kUpperMask) | (s[i + 1] & kLowerMask);
+    s[i] = s[i + kM] ^ (x >> 1) ^ ((x & 1) ? kMatrixA : 0);
+  }
+  for (int i = kN - kM; i < kN - 1; ++i) {
+    const std::uint64_t x = (s[i] & kUpperMask) | (s[i + 1] & kLowerMask);
+    s[i] = s[i + (kM - kN)] ^ (x >> 1) ^ ((x & 1) ? kMatrixA : 0);
+  }
+  const std::uint64_t x = (s[kN - 1] & kUpperMask) | (s[0] & kLowerMask);
+  s[kN - 1] = s[kM - 1] ^ (x >> 1) ^ ((x & 1) ? kMatrixA : 0);
+}
+
+__attribute__((always_inline)) inline std::uint64_t temper(std::uint64_t y) {
+  y ^= (y >> 29) & 0x5555555555555555ull;
+  y ^= (y << 17) & 0x71D67FFFEDA60000ull;
+  y ^= (y << 37) & 0xFFF7EEE000000000ull;
+  y ^= y >> 43;
+  return y;
+}
+
+// Tempering a contiguous chunk of regenerated state is the form the
+// vectoriser wants; the per-draw `if (pos == N) twist()` form defeats it.
+__attribute__((always_inline)) inline void fill_impl(std::uint64_t* s,
+                                                     int& pos,
+                                                     std::uint64_t* out,
+                                                     std::size_t count) {
+  std::size_t i = 0;
+  while (i < count) {
+    if (pos == kN) {
+      twist(s);
+      pos = 0;
+    }
+    const std::size_t avail = static_cast<std::size_t>(kN - pos);
+    const std::size_t chunk = count - i < avail ? count - i : avail;
+    const std::uint64_t* src = s + pos;
+    for (std::size_t j = 0; j < chunk; ++j) out[i + j] = temper(src[j]);
+    pos += static_cast<int>(chunk);
+    i += chunk;
+  }
+}
+
+#if DAWN_SIMD_COMPILED
+__attribute__((target("avx2"))) void fill_avx2(std::uint64_t* s, int& pos,
+                                               std::uint64_t* out,
+                                               std::size_t count) {
+  fill_impl(s, pos, out, count);
+}
+#endif
+
+void fill_scalar(std::uint64_t* s, int& pos, std::uint64_t* out,
+                 std::size_t count) {
+  fill_impl(s, pos, out, count);
+}
+
+}  // namespace
+
+void Mt64::fill_raw(std::uint64_t* out, std::size_t count) {
+#if DAWN_SIMD_COMPILED
+  if (simd_tier() == SimdTier::Avx2) {
+    fill_avx2(st_.data(), pos_, out, count);
+    return;
+  }
+#endif
+  fill_scalar(st_.data(), pos_, out, count);
+}
+
+}  // namespace dawn

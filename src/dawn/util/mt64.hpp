@@ -1,0 +1,56 @@
+// Hand-rolled MT19937-64, bit-identical to std::mt19937_64.
+//
+// The batched trial engine draws per-lane scheduler randomness in bursts
+// (sched/scheduler.hpp), and the generator is the hot path: the standard
+// library's engine is instantiated once for the baseline ISA, so its
+// regeneration loop never vectorises — and re-instantiating the template in
+// an AVX2-flagged translation unit would leak vector code into the shared
+// comdat instance that the scalar paths also call. Owning the ~40 lines of
+// MT19937-64 sidesteps both: the twist and tempering live in this TU only,
+// with an AVX2 clone behind the usual runtime dispatch (util/simd.hpp) and
+// a mandatory scalar fallback.
+//
+// Equivalence with std::mt19937_64 (same seeding algorithm, same outputs)
+// is pinned by tests/test_util.cpp across seeds and draw-count patterns;
+// the vector clone only changes instruction scheduling, never values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dawn {
+
+class Mt64 {
+ public:
+  explicit Mt64(std::uint64_t seed) {
+    st_[0] = seed;
+    for (int i = 1; i < kN; ++i) {
+      st_[static_cast<std::size_t>(i)] =
+          6364136223846793005ull *
+              (st_[static_cast<std::size_t>(i - 1)] ^
+               (st_[static_cast<std::size_t>(i - 1)] >> 62)) +
+          static_cast<std::uint64_t>(i);
+    }
+    pos_ = kN;  // first draw twists, as std::mt19937_64's does
+  }
+
+  // The next raw draw — std::mt19937_64::operator()().
+  std::uint64_t next() {
+    std::uint64_t out;
+    fill_raw(&out, 1);
+    return out;
+  }
+
+  // out[0..count) := the next count draws, exactly as count next() calls.
+  // Dispatches to the AVX2 clone when the host supports it.
+  void fill_raw(std::uint64_t* out, std::size_t count);
+
+  static constexpr int kN = 312;  // state words
+  static constexpr int kM = 156;  // twist offset
+
+ private:
+  std::array<std::uint64_t, kN> st_;
+  int pos_;
+};
+
+}  // namespace dawn

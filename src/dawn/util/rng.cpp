@@ -1,6 +1,11 @@
 #include "dawn/util/rng.hpp"
 
 #include "dawn/util/check.hpp"
+#include "dawn/util/simd.hpp"
+
+#if DAWN_SIMD_COMPILED
+#include <immintrin.h>
+#endif
 
 namespace dawn {
 
@@ -23,6 +28,61 @@ std::size_t Rng::index(std::size_t n) {
   const auto wide =
       static_cast<unsigned __int128>(engine_()) * static_cast<unsigned __int128>(n);
   return static_cast<std::size_t>(wide >> 64);
+}
+
+namespace {
+
+#if DAWN_SIMD_COMPILED
+// Exact 32-bit decomposition of (a * n) >> 64 for n < 2^32: with
+// a = ahi * 2^32 + alo, the high 64 bits of a * n equal
+// (ahi * n + ((alo * n) >> 32)) >> 32 — both partial products fit in 64
+// bits and the dropped low word of alo * n cannot carry into the result,
+// so this matches the 128-bit multiply bit-for-bit.
+__attribute__((target("avx2"))) void index_batch_avx2(
+    const std::uint64_t* raw, std::size_t count, std::uint64_t n,
+    std::uint32_t* out) {
+  const __m256i nv = _mm256_set1_epi64x(static_cast<long long>(n));
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i));
+    // _mm256_mul_epu32 multiplies the low 32 bits of each 64-bit element.
+    const __m256i lo = _mm256_mul_epu32(a, nv);
+    const __m256i hi = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), nv);
+    const __m256i res = _mm256_srli_epi64(
+        _mm256_add_epi64(hi, _mm256_srli_epi64(lo, 32)), 32);
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), res);
+    out[i + 0] = static_cast<std::uint32_t>(tmp[0]);
+    out[i + 1] = static_cast<std::uint32_t>(tmp[1]);
+    out[i + 2] = static_cast<std::uint32_t>(tmp[2]);
+    out[i + 3] = static_cast<std::uint32_t>(tmp[3]);
+  }
+  for (; i < count; ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        static_cast<unsigned __int128>(raw[i]) * n >> 64);
+  }
+}
+#endif  // DAWN_SIMD_COMPILED
+
+}  // namespace
+
+void Rng::index_batch(const std::uint64_t* raw, std::size_t count,
+                      std::size_t n, std::uint32_t* out) {
+  DAWN_CHECK(n > 0);
+  DAWN_CHECK(n <= 0xffffffffull);  // outputs are 32-bit indices
+#if DAWN_SIMD_COMPILED
+  if (simd_tier() == SimdTier::Avx2) {
+    index_batch_avx2(raw, count, static_cast<std::uint64_t>(n), out);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        static_cast<unsigned __int128>(raw[i]) *
+            static_cast<unsigned __int128>(n) >>
+        64);
+  }
 }
 
 bool Rng::chance(double p) {

@@ -21,6 +21,19 @@ class Rng {
   // Uniform index in [0, n). Requires n > 0.
   std::size_t index(std::size_t n);
 
+  // One raw 64-bit engine draw — exactly the quantity index() reduces.
+  // Exposed for the batched trial engine, which draws per-lane engines
+  // itself and reduces all lanes at once through index_batch().
+  std::uint64_t next_raw() { return engine_(); }
+
+  // Batched Lemire reduction: out[i] = floor(raw[i] * n / 2^64) for i in
+  // [0, count). Bit-identical to feeding each raw draw through index() —
+  // the AVX2 path (behind runtime dispatch, see util/simd.hpp) computes the
+  // same 128-bit product via an exact 32-bit decomposition. Requires
+  // 0 < n <= 2^32 - 1 (outputs are 32-bit indices).
+  static void index_batch(const std::uint64_t* raw, std::size_t count,
+                          std::size_t n, std::uint32_t* out);
+
   // Bernoulli with success probability p.
   bool chance(double p);
 

@@ -1,0 +1,23 @@
+#include "dawn/util/simd.hpp"
+
+namespace dawn {
+
+SimdTier simd_tier() {
+#if DAWN_SIMD_COMPILED
+  static const SimdTier tier =
+      __builtin_cpu_supports("avx2") ? SimdTier::Avx2 : SimdTier::Scalar;
+  return tier;
+#else
+  return SimdTier::Scalar;
+#endif
+}
+
+const char* simd_tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::Scalar: return "scalar";
+    case SimdTier::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace dawn

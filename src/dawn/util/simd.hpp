@@ -1,0 +1,49 @@
+// Runtime SIMD dispatch for the batched engines.
+//
+// The batched trial engine (semantics/batched_trials.hpp) and the batched
+// Lemire reduction (Rng::index_batch) each carry a hand-rolled AVX2 kernel
+// next to a mandatory scalar fallback. Which one runs is decided here, once,
+// at runtime: the AVX2 kernels are compiled behind
+// __attribute__((target("avx2"))) so the rest of the binary stays baseline
+// x86-64 and the same build runs on machines without AVX2.
+//
+// Three gates stack:
+//   * build      — -DDAWN_SIMD=OFF removes the vector kernels entirely (the
+//                  scalar-fallback CI job proves bit-identical results);
+//   * compile    — non-x86-64 targets, or compilers without the target
+//                  attribute, never see the AVX2 code;
+//   * runtime    — __builtin_cpu_supports("avx2") on the actual host.
+//
+// Every kernel pair is bit-identical by construction (the tests and the
+// scalar-vs-batched fuzz pair pin this), so the tier only changes speed,
+// never results.
+#pragma once
+
+#include <cstdint>
+
+// DAWN_SIMD_COMPILED: the vector kernels exist in this build.
+#if defined(DAWN_SIMD_ENABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DAWN_SIMD_COMPILED 1
+#else
+#define DAWN_SIMD_COMPILED 0
+#endif
+
+namespace dawn {
+
+enum class SimdTier : std::uint8_t { Scalar, Avx2 };
+
+// The tier the running host dispatches to; computed once, then cached.
+// Scalar when the build disabled SIMD, the target is not x86-64, or the CPU
+// lacks AVX2.
+SimdTier simd_tier();
+
+// Stable registry name ("scalar" / "avx2"), used by the BenchReport host
+// metadata so BENCH_*.json files are comparable across machines.
+const char* simd_tier_name(SimdTier tier);
+
+// True when this binary contains the AVX2 kernels at all (compile-time
+// gate); simd_tier() can still be Scalar on a host without AVX2.
+constexpr bool simd_compiled_in() { return DAWN_SIMD_COMPILED != 0; }
+
+}  // namespace dawn

@@ -126,6 +126,74 @@ TEST(Trials, MergedMetricsIdenticalAcrossThreadCounts) {
   EXPECT_GT(s1.metrics.gauge(obs::Gauge::InternerPeakStates), 0u);
 }
 
+TEST(WorkerPool, NonPositiveThreadCountsClampToAtLeastOneWorker) {
+  for (const int requested : {0, -1, -100}) {
+    WorkerPool pool(requested);
+    EXPECT_GE(pool.num_workers(), 1) << "requested " << requested;
+    std::atomic<int> ran{0};
+    pool.run([&](int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), pool.num_workers());
+  }
+}
+
+TEST(WorkerPool, SingleThreadRunsInlineOnTheCaller) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id task_thread;
+  int task_worker = -1;
+  pool.run([&](int worker) {
+    task_thread = std::this_thread::get_id();
+    task_worker = worker;
+  });
+  EXPECT_EQ(task_thread, caller);
+  EXPECT_EQ(task_worker, 0);
+}
+
+TEST(WorkerPool, EveryWorkerGetsADistinctIdEachRun) {
+  WorkerPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> hits(
+        static_cast<std::size_t>(pool.num_workers()));
+    pool.run([&](int worker) {
+      hits[static_cast<std::size_t>(worker)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Trials, ParallelForResultSlotsStayOrderedUnderContention) {
+  // 1000 tiny jobs on 8 threads: each job writes its index into its own
+  // slot and records which worker claimed it. Slot contents must be exact
+  // (no lost or duplicated indices) and every claimed worker id must be in
+  // range — the per-worker scratch contract run_trials relies on.
+  constexpr std::size_t kJobs = 1000;
+  constexpr int kThreads = 8;
+  const int workers = resolve_parallel_threads(kThreads, kJobs);
+  EXPECT_LE(workers, kThreads);
+  std::vector<std::size_t> slots(kJobs, kJobs);
+  std::vector<std::atomic<int>> owner(kJobs);
+  parallel_for(kJobs, kThreads,
+               std::function<void(int, std::size_t)>(
+                   [&](int worker, std::size_t i) {
+                     slots[i] = i;
+                     owner[i].store(worker);
+                   }));
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(slots[i], i);
+    EXPECT_GE(owner[i].load(), 0);
+    EXPECT_LT(owner[i].load(), workers);
+  }
+}
+
+TEST(Trials, ResolveParallelThreadsClampsToJobsAndFloorsAtOne) {
+  EXPECT_EQ(resolve_parallel_threads(4, 2), 2);
+  EXPECT_EQ(resolve_parallel_threads(4, 100), 4);
+  EXPECT_GE(resolve_parallel_threads(0, 100), 1);
+  EXPECT_GE(resolve_parallel_threads(-3, 100), 1);
+  EXPECT_EQ(resolve_parallel_threads(1, 0), 1);  // floor survives zero jobs
+}
+
 TEST(Trials, RunJobsPreservesJobOrder) {
   const Graph g = make_line({1, 0, 0, 0});
   std::vector<std::function<SimulateResult()>> jobs;

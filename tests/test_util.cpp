@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <random>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -10,6 +11,7 @@
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
 #include "dawn/util/interner.hpp"
+#include "dawn/util/mt64.hpp"
 #include "dawn/util/parse.hpp"
 #include "dawn/util/rng.hpp"
 #include "dawn/util/table.hpp"
@@ -74,6 +76,74 @@ TEST(Rng, IndexCoversAllValues) {
   std::set<std::size_t> seen;
   for (int i = 0; i < 500; ++i) seen.insert(rng.index(5));
   EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, IndexBatchMatchesScalarLemireReduction) {
+  // index_batch is the batched form of index(): same raw engine words, same
+  // reduced values — for every n, including ones near the uint32 ceiling
+  // (the AVX2 kernel splits the 64x32 multiply into 32-bit halves there).
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{7},
+        std::size_t{1000}, std::size_t{1} << 31,
+        std::size_t{0xffffffffull}}) {
+    Rng raw_src(11), scalar_src(11);
+    std::vector<std::uint64_t> raw(100);
+    std::vector<std::uint32_t> batched(raw.size());
+    for (auto& r : raw) r = raw_src.next_raw();
+    Rng::index_batch(raw.data(), raw.size(), n, batched.data());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      EXPECT_EQ(batched[i], scalar_src.index(n)) << "n=" << n << " i=" << i;
+    }
+  }
+  // Odd counts exercise the scalar tail after the 4-wide vector body.
+  Rng raw_src(5), scalar_src(5);
+  std::vector<std::uint64_t> raw(13);
+  std::vector<std::uint32_t> batched(raw.size());
+  for (auto& r : raw) r = raw_src.next_raw();
+  Rng::index_batch(raw.data(), raw.size(), 37, batched.data());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(batched[i], scalar_src.index(37));
+  }
+}
+
+TEST(Rng, IndexBatchRejectsDegenerateBounds) {
+  std::uint64_t raw = 0;
+  std::uint32_t out = 0;
+  EXPECT_THROW(Rng::index_batch(&raw, 1, 0, &out), std::logic_error);
+}
+
+TEST(Mt64, MatchesStdMersenneTwisterFromAnySeed) {
+  // Mt64 exists so the batched trial engine can draw scheduler randomness
+  // through vectorisable burst fills; the whole point is that its stream is
+  // std::mt19937_64's stream, bit for bit, from the same seed.
+  for (const std::uint64_t seed :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0x5eed},
+        std::uint64_t{0xdeadbeef}, ~std::uint64_t{0}}) {
+    std::mt19937_64 ref(seed);
+    Mt64 mine(seed);
+    // Past 2 * 312 draws, every state word has been regenerated twice.
+    for (int i = 0; i < 700; ++i) {
+      ASSERT_EQ(mine.next(), ref()) << "seed=" << seed << " draw=" << i;
+    }
+  }
+}
+
+TEST(Mt64, FillRawChunkingIsInvisible) {
+  // Burst fills split at arbitrary points must concatenate to the plain
+  // stream — counts straddling the 312-word regeneration boundary included.
+  std::mt19937_64 ref(42);
+  Mt64 mine(42);
+  std::vector<std::uint64_t> out(1000);
+  std::size_t at = 0;
+  for (const std::size_t count : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{247}, std::size_t{312},
+                                  std::size_t{313}, std::size_t{63}}) {
+    mine.fill_raw(out.data() + at, count);
+    at += count;
+  }
+  for (std::size_t i = 0; i < at; ++i) {
+    ASSERT_EQ(out[i], ref()) << "draw=" << i;
+  }
 }
 
 TEST(Rng, ShufflePreservesElements) {

@@ -46,8 +46,23 @@ int main(int argc, char** argv) {
     }
     const auto* bench = doc->get("bench");
     const auto* results = doc->get("results");
-    std::printf("%s: ok (bench=%s, %zu result rows)\n", path,
-                bench->as_string().c_str(), results->size());
+    // Optional minor-revision fields (schema 1.1+): surface them so the CI
+    // log records which host tier produced each report.
+    const auto* minor = doc->get("schema_minor");
+    const auto* host = doc->get("host");
+    std::string host_info;
+    if (host != nullptr) {
+      const auto* cores = host->get("cores");
+      const auto* simd = host->get("simd");
+      if (cores != nullptr && simd != nullptr) {
+        host_info = ", host=" + std::to_string(cores->as_int()) + "x " +
+                    simd->as_string();
+      }
+    }
+    std::printf("%s: ok (bench=%s, schema=1.%lld%s, %zu result rows)\n", path,
+                bench->as_string().c_str(),
+                minor != nullptr ? static_cast<long long>(minor->as_int()) : 0,
+                host_info.c_str(), results->size());
   }
   if (failures != 0) {
     std::fprintf(stderr, "%d of %d file(s) failed validation\n", failures,
