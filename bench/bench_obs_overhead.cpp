@@ -1,26 +1,46 @@
-// Observability overhead: metrics-off vs metrics-on simulation throughput.
+// Observability overhead: metrics / spans / heartbeats off vs on.
 //
-// The metrics layer promises near-zero cost when disabled (a thread-local
-// load + branch on cold paths only; the step engines keep plain member
-// counters) and a small bounded cost when enabled (one MetricsScope install
-// plus a once-per-run harvest). This bench pins both promises to numbers:
-// the production simulate() loop on the engine-throughput gossip machine,
-// n=1000 bounded-degree k=3, exclusive scheduler, best-of-3, once with
-// collect_metrics off and once on. BENCH_obs.json carries both steps/sec
-// and the enabled/disabled ratio; the exit gate is ratio >= 0.85 (i.e. at
-// most 15% regression with metrics enabled, the ISSUE budget).
+// The obs layer promises near-zero cost when disabled (a thread-local load +
+// branch on cold paths only; the step engines keep plain member counters)
+// and a small bounded cost when enabled. This bench pins both promises to
+// numbers on two workloads:
+//
+//  * metrics: the production simulate() loop on the engine-throughput gossip
+//    machine, n=1000 bounded-degree k=3, exclusive scheduler, once with
+//    collect_metrics off and once on (the PR2 measurement, unchanged);
+//  * telemetry: the same machine on many short runs — each run fires a
+//    SimulateRun span — once bare and once with an ambient SpanLog, an
+//    ExploreProgress sink and a live ProgressReporter sampling at 10 ms.
+//
+// BENCH_obs.json carries steps/sec for every mode plus both on/off ratios
+// in the schema-1.2 "telemetry" section; the exit gate is min(ratio) >= 0.85
+// (at most 15% regression with any obs feature enabled, the ISSUE budget).
+// A -DDAWN_OBS_DISABLED build additionally proves at compile time that
+// SpanScope is an empty class — spans strip to zero cost, not just low cost.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "dawn/automata/machine.hpp"
 #include "dawn/graph/generators.hpp"
 #include "dawn/obs/export.hpp"
+#include "dawn/obs/progress.hpp"
+#include "dawn/obs/span_log.hpp"
+#include "dawn/obs/telemetry.hpp"
 #include "dawn/sched/scheduler.hpp"
 #include "dawn/semantics/simulate.hpp"
 #include "dawn/util/table.hpp"
+
+#ifdef DAWN_OBS_DISABLED
+// The disabled build must strip spans entirely: an empty class (no members,
+// no vtable) whose construction and add_items() compile to nothing.
+static_assert(std::is_empty_v<dawn::obs::SpanScope>,
+              "DAWN_OBS_DISABLED must reduce SpanScope to an empty class");
+#endif
 
 namespace dawn {
 namespace {
@@ -51,8 +71,9 @@ struct Sample {
   double steps_per_sec = 0.0;
 };
 
-Sample measure(const Machine& machine, const Graph& g, std::uint64_t steps,
-               bool collect_metrics) {
+// One long run; the PR2 metrics measurement.
+Sample measure_metrics(const Machine& machine, const Graph& g,
+                       std::uint64_t steps, bool collect_metrics) {
   SimulateOptions opts;
   opts.max_steps = steps;
   opts.stable_window = steps + 1;  // never converge: run the full budget
@@ -70,6 +91,46 @@ Sample measure(const Machine& machine, const Graph& g, std::uint64_t steps,
   return s;
 }
 
+// Many short runs (each fires one SimulateRun span), bare or with the full
+// telemetry bundle installed: ambient SpanLog + ExploreProgress + a live
+// ProgressReporter sampling every 10 ms against the run.
+Sample measure_telemetry(const Machine& machine, const Graph& g,
+                         std::uint64_t total_steps, std::uint64_t run_steps,
+                         bool telemetry) {
+  SimulateOptions opts;
+  opts.max_steps = run_steps;
+  opts.stable_window = run_steps + 1;
+  obs::SpanLog span_log;
+  obs::ExploreProgress progress;
+  obs::Telemetry tel;
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (telemetry) {
+    tel.spans = &span_log;
+    tel.progress = &progress;
+    obs::ProgressReporter::Options popts;
+    popts.interval_ms = 10;
+    reporter = std::make_unique<obs::ProgressReporter>(progress, popts);
+    reporter->start();
+  }
+  RandomExclusiveScheduler sched(9);
+  Sample s;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    const obs::TelemetryScope scope(tel);
+    for (std::uint64_t done = 0; done < total_steps; done += run_steps) {
+      const SimulateResult r = simulate(machine, g, sched, opts);
+      s.steps += r.total_steps;
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  if (reporter != nullptr) reporter->stop();
+  s.seconds = std::chrono::duration<double>(stop - start).count();
+  if (s.seconds > 0.0) {
+    s.steps_per_sec = static_cast<double>(s.steps) / s.seconds;
+  }
+  return s;
+}
+
 }  // namespace
 }  // namespace dawn
 
@@ -77,8 +138,8 @@ int main(int argc, char** argv) {
   using namespace dawn;
   const bool smoke = obs::smoke_mode(argc, argv);
   std::printf(
-      "Observability overhead: simulate() with metrics off vs on\n"
-      "=========================================================\n\n");
+      "Observability overhead: metrics / spans / heartbeats off vs on\n"
+      "==============================================================\n\n");
 
   const auto machine = gossip_machine();
   const int n = 1000, k = 3;
@@ -88,36 +149,50 @@ int main(int argc, char** argv) {
   const Graph g = make_random_bounded_degree(labels, k, n / 2, rng);
 
   const std::uint64_t steps = smoke ? 50'000u : 400'000u;
+  const std::uint64_t run_steps = 1'000;  // telemetry workload: short runs
   const int reps = smoke ? 1 : 3;
 
   // Best-of-reps with interleaved order, same rationale as the engine bench:
   // the best rep is the least-perturbed estimate on a noisy box.
-  Sample best[2];
+  // Slots: 0 metrics-off, 1 metrics-on, 2 telemetry-off, 3 telemetry-on.
+  Sample best[4];
   for (int rep = 0; rep < reps; ++rep) {
     for (const bool enabled : {false, true}) {
-      const Sample s = measure(*machine, g, steps, enabled);
+      const Sample s = measure_metrics(*machine, g, steps, enabled);
       Sample& slot = best[enabled ? 1 : 0];
       if (s.steps_per_sec > slot.steps_per_sec) slot = s;
     }
+    for (const bool enabled : {false, true}) {
+      const Sample s =
+          measure_telemetry(*machine, g, steps, run_steps, enabled);
+      Sample& slot = best[enabled ? 3 : 2];
+      if (s.steps_per_sec > slot.steps_per_sec) slot = s;
+    }
   }
-  const double ratio = best[0].steps_per_sec > 0.0
-                           ? best[1].steps_per_sec / best[0].steps_per_sec
-                           : 0.0;
+  const auto ratio_of = [](const Sample& off, const Sample& on) {
+    return off.steps_per_sec > 0.0 ? on.steps_per_sec / off.steps_per_sec
+                                   : 0.0;
+  };
+  const double metrics_ratio = ratio_of(best[0], best[1]);
+  const double telemetry_ratio = ratio_of(best[2], best[3]);
+  const double min_ratio = std::min(metrics_ratio, telemetry_ratio);
 
-  Table t({"metrics", "steps", "steps/sec", "ratio"});
-  t.add_row({"disabled", std::to_string(best[0].steps),
-             std::to_string(static_cast<long long>(best[0].steps_per_sec)),
-             "-"});
-  t.add_row({"enabled", std::to_string(best[1].steps),
-             std::to_string(static_cast<long long>(best[1].steps_per_sec)),
-             std::to_string(ratio).substr(0, 5)});
+  static const char* kMode[4] = {"metrics-off", "metrics-on",
+                                 "telemetry-off", "telemetry-on"};
+  Table t({"mode", "steps", "steps/sec", "ratio"});
+  for (int m = 0; m < 4; ++m) {
+    const double ratio = m == 1 ? metrics_ratio
+                                : (m == 3 ? telemetry_ratio : 0.0);
+    t.add_row({kMode[m], std::to_string(best[m].steps),
+               std::to_string(static_cast<long long>(best[m].steps_per_sec)),
+               m % 2 == 1 ? std::to_string(ratio).substr(0, 5) : "-"});
+  }
   t.print();
   std::printf(
-      "\nenabled/disabled throughput ratio: %.3f (budget: >= 0.85, i.e. at "
-      "most 15%% regression)\n"
-      "disabled steps/sec is the cross-PR tracking number (budget: within 5%% "
-      "of the PR1 headline runs).\n",
-      ratio);
+      "\nmetrics on/off ratio: %.3f, spans+heartbeat on/off ratio: %.3f\n"
+      "(budget: every ratio >= 0.85, i.e. at most 15%% regression)\n"
+      "metrics-off steps/sec is the cross-PR tracking number.\n",
+      metrics_ratio, telemetry_ratio);
 
   obs::BenchReport report("obs_overhead", smoke);
   report.meta("n", obs::JsonValue(n));
@@ -126,16 +201,21 @@ int main(int argc, char** argv) {
   report.meta("steps_per_rep", obs::JsonValue(steps));
   report.meta("disabled_steps_per_sec", obs::JsonValue(best[0].steps_per_sec));
   report.meta("enabled_steps_per_sec", obs::JsonValue(best[1].steps_per_sec));
-  report.meta("enabled_over_disabled_ratio", obs::JsonValue(ratio));
-  for (const bool enabled : {false, true}) {
-    const Sample& s = best[enabled ? 1 : 0];
+  report.meta("enabled_over_disabled_ratio", obs::JsonValue(metrics_ratio));
+  report.telemetry("metrics_ratio", obs::JsonValue(metrics_ratio));
+  report.telemetry("spans_heartbeat_ratio", obs::JsonValue(telemetry_ratio));
+  report.telemetry("telemetry_runs",
+                   obs::JsonValue(static_cast<std::uint64_t>(
+                       (steps + run_steps - 1) / run_steps)));
+  for (int m = 0; m < 4; ++m) {
+    const Sample& s = best[m];
     obs::JsonValue& row = report.add_row();
-    row.set("metrics", obs::JsonValue(enabled ? "enabled" : "disabled"));
+    row.set("mode", obs::JsonValue(kMode[m]));
     row.set("steps", obs::JsonValue(s.steps));
     row.set("seconds", obs::JsonValue(s.seconds));
     row.set("steps_per_sec", obs::JsonValue(s.steps_per_sec));
   }
   const std::string path = report.write(".", "obs");
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
-  return smoke ? 0 : (ratio >= 0.85 ? 0 : 1);
+  return smoke ? 0 : (min_ratio >= 0.85 ? 0 : 1);
 }

@@ -1,0 +1,204 @@
+// Telemetry overhead and coverage on a full exact decision.
+//
+// bench_obs_overhead pins the simulate() hot loop; this bench pins the
+// decide() facade end-to-end — the path the new telemetry subsystem actually
+// instruments (ExploreExpand level spans, the SCC trim/FB spans, the shard
+// histogram, the memory ledger, live heartbeats). Workload: the Lemma 4.10
+// majority population protocol on a clique, whose counted configuration
+// space C(n + |Q| - 1, |Q| - 1) makes the explored count tunable by n.
+//
+// Two modes, best-of-reps interleaved:
+//  * bare: decide() with no ambient telemetry (the production default);
+//  * telemetry: ambient SpanLog + ExploreProgress + a ProgressReporter
+//    sampling every 10 ms, i.e. every observer this PR added, all at once.
+//
+// BENCH_telemetry.json (schema 1.2) carries configs/sec per mode, the
+// on/off ratio, span/heartbeat counts and the decision's memory ledger in
+// the "telemetry" section. Exit gate (non-smoke): ratio >= 0.85 — turning
+// every observer on may cost at most 15% end-to-end.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dawn/graph/generators.hpp"
+#include "dawn/obs/export.hpp"
+#include "dawn/obs/progress.hpp"
+#include "dawn/obs/span_log.hpp"
+#include "dawn/obs/telemetry.hpp"
+#include "dawn/protocols/pp_majority.hpp"
+#include "dawn/semantics/decision.hpp"
+#include "dawn/util/table.hpp"
+
+namespace dawn {
+namespace {
+
+struct Sample {
+  DecisionReport report;
+  double seconds = 0.0;
+  double configs_per_sec = 0.0;
+};
+
+Sample measure(const Machine& machine, const Graph& g, bool telemetry,
+               std::size_t* heartbeats_out) {
+  DecisionRequest req;
+  req.budget = {.max_configs = 4'000'000, .max_threads = 0, .deadline_ms = 0};
+
+  obs::SpanLog span_log;
+  obs::ExploreProgress progress;
+  obs::Telemetry tel;
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (telemetry) {
+    tel.spans = &span_log;
+    tel.progress = &progress;
+    obs::ProgressReporter::Options popts;
+    popts.interval_ms = 10;
+    reporter = std::make_unique<obs::ProgressReporter>(progress, popts);
+    reporter->start();
+  }
+
+  Sample s;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    const obs::TelemetryScope scope(tel);
+    s.report = decide(machine, g, req);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  if (reporter != nullptr) {
+    reporter->stop();
+    if (heartbeats_out != nullptr) {
+      *heartbeats_out = reporter->records().size();
+    }
+  }
+  s.seconds = std::chrono::duration<double>(stop - start).count();
+  if (s.seconds > 0.0) {
+    s.configs_per_sec =
+        static_cast<double>(s.report.configs_explored) / s.seconds;
+  }
+  return s;
+}
+
+}  // namespace
+}  // namespace dawn
+
+int main(int argc, char** argv) {
+  using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
+  std::printf(
+      "Telemetry overhead on decide(): bare vs spans+heartbeats+ledger\n"
+      "===============================================================\n\n");
+
+  // Clique majority: half 0s, half 1s plus a tiebreaker.
+  const int n = smoke ? 41 : 121;
+  std::vector<Label> labels(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = i % 2 == 0 ? 0 : 1;
+  }
+  const Graph g = make_clique(labels);
+  const auto machine = make_majority_daf(0, 1, 2);
+
+  const int reps = smoke ? 1 : 3;
+  Sample best[2];
+  std::size_t heartbeats = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool telemetry : {false, true}) {
+      std::size_t hb = 0;
+      const Sample s = measure(*machine, g, telemetry, &hb);
+      Sample& slot = best[telemetry ? 1 : 0];
+      if (s.configs_per_sec > slot.configs_per_sec) {
+        slot = s;
+        if (telemetry) heartbeats = hb;
+      }
+    }
+  }
+
+  // The two modes must agree bit-for-bit — telemetry never perturbs the
+  // decision (the test suite pins this; the bench double-checks end-to-end).
+  if (!(best[0].report == best[1].report)) {
+    std::fprintf(stderr,
+                 "FATAL: telemetry changed the DecisionReport "
+                 "(decision %s vs %s, configs %zu vs %zu)\n",
+                 to_string(best[0].report.decision).c_str(),
+                 to_string(best[1].report.decision).c_str(),
+                 best[0].report.configs_explored,
+                 best[1].report.configs_explored);
+    return 1;
+  }
+
+  // One more telemetry run outside the timing loop to harvest span counts
+  // for the report (counts, not timings, so any rep is representative).
+  std::size_t span_count = 0;
+  std::uint64_t span_dropped = 0;
+  std::size_t span_threads = 0;
+  {
+    obs::SpanLog span_log;
+    obs::ExploreProgress progress;
+    obs::Telemetry tel;
+    tel.spans = &span_log;
+    tel.progress = &progress;
+    DecisionRequest req;
+    req.budget = {.max_configs = 4'000'000, .max_threads = 0,
+                  .deadline_ms = 0};
+    const obs::TelemetryScope scope(tel);
+    (void)decide(*machine, g, req);
+    span_count = span_log.size();
+    span_dropped = span_log.dropped();
+    span_threads = span_log.num_threads();
+  }
+
+  const double ratio = best[0].configs_per_sec > 0.0
+                           ? best[1].configs_per_sec / best[0].configs_per_sec
+                           : 0.0;
+
+  Table t({"mode", "configs", "configs/sec", "ratio"});
+  t.add_row({"bare", std::to_string(best[0].report.configs_explored),
+             std::to_string(
+                 static_cast<long long>(best[0].configs_per_sec)),
+             "-"});
+  t.add_row({"telemetry", std::to_string(best[1].report.configs_explored),
+             std::to_string(
+                 static_cast<long long>(best[1].configs_per_sec)),
+             std::to_string(ratio).substr(0, 5)});
+  t.print();
+  std::printf(
+      "\ndecision: %s via %s; %zu spans on %zu threads (%llu dropped), "
+      "%zu heartbeats\n"
+      "telemetry/bare ratio: %.3f (budget: >= 0.85)\n",
+      to_string(best[0].report.decision).c_str(),
+      to_string(best[0].report.method).c_str(), span_count, span_threads,
+      static_cast<unsigned long long>(span_dropped), heartbeats, ratio);
+
+  obs::BenchReport report("telemetry", smoke);
+  report.meta("n", obs::JsonValue(n));
+  report.meta("topology", obs::JsonValue("clique"));
+  report.meta("protocol", obs::JsonValue("majority-pp"));
+  report.meta("decision", obs::JsonValue(to_string(best[0].report.decision)));
+  report.meta("method", obs::JsonValue(to_string(best[0].report.method)));
+  report.meta("configs_explored",
+              obs::JsonValue(static_cast<std::uint64_t>(
+                  best[0].report.configs_explored)));
+  report.telemetry("overhead_ratio", obs::JsonValue(ratio));
+  report.telemetry("spans", obs::JsonValue(
+                                static_cast<std::uint64_t>(span_count)));
+  report.telemetry("span_threads",
+                   obs::JsonValue(static_cast<std::uint64_t>(span_threads)));
+  report.telemetry("spans_dropped", obs::JsonValue(span_dropped));
+  report.telemetry("heartbeats",
+                   obs::JsonValue(static_cast<std::uint64_t>(heartbeats)));
+  report.add_ledger(best[0].report.memory);
+  for (const bool telemetry : {false, true}) {
+    const Sample& s = best[telemetry ? 1 : 0];
+    obs::JsonValue& row = report.add_row();
+    row.set("mode", obs::JsonValue(telemetry ? "telemetry" : "bare"));
+    row.set("configs", obs::JsonValue(static_cast<std::uint64_t>(
+                           s.report.configs_explored)));
+    row.set("seconds", obs::JsonValue(s.seconds));
+    row.set("configs_per_sec", obs::JsonValue(s.configs_per_sec));
+  }
+  const std::string path = report.write(".", "telemetry");
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return smoke ? 0 : (ratio >= 0.85 ? 0 : 1);
+}

@@ -20,6 +20,15 @@
 //                         (implies --simulate)
 //     --trace-jsonl PATH  write a structured JSONL event trace of the first
 //                         simulated run to PATH (implies --simulate)
+//     --progress[=MS]     live heartbeat one-liners on stderr every MS
+//                         milliseconds (default 500) while the exact
+//                         decision runs (implies --exact)
+//     --progress-jsonl P  also stream the heartbeat records to P, one JSON
+//                         object per line
+//     --trace-chrome P    write a Chrome trace-event JSON (phase spans) of
+//                         the exact decision to P; load in chrome://tracing
+//                         or Perfetto, validate with tools/dawn_trace_check
+//                         (implies --exact)
 //
 // Examples:
 //   dawn_cli exists:1 cycle 0,0,1,0 --exact
@@ -36,6 +45,8 @@
 
 #include "dawn/graph/generators.hpp"
 #include "dawn/obs/metrics.hpp"
+#include "dawn/obs/progress.hpp"
+#include "dawn/obs/telemetry.hpp"
 #include "dawn/obs/trace_log.hpp"
 #include "dawn/protocols/exists_label.hpp"
 #include "dawn/protocols/majority_bounded.hpp"
@@ -65,7 +76,8 @@ std::vector<std::string> split(const std::string& s, char sep) {
   std::fprintf(stderr,
                "usage: %s <protocol> <topology> <labels> "
                "[--exact|--simulate] [--trace N] [--metrics] "
-               "[--trace-jsonl PATH]\n"
+               "[--trace-jsonl PATH] [--progress[=MS]] "
+               "[--progress-jsonl PATH] [--trace-chrome PATH]\n"
                "  protocols: exists:L  threshold:L:K  mod:L:M:R  "
                "majority-pp  majority:K\n"
                "  topologies: cycle line clique star grid:WxH torus:WxH\n"
@@ -158,8 +170,10 @@ int main(int argc, char** argv) {
   if (argc < 4) usage(argv[0]);
 
   bool exact = false, simulate_mode = false, want_metrics = false;
+  bool want_progress = false;
   std::uint64_t trace_steps = 0;
-  std::string trace_jsonl;
+  std::uint64_t progress_ms = 500;
+  std::string trace_jsonl, trace_chrome, progress_jsonl;
   for (int i = 4; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--exact")) {
       exact = true;
@@ -174,6 +188,21 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--trace-jsonl") && i + 1 < argc) {
       trace_jsonl = argv[++i];
       simulate_mode = true;
+    } else if (!std::strcmp(argv[i], "--progress")) {
+      want_progress = true;
+      exact = true;
+    } else if (!std::strncmp(argv[i], "--progress=", 11)) {
+      progress_ms = static_cast<std::uint64_t>(
+          num(argv[0], "--progress", argv[i] + 11, 1, 1 << 30));
+      want_progress = true;
+      exact = true;
+    } else if (!std::strcmp(argv[i], "--progress-jsonl") && i + 1 < argc) {
+      progress_jsonl = argv[++i];
+      want_progress = true;
+      exact = true;
+    } else if (!std::strcmp(argv[i], "--trace-chrome") && i + 1 < argc) {
+      trace_chrome = argv[++i];
+      exact = true;
     } else {
       usage(argv[0], std::string("unknown option: ") + argv[i]);
     }
@@ -207,10 +236,58 @@ int main(int argc, char** argv) {
   if (exact) {
     DecisionRequest req;
     req.budget = {.max_configs = 4'000'000, .max_threads = 0, .deadline_ms = 0};
-    const DecisionReport r = decide(*protocol.machine, g, req);
+
+    // Optional telemetry around the decision. The sinks only observe — the
+    // report is bit-identical with or without them (docs/OBSERVABILITY.md).
+    obs::SpanLog span_log;
+    obs::ExploreProgress progress;
+    obs::Telemetry tel;
+    if (!trace_chrome.empty()) tel.spans = &span_log;
+    if (want_progress) tel.progress = &progress;
+    std::unique_ptr<obs::ProgressReporter> reporter;
+    if (want_progress) {
+      obs::ProgressReporter::Options popts;
+      popts.interval_ms = progress_ms;
+      popts.stderr_line = true;
+      popts.jsonl_path = progress_jsonl;
+      reporter = std::make_unique<obs::ProgressReporter>(progress, popts);
+      reporter->start();
+    }
+
+    DecisionReport r;
+    {
+      const obs::TelemetryScope telemetry_scope(tel);
+      r = decide(*protocol.machine, g, req);
+    }
+    if (reporter != nullptr) {
+      reporter->stop();
+      if (!progress_jsonl.empty()) {
+        if (reporter->write_failed()) {
+          std::fprintf(stderr, "progress-jsonl: write failed: %s\n",
+                       progress_jsonl.c_str());
+          return 1;
+        }
+        std::printf("wrote %zu heartbeat records to %s\n",
+                    reporter->records().size(), progress_jsonl.c_str());
+      }
+    }
     std::printf("exact decision: %s via %s (%zu configurations explored)\n",
                 to_string(r.decision).c_str(), to_string(r.method).c_str(),
                 r.configs_explored);
+    if (!r.memory.empty()) {
+      std::printf("memory: %s\n", r.memory.to_json().dump(0).c_str());
+    }
+    if (!trace_chrome.empty()) {
+      std::string error;
+      if (obs::dump_chrome_trace(span_log, trace_chrome, &error)) {
+        std::printf("wrote %zu phase spans to %s%s\n", span_log.size(),
+                    trace_chrome.c_str(),
+                    span_log.dropped() != 0 ? " (some spans dropped)" : "");
+      } else {
+        std::fprintf(stderr, "trace-chrome: %s\n", error.c_str());
+        return 1;
+      }
+    }
     if (r.decision == Decision::Unknown) {
       std::printf("(%s — try --simulate)\n",
                   to_string(r.unknown_reason).c_str());

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "dawn/obs/span_log.hpp"
 #include "dawn/util/check.hpp"
 
 namespace dawn::fuzz {
@@ -73,6 +74,9 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
 
   Rng rng(opts.seed);
   for (int i = 0; i < opts.budget_cases && !expired(); ++i) {
+    // One span per case covers every selected pair's check on it.
+    obs::SpanScope case_span(obs::spans(), obs::Phase::FuzzCase,
+                             static_cast<std::uint64_t>(i));
     const FuzzCase c = gen_case(rng, opts.gen);
     ++report.cases;
     for (std::size_t p = 0; p < selected.size(); ++p) {

@@ -397,6 +397,31 @@ std::optional<std::string> check_scalar_vs_batched(const FuzzCase& c) {
         return out.str();
       }
     }
+    // Summary-level parity too: summarize() folds metrics in trial order,
+    // so the merged TrialSummary must also match bit-for-bit (the per-trial
+    // loop above would miss a summarize() bug).
+    const TrialSummary ss = summarize(scalar);
+    const TrialSummary bs = summarize(*batched);
+    if (ss.converged != bs.converged || ss.accepted != bs.accepted ||
+        ss.rejected != bs.rejected ||
+        ss.max_total_steps != bs.max_total_steps ||
+        ss.mean_convergence_step != bs.mean_convergence_step ||
+        !ss.metrics.deterministic_equal(bs.metrics)) {
+      std::ostringstream out;
+      out << family.name << ": TrialSummary diverged: scalar(converged="
+          << ss.converged << ", accepted=" << ss.accepted
+          << ", rejected=" << ss.rejected
+          << ", max_steps=" << ss.max_total_steps
+          << ", mean_conv=" << ss.mean_convergence_step
+          << ") batched(converged=" << bs.converged
+          << ", accepted=" << bs.accepted << ", rejected=" << bs.rejected
+          << ", max_steps=" << bs.max_total_steps
+          << ", mean_conv=" << bs.mean_convergence_step << ")"
+          << (ss.metrics.deterministic_equal(bs.metrics)
+                  ? ""
+                  : " [merged metrics diverged]");
+      return out.str();
+    }
   }
   return std::nullopt;
 }

@@ -44,6 +44,27 @@ void BenchReport::meta(const std::string& key, JsonValue value) {
   doc_.get("meta")->set(key, std::move(value));
 }
 
+void BenchReport::telemetry(const std::string& key, JsonValue value) {
+  JsonValue* section = doc_.get("telemetry");
+  if (section == nullptr) {
+    doc_.set("telemetry", JsonValue::object());
+    section = doc_.get("telemetry");
+  }
+  section->set(key, std::move(value));
+}
+
+void BenchReport::add_ledger(const MemoryLedger& ledger,
+                             std::string_view prefix) {
+  const std::string p(prefix);
+  for (std::size_t i = 0; i < kNumMemoryAccounts; ++i) {
+    if (ledger.bytes[i] != 0) {
+      telemetry(p + name(static_cast<MemoryAccount>(i)),
+                JsonValue(ledger.bytes[i]));
+    }
+  }
+  telemetry(p + "total_bytes", JsonValue(ledger.total()));
+}
+
 JsonValue& BenchReport::add_row() {
   JsonValue* results = doc_.get("results");
   results->push_back(JsonValue::object());
@@ -165,6 +186,13 @@ bool BenchReport::validate(const JsonValue& doc, std::string* error) {
       return fail(error, "'host' is not an object");
     }
     if (!is_flat_scalar_object(*host, "host", error)) return false;
+  }
+  // Minor 2: an optional flat-scalar telemetry section.
+  if (const JsonValue* telemetry = doc.get("telemetry")) {
+    if (telemetry->kind() != JsonValue::Kind::Object) {
+      return fail(error, "'telemetry' is not an object");
+    }
+    if (!is_flat_scalar_object(*telemetry, "telemetry", error)) return false;
   }
   const JsonValue* meta = doc.get("meta");
   if (!meta || meta->kind() != JsonValue::Kind::Object) {

@@ -6,14 +6,15 @@
 // is the matching validator, and CI runs every bench in --smoke mode and
 // checks the emitted files against validate().
 //
-// Schema (version 1, minor 1):
+// Schema (version 1, minor 2):
 //   {
 //     "schema_version": 1,
-//     "schema_minor": 1,            // additive revisions within version 1
+//     "schema_minor": 2,            // additive revisions within version 1
 //     "bench": "<name>",            // e.g. "engine_throughput"
 //     "smoke": false,               // true when produced by a --smoke run
 //     "host": { ... },              // flat scalars: cores, simd tier, obs
 //     "meta": { ... },              // flat scalars: headline numbers, config
+//     "telemetry": { ... },         // optional flat scalars: spans, ledger
 //     "results": [ {..row..}, ... ] // flat scalar row objects
 //   }
 //
@@ -30,6 +31,7 @@
 #include <string_view>
 
 #include "dawn/obs/json.hpp"
+#include "dawn/obs/memory_ledger.hpp"
 #include "dawn/obs/metrics.hpp"
 #include "dawn/trace/census.hpp"
 
@@ -38,7 +40,9 @@ namespace dawn::obs {
 inline constexpr int kBenchSchemaVersion = 1;
 // Minor 1: added the "host" object (cores / simd / obs_disabled) so perf
 // reports record the machine tier that produced them.
-inline constexpr int kBenchSchemaMinorVersion = 1;
+// Minor 2: added the optional flat-scalar "telemetry" object (span counts,
+// heartbeat counts, memory-ledger accounts — see telemetry()/add_ledger()).
+inline constexpr int kBenchSchemaMinorVersion = 2;
 
 class BenchReport {
  public:
@@ -46,6 +50,16 @@ class BenchReport {
 
   // Flat scalar metadata (headline numbers, configuration).
   void meta(const std::string& key, JsonValue value);
+
+  // Flat scalar telemetry (schema minor 2): span/heartbeat counts, overhead
+  // ratios. The "telemetry" object is created on first use and stays absent
+  // from reports that never call this.
+  void telemetry(const std::string& key, JsonValue value);
+
+  // Flattens a memory ledger into the telemetry object under a prefix
+  // ("mem.vector_store_bytes", ...); zero accounts are omitted, the total
+  // always lands in "<prefix>total_bytes".
+  void add_ledger(const MemoryLedger& ledger, std::string_view prefix = "mem.");
 
   // Starts a new result row and returns it; add scalar columns with set().
   JsonValue& add_row();

@@ -1,0 +1,132 @@
+#include "dawn/obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace dawn::obs {
+
+ProgressReporter::ProgressReporter(const ExploreProgress& progress,
+                                   Options options)
+    : progress_(progress), options_(std::move(options)) {
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+}
+
+ProgressReporter::~ProgressReporter() { stop(); }
+
+void ProgressReporter::start() {
+#ifdef DAWN_OBS_DISABLED
+  return;  // the engine hooks are compiled out; there is nothing to sample
+#else
+  if (running_) return;
+  if (!options_.jsonl_path.empty()) {
+    jsonl_.open(options_.jsonl_path);
+    if (!jsonl_) write_failed_ = true;
+  }
+  stop_requested_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  last_sample_time_ = start_time_;
+  last_configs_ = progress_.configs.load(std::memory_order_relaxed);
+  running_ = true;
+  sampler_ = std::thread([this] { sampler_main(); });
+#endif
+}
+
+void ProgressReporter::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  sampler_.join();
+  running_ = false;
+  // Final snapshot: a run that finished inside the first interval still
+  // gets one heartbeat, and the last record reflects the finished state.
+  sample();
+  if (jsonl_.is_open()) {
+    jsonl_.flush();
+    if (!jsonl_) write_failed_ = true;
+    jsonl_.close();
+  }
+}
+
+void ProgressReporter::sampler_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // wait_for, not sleep: stop() interrupts a tick immediately, so a short
+    // run never blocks on the sampler.
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) return;
+    sample();
+  }
+}
+
+void ProgressReporter::sample() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto t_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_time_)
+          .count());
+  const double dt_s =
+      std::chrono::duration<double>(now - last_sample_time_).count();
+
+  const std::uint64_t configs =
+      progress_.configs.load(std::memory_order_relaxed);
+  const std::uint64_t edges = progress_.edges.load(std::memory_order_relaxed);
+  const std::uint64_t level = progress_.level.load(std::memory_order_relaxed);
+  const std::uint64_t frontier =
+      progress_.frontier.load(std::memory_order_relaxed);
+  const std::int64_t deadline =
+      progress_.deadline_ms_remaining.load(std::memory_order_relaxed);
+
+  const double configs_per_sec =
+      dt_s > 0.0 && configs >= last_configs_
+          ? static_cast<double>(configs - last_configs_) / dt_s
+          : 0.0;
+  last_configs_ = configs;
+  last_sample_time_ = now;
+
+  std::uint64_t shard_min = UINT64_MAX, shard_max = 0, shard_nonzero = 0;
+  JsonValue shards = JsonValue::array();
+  for (const auto& s : progress_.shard_sizes) {
+    const std::uint64_t occ = s.load(std::memory_order_relaxed);
+    shards.push_back(JsonValue(occ));
+    if (occ != 0) ++shard_nonzero;
+    if (occ < shard_min) shard_min = occ;
+    if (occ > shard_max) shard_max = occ;
+  }
+  if (shard_min == UINT64_MAX) shard_min = 0;
+
+  JsonValue record = JsonValue::object();
+  record.set("type", JsonValue("heartbeat"));
+  record.set("seq", JsonValue(seq_++));
+  record.set("t_ms", JsonValue(t_ms));
+  record.set("configs", JsonValue(configs));
+  record.set("configs_per_sec", JsonValue(configs_per_sec));
+  record.set("edges", JsonValue(edges));
+  record.set("level", JsonValue(level));
+  record.set("frontier", JsonValue(frontier));
+  record.set("deadline_ms_remaining", JsonValue(deadline));
+  record.set("shard_nonzero", JsonValue(shard_nonzero));
+  record.set("shard_min", JsonValue(shard_min));
+  record.set("shard_max", JsonValue(shard_max));
+  record.set("shards", std::move(shards));
+
+  if (jsonl_.is_open()) {
+    jsonl_ << record.dump(0) << "\n";
+    if (!jsonl_) write_failed_ = true;
+  }
+  if (options_.stderr_line) {
+    std::fprintf(stderr,
+                 "[dawn %6llu ms] configs=%llu (%.0f/s) level=%llu "
+                 "frontier=%llu deadline=%lld ms\n",
+                 static_cast<unsigned long long>(t_ms),
+                 static_cast<unsigned long long>(configs), configs_per_sec,
+                 static_cast<unsigned long long>(level),
+                 static_cast<unsigned long long>(frontier),
+                 static_cast<long long>(deadline));
+  }
+  records_.push_back(std::move(record));
+}
+
+}  // namespace dawn::obs

@@ -1,0 +1,76 @@
+// Ambient telemetry: the bundle of span log + progress sink + memory ledger
+// a thread currently reports into.
+//
+// Engines read the ambient bundle once at entry (obs::telemetry()) and
+// propagate it BY VALUE into their worker lambdas, installing a
+// TelemetryScope on each pool thread — thread_locals do not cross thread
+// boundaries on their own:
+//
+//   const obs::Telemetry tel = obs::telemetry();
+//   pool.run([&, tel](int worker) {
+//     obs::TelemetryScope scope(tel);     // workers inherit the sinks
+//     ... obs::SpanScope / tel.progress hooks fire here ...
+//   });
+//
+// Callers (dawn_cli, the benches, tests) install the outermost scope;
+// decide() copies the ambient bundle and overrides the ledger to point at
+// its report. Everything is inert by default (all-null bundle) and the
+// whole header compiles to empty classes under -DDAWN_OBS_DISABLED.
+#pragma once
+
+#include "dawn/obs/memory_ledger.hpp"
+#include "dawn/obs/progress.hpp"
+#include "dawn/obs/span_log.hpp"
+
+namespace dawn::obs {
+
+struct Telemetry {
+  SpanLog* spans = nullptr;
+  ExploreProgress* progress = nullptr;
+  MemoryLedger* ledger = nullptr;
+
+  bool any() const {
+    return spans != nullptr || progress != nullptr || ledger != nullptr;
+  }
+};
+
+#ifndef DAWN_OBS_DISABLED
+
+// The calling thread's current bundle (each pointer may be null).
+inline Telemetry telemetry() {
+  return {detail::t_spans, detail::t_progress, detail::t_ledger};
+}
+
+// RAII installation; nests (the previous bundle is restored on exit).
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(const Telemetry& t)
+      : prev_{detail::t_spans, detail::t_progress, detail::t_ledger} {
+    detail::t_spans = t.spans;
+    detail::t_progress = t.progress;
+    detail::t_ledger = t.ledger;
+  }
+  ~TelemetryScope() {
+    detail::t_spans = prev_.spans;
+    detail::t_progress = prev_.progress;
+    detail::t_ledger = prev_.ledger;
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  Telemetry prev_;
+};
+
+#else  // DAWN_OBS_DISABLED: nothing is ever installed.
+
+inline Telemetry telemetry() { return {}; }
+
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(const Telemetry&) {}
+};
+
+#endif  // DAWN_OBS_DISABLED
+
+}  // namespace dawn::obs

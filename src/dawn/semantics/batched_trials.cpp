@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "dawn/automata/neighbourhood.hpp"
+#include "dawn/obs/telemetry.hpp"
 #include "dawn/util/check.hpp"
 #include "dawn/util/simd.hpp"
 
@@ -560,12 +561,17 @@ std::optional<std::vector<TrialOutcome>> try_run_trials_batched(
   const int workers =
       resolve_parallel_threads(opts.num_threads, num_blocks);
   std::vector<Workspace> workspaces(static_cast<std::size_t>(workers));
+  const obs::Telemetry tel = obs::telemetry();
   parallel_for(
       num_blocks, opts.num_threads,
-      std::function<void(int, std::size_t)>([&](int worker, std::size_t b) {
+      std::function<void(int, std::size_t)>([&, tel](int worker,
+                                                     std::size_t b) {
+        const obs::TelemetryScope telemetry_scope(tel);
         Workspace& ws = workspaces[static_cast<std::size_t>(worker)];
         const std::size_t lo = b * width;
         const std::size_t hi = std::min(lo + width, num_trials);
+        obs::SpanScope block_span(tel.spans, obs::Phase::TrialsBlock,
+                                  hi - lo);
         const auto machine = machine_factory();
         ensure_table(ws, *machine);
         std::vector<std::unique_ptr<Scheduler>> lane_scheds;
@@ -582,6 +588,21 @@ std::optional<std::vector<TrialOutcome>> try_run_trials_batched(
         run_block(ws, *machine, g, *batch, opts.sim,
                   std::span<TrialOutcome>(outcomes).subspan(lo, hi - lo));
       }));
+  // Workspace accounting, after the joins (the ledger is not thread-safe):
+  // peak SoA/staging/memo footprint of one worker's block. Every workspace
+  // sizes its buffers from (machine, graph, options) only, so the per-
+  // workspace maximum is thread-count-invariant.
+  if (tel.ledger != nullptr) {
+    std::size_t peak = 0;
+    for (const Workspace& ws : workspaces) {
+      const std::size_t ws_bytes =
+          ws.table.capacity() * sizeof(State) + ws.soa.capacity() +
+          ws.next.capacity() + ws.sigs.capacity() * sizeof(std::uint32_t) +
+          (ws.adj_off.capacity() + ws.adj.capacity()) * sizeof(std::uint32_t);
+      peak = std::max(peak, ws_bytes);
+    }
+    tel.ledger->set_max(obs::MemoryAccount::TrialBlockBytes, peak);
+  }
   return outcomes;
 }
 

@@ -74,6 +74,16 @@ class DeadlineClock {
     return enabled_ && std::chrono::steady_clock::now() >= end_;
   }
 
+  // Milliseconds until the deadline (clamped at 0); -1 when no deadline is
+  // set. For progress heartbeats — wall-clock, outside the determinism
+  // contract.
+  std::int64_t remaining_ms() const {
+    if (!enabled_) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        end_ - std::chrono::steady_clock::now());
+    return left.count() < 0 ? 0 : left.count();
+  }
+
  private:
   bool enabled_;
   std::chrono::steady_clock::time_point end_;

@@ -1,6 +1,7 @@
 // The unified decider facade: one entry point over every backend.
 #include "dawn/semantics/decision.hpp"
 
+#include "dawn/obs/telemetry.hpp"
 #include "dawn/sched/scheduler.hpp"
 #include "dawn/semantics/budget.hpp"
 #include "dawn/semantics/clique_counted.hpp"
@@ -86,6 +87,15 @@ DecisionReport decide(const Machine& machine, const Graph& g,
 
   DecisionReport report;
   report.method = method;
+
+  // Route the backends' memory accounting into this report's ledger,
+  // unconditionally: the ledger is part of the report, so it must be filled
+  // identically whether or not external telemetry (spans, heartbeats) is
+  // attached. Spans/progress pass through from the caller's ambient bundle.
+  obs::Telemetry tel = obs::telemetry();
+  tel.ledger = &report.memory;
+  const obs::TelemetryScope telemetry_scope(tel);
+  const obs::SpanScope decide_span(tel.spans, obs::Phase::DecideTotal);
 
   switch (method) {
     case DecideMethod::Auto:
@@ -182,6 +192,24 @@ DecisionReport decide(const Machine& machine, const Graph& g,
         report.unknown_reason = UnknownReason::Inconclusive;
       }
       break;
+    }
+  }
+
+  // Interner accounting: lazily-interning compilation layers report their
+  // interned-state counts through Machine::footprint(). Such machines are
+  // clamped to one exploration worker (explore_threads), so the counts —
+  // and hence this account — are thread-count-invariant. Plain machines
+  // append nothing and the account stays empty. The per-state cost is a
+  // nominal estimate (vector slot + hash node), like the stores' bytes().
+  {
+    constexpr std::size_t kBytesPerInternedState = 64;
+    std::vector<LayerFootprint> layers;
+    machine.footprint(layers);
+    std::size_t states = 0;
+    for (const auto& layer : layers) states += layer.interned_states;
+    if (states > 0) {
+      report.memory.set_max(obs::MemoryAccount::InternerBytes,
+                            states * kBytesPerInternedState);
     }
   }
 

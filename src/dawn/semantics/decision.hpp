@@ -19,6 +19,7 @@
 
 #include "dawn/automata/machine.hpp"
 #include "dawn/graph/graph.hpp"
+#include "dawn/obs/memory_ledger.hpp"
 #include "dawn/semantics/budget.hpp"
 
 namespace dawn {
@@ -153,6 +154,12 @@ struct DecisionReport {
   // (budget.use_packing and the machine advertises num_states()).
   bool symmetry_reduced = false;
   bool packed_store = false;
+  // Peak bytes per memory account (config store, frontier, edge buffers,
+  // interner, trial blocks), filled by the backend that ran. Only
+  // thread-count-invariant quantities are accounted, and capped/deadline
+  // runs leave the store/frontier/edge accounts empty, so the ledger is
+  // covered by the bit-identical contract above (obs/memory_ledger.hpp).
+  obs::MemoryLedger memory;
 
   bool ok() const { return decision != Decision::Unknown; }
   bool operator==(const DecisionReport&) const = default;

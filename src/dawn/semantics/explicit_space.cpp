@@ -110,6 +110,10 @@ struct CanonExplicitExpander {
 
   template <typename Emit>
   void operator()(const Config& current, Emit&& emit) {
+    // One span per expansion (not per successor): canonicalisation is the
+    // dominant cost of the quotient engine, and per-successor spans would
+    // flood the bounded per-thread buffers.
+    obs::SpanScope span(obs::spans(), obs::Phase::Canonicalize);
     scratch = current;
     for (NodeId v = 0; v < g.n(); ++v) {
       const auto vu = static_cast<std::size_t>(v);
@@ -120,6 +124,7 @@ struct CanonExplicitExpander {
       emit_buf = scratch;
       canonicalize(grp, emit_buf, canon);
       emit(emit_buf);
+      span.add_items(1);
       scratch[vu] = current[vu];
     }
   }

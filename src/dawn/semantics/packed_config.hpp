@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dawn/automata/config.hpp"
+#include "dawn/obs/memory_ledger.hpp"
 #include "dawn/util/hash.hpp"
 
 namespace dawn {
@@ -78,6 +79,10 @@ class PackedConfigStore {
   static constexpr std::size_t kNumShards = std::size_t{1} << kShardBits;
   static constexpr std::size_t kShardMask = kNumShards - 1;
 
+  // Which MemoryLedger account this store's bytes() lands in.
+  static constexpr obs::MemoryAccount kMemoryAccount =
+      obs::MemoryAccount::PackedStoreBytes;
+
   struct InternResult {
     std::int64_t gid = 0;
     bool fresh = false;
@@ -100,6 +105,16 @@ class PackedConfigStore {
   }
 
   std::size_t shard_peak() const { return shard_peak_; }
+
+  // Final occupancy of each shard, for the chi-square balance statistic.
+  // Single-threaded accounting: call after exploration, not during.
+  std::array<std::size_t, kNumShards> shard_occupancies() const {
+    std::array<std::size_t, kNumShards> out{};
+    for (std::size_t sh = 0; sh < kNumShards; ++sh) {
+      out[sh] = shards_[sh].count;
+    }
+    return out;
+  }
 
   // Byte-level occupancy: arena words + per-entry hash + index slots.
   // Single-threaded accounting — call after exploration, not during.

@@ -39,6 +39,7 @@
 
 #include "dawn/automata/machine.hpp"
 #include "dawn/obs/metrics.hpp"
+#include "dawn/obs/telemetry.hpp"
 #include "dawn/semantics/budget.hpp"
 #include "dawn/semantics/decision.hpp"
 #include "dawn/semantics/scc.hpp"
@@ -61,7 +62,31 @@ struct ExploreStats {
   std::size_t frontier_peak = 0;  // largest BFS level
   std::size_t store_bytes = 0;    // config-store occupancy (see store bytes())
   int threads = 1;                // workers actually used
+  // Chi-square of the 64 final shard occupancies against the uniform split
+  // (E[chi2] = 63 for a well-mixed hash; see shard_chi_square()). Pins the
+  // post-hash_mix shard balance — a regression to concentrated shards shows
+  // up as a jump of orders of magnitude. 0 on capped/empty runs.
+  double shard_chi2 = 0.0;
 };
+
+// Chi-square statistic of `num_shards` occupancy counts against the uniform
+// expectation. Sum((o_i - e)^2 / e) with e = total / num_shards; 0 when the
+// store is empty. Thread-count-invariant: final shard occupancies are a
+// property of the reachable set and the hash, not of scheduling.
+inline double shard_chi_square(const std::size_t* occupancies,
+                               std::size_t num_shards) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < num_shards; ++i) total += occupancies[i];
+  if (total == 0 || num_shards == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(num_shards);
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const double d = static_cast<double>(occupancies[i]) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
 
 struct ExploreOutcome {
   Decision decision = Decision::Unknown;
@@ -82,6 +107,10 @@ class ShardedConfigStore {
   static constexpr int kShardBits = 6;
   static constexpr std::size_t kNumShards = std::size_t{1} << kShardBits;
   static constexpr std::size_t kShardMask = kNumShards - 1;
+
+  // Which MemoryLedger account this store's bytes() lands in.
+  static constexpr obs::MemoryAccount kMemoryAccount =
+      obs::MemoryAccount::VectorStoreBytes;
 
   struct InternResult {
     std::int64_t gid = 0;
@@ -126,6 +155,16 @@ class ShardedConfigStore {
   }
 
   std::size_t shard_peak() const { return shard_peak_; }
+
+  // Final occupancy of each shard, for the chi-square balance statistic.
+  // Single-threaded accounting: call after exploration, not during.
+  std::array<std::size_t, kNumShards> shard_occupancies() const {
+    std::array<std::size_t, kNumShards> out{};
+    for (std::size_t sh = 0; sh < kNumShards; ++sh) {
+      out[sh] = shards_[sh].ids.size();
+    }
+    return out;
+  }
 
   // Byte-level occupancy: per-entry value payload (including a vector
   // value's heap block), the hash-node overhead (next pointer + cached
@@ -203,6 +242,14 @@ ExploreOutcome explore_and_classify_in(Store& store, const ConfigT& initial,
   const int threads = budget.resolve_threads();
   DeadlineClock deadline(budget);
 
+  // Ambient telemetry, read once and propagated by value into the worker
+  // lambdas (thread_locals do not cross thread boundaries). Every hook
+  // below is a null-check when telemetry is off; none of them feeds back
+  // into the exploration, so the outcome is identical either way.
+  const obs::Telemetry tel = obs::telemetry();
+  obs::ExploreProgress* const progress = tel.progress;
+  if (progress != nullptr) progress->reset();
+
   struct FrontierEntry {
     std::int64_t gid;
     ConfigT config;  // value copy: never read another shard's value vector
@@ -240,12 +287,23 @@ ExploreOutcome explore_and_classify_in(Store& store, const ConfigT& initial,
     if (frontier.size() > stats.frontier_peak) {
       stats.frontier_peak = frontier.size();
     }
+    if (progress != nullptr) {
+      progress->level.store(stats.levels, std::memory_order_relaxed);
+      progress->frontier.store(frontier.size(), std::memory_order_relaxed);
+      if (deadline.enabled()) {
+        progress->deadline_ms_remaining.store(deadline.remaining_ms(),
+                                              std::memory_order_relaxed);
+      }
+    }
+    obs::SpanScope level_span(tel.spans, obs::Phase::ExploreExpand,
+                              frontier.size());
     // Chunks small enough that uneven expansion cost rebalances, large
     // enough that the cursor isn't contended.
     const std::size_t chunk =
         std::min<std::size_t>(256, frontier.size() / (num_workers * 4) + 1);
     std::atomic<std::size_t> cursor{0};
-    pool.run([&](int worker) {
+    pool.run([&, tel](int worker) {
+      const obs::TelemetryScope telemetry_scope(tel);
       WorkerBuffers& buf = buffers[static_cast<std::size_t>(worker)];
       auto& expander = expanders[static_cast<std::size_t>(worker)];
       for (;;) {
@@ -268,11 +326,22 @@ ExploreOutcome explore_and_classify_in(Store& store, const ConfigT& initial,
             if (interned.fresh) {
               buf.verdicts.emplace_back(interned.gid, verdict_of(succ));
               buf.next.push_back({interned.gid, succ});
+              if (progress != nullptr) {
+                progress->shard_sizes[static_cast<std::size_t>(interned.gid) &
+                                      Store::kShardMask]
+                    .fetch_add(1, std::memory_order_relaxed);
+              }
             }
           });
         }
       }
     });
+    if (progress != nullptr) {
+      progress->configs.store(store.size(), std::memory_order_relaxed);
+      std::uint64_t edges_so_far = 0;
+      for (const auto& buf : buffers) edges_so_far += buf.edges.size();
+      progress->edges.store(edges_so_far, std::memory_order_relaxed);
+    }
     if (store.size() > budget.max_configs) {
       capped = true;
       break;
@@ -316,25 +385,50 @@ ExploreOutcome explore_and_classify_in(Store& store, const ConfigT& initial,
   std::vector<std::vector<std::int32_t>> adj(total);
   std::vector<Verdict> verdicts(total, Verdict::Neutral);
   std::size_t num_edges = 0;
-  for (auto& buf : buffers) {
-    for (const auto& [gid, verdict] : buf.verdicts) {
-      verdicts[static_cast<std::size_t>(store.dense(gid))] = verdict;
+  {
+    obs::SpanScope merge_span(tel.spans, obs::Phase::ExploreMerge, total);
+    for (auto& buf : buffers) {
+      for (const auto& [gid, verdict] : buf.verdicts) {
+        verdicts[static_cast<std::size_t>(store.dense(gid))] = verdict;
+      }
+      num_edges += buf.edges.size();
+      for (const auto& [src, dst] : buf.edges) {
+        adj[static_cast<std::size_t>(store.dense(src))].push_back(
+            store.dense(dst));
+      }
+      buf.edges.clear();
+      buf.edges.shrink_to_fit();
+      buf.verdicts.clear();
+      buf.verdicts.shrink_to_fit();
     }
-    num_edges += buf.edges.size();
-    for (const auto& [src, dst] : buf.edges) {
-      adj[static_cast<std::size_t>(store.dense(src))].push_back(
-          store.dense(dst));
-    }
-    buf.edges.clear();
-    buf.edges.shrink_to_fit();
-    buf.verdicts.clear();
-    buf.verdicts.shrink_to_fit();
   }
 
   stats.configs = total;
   stats.edges = num_edges;
   stats.shard_peak = store.shard_peak();
   stats.store_bytes = store.bytes();
+  {
+    const auto occupancies = store.shard_occupancies();
+    stats.shard_chi2 = shard_chi_square(occupancies.data(), occupancies.size());
+  }
+
+  // Memory ledger — completed runs only, and only thread-count-invariant
+  // quantities (final store occupancy, peak frontier level, edge count), so
+  // the ledger keeps the DecisionReport bit-identical across thread counts.
+  // Capped/deadline runs stop at a scheduling-dependent point and are
+  // deliberately not accounted.
+  if (tel.ledger != nullptr) {
+    tel.ledger->set_max(Store::kMemoryAccount, stats.store_bytes);
+    std::size_t frontier_entry_bytes = sizeof(FrontierEntry);
+    if constexpr (requires(const ConfigT& c) { c.capacity(); }) {
+      frontier_entry_bytes +=
+          initial.capacity() * sizeof(typename ConfigT::value_type);
+    }
+    tel.ledger->set_max(obs::MemoryAccount::FrontierBytes,
+                        stats.frontier_peak * frontier_entry_bytes);
+    tel.ledger->set_max(obs::MemoryAccount::EdgeBytes,
+                        num_edges * 2 * sizeof(std::int64_t));
+  }
 
   const BottomClassification cls = classify_bottom_sccs(
       adj, [&](std::size_t i) { return verdicts[i]; }, threads);

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "dawn/obs/telemetry.hpp"
 #include "dawn/semantics/trials.hpp"
 
 namespace dawn {
@@ -291,46 +292,52 @@ void fb_worker(FbState& s) {
 
 SccInfo compute_sccs_parallel(const Adj& adj, int threads) {
   const auto n = adj.size();
+  const obs::Telemetry tel = obs::telemetry();
   FbState s(adj);
 
   // Trim: a node with no in-edges (or no out-edges) among the still-live
   // nodes cannot lie on a cycle, so it is a singleton SCC. Monotone
   // protocols produce near-DAG configuration graphs, so this peel usually
   // resolves most of the graph in O(V+E) before any pivoting.
-  std::vector<std::int32_t> in_deg(n, 0), out_deg(n, 0);
-  for (std::size_t v = 0; v < n; ++v) {
-    out_deg[v] = static_cast<std::int32_t>(adj[v].size());
-    for (const std::int32_t w : adj[v]) ++in_deg[static_cast<std::size_t>(w)];
-  }
   std::vector<std::uint8_t> trimmed(n, 0);
-  std::vector<std::int32_t> peel;
-  for (std::size_t v = 0; v < n; ++v) {
-    if (in_deg[v] == 0 || out_deg[v] == 0) {
-      trimmed[v] = 1;
-      peel.push_back(static_cast<std::int32_t>(v));
-    }
-  }
-  std::int32_t trimmed_sccs = 0;
-  while (!peel.empty()) {
-    const auto v = static_cast<std::size_t>(peel.back());
-    peel.pop_back();
-    s.component[v] = trimmed_sccs++;
-    for (const std::int32_t w : adj[v]) {
-      const auto wu = static_cast<std::size_t>(w);
-      if (!trimmed[wu] && --in_deg[wu] == 0) {
-        trimmed[wu] = 1;
-        peel.push_back(w);
+  {
+    obs::SpanScope trim_span(tel.spans, obs::Phase::ExploreSccTrim, n);
+    std::vector<std::int32_t> in_deg(n, 0), out_deg(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      out_deg[v] = static_cast<std::int32_t>(adj[v].size());
+      for (const std::int32_t w : adj[v]) {
+        ++in_deg[static_cast<std::size_t>(w)];
       }
     }
-    for (const std::int32_t w : s.radj[v]) {
-      const auto wu = static_cast<std::size_t>(w);
-      if (!trimmed[wu] && --out_deg[wu] == 0) {
-        trimmed[wu] = 1;
-        peel.push_back(w);
+    std::vector<std::int32_t> peel;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_deg[v] == 0 || out_deg[v] == 0) {
+        trimmed[v] = 1;
+        peel.push_back(static_cast<std::int32_t>(v));
       }
     }
+    std::int32_t trimmed_sccs = 0;
+    while (!peel.empty()) {
+      const auto v = static_cast<std::size_t>(peel.back());
+      peel.pop_back();
+      s.component[v] = trimmed_sccs++;
+      for (const std::int32_t w : adj[v]) {
+        const auto wu = static_cast<std::size_t>(w);
+        if (!trimmed[wu] && --in_deg[wu] == 0) {
+          trimmed[wu] = 1;
+          peel.push_back(w);
+        }
+      }
+      for (const std::int32_t w : s.radj[v]) {
+        const auto wu = static_cast<std::size_t>(w);
+        if (!trimmed[wu] && --out_deg[wu] == 0) {
+          trimmed[wu] = 1;
+          peel.push_back(w);
+        }
+      }
+    }
+    s.next_scc.store(trimmed_sccs, std::memory_order_relaxed);
   }
-  s.next_scc.store(trimmed_sccs, std::memory_order_relaxed);
 
   FbTask root;
   for (std::size_t v = 0; v < n; ++v) {
@@ -341,10 +348,15 @@ SccInfo compute_sccs_parallel(const Adj& adj, int threads) {
     for (const std::int32_t v : root.nodes) {
       s.owner[static_cast<std::size_t>(v)] = root.pid;
     }
+    const std::size_t live = root.nodes.size();
     s.queue.push_back(std::move(root));
     s.pending = 1;
+    obs::SpanScope fb_span(tel.spans, obs::Phase::ExploreSccFb, live);
     WorkerPool pool(threads);
-    pool.run([&s](int) { fb_worker(s); });
+    pool.run([&s, tel](int) {
+      const obs::TelemetryScope telemetry_scope(tel);
+      fb_worker(s);
+    });
   }
 
   SccInfo info;

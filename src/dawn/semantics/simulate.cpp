@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "dawn/automata/run.hpp"
+#include "dawn/obs/span_log.hpp"
 #include "dawn/util/check.hpp"
 
 namespace dawn {
@@ -39,6 +40,7 @@ SimulateResult simulate(const Machine& machine, const Graph& g,
   if (opts.collect_metrics) scope.emplace(result.metrics);
   obs::TraceLog* const trace = opts.trace;
   {
+    obs::SpanScope span(obs::spans(), obs::Phase::SimulateRun);
     obs::Stopwatch watch(obs::Timer::SimulateTotal);
     if (trace != nullptr) {
       trace->run_start(static_cast<std::size_t>(g.n()),

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "dawn/obs/telemetry.hpp"
 #include "dawn/semantics/batched_trials.hpp"
 #include "dawn/util/check.hpp"
 
@@ -137,9 +138,11 @@ std::vector<TrialOutcome> run_trials(const MachineFactory& machine_factory,
   // the steady-state trial loop performs no per-trial heap allocation.
   std::vector<SimulateScratch> scratch(static_cast<std::size_t>(
       resolve_parallel_threads(opts.num_threads, outcomes.size())));
+  const obs::Telemetry tel = obs::telemetry();
   parallel_for(outcomes.size(), opts.num_threads,
                std::function<void(int, std::size_t)>(
-                   [&](int worker, std::size_t i) {
+                   [&, tel](int worker, std::size_t i) {
+                     const obs::TelemetryScope telemetry_scope(tel);
                      TrialOutcome& out = outcomes[i];
                      out.trial = static_cast<int>(i);
                      out.seed = trial_seed(opts.base_seed, out.trial);

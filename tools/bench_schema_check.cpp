@@ -59,10 +59,18 @@ int main(int argc, char** argv) {
                     simd->as_string();
       }
     }
-    std::printf("%s: ok (bench=%s, schema=1.%lld%s, %zu result rows)\n", path,
-                bench->as_string().c_str(),
+    // Schema 1.2+: surface the optional telemetry section (how many scalar
+    // entries it carries) so the CI log shows which reports exercise it.
+    std::string telemetry_info;
+    if (const auto* telemetry = doc->get("telemetry")) {
+      telemetry_info =
+          ", telemetry=" + std::to_string(telemetry->members().size()) +
+          " entries";
+    }
+    std::printf("%s: ok (bench=%s, schema=1.%lld%s%s, %zu result rows)\n",
+                path, bench->as_string().c_str(),
                 minor != nullptr ? static_cast<long long>(minor->as_int()) : 0,
-                host_info.c_str(), results->size());
+                host_info.c_str(), telemetry_info.c_str(), results->size());
   }
   if (failures != 0) {
     std::fprintf(stderr, "%d of %d file(s) failed validation\n", failures,

@@ -1,0 +1,177 @@
+// Validates Chrome trace-event JSON emitted by obs::dump_chrome_trace.
+//
+// Usage: dawn_trace_check FILE...
+//
+// Checks the invariants the exporter promises (obs/span_log.hpp):
+//  * the document is {"traceEvents": [...]} and every event carries
+//    name / ph / ts / pid / tid with the right types;
+//  * duration events come in matched B/E pairs per (pid, tid), properly
+//    nested (every E closes the most recent open B with the same name, and
+//    nothing stays open at the end);
+//  * timestamps are monotonically non-decreasing within each tid, so the
+//    file loads in chrome://tracing and Perfetto without reordering;
+//  * metadata (ph "M") events are process_name / thread_name shaped.
+//
+// Exit 0 iff every file passes; CI runs an exploration with --trace-chrome
+// and then this checker over the emitted trace.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dawn/obs/json.hpp"
+
+namespace {
+
+using dawn::obs::JsonValue;
+
+struct Checker {
+  const char* path;
+  int errors = 0;
+
+  void fail(std::size_t index, const std::string& message) {
+    if (errors < 20) {
+      std::fprintf(stderr, "%s: event %zu: %s\n", path, index,
+                   message.c_str());
+    }
+    ++errors;
+  }
+};
+
+bool check_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto doc = JsonValue::parse(buf.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path, error.c_str());
+    return false;
+  }
+  if (doc->kind() != JsonValue::Kind::Object) {
+    std::fprintf(stderr, "%s: document is not an object\n", path);
+    return false;
+  }
+  const JsonValue* events = doc->get("traceEvents");
+  if (!events || events->kind() != JsonValue::Kind::Array) {
+    std::fprintf(stderr, "%s: missing array 'traceEvents'\n", path);
+    return false;
+  }
+
+  Checker check{path};
+  // Per (pid, tid): the open B-event name stack and the last timestamp.
+  std::map<std::pair<long long, long long>, std::vector<std::string>> open;
+  std::map<std::pair<long long, long long>, double> last_ts;
+  std::size_t durations = 0;
+  std::size_t metadata = 0;
+
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    if (e.kind() != JsonValue::Kind::Object) {
+      check.fail(i, "not an object");
+      continue;
+    }
+    const JsonValue* name = e.get("name");
+    const JsonValue* ph = e.get("ph");
+    const JsonValue* pid = e.get("pid");
+    const JsonValue* tid = e.get("tid");
+    if (!name || name->kind() != JsonValue::Kind::String) {
+      check.fail(i, "missing string 'name'");
+      continue;
+    }
+    if (!ph || ph->kind() != JsonValue::Kind::String) {
+      check.fail(i, "missing string 'ph'");
+      continue;
+    }
+    if (!pid || pid->kind() != JsonValue::Kind::Int || !tid ||
+        tid->kind() != JsonValue::Kind::Int) {
+      check.fail(i, "missing integer pid/tid");
+      continue;
+    }
+    const std::string& phase = ph->as_string();
+    const auto key = std::make_pair(pid->as_int(), tid->as_int());
+
+    if (phase == "M") {
+      ++metadata;
+      const std::string& n = name->as_string();
+      if (n != "process_name" && n != "thread_name") {
+        check.fail(i, "unknown metadata event '" + n + "'");
+      }
+      continue;
+    }
+    if (phase != "B" && phase != "E") {
+      check.fail(i, "unsupported phase '" + phase + "'");
+      continue;
+    }
+
+    const JsonValue* ts = e.get("ts");
+    if (!ts || (ts->kind() != JsonValue::Kind::Double &&
+                ts->kind() != JsonValue::Kind::Int)) {
+      check.fail(i, "missing numeric 'ts'");
+      continue;
+    }
+    const double t = ts->kind() == JsonValue::Kind::Double
+                         ? ts->as_double()
+                         : static_cast<double>(ts->as_int());
+    const auto [it, first] = last_ts.try_emplace(key, t);
+    if (!first) {
+      if (t < it->second) {
+        check.fail(i, "timestamp decreases within tid " +
+                          std::to_string(key.second));
+      }
+      it->second = t;
+    }
+
+    auto& stack = open[key];
+    if (phase == "B") {
+      ++durations;
+      stack.push_back(name->as_string());
+    } else {
+      if (stack.empty()) {
+        check.fail(i, "E event '" + name->as_string() + "' with no open B");
+      } else if (stack.back() != name->as_string()) {
+        check.fail(i, "E event '" + name->as_string() +
+                          "' closes open B '" + stack.back() + "'");
+      } else {
+        stack.pop_back();
+      }
+    }
+  }
+
+  for (const auto& [key, stack] : open) {
+    for (const std::string& name : stack) {
+      check.fail(events->size(), "B event '" + name + "' on tid " +
+                                     std::to_string(key.second) +
+                                     " never closed");
+    }
+  }
+
+  if (check.errors != 0) {
+    std::fprintf(stderr, "%s: %d violation(s)\n", path, check.errors);
+    return false;
+  }
+  std::printf("%s: ok (%zu duration spans, %zu metadata events)\n", path,
+              durations, metadata);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s trace.json...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!check_file(argv[i])) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
