@@ -97,7 +97,7 @@ void verdict_tables(obs::BenchReport& report, bool smoke) {
     const auto machine = make_cutoff_automaton(pred, K);
     VerifyOptions opts;
     opts.count_bound = K == 1 ? 3 : 2;
-    opts.max_configs = smoke ? 1'000'000 : 6'000'000;
+    opts.budget.max_configs = smoke ? 1'000'000 : 6'000'000;
     const auto vr = verify_machine_on_cliques(*machine, pred, opts);
     t2.add_row({pred.name, std::to_string(K),
                 std::to_string(machine->num_components()),

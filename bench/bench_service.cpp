@@ -1,0 +1,185 @@
+// dawnd service round-trip benchmark.
+//
+// Starts an in-process server on an ephemeral loopback port and measures
+// Decide request/response latency and throughput in two regimes:
+//
+//   * cold   — every request is a distinct (machine seed) instance, so each
+//              one runs a full dawn::decide() on a server worker;
+//   * cached — one instance requested repeatedly, so after the first miss
+//              every reply is served from the LRU result cache.
+//
+// Headline numbers: req/sec and p50/p99 latency per regime, plus the
+// cached:cold speedup. Smoke gate (bench-smoke CI job): the cached regime
+// must be measurably faster than cold — the acceptance criterion for the
+// content-hash cache (docs/SERVICE.md).
+//
+// Emits BENCH_service.json (schema v1; validated by bench_schema_check).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dawn/fuzz/artifact.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/net/client.hpp"
+#include "dawn/net/server.hpp"
+#include "dawn/obs/export.hpp"
+
+namespace dawn {
+namespace {
+
+net::DecideRequest request_for_seed(std::uint64_t seed) {
+  net::DecideRequest req;
+  req.machine.cls = *fuzz::class_from_name("dAf");
+  req.machine.num_states = 4;
+  req.machine.num_labels = 2;
+  req.machine.beta = 1;
+  req.machine.seed = seed;
+  req.machine.halt_accept = 1;
+  req.machine.halt_reject = 1;
+  req.graph = make_clique({0, 1, 0, 1});
+  req.budget.max_configs = 200'000;
+  req.budget.max_threads = 1;
+  return req;
+}
+
+struct Regime {
+  int requests = 0;
+  double seconds = 0.0;
+  double req_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& us, double p) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(us.size() - 1));
+  return us[idx];
+}
+
+// Drives `count` requests; seed_of(i) decides cold (distinct) vs cached
+// (constant). Returns false on any transport or server error.
+bool drive(net::Client& client, int count,
+           const std::function<std::uint64_t(int)>& seed_of, Regime* out,
+           bool expect_cached) {
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(count));
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < count; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string error;
+    const auto reply = client.decide(request_for_seed(seed_of(i)), &error);
+    if (!reply) {
+      std::fprintf(stderr, "decide failed: %s\n", error.c_str());
+      return false;
+    }
+    if (expect_cached && i > 0 && !reply->cache_hit) {
+      std::fprintf(stderr, "request %d missed the cache unexpectedly\n", i);
+      return false;
+    }
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  out->requests = count;
+  out->seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  out->req_per_sec =
+      out->seconds > 0 ? static_cast<double>(count) / out->seconds : 0.0;
+  out->p50_us = percentile(latencies_us, 0.50);
+  out->p99_us = percentile(latencies_us, 0.99);
+  return true;
+}
+
+}  // namespace
+}  // namespace dawn
+
+int main(int argc, char** argv) {
+  using namespace dawn;
+  const bool smoke = obs::smoke_mode(argc, argv);
+  const int cold_requests = smoke ? 24 : 400;
+  const int cached_requests = smoke ? 60 : 2'000;
+
+  net::ServerOptions sopts;
+  sopts.listen = "tcp:127.0.0.1:0";
+  sopts.workers = 2;
+  net::Server server(sopts);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::thread loop([&server] { server.run(); });
+
+  net::Client client;
+  int exit_code = 0;
+  Regime cold, cached;
+  if (!client.connect(server.address(), &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    exit_code = 1;
+  } else {
+    // Cold: distinct machine seeds, every request decided from scratch.
+    if (!drive(client, cold_requests,
+               [](int i) { return 1'000 + static_cast<std::uint64_t>(i); },
+               &cold, /*expect_cached=*/false)) {
+      exit_code = 1;
+    }
+    // Cached: one instance, first request misses, the rest replay bytes.
+    if (exit_code == 0 &&
+        !drive(client, cached_requests, [](int) { return 42ULL; }, &cached,
+               /*expect_cached=*/true)) {
+      exit_code = 1;
+    }
+  }
+
+  server.request_drain();
+  loop.join();
+
+  if (exit_code != 0) return exit_code;
+
+  const double speedup =
+      cold.req_per_sec > 0 ? cached.req_per_sec / cold.req_per_sec : 0.0;
+
+  obs::BenchReport report("service", smoke);
+  report.meta("workers", obs::JsonValue(sopts.workers));
+  report.meta("cold_req_per_sec", obs::JsonValue(cold.req_per_sec));
+  report.meta("cached_req_per_sec", obs::JsonValue(cached.req_per_sec));
+  report.meta("cached_speedup", obs::JsonValue(speedup));
+
+  for (const auto& [name, r] :
+       {std::pair<const char*, const Regime&>{"cold", cold},
+        std::pair<const char*, const Regime&>{"cached", cached}}) {
+    obs::JsonValue& row = report.add_row();
+    row.set("regime", obs::JsonValue(name));
+    row.set("requests", obs::JsonValue(r.requests));
+    row.set("seconds", obs::JsonValue(r.seconds));
+    row.set("req_per_sec", obs::JsonValue(r.req_per_sec));
+    row.set("p50_us", obs::JsonValue(r.p50_us));
+    row.set("p99_us", obs::JsonValue(r.p99_us));
+  }
+
+  const std::string path = report.write(".", "service");
+  if (path.empty()) return 1;
+  std::printf("cold   %7.1f req/s  p50 %8.1f us  p99 %8.1f us\n",
+              cold.req_per_sec, cold.p50_us, cold.p99_us);
+  std::printf("cached %7.1f req/s  p50 %8.1f us  p99 %8.1f us\n",
+              cached.req_per_sec, cached.p50_us, cached.p99_us);
+  std::printf("cached speedup: %.2fx\nwrote %s\n", speedup, path.c_str());
+
+  // Gate: a cache hit skips the decide entirely — if it is not faster than
+  // a cold round trip something is broken (runs in smoke mode too; the
+  // margin is deliberately loose for noisy CI hosts).
+  if (speedup < 1.2) {
+    std::fprintf(stderr, "FAIL: cached regime not faster than cold (%.2fx)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -163,7 +163,7 @@ OverlaySimResult simulate_overlay_random(const BroadcastOverlay& overlay,
 
 OverlayDecideResult decide_overlay_strong(const BroadcastOverlay& overlay,
                                           const Graph& g,
-                                          const OverlayDecideOptions& opts) {
+                                          const ExploreBudget& opts) {
   OverlayDecideResult result;
   using Cfg = std::vector<State>;
   Interner<Cfg, VectorHash<State>> configs;
@@ -220,7 +220,7 @@ OverlayDecideResult decide_overlay_strong(const BroadcastOverlay& overlay,
 
 OverlayDecideResult decide_overlay_weak(const BroadcastOverlay& overlay,
                                         const Graph& g,
-                                        const OverlayDecideOptions& opts) {
+                                        const ExploreBudget& opts) {
   DAWN_CHECK_MSG(g.n() <= 8, "weak-broadcast enumeration is exponential");
   OverlayDecideResult result;
   using Cfg = std::vector<State>;
@@ -333,7 +333,7 @@ OverlayDecideResult decide_overlay_weak(const BroadcastOverlay& overlay,
 
 OverlayDecideResult decide_overlay_strong_counted(
     const BroadcastOverlay& overlay, const LabelCount& L,
-    const OverlayDecideOptions& opts) {
+    const ExploreBudget& opts) {
   OverlayDecideResult result;
   // CountedConfigHash comes from clique_counted.hpp.
   Interner<CountedConfig, CountedConfigHash> configs;

@@ -83,8 +83,6 @@ OverlaySimResult simulate_overlay_random(const BroadcastOverlay& overlay,
                                          const Graph& g, Rng& rng,
                                          const OverlaySimOptions& opts = {});
 
-// Deprecated alias, kept for one release (see semantics/budget.hpp).
-using OverlayDecideOptions = ExploreBudget;
 
 struct OverlayDecideResult {
   Decision decision = Decision::Unknown;
@@ -96,12 +94,12 @@ struct OverlayDecideResult {
 // exclusive neighbourhood steps, on an explicit graph.
 OverlayDecideResult decide_overlay_strong(const BroadcastOverlay& overlay,
                                           const Graph& g,
-                                          const OverlayDecideOptions& o = {});
+                                          const ExploreBudget& o = {});
 
 // Same, on the clique with label count L, using counted configurations.
 OverlayDecideResult decide_overlay_strong_counted(
     const BroadcastOverlay& overlay, const LabelCount& L,
-    const OverlayDecideOptions& o = {});
+    const ExploreBudget& o = {});
 
 // Exact decision under the FULL weak-broadcast semantics of Definition 4.5:
 // selections are all nonempty independent sets of initiators (every subset
@@ -112,6 +110,6 @@ OverlayDecideResult decide_overlay_strong_counted(
 // are selection-independence-checked.
 OverlayDecideResult decide_overlay_weak(const BroadcastOverlay& overlay,
                                         const Graph& g,
-                                        const OverlayDecideOptions& o = {});
+                                        const ExploreBudget& o = {});
 
 }  // namespace dawn

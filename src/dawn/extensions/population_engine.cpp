@@ -43,7 +43,7 @@ void bump(CountedConfig& c, State q, std::int64_t delta) {
 
 PopulationDecideResult decide_population(const GraphPopulationProtocol& p,
                                          const Graph& g,
-                                         const PopulationDecideOptions& opts) {
+                                         const ExploreBudget& opts) {
   PopulationDecideResult result;
   using Cfg = std::vector<State>;
   Interner<Cfg, VectorHash<State>> configs;
@@ -95,7 +95,7 @@ PopulationDecideResult decide_population(const GraphPopulationProtocol& p,
 
 PopulationDecideResult decide_population_counted(
     const GraphPopulationProtocol& p, const LabelCount& L,
-    const PopulationDecideOptions& opts) {
+    const ExploreBudget& opts) {
   PopulationDecideResult result;
   Interner<CountedConfig, CountedConfigHash> configs;
   std::vector<std::vector<std::int32_t>> adj;

@@ -17,8 +17,6 @@
 
 namespace dawn {
 
-// Deprecated alias, kept for one release (see semantics/budget.hpp).
-using PopulationDecideOptions = ExploreBudget;
 
 struct PopulationDecideResult {
   Decision decision = Decision::Unknown;
@@ -29,12 +27,12 @@ struct PopulationDecideResult {
 // Exact decision on an explicit graph.
 PopulationDecideResult decide_population(const GraphPopulationProtocol& p,
                                          const Graph& g,
-                                         const PopulationDecideOptions& o = {});
+                                         const ExploreBudget& o = {});
 
 // Exact decision on the clique with label count L (counted configurations).
 PopulationDecideResult decide_population_counted(
     const GraphPopulationProtocol& p, const LabelCount& L,
-    const PopulationDecideOptions& o = {});
+    const ExploreBudget& o = {});
 
 struct PopulationSimOptions {
   std::uint64_t max_steps = 500'000;

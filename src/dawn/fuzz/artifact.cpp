@@ -1,6 +1,7 @@
 #include "dawn/fuzz/artifact.hpp"
 
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 
 #include "dawn/sched/replay.hpp"
@@ -24,6 +25,42 @@ const obs::JsonValue* require(const obs::JsonValue& v, const char* key,
   return field;
 }
 
+// Strict-schema guard: every member key must appear in `allowed`. Unknown
+// keys are a named error, never silently dropped — a request written against
+// a future schema revision must fail loudly, not half-apply.
+bool reject_unknown_keys(const obs::JsonValue& v,
+                         std::initializer_list<const char*> allowed,
+                         std::string* error) {
+  for (const auto& [key, value] : v.members()) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return fail(error, "unknown top-level key: " + key);
+  }
+  return true;
+}
+
+// Checks the document's "spec_version" is present and a version this build
+// understands. Shared by case_from_json and the dawnd payload parser.
+bool check_spec_version(const obs::JsonValue& v, std::string* error) {
+  const obs::JsonValue* field =
+      require(v, "spec_version", obs::JsonValue::Kind::Int, error);
+  if (field == nullptr) return false;
+  if (field->as_int() != kSpecVersion) {
+    return fail(error,
+                "unknown spec_version: " + std::to_string(field->as_int()));
+  }
+  return true;
+}
+
+std::optional<FuzzCase> case_from_json_impl(
+    const obs::JsonValue& v, std::string* error,
+    std::initializer_list<const char*> allowed);
+
 }  // namespace
 
 std::optional<AutomatonClass> class_from_name(const std::string& name) {
@@ -41,28 +78,67 @@ std::optional<AutomatonClass> class_from_name(const std::string& name) {
   return cls;
 }
 
-obs::JsonValue case_to_json(const FuzzCase& c) {
-  obs::JsonValue out = obs::JsonValue::object();
-
+obs::JsonValue machine_spec_to_json(const MachineSpec& spec) {
   obs::JsonValue machine = obs::JsonValue::object();
-  machine.set("class", obs::JsonValue(c.machine.cls.name()));
-  machine.set("states", obs::JsonValue(c.machine.num_states));
-  machine.set("labels", obs::JsonValue(c.machine.num_labels));
-  machine.set("beta", obs::JsonValue(c.machine.beta));
-  machine.set("seed", obs::JsonValue(c.machine.seed));
-  machine.set("halt_accept", obs::JsonValue(c.machine.halt_accept));
-  machine.set("halt_reject", obs::JsonValue(c.machine.halt_reject));
-  out.set("machine", std::move(machine));
+  machine.set("class", obs::JsonValue(spec.cls.name()));
+  machine.set("states", obs::JsonValue(spec.num_states));
+  machine.set("labels", obs::JsonValue(spec.num_labels));
+  machine.set("beta", obs::JsonValue(spec.beta));
+  machine.set("seed", obs::JsonValue(spec.seed));
+  machine.set("halt_accept", obs::JsonValue(spec.halt_accept));
+  machine.set("halt_reject", obs::JsonValue(spec.halt_reject));
+  return machine;
+}
 
+std::optional<MachineSpec> machine_spec_from_json(const obs::JsonValue& v,
+                                                  std::string* error) {
+  using Kind = obs::JsonValue::Kind;
+  if (v.kind() != Kind::Object) {
+    fail(error, "machine must be an object");
+    return std::nullopt;
+  }
+  if (!reject_unknown_keys(v,
+                           {"class", "states", "labels", "beta", "seed",
+                            "halt_accept", "halt_reject"},
+                           error)) {
+    return std::nullopt;
+  }
+  MachineSpec spec;
+  const obs::JsonValue* cls = require(v, "class", Kind::String, error);
+  if (cls == nullptr) return std::nullopt;
+  const auto parsed_cls = class_from_name(cls->as_string());
+  if (!parsed_cls) {
+    fail(error, "bad machine class: " + cls->as_string());
+    return std::nullopt;
+  }
+  spec.cls = *parsed_cls;
+  for (const auto& [key, dst] :
+       std::vector<std::pair<const char*, int*>>{
+           {"states", &spec.num_states},
+           {"labels", &spec.num_labels},
+           {"beta", &spec.beta},
+           {"halt_accept", &spec.halt_accept},
+           {"halt_reject", &spec.halt_reject}}) {
+    const obs::JsonValue* field = require(v, key, Kind::Int, error);
+    if (field == nullptr) return std::nullopt;
+    *dst = static_cast<int>(field->as_int());
+  }
+  const obs::JsonValue* seed = require(v, "seed", Kind::Int, error);
+  if (seed == nullptr) return std::nullopt;
+  spec.seed = static_cast<std::uint64_t>(seed->as_int());
+  return spec;
+}
+
+obs::JsonValue graph_to_json(const Graph& g) {
   obs::JsonValue graph = obs::JsonValue::object();
   obs::JsonValue labels = obs::JsonValue::array();
-  for (NodeId v = 0; v < c.graph.n(); ++v) {
-    labels.push_back(obs::JsonValue(c.graph.label(v)));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    labels.push_back(obs::JsonValue(g.label(v)));
   }
   graph.set("labels", std::move(labels));
   obs::JsonValue edges = obs::JsonValue::array();
-  for (NodeId v = 0; v < c.graph.n(); ++v) {
-    for (NodeId u : c.graph.neighbours(v)) {
+  for (NodeId v = 0; v < g.n(); ++v) {
+    for (NodeId u : g.neighbours(v)) {
       if (v < u) {
         obs::JsonValue edge = obs::JsonValue::array();
         edge.push_back(obs::JsonValue(v));
@@ -72,7 +148,52 @@ obs::JsonValue case_to_json(const FuzzCase& c) {
     }
   }
   graph.set("edges", std::move(edges));
-  out.set("graph", std::move(graph));
+  return graph;
+}
+
+std::optional<Graph> graph_from_json(const obs::JsonValue& v,
+                                     std::string* error) {
+  using Kind = obs::JsonValue::Kind;
+  if (v.kind() != Kind::Object) {
+    fail(error, "graph must be an object");
+    return std::nullopt;
+  }
+  if (!reject_unknown_keys(v, {"labels", "edges"}, error)) return std::nullopt;
+  const obs::JsonValue* labels = require(v, "labels", Kind::Array, error);
+  const obs::JsonValue* edges = require(v, "edges", Kind::Array, error);
+  if (labels == nullptr || edges == nullptr) return std::nullopt;
+  GraphBuilder b;
+  for (std::size_t i = 0; i < labels->size(); ++i) {
+    if (labels->at(i).kind() != Kind::Int) {
+      fail(error, "graph labels must be integers");
+      return std::nullopt;
+    }
+    b.add_node(static_cast<Label>(labels->at(i).as_int()));
+  }
+  const auto n = static_cast<std::int64_t>(labels->size());
+  for (std::size_t i = 0; i < edges->size(); ++i) {
+    const obs::JsonValue& edge = edges->at(i);
+    if (edge.kind() != Kind::Array || edge.size() != 2 ||
+        edge.at(0).kind() != Kind::Int || edge.at(1).kind() != Kind::Int) {
+      fail(error, "bad edge entry");
+      return std::nullopt;
+    }
+    const std::int64_t a = edge.at(0).as_int();
+    const std::int64_t bb = edge.at(1).as_int();
+    if (a < 0 || a >= n || bb < 0 || bb >= n || a == bb) {
+      fail(error, "edge endpoint out of range");
+      return std::nullopt;
+    }
+    b.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(bb));
+  }
+  return std::move(b).build();
+}
+
+obs::JsonValue case_to_json(const FuzzCase& c) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("spec_version", obs::JsonValue(kSpecVersion));
+  out.set("machine", machine_spec_to_json(c.machine));
+  out.set("graph", graph_to_json(c.graph));
   out.set("shape", obs::JsonValue(c.shape));
 
   obs::JsonValue schedule = obs::JsonValue::array();
@@ -85,61 +206,29 @@ obs::JsonValue case_to_json(const FuzzCase& c) {
   return out;
 }
 
-std::optional<FuzzCase> case_from_json(const obs::JsonValue& v,
-                                       std::string* error) {
+namespace {
+
+std::optional<FuzzCase> case_from_json_impl(
+    const obs::JsonValue& v, std::string* error,
+    std::initializer_list<const char*> allowed) {
   using Kind = obs::JsonValue::Kind;
   FuzzCase c;
 
+  if (!reject_unknown_keys(v, allowed, error)) return std::nullopt;
+  if (!check_spec_version(v, error)) return std::nullopt;
+
   const obs::JsonValue* machine = require(v, "machine", Kind::Object, error);
   if (machine == nullptr) return std::nullopt;
-  const obs::JsonValue* cls = require(*machine, "class", Kind::String, error);
-  if (cls == nullptr) return std::nullopt;
-  const auto parsed_cls = class_from_name(cls->as_string());
-  if (!parsed_cls) {
-    fail(error, "bad machine class: " + cls->as_string());
-    return std::nullopt;
-  }
-  c.machine.cls = *parsed_cls;
-  for (const auto& [key, dst] :
-       std::vector<std::pair<const char*, int*>>{
-           {"states", &c.machine.num_states},
-           {"labels", &c.machine.num_labels},
-           {"beta", &c.machine.beta},
-           {"halt_accept", &c.machine.halt_accept},
-           {"halt_reject", &c.machine.halt_reject}}) {
-    const obs::JsonValue* field = require(*machine, key, Kind::Int, error);
-    if (field == nullptr) return std::nullopt;
-    *dst = static_cast<int>(field->as_int());
-  }
-  const obs::JsonValue* seed = require(*machine, "seed", Kind::Int, error);
-  if (seed == nullptr) return std::nullopt;
-  c.machine.seed = static_cast<std::uint64_t>(seed->as_int());
+  auto spec = machine_spec_from_json(*machine, error);
+  if (!spec) return std::nullopt;
+  c.machine = *spec;
 
   const obs::JsonValue* graph = require(v, "graph", Kind::Object, error);
   if (graph == nullptr) return std::nullopt;
-  const obs::JsonValue* labels = require(*graph, "labels", Kind::Array, error);
-  const obs::JsonValue* edges = require(*graph, "edges", Kind::Array, error);
-  if (labels == nullptr || edges == nullptr) return std::nullopt;
-  GraphBuilder b;
-  for (std::size_t i = 0; i < labels->size(); ++i) {
-    b.add_node(static_cast<Label>(labels->at(i).as_int()));
-  }
-  const auto n = static_cast<std::int64_t>(labels->size());
-  for (std::size_t i = 0; i < edges->size(); ++i) {
-    const obs::JsonValue& edge = edges->at(i);
-    if (edge.kind() != Kind::Array || edge.size() != 2) {
-      fail(error, "bad edge entry");
-      return std::nullopt;
-    }
-    const std::int64_t a = edge.at(0).as_int();
-    const std::int64_t bb = edge.at(1).as_int();
-    if (a < 0 || a >= n || bb < 0 || bb >= n || a == bb) {
-      fail(error, "edge endpoint out of range");
-      return std::nullopt;
-    }
-    b.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(bb));
-  }
-  c.graph = std::move(b).build();
+  auto g = graph_from_json(*graph, error);
+  if (!g) return std::nullopt;
+  c.graph = std::move(*g);
+  const std::int64_t n = c.graph.n();
 
   const obs::JsonValue* shape = require(v, "shape", Kind::String, error);
   if (shape == nullptr) return std::nullopt;
@@ -171,6 +260,14 @@ std::optional<FuzzCase> case_from_json(const obs::JsonValue& v,
   return c;
 }
 
+}  // namespace
+
+std::optional<FuzzCase> case_from_json(const obs::JsonValue& v,
+                                       std::string* error) {
+  return case_from_json_impl(
+      v, error, {"spec_version", "machine", "graph", "shape", "schedule"});
+}
+
 obs::JsonValue artifact_to_json(const DivergenceArtifact& a) {
   obs::JsonValue out = case_to_json(a.c);
   // Prepend-by-convention: set() preserves insertion order, so emit into a
@@ -193,7 +290,9 @@ std::optional<DivergenceArtifact> artifact_from_json(const obs::JsonValue& v,
   if (pair == nullptr || detail == nullptr) return std::nullopt;
   a.pair = pair->as_string();
   a.detail = detail->as_string();
-  auto c = case_from_json(v, error);
+  auto c = case_from_json_impl(v, error,
+                               {"pair", "detail", "spec_version", "machine",
+                                "graph", "shape", "schedule"});
   if (!c) return std::nullopt;
   a.c = std::move(*c);
   return a;

@@ -23,11 +23,29 @@
 
 namespace dawn::fuzz {
 
+// The payload schema version shared by fuzz artifacts and the dawnd wire
+// payloads (net/payload.hpp). Every case/request document carries an
+// explicit top-level "spec_version"; parsers reject unknown versions AND
+// unknown top-level keys with a named error — the schema never silently
+// accepts bytes it does not understand (docs/SERVICE.md).
+inline constexpr std::int64_t kSpecVersion = 1;
+
 struct DivergenceArtifact {
   std::string pair;    // oracle pair name (oracle.hpp registry)
   std::string detail;  // human-readable divergence description
   FuzzCase c;
 };
+
+// The MachineSpec / Graph halves of the schema, exposed separately so the
+// dawnd Decide payload (machine + graph + budget, no schedule) reuses the
+// byte-exact serialisation the artifacts pin. Both parsers are strict:
+// missing, mistyped and unknown keys are named errors.
+obs::JsonValue machine_spec_to_json(const MachineSpec& spec);
+std::optional<MachineSpec> machine_spec_from_json(const obs::JsonValue& v,
+                                                  std::string* error = nullptr);
+obs::JsonValue graph_to_json(const Graph& g);
+std::optional<Graph> graph_from_json(const obs::JsonValue& v,
+                                     std::string* error = nullptr);
 
 obs::JsonValue case_to_json(const FuzzCase& c);
 std::optional<FuzzCase> case_from_json(const obs::JsonValue& v,

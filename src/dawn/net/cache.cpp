@@ -1,0 +1,72 @@
+#include "dawn/net/cache.hpp"
+
+namespace dawn::net {
+
+ResultCache::ResultCache(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_(max_entries == 0 ? 1 : max_entries),
+      max_bytes_(max_bytes) {}
+
+bool ResultCache::lookup(const std::string& key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  if (value != nullptr) *value = it->second->value;
+  return true;
+}
+
+void ResultCache::insert(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (key.size() + value.size() > max_bytes_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->key.size() + it->second->value.size();
+    it->second->value = std::move(value);
+    bytes_ += it->second->key.size() + it->second->value.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(value)});
+    index_[key] = lru_.begin();
+    bytes_ += lru_.front().key.size() + lru_.front().value.size();
+    ++insertions_;
+  }
+  evict_to_fit();
+}
+
+void ResultCache::evict_to_fit() {
+  while (!lru_.empty() &&
+         (lru_.size() > max_entries_ || bytes_ > max_bytes_)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.key.size() + victim.value.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.max_entries = max_entries_;
+  s.max_bytes = max_bytes_;
+  return s;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace dawn::net

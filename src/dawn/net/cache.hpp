@@ -1,0 +1,72 @@
+// ResultCache: the dawnd content-hash result cache.
+//
+// Keyed on the canonical serialisation of (machine, graph, clamped budget,
+// method) — see net::cache_key() — and valued with the exact reply payload
+// bytes the server sent for the first (miss) request, minus the volatile
+// fields (cache_hit, trace_path). A hit therefore replays a bit-identical
+// DecisionReport: the decide() determinism contract makes the report a pure
+// function of the key, and the canonical serialisers make the bytes a pure
+// function of the report.
+//
+// Bounded LRU with both an entry cap and a byte cap (payload bytes), since
+// one pathological graph can dwarf a thousand small ones. Thread-safe: the
+// server's worker threads insert while the poll thread looks up.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace dawn::net {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t max_entries = 0;
+  std::size_t max_bytes = 0;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t max_entries = 1024,
+                       std::size_t max_bytes = 64u << 20);
+
+  // Looks up `key`; on a hit copies the stored value into *value, bumps the
+  // entry to most-recently-used and counts a hit. Counts a miss otherwise.
+  bool lookup(const std::string& key, std::string* value);
+
+  // Inserts (or refreshes) an entry, evicting least-recently-used entries
+  // until both caps hold. A value larger than the byte cap is not cached.
+  void insert(const std::string& key, std::string value);
+
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  void evict_to_fit();  // caller holds mu_
+
+  const std::size_t max_entries_;
+  const std::size_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dawn::net

@@ -1,0 +1,63 @@
+// Blocking dawnd client: one connection, auto-incrementing nonces, a frame
+// round-trip with a timeout, and typed wrappers for each action. Used by
+// the dawn_client CLI, the service tests and bench_service; the frame
+// fuzzer drives raw bytes through send_raw()/read_frame() instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dawn/net/payload.hpp"
+#include "dawn/net/wire.hpp"
+#include "dawn/obs/json.hpp"
+
+namespace dawn::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // "tcp:HOST:PORT" or "unix:PATH".
+  bool connect(const std::string& address, std::string* error = nullptr);
+  void disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  // One request/response round trip. Fails (with *error) on transport
+  // errors, a reader error, or timeout; an Error frame from the server is a
+  // SUCCESSFUL round trip — the caller inspects reply->header.kind.
+  bool call(Action action, std::string_view payload, Frame* reply,
+            std::string* error = nullptr, std::uint64_t timeout_ms = 30'000);
+
+  // Typed wrappers. Server-side error frames are surfaced through *error as
+  // "server error <code>: <detail>".
+  std::optional<DecideReply> decide(const DecideRequest& req,
+                                    std::string* error = nullptr,
+                                    std::uint64_t timeout_ms = 60'000);
+  bool ping(std::string* error = nullptr);
+  std::optional<obs::JsonValue> cache_stats(std::string* error = nullptr);
+  // True iff the server confirmed the cancel hit a queued job.
+  std::optional<bool> cancel(std::uint64_t nonce, std::string* error = nullptr);
+
+  // Raw access for the frame fuzzer and the malformed-frame CLI mode.
+  bool send_raw(const std::uint8_t* data, std::size_t size,
+                std::string* error = nullptr);
+  // Reads one frame (or observes a clean close: returns false with
+  // *closed = true and no error). A reader error or timeout is a failure.
+  bool read_frame(Frame* out, bool* closed, std::string* error = nullptr,
+                  std::uint64_t timeout_ms = 30'000);
+
+  std::uint64_t last_nonce() const { return nonce_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t nonce_ = 0;
+  FrameReader reader_;
+};
+
+}  // namespace dawn::net

@@ -1,0 +1,170 @@
+#include "dawn/net/frame_fuzz.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "dawn/net/client.hpp"
+#include "dawn/net/wire.hpp"
+
+namespace dawn::net {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  return out;
+}
+
+// A structurally valid Ping request frame (the in-band control).
+std::vector<std::uint8_t> valid_ping(Rng& rng) {
+  return encode_frame(Action::Ping, FrameKind::Request,
+                      static_cast<std::uint64_t>(rng.uniform(1, 1 << 20)), "");
+}
+
+}  // namespace
+
+GarbageCase gen_garbage_case(Rng& rng) {
+  GarbageCase c;
+  switch (rng.index(9)) {
+    case 0: {  // pure noise, virtually never a valid header
+      c.kind = "random-bytes";
+      c.bytes = random_bytes(rng, static_cast<std::size_t>(rng.uniform(1, 64)));
+      if (std::memcmp(c.bytes.data(), kMagic.data(),
+                      std::min<std::size_t>(c.bytes.size(), kMagic.size())) ==
+          0) {
+        c.bytes[0] ^= 0xff;  // force the bad magic the case name promises
+      }
+      break;
+    }
+    case 1: {  // valid frame with the magic corrupted
+      c.kind = "bad-magic";
+      c.bytes = valid_ping(rng);
+      c.bytes[rng.index(kMagic.size())] ^=
+          static_cast<std::uint8_t>(rng.uniform(1, 255));
+      break;
+    }
+    case 2: {  // header truncated mid-way, then the stream ends
+      c.kind = "truncated-header";
+      c.bytes = valid_ping(rng);
+      c.bytes.resize(rng.index(kHeaderSize - 1) + 1);
+      c.cut_mid_frame = true;
+      c.expect_reply = false;
+      break;
+    }
+    case 3: {  // length field far beyond the server's frame cap
+      c.kind = "oversized-length";
+      c.bytes = valid_ping(rng);
+      const std::uint32_t huge =
+          static_cast<std::uint32_t>(rng.uniform(1, 0x7fffffff)) | 0x40000000u;
+      c.bytes[16] = static_cast<std::uint8_t>(huge & 0xff);
+      c.bytes[17] = static_cast<std::uint8_t>((huge >> 8) & 0xff);
+      c.bytes[18] = static_cast<std::uint8_t>((huge >> 16) & 0xff);
+      c.bytes[19] = static_cast<std::uint8_t>((huge >> 24) & 0xff);
+      break;
+    }
+    case 4: {  // header advertises a payload that never fully arrives
+      c.kind = "mid-frame-disconnect";
+      const std::string payload(64, 'x');
+      c.bytes = encode_frame(Action::Decide, FrameKind::Request, 7, payload);
+      c.bytes.resize(kHeaderSize + rng.index(payload.size() - 1) + 1);
+      c.cut_mid_frame = true;
+      c.expect_reply = false;
+      break;
+    }
+    case 5: {  // framing fine, JSON broken
+      c.kind = "malformed-json";
+      const char* junk[] = {"{", "not json", "{\"machine\":", "[1,2,", "\"", ""};
+      c.bytes = encode_frame(Action::Decide, FrameKind::Request,
+                             static_cast<std::uint64_t>(rng.uniform(1, 1000)),
+                             junk[rng.index(6)]);
+      break;
+    }
+    case 6: {  // valid JSON, wrong schema / wrong spec_version
+      c.kind = "schema-violation";
+      const char* docs[] = {
+          "{}",
+          "{\"spec_version\": 999}",
+          "{\"spec_version\": 1}",
+          "{\"spec_version\": 1, \"machine\": 3}",
+          "{\"spec_version\": 1, \"surprise\": true}",
+          "{\"spec_version\": \"1\"}",
+      };
+      c.bytes = encode_frame(Action::Decide, FrameKind::Request,
+                             static_cast<std::uint64_t>(rng.uniform(1, 1000)),
+                             docs[rng.index(6)]);
+      break;
+    }
+    case 7: {  // bad version / action / kind / reserved byte
+      c.kind = "bad-header-field";
+      c.bytes = valid_ping(rng);
+      const std::size_t field = 4 + rng.index(4);
+      c.bytes[field] = static_cast<std::uint8_t>(rng.uniform(100, 255));
+      break;
+    }
+    default: {  // a well-formed Ping: the server must answer it normally
+      c.kind = "valid-ping";
+      c.bytes = valid_ping(rng);
+      break;
+    }
+  }
+  return c;
+}
+
+FrameFuzzResult run_frame_fuzz(const std::string& address,
+                               const FrameFuzzOptions& opts) {
+  Rng rng(opts.seed);
+  FrameFuzzResult result;
+  for (int i = 0; i < opts.cases; ++i) {
+    const GarbageCase c = gen_garbage_case(rng);
+    Client client;
+    std::string error;
+    if (!client.connect(address, &error)) {
+      result.failure = "case " + std::to_string(i) + " (" + c.kind +
+                       "): connect failed: " + error;
+      return result;
+    }
+    if (!client.send_raw(c.bytes.data(), c.bytes.size(), &error)) {
+      // The server may already have closed a garbage stream; only complete
+      // frames are entitled to a write that succeeds.
+      if (c.expect_reply) {
+        result.failure = "case " + std::to_string(i) + " (" + c.kind +
+                         "): send failed: " + error;
+        return result;
+      }
+      ++result.cases_run;
+      ++result.clean_closes;
+      continue;
+    }
+    if (c.cut_mid_frame) {
+      // Emulate the disconnect; the server must reap the connection without
+      // hanging (verified globally by the read-timeout path and by the next
+      // cases still being served).
+      client.disconnect();
+      ++result.cases_run;
+      ++result.clean_closes;
+      continue;
+    }
+    Frame reply;
+    bool closed = false;
+    if (client.read_frame(&reply, &closed, &error, opts.reply_timeout_ms)) {
+      if (reply.header.kind == FrameKind::Error) {
+        ++result.error_frames;
+      } else {
+        ++result.ok_frames;
+      }
+    } else if (closed && !c.expect_reply) {
+      ++result.clean_closes;
+    } else {
+      // A frame was due (or the close was not clean): contract violation —
+      // most importantly this is where a hung server turns into a failure.
+      result.failure = "case " + std::to_string(i) + " (" + c.kind +
+                       "): no error frame and no clean close: " + error;
+      return result;
+    }
+    ++result.cases_run;
+  }
+  return result;
+}
+
+}  // namespace dawn::net

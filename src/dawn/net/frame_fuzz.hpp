@@ -1,0 +1,56 @@
+// Frame-garbage fuzzing: the dawnd framing layer's oracle.
+//
+// A seeded generator produces adversarial byte streams — truncated headers,
+// oversized length fields, wrong magic, bad versions/actions/kinds,
+// mid-frame disconnects, malformed JSON, schema violations, and valid
+// frames mixed in — and the oracle drives each one at a live server,
+// asserting the robustness contract: the server ALWAYS answers with a
+// structured error frame, a valid response, or a clean close. A hang
+// (client-side timeout) or a crash is a failure.
+//
+// Runs against any address (the tests and `dawn_fuzz --frames` start an
+// in-process server on an ephemeral port; CI also drives it at a dawnd
+// binary under ASan).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dawn/util/rng.hpp"
+
+namespace dawn::net {
+
+// One generated stream plus what the generator did to it (for failure
+// messages and distribution stats).
+struct GarbageCase {
+  std::vector<std::uint8_t> bytes;
+  std::string kind;        // "random-bytes", "bad-magic", "truncated-header", ...
+  bool cut_mid_frame = false;  // close without completing the advertised frame
+  bool expect_reply = true;    // a complete frame went out, so a frame must
+                               // come back (cut streams may close silently)
+};
+
+GarbageCase gen_garbage_case(Rng& rng);
+
+struct FrameFuzzOptions {
+  int cases = 256;
+  std::uint64_t seed = 1;
+  std::uint64_t reply_timeout_ms = 10'000;
+};
+
+struct FrameFuzzResult {
+  int cases_run = 0;
+  int error_frames = 0;  // structured error frame received
+  int ok_frames = 0;     // valid response frame received
+  int clean_closes = 0;  // server closed without a frame (cut streams only)
+  std::string failure;   // empty = contract held for every case
+
+  bool ok() const { return failure.empty(); }
+};
+
+// Drives `opts.cases` garbage streams at the server listening on `address`.
+FrameFuzzResult run_frame_fuzz(const std::string& address,
+                               const FrameFuzzOptions& opts = {});
+
+}  // namespace dawn::net

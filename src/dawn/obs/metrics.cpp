@@ -27,6 +27,10 @@ const char* name(Counter c) {
     case Counter::ExploreEdges: return "explore.edges";
     case Counter::ExploreLevels: return "explore.levels";
     case Counter::ExploreSteals: return "explore.steals";
+    case Counter::NetConnections: return "net.connections";
+    case Counter::NetRequests: return "net.requests";
+    case Counter::NetErrors: return "net.errors";
+    case Counter::NetCacheHits: return "net.cache_hits";
     case Counter::kCount: break;
   }
   return "counter.unknown";
@@ -42,6 +46,7 @@ const char* name(Gauge g) {
     case Gauge::ExploreFrontierPeak: return "explore.frontier_peak";
     case Gauge::ExploreThreads: return "explore.threads";
     case Gauge::ExploreStoreBytes: return "explore.store_bytes";
+    case Gauge::NetInflightPeak: return "net.inflight_peak";
     case Gauge::kCount: break;
   }
   return "gauge.unknown";

@@ -57,6 +57,10 @@ enum class Counter : std::uint16_t {
   ExploreLevels,         // explicit exploration: BFS levels (frontier waves)
   ExploreSteals,         // explicit exploration: cross-worker chunk claims;
                          // scheduling-dependent, excluded from determinism
+  NetConnections,        // dawnd: connections accepted
+  NetRequests,           // dawnd: request frames handled (all actions)
+  NetErrors,             // dawnd: error frames sent
+  NetCacheHits,          // dawnd: Decide requests served from the result cache
   kCount,
 };
 
@@ -70,6 +74,7 @@ enum class Gauge : std::uint16_t {
   ExploreFrontierPeak,   // explicit exploration: largest BFS frontier
   ExploreThreads,        // explicit exploration: workers actually used
   ExploreStoreBytes,     // explicit exploration: config-store occupancy
+  NetInflightPeak,       // dawnd: most jobs queued or running at once
   kCount,
 };
 

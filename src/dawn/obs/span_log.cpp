@@ -20,6 +20,7 @@ const char* name(Phase p) {
     case Phase::TrialsBlock: return "trials.block";
     case Phase::SimulateRun: return "simulate.run";
     case Phase::FuzzCase: return "fuzz.case";
+    case Phase::NetRequest: return "net.request";
     case Phase::kCount: break;
   }
   return "?";

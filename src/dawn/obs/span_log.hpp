@@ -54,6 +54,7 @@ enum class Phase : std::uint8_t {
   TrialsBlock,     // one SoA batched trial block
   SimulateRun,     // one simulate() run
   FuzzCase,        // one differential fuzz case (all selected pairs)
+  NetRequest,      // one dawnd Decide request executed by a server worker
   kCount,
 };
 

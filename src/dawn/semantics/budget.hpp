@@ -1,13 +1,12 @@
 // ExploreBudget: the one resource-limit struct shared by every decider.
 //
-// Before this header each decision procedure carried its own ad-hoc cap
-// (`ExplicitOptions::max_configs`, `CliqueOptions::max_configs`, ...), so
-// budgets could not be threaded uniformly through `verify` or the decide()
-// facade, and "ran out of budget" was indistinguishable from a genuine
-// Unknown. ExploreBudget unifies the caps (configurations, threads,
-// wall-clock) and the legacy option structs survive as thin aliases for one
-// release (see explicit_space.hpp, clique_counted.hpp, star_counted.hpp,
-// broadcast_engine.hpp, population_engine.hpp).
+// Before this header each decision procedure carried its own ad-hoc
+// max-configs cap, so budgets could not be threaded uniformly through
+// `verify` or the decide() facade, and "ran out of budget" was
+// indistinguishable from a genuine Unknown. ExploreBudget unifies the caps
+// (configurations, threads, wall-clock); the per-decider alias structs that
+// briefly survived the migration are gone — every decider, verify, the
+// dawnd service and the benches take an ExploreBudget directly.
 #pragma once
 
 #include <chrono>

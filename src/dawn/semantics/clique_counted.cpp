@@ -93,7 +93,7 @@ CountedConfig counted_successor(const Machine& machine,
 
 CliqueResult decide_clique_pseudo_stochastic(const Machine& machine,
                                              const LabelCount& L,
-                                             const CliqueOptions& opts) {
+                                             const ExploreBudget& opts) {
   CliqueResult result;
   Interner<CountedConfig, CountedConfigHash> configs;
   std::vector<std::vector<std::int32_t>> adj;

@@ -39,9 +39,6 @@ struct CountedConfigHash {
   }
 };
 
-// Deprecated alias, kept for one release (see semantics/budget.hpp).
-using CliqueOptions = ExploreBudget;
-
 struct CliqueResult {
   Decision decision = Decision::Unknown;
   UnknownReason reason = UnknownReason::None;
@@ -62,7 +59,7 @@ CountedConfig counted_successor(const Machine& machine,
 // pseudo-stochastic fairness.
 CliqueResult decide_clique_pseudo_stochastic(const Machine& machine,
                                              const LabelCount& L,
-                                             const CliqueOptions& opts = {});
+                                             const ExploreBudget& opts = {});
 
 struct ExploreStats;
 

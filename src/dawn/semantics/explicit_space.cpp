@@ -16,7 +16,7 @@
 namespace dawn {
 
 ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
-                                        const ExplicitOptions& opts) {
+                                        const ExploreBudget& opts) {
   ExplicitResult result;
   Interner<Config, VectorHash<State>> configs;
   std::vector<std::vector<std::int32_t>> adj;
@@ -203,7 +203,7 @@ ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
 
 ExplicitResult decide_pseudo_stochastic_liberal(const Machine& machine,
                                                 const Graph& g,
-                                                const ExplicitOptions& opts) {
+                                                const ExploreBudget& opts) {
   DAWN_CHECK_MSG(g.n() <= 12, "liberal selection enumerates 2^n subsets");
   ExplicitResult result;
   Interner<Config, VectorHash<State>> configs;

@@ -28,10 +28,6 @@
 
 namespace dawn {
 
-// Deprecated alias, kept for one release: the per-decider option structs
-// merged into the shared ExploreBudget (semantics/budget.hpp).
-using ExplicitOptions = ExploreBudget;
-
 struct ExplicitResult {
   Decision decision = Decision::Unknown;
   // Why decision == Unknown (budget cap vs deadline); None otherwise. Capped
@@ -51,7 +47,7 @@ struct ExplicitResult {
 };
 
 ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
-                                        const ExplicitOptions& opts = {});
+                                        const ExploreBudget& opts = {});
 
 struct ExploreStats;
 struct SymmetryGroup;
@@ -84,6 +80,6 @@ ExplicitResult decide_pseudo_stochastic_parallel(
 // the same verdict from both deciders).
 ExplicitResult decide_pseudo_stochastic_liberal(const Machine& machine,
                                                 const Graph& g,
-                                                const ExplicitOptions& o = {});
+                                                const ExploreBudget& o = {});
 
 }  // namespace dawn

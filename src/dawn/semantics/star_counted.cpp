@@ -127,7 +127,7 @@ Verdict star_consensus(const Machine& machine, const StarConfig& config) {
 
 StarResult decide_star_pseudo_stochastic(const Machine& machine, Label centre,
                                          const std::vector<Label>& leaves,
-                                         const StarOptions& opts) {
+                                         const ExploreBudget& opts) {
   StarResult result;
   Interner<StarConfig, StarConfigHash> configs;
   std::vector<std::vector<std::int32_t>> adj;

@@ -49,9 +49,6 @@ std::vector<StarConfig> star_successors(const Machine& machine,
 // Verdict of the configuration (Neutral if mixed).
 Verdict star_consensus(const Machine& machine, const StarConfig& config);
 
-// Deprecated alias, kept for one release (see semantics/budget.hpp).
-using StarOptions = ExploreBudget;
-
 struct StarResult {
   Decision decision = Decision::Unknown;
   UnknownReason reason = UnknownReason::None;
@@ -62,7 +59,7 @@ struct StarResult {
 // Decides the machine on the star under pseudo-stochastic fairness.
 StarResult decide_star_pseudo_stochastic(const Machine& machine, Label centre,
                                          const std::vector<Label>& leaves,
-                                         const StarOptions& opts = {});
+                                         const ExploreBudget& opts = {});
 
 struct ExploreStats;
 

@@ -56,27 +56,6 @@ std::int64_t total(const LabelCount& L) {
 
 }  // namespace
 
-ExploreBudget resolve_verify_budget(const VerifyOptions& opts) {
-  ExploreBudget b = opts.budget;
-  if (b.max_configs != 0) {
-    if (opts.max_configs != kDeprecatedMaxConfigsDefault) {
-      // Both knobs set explicitly: the structured budget wins, the legacy
-      // value is dropped. Warn once per process, not once per instance — a
-      // sweep resolves this thousands of times.
-      static std::once_flag warned;
-      std::call_once(warned, [] {
-        std::fprintf(stderr,
-                     "dawn: warning: VerifyOptions::max_configs is deprecated "
-                     "and ignored because budget.max_configs is also set; "
-                     "drop the legacy field\n");
-      });
-    }
-    return b;
-  }
-  b.max_configs = opts.max_configs;
-  return b;
-}
-
 namespace {
 
 // Enumerates the verification window up front so instances can be dealt to
@@ -150,7 +129,7 @@ VerifyReport verify_machine_impl(const MachineFactory& factory,
                                  const LabellingPredicate& pred,
                                  const VerifyOptions& opts, int threads) {
   const auto window = enumerate_window(pred, opts);
-  const ExploreBudget budget = resolve_verify_budget(opts);
+  const ExploreBudget budget = opts.budget;
   std::vector<std::vector<InstanceEntry>> slots(window.size());
   parallel_for(window.size(), threads, [&](std::size_t i) {
     const auto machine = factory();
@@ -167,7 +146,7 @@ VerifyReport verify_cliques_impl(const MachineFactory& factory,
                                  const LabellingPredicate& pred,
                                  const VerifyOptions& opts, int threads) {
   const auto window = enumerate_window(pred, opts);
-  const ExploreBudget budget = resolve_verify_budget(opts);
+  const ExploreBudget budget = opts.budget;
   std::vector<InstanceEntry> slots(window.size());
   parallel_for(window.size(), threads, [&](std::size_t i) {
     const auto machine = factory();
@@ -252,7 +231,7 @@ VerifyReport verify_overlay_on_cliques(const BroadcastOverlay& overlay,
                                        const LabellingPredicate& pred,
                                        const VerifyOptions& opts) {
   const auto window = enumerate_window(pred, opts);
-  const ExploreBudget budget = resolve_verify_budget(opts);
+  const ExploreBudget budget = opts.budget;
   VerifyReport report;
   for (const Instance& inst : window) {
     const auto r = decide_overlay_strong_counted(overlay, inst.counts, budget);
@@ -267,7 +246,7 @@ VerifyReport verify_population_on_cliques(
     const std::function<bool(const LabelCount&)>& promise,
     const VerifyOptions& opts) {
   const auto window = enumerate_window(pred, opts, promise);
-  const ExploreBudget budget = resolve_verify_budget(opts);
+  const ExploreBudget budget = opts.budget;
   VerifyReport report;
   for (const Instance& inst : window) {
     const auto r = decide_population_counted(protocol, inst.counts, budget);

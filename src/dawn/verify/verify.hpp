@@ -30,26 +30,19 @@
 
 namespace dawn {
 
-// The default of the deprecated VerifyOptions::max_configs field. A value
-// equal to this is treated as "not explicitly set" by
-// resolve_verify_budget's both-fields-set warning.
-inline constexpr std::size_t kDeprecatedMaxConfigsDefault = 2'000'000;
-
 struct VerifyOptions {
   // Label counts range over [0, count_bound] per label.
   std::int64_t count_bound = 3;
   // Skip inputs with fewer nodes (the paper convention needs >= 3; some
   // protocols also assume a minimum population).
   int min_nodes = 3;
-  // Per-instance budget for the deciders. budget.max_configs == 0 defers to
-  // the deprecated max_configs field below; budget.max_threads is the
-  // WITHIN-instance worker count (default 1 — instance-level parallelism
-  // already saturates a sweep of many small instances).
-  ExploreBudget budget = {.max_configs = 0, .max_threads = 1, .deadline_ms = 0};
-  // Deprecated: use budget.max_configs. Still honoured so existing sweeps
-  // compile unchanged; ignored when budget.max_configs is non-zero (see
-  // resolve_verify_budget for the exact precedence).
-  std::size_t max_configs = kDeprecatedMaxConfigsDefault;
+  // Per-instance budget for the deciders; the ONE budget source (the
+  // deprecated top-level max_configs mirror and its resolution precedence
+  // dance are gone). budget.max_threads is the WITHIN-instance
+  // worker count (default 1 — instance-level parallelism already saturates
+  // a sweep of many small instances).
+  ExploreBudget budget = {.max_configs = 2'000'000, .max_threads = 1,
+                          .deadline_ms = 0};
   // Worker threads ACROSS instances (0 = all hardware threads). Overloads
   // taking a shared `const Machine&` clamp this to 1 unless the machine
   // reports parallel_step_safe(); pass a MachineFactory to parallelise
@@ -92,15 +85,6 @@ struct VerifyReport {
   bool ok() const { return failures.empty() && complete; }
   std::string summary() const;
 };
-
-// The budget every verify_* entry point actually runs with. Precedence:
-// budget.max_configs wins whenever it is non-zero; the deprecated top-level
-// max_configs only fills in when budget.max_configs is 0. Setting both
-// explicitly (budget.max_configs != 0 and max_configs moved off its
-// default) emits a one-time stderr warning, since the legacy value is
-// silently ignored. Exposed so callers and tests can see the same
-// resolution the sweeps use.
-ExploreBudget resolve_verify_budget(const VerifyOptions& opts);
 
 // Verifies a plain machine under exact pseudo-stochastic semantics over the
 // topology battery (and optionally the synchronous run). The shared-machine

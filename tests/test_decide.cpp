@@ -286,11 +286,11 @@ TEST(Verify, FactoryOverloadMatchesSharedMachine) {
   EXPECT_TRUE(b.ok());
 }
 
-TEST(Verify, DeprecatedMaxConfigsFieldStillHonoured) {
+TEST(Verify, TinyBudgetCapsTheCliqueSweep) {
   const auto m = make_exists_label(1, 2);
   VerifyOptions opts;
   opts.count_bound = 3;
-  opts.max_configs = 2;  // legacy spelling of the budget cap
+  opts.budget.max_configs = 2;
   const auto report = verify_machine_on_cliques(*m, pred_exists(1, 2), opts);
   EXPECT_FALSE(report.complete);
   EXPECT_FALSE(report.capped.empty());

@@ -97,7 +97,7 @@ TEST_P(CutoffConstruction, RandomCutoffKPredicates) {
   // every component, so the counted configuration space grows quickly:
   // keep the window tight for K = 2.
   opts.count_bound = K == 1 ? 3 : 2;
-  opts.max_configs = 6'000'000;
+  opts.budget.max_configs = 6'000'000;
   const auto report = verify_machine_on_cliques(*machine, pred, opts);
   EXPECT_TRUE(report.ok()) << report.summary();
 }

@@ -15,6 +15,8 @@
 #include "dawn/fuzz/gen.hpp"
 #include "dawn/fuzz/oracle.hpp"
 #include "dawn/fuzz/shrink.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/net/payload.hpp"
 #include "dawn/util/rng.hpp"
 
 namespace dawn {
@@ -279,6 +281,81 @@ TEST(FuzzArtifact, ClassFromNameParsesAllAndRejectsJunk) {
   EXPECT_FALSE(fuzz::class_from_name("xyz").has_value());
   EXPECT_FALSE(fuzz::class_from_name("").has_value());
   EXPECT_FALSE(fuzz::class_from_name("dAff").has_value());
+}
+
+// The frozen spec_version 1 wire bytes, pinned character by character. If
+// either of these strings has to change, the schema changed: bump
+// fuzz::kSpecVersion and teach the parsers both versions — do NOT just
+// update the literal (docs/SERVICE.md, "Payload schema").
+TEST(FuzzArtifact, SpecVersionOneCaseBytesArePinned) {
+  fuzz::FuzzCase c;
+  c.machine.cls = *fuzz::class_from_name("dAf");
+  c.machine.num_states = 3;
+  c.machine.num_labels = 2;
+  c.machine.beta = 1;
+  c.machine.seed = 7;
+  c.machine.halt_accept = 1;
+  c.machine.halt_reject = 1;
+  c.graph = make_line({0, 1});
+  c.shape = "line";
+  c.schedule = {{0}, {0, 1}};
+
+  const std::string pinned =
+      R"({"spec_version":1,)"
+      R"("machine":{"class":"dAf","states":3,"labels":2,"beta":1,"seed":7,)"
+      R"("halt_accept":1,"halt_reject":1},)"
+      R"("graph":{"labels":[0,1],"edges":[[0,1]]},)"
+      R"("shape":"line","schedule":[[0],[0,1]]})";
+  EXPECT_EQ(fuzz::case_to_json(c).dump(), pinned);
+
+  // Parsing the pinned bytes and re-serialising reproduces them exactly —
+  // the round trip is the identity on canonical documents.
+  const auto doc = obs::JsonValue::parse(pinned);
+  ASSERT_TRUE(doc.has_value());
+  std::string error;
+  const auto back = fuzz::case_from_json(*doc, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(fuzz::case_to_json(*back).dump(), pinned);
+
+  // A future spec_version is a named error, not a silent acceptance.
+  obs::JsonValue bumped = *doc;
+  bumped.set("spec_version", obs::JsonValue(2));
+  error.clear();
+  EXPECT_FALSE(fuzz::case_from_json(bumped, &error).has_value());
+  EXPECT_EQ(error, "unknown spec_version: 2");
+}
+
+TEST(FuzzArtifact, SpecVersionOneDecideRequestBytesArePinned) {
+  // The dawnd Decide payload shares the machine/graph halves of the case
+  // schema byte for byte (net/payload.hpp reuses the artifact serialisers).
+  net::DecideRequest req;
+  req.machine.cls = *fuzz::class_from_name("dAf");
+  req.machine.num_states = 3;
+  req.machine.num_labels = 2;
+  req.machine.beta = 1;
+  req.machine.seed = 7;
+  req.machine.halt_accept = 1;
+  req.machine.halt_reject = 1;
+  req.graph = make_line({0, 1});
+  req.budget.max_configs = 50'000;
+  req.budget.max_threads = 1;
+
+  const std::string pinned =
+      R"({"spec_version":1,)"
+      R"("machine":{"class":"dAf","states":3,"labels":2,"beta":1,"seed":7,)"
+      R"("halt_accept":1,"halt_reject":1},)"
+      R"("graph":{"labels":[0,1],"edges":[[0,1]]},)"
+      R"("budget":{"max_configs":50000,"max_threads":1,"deadline_ms":0,)"
+      R"("use_symmetry":false,"use_packing":false},)"
+      R"("method":"auto"})";
+  EXPECT_EQ(net::decide_request_to_json(req).dump(), pinned);
+
+  const auto doc = obs::JsonValue::parse(pinned);
+  ASSERT_TRUE(doc.has_value());
+  std::string error;
+  const auto back = net::decide_request_from_json(*doc, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(net::decide_request_to_json(*back).dump(), pinned);
 }
 
 // ----------------------------------------------------------------- oracle

@@ -1,0 +1,430 @@
+// The dawnd service layer: wire framing, payload schema, the result cache,
+// and a live in-process server driven end-to-end over loopback.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dawn/fuzz/artifact.hpp"
+#include "dawn/fuzz/gen.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/net/cache.hpp"
+#include "dawn/net/client.hpp"
+#include "dawn/net/frame_fuzz.hpp"
+#include "dawn/net/payload.hpp"
+#include "dawn/net/server.hpp"
+#include "dawn/net/wire.hpp"
+#include "dawn/semantics/decision.hpp"
+
+namespace {
+
+using namespace dawn;
+
+fuzz::MachineSpec small_spec(std::uint64_t seed = 7) {
+  fuzz::MachineSpec spec;
+  spec.cls = *fuzz::class_from_name("dAf");
+  spec.num_states = 3;
+  spec.num_labels = 2;
+  spec.beta = 1;
+  spec.seed = seed;
+  spec.halt_accept = 1;
+  spec.halt_reject = 1;
+  return spec;
+}
+
+net::DecideRequest small_request(std::uint64_t seed = 7) {
+  net::DecideRequest req;
+  req.machine = small_spec(seed);
+  req.graph = make_clique({0, 1, 0});
+  req.budget.max_configs = 50'000;
+  req.budget.max_threads = 1;
+  req.method = DecideMethod::Auto;
+  return req;
+}
+
+// An in-process server on an ephemeral loopback port, with a poll-loop
+// thread, torn down in reverse order.
+class LiveServer {
+ public:
+  explicit LiveServer(net::ServerOptions opts = {}) {
+    opts.listen = "tcp:127.0.0.1:0";
+    server_ = std::make_unique<net::Server>(opts);
+    std::string error;
+    if (!server_->start(&error)) {
+      ADD_FAILURE() << "server start failed: " << error;
+      return;
+    }
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  ~LiveServer() {
+    if (server_ != nullptr) server_->request_stop();
+    if (loop_.joinable()) loop_.join();
+  }
+
+  const std::string& address() const { return server_->address(); }
+  net::Server& server() { return *server_; }
+
+ private:
+  std::unique_ptr<net::Server> server_;
+  std::thread loop_;
+};
+
+// --- Wire framing -----------------------------------------------------------
+
+TEST(Wire, FrameRoundTripsThroughReader) {
+  const auto bytes =
+      net::encode_frame(net::Action::Decide, net::FrameKind::Request,
+                        0x0123456789abcdefULL, "{\"x\":1}");
+  EXPECT_EQ(bytes.size(), net::kHeaderSize + 7);
+
+  net::FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  net::Frame f;
+  ASSERT_TRUE(reader.next(&f));
+  EXPECT_EQ(f.header.version, net::kWireVersion);
+  EXPECT_EQ(f.header.action, net::Action::Decide);
+  EXPECT_EQ(f.header.kind, net::FrameKind::Request);
+  EXPECT_EQ(f.header.nonce, 0x0123456789abcdefULL);
+  EXPECT_EQ(f.payload, "{\"x\":1}");
+  EXPECT_FALSE(reader.next(&f));
+  EXPECT_EQ(reader.error(), net::WireError::None);
+}
+
+TEST(Wire, ReaderHandlesByteDribbleAndBackToBackFrames) {
+  auto bytes = net::encode_frame(net::Action::Ping, net::FrameKind::Request,
+                                 1, "abc");
+  const auto second = net::encode_frame(net::Action::Cancel,
+                                        net::FrameKind::Request, 2, "");
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  net::FrameReader reader;
+  net::Frame f;
+  int got = 0;
+  for (const std::uint8_t b : bytes) {
+    reader.feed(&b, 1);
+    while (reader.next(&f)) ++got;
+  }
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(f.header.action, net::Action::Cancel);
+  EXPECT_EQ(f.header.nonce, 2u);
+}
+
+TEST(Wire, ReaderErrorsAreStickyPerHeaderField) {
+  struct Case {
+    std::size_t offset;
+    std::uint8_t value;
+    net::WireError expect;
+  };
+  const Case cases[] = {
+      {0, 0x00, net::WireError::BadMagic},
+      {4, 99, net::WireError::BadVersion},
+      {5, 250, net::WireError::BadAction},
+      {6, 250, net::WireError::BadKind},
+      {7, 1, net::WireError::BadReserved},
+  };
+  for (const Case& c : cases) {
+    auto bytes = net::encode_frame(net::Action::Ping, net::FrameKind::Request,
+                                   1, "");
+    bytes[c.offset] = c.value;
+    net::FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    net::Frame f;
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_EQ(reader.error(), c.expect) << "offset " << c.offset;
+    // Sticky: feeding a pristine frame afterwards cannot resync.
+    const auto good = net::encode_frame(net::Action::Ping,
+                                        net::FrameKind::Request, 2, "");
+    reader.feed(good.data(), good.size());
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_EQ(reader.error(), c.expect);
+  }
+}
+
+TEST(Wire, OversizedPayloadLengthIsAFrameError) {
+  auto bytes = net::encode_frame(net::Action::Ping, net::FrameKind::Request,
+                                 1, "");
+  bytes[16] = 0xff;
+  bytes[17] = 0xff;
+  bytes[18] = 0xff;
+  bytes[19] = 0x7f;
+  net::FrameReader reader(1 << 20);
+  reader.feed(bytes.data(), bytes.size());
+  net::Frame f;
+  EXPECT_FALSE(reader.next(&f));
+  EXPECT_EQ(reader.error(), net::WireError::FrameTooLarge);
+}
+
+TEST(Wire, ErrorFrameCarriesStableCodeAndDetail) {
+  const auto bytes = net::encode_error_frame(net::Action::Decide, 5,
+                                             net::WireError::BadJson, "oops");
+  net::FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  net::Frame f;
+  ASSERT_TRUE(reader.next(&f));
+  EXPECT_EQ(f.header.kind, net::FrameKind::Error);
+  const auto doc = obs::JsonValue::parse(f.payload);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get("error")->as_string(), "bad-json");
+  EXPECT_EQ(doc->get("detail")->as_string(), "oops");
+}
+
+// --- Payload schema ---------------------------------------------------------
+
+TEST(Payload, DecideRequestRoundTripsCanonically) {
+  const net::DecideRequest req = small_request();
+  const auto json = net::decide_request_to_json(req);
+  std::string error;
+  const auto back = net::decide_request_from_json(json, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->machine, req.machine);
+  EXPECT_EQ(back->budget, req.budget);
+  EXPECT_EQ(back->method, req.method);
+  // Canonical: re-serialising produces identical bytes.
+  EXPECT_EQ(net::decide_request_to_json(*back).dump(), json.dump());
+}
+
+TEST(Payload, UnknownTopLevelKeyAndBadSpecVersionAreNamedErrors) {
+  auto json = net::decide_request_to_json(small_request());
+  json.set("surprise", obs::JsonValue(true));
+  std::string error;
+  EXPECT_FALSE(net::decide_request_from_json(json, &error).has_value());
+  EXPECT_EQ(error, "unknown top-level key: surprise");
+
+  auto v2 = net::decide_request_to_json(small_request());
+  v2.set("spec_version", obs::JsonValue(999));
+  error.clear();
+  EXPECT_FALSE(net::decide_request_from_json(v2, &error).has_value());
+  EXPECT_EQ(error, "unknown spec_version: 999");
+}
+
+TEST(Payload, ReportRoundTripIsBitExactIncludingLedger) {
+  const auto machine = fuzz::build_machine(small_spec());
+  DecisionRequest dr;
+  dr.budget = {.max_configs = 50'000, .max_threads = 1, .deadline_ms = 0};
+  const DecisionReport report =
+      decide(*machine, make_clique({0, 1, 0}), dr);
+
+  const auto json = net::report_to_json(report);
+  std::string error;
+  const auto back = net::report_from_json(json, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(*back == report);  // operator== covers the memory ledger too
+}
+
+TEST(Payload, CacheKeyIgnoresTraceFlagButNotBudget) {
+  net::DecideRequest a = small_request();
+  net::DecideRequest b = a;
+  b.want_trace = true;
+  EXPECT_EQ(net::cache_key(a), net::cache_key(b));
+  b.budget.max_configs = 123;
+  EXPECT_NE(net::cache_key(a), net::cache_key(b));
+}
+
+// --- Result cache -----------------------------------------------------------
+
+TEST(Cache, LruEvictsByEntryCount) {
+  net::ResultCache cache(/*max_entries=*/2, /*max_bytes=*/1 << 20);
+  cache.insert("a", "1");
+  cache.insert("b", "2");
+  std::string v;
+  ASSERT_TRUE(cache.lookup("a", &v));  // freshen "a": "b" becomes LRU
+  cache.insert("c", "3");
+  EXPECT_TRUE(cache.lookup("a", &v));
+  EXPECT_FALSE(cache.lookup("b", &v));
+  EXPECT_TRUE(cache.lookup("c", &v));
+  const net::CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST(Cache, ByteCapEvictsAndHugeValuesAreNotCached) {
+  net::ResultCache cache(/*max_entries=*/100, /*max_bytes=*/64);
+  cache.insert("k1", std::string(20, 'x'));
+  cache.insert("k2", std::string(20, 'y'));
+  cache.insert("k3", std::string(20, 'z'));  // over 64 bytes total: evict k1
+  std::string v;
+  EXPECT_FALSE(cache.lookup("k1", &v));
+  EXPECT_TRUE(cache.lookup("k3", &v));
+  cache.insert("huge", std::string(1000, 'h'));
+  EXPECT_FALSE(cache.lookup("huge", &v));
+}
+
+// --- Live server ------------------------------------------------------------
+
+TEST(Server, PingAndStatsRoundTrip) {
+  LiveServer live;
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+  EXPECT_TRUE(client.ping(&error)) << error;
+  const auto stats = client.cache_stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->get("spec_version")->as_int(), fuzz::kSpecVersion);
+}
+
+TEST(Server, DecideMatchesInProcessDecideBitExactly) {
+  LiveServer live;
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+
+  const net::DecideRequest req = small_request();
+  const auto reply = client.decide(req, &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_FALSE(reply->cache_hit);
+  EXPECT_FALSE(reply->clamped);
+
+  const auto machine = fuzz::build_machine(req.machine);
+  DecisionRequest dr;
+  dr.method = req.method;
+  dr.budget = req.budget;
+  const DecisionReport local = decide(*machine, req.graph, dr);
+  EXPECT_TRUE(reply->report == local);
+}
+
+TEST(Server, RepeatedRequestIsServedFromCacheBitIdentically) {
+  LiveServer live;
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+
+  const net::DecideRequest req = small_request(11);
+  const auto first = client.decide(req, &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  EXPECT_FALSE(first->cache_hit);
+
+  const auto second = client.decide(req, &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_TRUE(second->report == first->report);
+
+  // A fresh connection hits the same entry (the cache is content-keyed, not
+  // per-connection).
+  net::Client other;
+  ASSERT_TRUE(other.connect(live.address(), &error)) << error;
+  const auto third = other.decide(req, &error);
+  ASSERT_TRUE(third.has_value()) << error;
+  EXPECT_TRUE(third->cache_hit);
+  EXPECT_TRUE(third->report == first->report);
+}
+
+TEST(Server, BudgetIsClampedAgainstServerCaps) {
+  net::ServerOptions opts;
+  opts.max_configs_cap = 1'000;
+  LiveServer live(opts);
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+
+  net::DecideRequest req = small_request();
+  req.budget.max_configs = 999'999'999;  // above the server cap
+  const auto reply = client.decide(req, &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_TRUE(reply->clamped);
+
+  // The clamped request and an explicitly capped one share a cache entry.
+  net::DecideRequest capped = small_request();
+  capped.budget.max_configs = 1'000;
+  const auto reply2 = client.decide(capped, &error);
+  ASSERT_TRUE(reply2.has_value()) << error;
+  EXPECT_TRUE(reply2->cache_hit);
+  EXPECT_TRUE(reply2->report == reply->report);
+}
+
+TEST(Server, MalformedFrameGetsStructuredErrorThenClose) {
+  LiveServer live;
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+
+  auto bytes = net::encode_frame(net::Action::Ping, net::FrameKind::Request,
+                                 42, "");
+  bytes[0] ^= 0xff;  // corrupt the magic
+  ASSERT_TRUE(client.send_raw(bytes.data(), bytes.size(), &error)) << error;
+
+  net::Frame reply;
+  bool closed = false;
+  ASSERT_TRUE(client.read_frame(&reply, &closed, &error)) << error;
+  EXPECT_EQ(reply.header.kind, net::FrameKind::Error);
+  const auto doc = obs::JsonValue::parse(reply.payload);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get("error")->as_string(), "bad-magic");
+
+  // The stream is unresyncable: the server closes after flushing the error.
+  EXPECT_FALSE(client.read_frame(&reply, &closed, &error));
+  EXPECT_TRUE(closed);
+}
+
+TEST(Server, MalformedJsonAndSchemaViolationsKeepTheConnectionAlive) {
+  LiveServer live;
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+
+  net::Frame reply;
+  ASSERT_TRUE(client.call(net::Action::Decide, "{not json", &reply, &error))
+      << error;
+  ASSERT_EQ(reply.header.kind, net::FrameKind::Error);
+  EXPECT_EQ(obs::JsonValue::parse(reply.payload)->get("error")->as_string(),
+            "bad-json");
+
+  ASSERT_TRUE(client.call(net::Action::Decide, "{\"spec_version\": 31}",
+                          &reply, &error))
+      << error;
+  ASSERT_EQ(reply.header.kind, net::FrameKind::Error);
+  EXPECT_EQ(obs::JsonValue::parse(reply.payload)->get("error")->as_string(),
+            "bad-spec-version");
+
+  // Framing-valid garbage never cost us the connection: a Ping still works.
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+TEST(Server, CancelOfUnknownNonceReportsFalse) {
+  LiveServer live;
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+  const auto cancelled = client.cancel(424242, &error);
+  ASSERT_TRUE(cancelled.has_value()) << error;
+  EXPECT_FALSE(*cancelled);
+}
+
+TEST(Server, DrainRejectsNewDecidesAndRunExits) {
+  LiveServer live;
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+  ASSERT_TRUE(client.ping(&error)) << error;
+
+  live.server().request_drain();
+  // Draining: Ping still answers (so health checks see the drain), new
+  // Decide work is refused with a structured "draining" error.
+  net::Frame reply;
+  const std::string payload =
+      net::decide_request_to_json(small_request()).dump();
+  if (client.call(net::Action::Decide, payload, &reply, &error)) {
+    EXPECT_EQ(reply.header.kind, net::FrameKind::Error);
+    EXPECT_EQ(obs::JsonValue::parse(reply.payload)->get("error")->as_string(),
+              "draining");
+  }
+  // ~LiveServer joins the poll loop: a hang here is the test failure.
+}
+
+TEST(Server, FrameGarbageFuzzContractHolds) {
+  net::ServerOptions opts;
+  opts.read_timeout_ms = 500;  // garbage streams stall on purpose
+  opts.idle_timeout_ms = 2'000;
+  LiveServer live(opts);
+
+  net::FrameFuzzOptions fopts;
+  fopts.cases = 120;
+  fopts.seed = 1;
+  const net::FrameFuzzResult result =
+      net::run_frame_fuzz(live.address(), fopts);
+  EXPECT_TRUE(result.ok()) << result.failure;
+  EXPECT_EQ(result.cases_run, 120);
+  EXPECT_GT(result.error_frames, 0);
+  EXPECT_GT(result.ok_frames, 0);  // the valid-ping cases
+}
+
+}  // namespace

@@ -52,7 +52,7 @@ TEST(ExplicitDecider, ReportsInconsistency) {
 TEST(ExplicitDecider, BudgetYieldsUnknown) {
   const auto m = make_exists_label(1, 2);
   const Graph g = make_cycle({0, 0, 1, 0, 0, 0});
-  ExplicitOptions opts;
+  ExploreBudget opts;
   opts.max_configs = 3;
   EXPECT_EQ(decide_pseudo_stochastic(*m, g, opts).decision, Decision::Unknown);
 }

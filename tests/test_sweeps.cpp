@@ -164,7 +164,7 @@ TEST_P(IntervalSweep, ExactOnWindow) {
   const auto machine = make_interval_automaton(0, lo, hi, 2);
   VerifyOptions opts;
   opts.count_bound = hi + 2;
-  opts.max_configs = 6'000'000;
+  opts.budget.max_configs = 6'000'000;
   const auto report = verify_machine_on_cliques(
       *machine, pred_interval(0, lo, hi, 2), opts);
   EXPECT_TRUE(report.ok()) << "[" << lo << "," << hi << "]: "

@@ -85,42 +85,31 @@ TEST(Verify, ReportSummaryMentionsFailures) {
   EXPECT_NE(s.find("expected reject"), std::string::npos);
 }
 
-// ------------------------------------------------- budget-field precedence
+// ----------------------------------------------------- structured budget
 
-TEST(Verify, LegacyMaxConfigsFillsInWhenBudgetUnset) {
+TEST(Verify, BudgetFieldsPassThroughToTheDeciders) {
   VerifyOptions opts;
-  opts.max_configs = 123;  // budget.max_configs stays 0
+  opts.budget.max_configs = 123;
   opts.budget.max_threads = 4;
   opts.budget.deadline_ms = 99;
-  const ExploreBudget b = resolve_verify_budget(opts);
-  EXPECT_EQ(b.max_configs, 123u);
-  // The other budget fields pass through untouched.
-  EXPECT_EQ(b.max_threads, 4);
-  EXPECT_EQ(b.deadline_ms, 99u);
+  // The ONE budget source: what you set is what the deciders get.
+  EXPECT_EQ(opts.budget.max_configs, 123u);
+  EXPECT_EQ(opts.budget.max_threads, 4);
+  EXPECT_EQ(opts.budget.deadline_ms, 99u);
 }
 
-TEST(Verify, StructuredBudgetWinsOverLegacyField) {
-  VerifyOptions opts;
-  opts.budget.max_configs = 777;
-  opts.max_configs = 123;  // explicitly set too — ignored, with a warning
-  const ExploreBudget b = resolve_verify_budget(opts);
-  EXPECT_EQ(b.max_configs, 777u);
-}
-
-TEST(Verify, DefaultsResolveToTheLegacyDefault) {
-  // Neither knob touched: the legacy default is the effective cap, so
+TEST(Verify, DefaultBudgetMatchesExploreBudgetDefault) {
+  // VerifyOptions pins the same default cap as a bare ExploreBudget, so
   // pre-existing sweeps keep their behaviour.
-  const ExploreBudget b = resolve_verify_budget(VerifyOptions{});
-  EXPECT_EQ(b.max_configs, kDeprecatedMaxConfigsDefault);
+  EXPECT_EQ(VerifyOptions{}.budget.max_configs, ExploreBudget{}.max_configs);
 }
 
-TEST(Verify, CappedSweepStillHonoursTinyLegacyBudget) {
-  // End to end: a tiny legacy-field budget must actually cap the sweep
-  // (the resolution feeds the deciders, not just the accessor).
+TEST(Verify, CappedSweepHonoursTinyBudget) {
+  // End to end: a tiny structured budget must actually cap the sweep.
   const auto m = make_exists_label(1, 2);
   VerifyOptions opts;
   opts.count_bound = 3;
-  opts.max_configs = 2;
+  opts.budget.max_configs = 2;
   const auto report = verify_machine(*m, pred_exists(1, 2), opts);
   EXPECT_FALSE(report.complete);
   EXPECT_FALSE(report.capped.empty());

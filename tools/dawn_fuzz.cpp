@@ -4,6 +4,7 @@
 //             [--max-nodes N] [--no-shrink] [--out DIR]
 //   dawn_fuzz --smoke [--out DIR]
 //   dawn_fuzz --replay FILE.case.json
+//   dawn_fuzz --frames [--frames-cases N] [--seed N]
 //   dawn_fuzz --list-pairs
 //
 // Modes:
@@ -12,6 +13,11 @@
 //                budget, all pairs, stop at the first divergence;
 //   --replay     reload a shrunk artifact and re-run its oracle pair
 //                (exit 0 = the divergence is gone, 1 = still present);
+//   --frames     frame-garbage fuzzing of the dawnd wire layer: start an
+//                in-process server on an ephemeral loopback port and drive
+//                seeded garbage streams at it, asserting every one gets a
+//                structured error frame, a valid reply, or a clean close
+//                (exit 0 = contract held, 1 = violation/hang/crash);
 //   --list-pairs print the registry and exit.
 //
 // Exit codes: 0 clean, 1 divergence found (artifacts written to --out,
@@ -21,7 +27,11 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "dawn/fuzz/fuzz.hpp"
+#include "dawn/net/frame_fuzz.hpp"
+#include "dawn/net/server.hpp"
 #include "dawn/util/parse.hpp"
 
 using namespace dawn;
@@ -35,8 +45,9 @@ namespace {
                "[--pair NAME]... [--max-nodes N] [--no-shrink] [--out DIR]\n"
                "       %s --smoke [--out DIR]\n"
                "       %s --replay FILE.case.json\n"
+               "       %s --frames [--frames-cases N] [--seed N]\n"
                "       %s --list-pairs\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -94,6 +105,42 @@ int replay_mode(const char* argv0, const std::string& path) {
   return 0;
 }
 
+int frames_mode(int cases, std::uint64_t seed) {
+  net::ServerOptions sopts;
+  sopts.listen = "tcp:127.0.0.1:0";
+  sopts.workers = 2;
+  sopts.read_timeout_ms = 1'000;  // garbage streams stall on purpose
+  sopts.idle_timeout_ms = 5'000;
+  net::Server server(sopts);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "frames: cannot start server: %s\n", error.c_str());
+    return 2;
+  }
+  std::thread loop([&server] { server.run(); });
+
+  net::FrameFuzzOptions fopts;
+  fopts.cases = cases;
+  fopts.seed = seed;
+  const net::FrameFuzzResult result =
+      net::run_frame_fuzz(server.address(), fopts);
+
+  server.request_stop();
+  loop.join();
+
+  std::printf(
+      "frames seed %llu: %d cases, %d error frames, %d ok frames, %d clean "
+      "closes\n",
+      static_cast<unsigned long long>(seed), result.cases_run,
+      result.error_frames, result.ok_frames, result.clean_closes);
+  if (!result.ok()) {
+    std::fprintf(stderr, "frames: CONTRACT VIOLATION: %s\n",
+                 result.failure.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int list_pairs() {
   for (const fuzz::OraclePair& pair : fuzz::oracle_pairs()) {
     std::printf("%-16s %s\n", pair.name.c_str(), pair.description.c_str());
@@ -106,6 +153,8 @@ int list_pairs() {
 int main(int argc, char** argv) {
   fuzz::FuzzOptions opts;
   bool smoke = false;
+  bool frames = false;
+  int frames_cases = 256;
   std::string out_dir = ".";
   std::string replay_path;
 
@@ -137,6 +186,12 @@ int main(int argc, char** argv) {
       out_dir = flag_value("--out");
     } else if (!std::strcmp(argv[i], "--smoke")) {
       smoke = true;
+    } else if (!std::strcmp(argv[i], "--frames")) {
+      frames = true;
+    } else if (!std::strcmp(argv[i], "--frames-cases")) {
+      frames_cases = static_cast<int>(require_int(
+          argv[0], "--frames-cases", flag_value("--frames-cases"), 1,
+          1'000'000));
     } else if (!std::strcmp(argv[i], "--replay")) {
       replay_path = flag_value("--replay");
     } else if (!std::strcmp(argv[i], "--list-pairs")) {
@@ -154,6 +209,8 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) return replay_mode(argv[0], replay_path);
+
+  if (frames) return frames_mode(frames_cases, opts.seed);
 
   if (smoke) {
     // The CI gate: fixed seeds (reproducible across runs and hosts), a
