@@ -110,11 +110,16 @@ struct Server::Connection {
   std::uint64_t id = 0;
   FrameReader reader;
   std::deque<std::vector<std::uint8_t>> writeq;
-  std::size_t write_off = 0;  // bytes of writeq.front() already sent
-  int inflight = 0;           // Decide jobs outstanding for this connection
+  std::size_t write_off = 0;     // bytes of writeq.front() already sent
+  std::size_t writeq_bytes = 0;  // total bytes of frames still in writeq
+  int inflight = 0;              // Decide jobs outstanding for this connection
   Clock::time_point last_activity;
-  bool peer_eof = false;      // stop reading; close once flushed + idle
+  bool peer_eof = false;  // stop reading; close once flushed + idle
   bool close_after_flush = false;
+  // Connections are never destroyed mid-handler: a failed write (or any
+  // other fatal condition) sets `dead` and the poll loop reaps the fd at the
+  // end of the tick, so references held across send_frame() stay valid.
+  bool dead = false;
 
   explicit Connection(std::size_t max_payload) : reader(max_payload) {}
 };
@@ -247,7 +252,7 @@ void Server::poll_loop() {
       // Flush what is queued to write, then leave.
       bool pending = false;
       for (const auto& [fd, c] : conns_) {
-        if (!c->writeq.empty()) pending = true;
+        if (!c->dead && !c->writeq.empty()) pending = true;
       }
       if (!pending) break;
     }
@@ -287,26 +292,26 @@ void Server::poll_loop() {
     for (std::size_t i = 0; i < fd_order.size(); ++i, ++idx) {
       const int fd = fd_order[i];
       auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;  // closed by a completion this tick
+      if (it == conns_.end()) continue;
       Connection& c = *it->second;
+      if (c.dead) continue;  // marked by a completion this tick; reaped below
       const short revents = fds[idx].revents;
       if (revents & (POLLERR | POLLNVAL)) {
-        close_conn(fd);
+        c.dead = true;
         continue;
       }
       if (revents & POLLOUT) conn_writable(c);
-      if (conns_.find(fd) == conns_.end()) continue;
-      if (revents & (POLLIN | POLLHUP)) conn_readable(c);
-      if (conns_.find(fd) == conns_.end()) continue;
+      if (!c.dead && (revents & (POLLIN | POLLHUP))) conn_readable(c);
       // A connection with nothing left to do and no way to get more work
       // can be reaped.
-      if ((c.peer_eof || c.close_after_flush) && c.writeq.empty() &&
+      if (!c.dead && (c.peer_eof || c.close_after_flush) && c.writeq.empty() &&
           c.inflight == 0) {
-        close_conn(fd);
+        c.dead = true;
       }
     }
 
     scan_timeouts();
+    reap_dead();
   }
 
   // Stop the worker gang.
@@ -361,18 +366,19 @@ void Server::conn_readable(Connection& c) {
       c.peer_eof = true;
       break;
     }
+    if (errno == EINTR) continue;  // a signal is not a dead peer
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    close_conn(c.fd);
+    c.dead = true;
     return;
   }
 
   Frame f;
-  while (c.reader.next(&f)) {
+  while (!c.dead && c.reader.next(&f)) {
     handle_frame(c, f);
-    if (conns_.find(c.fd) == conns_.end()) return;
+    if (c.dead) return;
     if (c.close_after_flush) break;
   }
-  if (c.reader.error() != WireError::None && !c.close_after_flush) {
+  if (!c.dead && c.reader.error() != WireError::None && !c.close_after_flush) {
     // The stream cannot be resynced after a corrupt header: answer with a
     // structured error naming the problem, then close once it is flushed.
     send_error(c, Action::Decide, 0, c.reader.error(), "unresyncable stream");
@@ -388,25 +394,36 @@ void Server::conn_writable(Connection& c) {
     const ssize_t n = send(c.fd, front.data() + c.write_off,
                            front.size() - c.write_off, MSG_NOSIGNAL);
     if (n < 0) {
+      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      close_conn(c.fd);
+      c.dead = true;
       return;
     }
     c.write_off += static_cast<std::size_t>(n);
     c.last_activity = Clock::now();
     if (c.write_off < front.size()) return;
+    c.writeq_bytes -= front.size();
     c.writeq.pop_front();
     c.write_off = 0;
   }
   if (c.close_after_flush && c.writeq.empty() && c.inflight == 0) {
-    close_conn(c.fd);
+    c.dead = true;
   }
 }
 
 void Server::send_frame(Connection& c, std::vector<std::uint8_t> bytes) {
+  if (c.dead) return;  // peer already gone; the frame has nowhere to go
+  c.writeq_bytes += bytes.size();
   c.writeq.push_back(std::move(bytes));
   // Opportunistic immediate write; POLLOUT picks up whatever is left.
   conn_writable(c);
+  if (!c.dead && opts_.max_writeq_bytes > 0 &&
+      c.writeq_bytes > opts_.max_writeq_bytes) {
+    // The peer pipelines requests but never reads replies; its reads keep
+    // the idle timeout at bay, so cap its reply backlog instead.
+    metrics_.add(obs::Counter::NetErrors);
+    c.dead = true;
+  }
 }
 
 void Server::send_error(Connection& c, Action action, std::uint64_t nonce,
@@ -415,11 +432,17 @@ void Server::send_error(Connection& c, Action action, std::uint64_t nonce,
   send_frame(c, encode_error_frame(action, nonce, e, detail));
 }
 
-void Server::close_conn(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  close(fd);
-  conns_.erase(it);
+// The only place a Connection is ever destroyed; runs once per poll tick,
+// after every handler has returned.
+void Server::reap_dead() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second->dead) {
+      close(it->first);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Server::handle_frame(Connection& c, const Frame& f) {
@@ -603,10 +626,12 @@ void Server::handle_cancel(Connection& c, const Frame& f) {
 }
 
 void Server::scan_timeouts() {
+  // send_error() only marks connections dead (never erases them), so
+  // iterating conns_ while sending is safe; reap_dead() runs right after.
   const auto now = Clock::now();
   for (auto& [fd, cp] : conns_) {
     Connection& c = *cp;
-    if (c.close_after_flush) continue;
+    if (c.dead || c.close_after_flush) continue;
     const auto idle_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             now - c.last_activity)

@@ -13,7 +13,9 @@
 //     bad-schema, bad-spec-version, ...), then a clean close when the byte
 //     stream is unresyncable;
 //   * per-connection inflight caps and a server-wide bounded job queue turn
-//     overload into "overloaded" error frames instead of unbounded memory;
+//     overload into "overloaded" error frames instead of unbounded memory,
+//     and a per-connection write-queue byte cap disconnects peers that
+//     pipeline requests without ever reading replies;
 //   * read (mid-frame) and idle timeouts reap stuck peers;
 //   * request budgets are clamped against server-wide caps, and the frame
 //     deadline propagates into ExploreBudget::deadline_ms;
@@ -66,6 +68,11 @@ struct ServerOptions {
   std::size_t max_queue = 64;
   std::uint64_t read_timeout_ms = 5'000;   // mid-frame stall
   std::uint64_t idle_timeout_ms = 60'000;  // quiet connection, nothing inflight
+  // Per-connection cap on queued-but-unsent reply bytes. A peer that
+  // pipelines requests without ever reading replies keeps the idle timeout
+  // at bay (its reads count as activity), so this is the backstop that
+  // bounds its memory. 0 = unbounded.
+  std::size_t max_writeq_bytes = 8u << 20;
 
   // Result cache sizing.
   std::size_t cache_entries = 1024;
@@ -131,7 +138,7 @@ class Server {
   void send_frame(Connection& c, std::vector<std::uint8_t> bytes);
   void send_error(Connection& c, Action action, std::uint64_t nonce,
                   WireError e, std::string_view detail);
-  void close_conn(int fd);
+  void reap_dead();
   void scan_timeouts();
   void drain_completions();
   void worker_main(int worker);

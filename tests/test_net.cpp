@@ -2,6 +2,9 @@
 // and a live in-process server driven end-to-end over loopback.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <thread>
 
 #include "dawn/fuzz/artifact.hpp"
@@ -376,6 +379,69 @@ TEST(Server, MalformedJsonAndSchemaViolationsKeepTheConnectionAlive) {
             "bad-spec-version");
 
   // Framing-valid garbage never cost us the connection: a Ping still works.
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+// Regression: replying to a peer whose socket died mid-handler used to
+// destroy the Connection while handle_cancel/handle_frame still held a
+// reference to it. Pipeline a burst ending in a Cancel, then RST the
+// connection so the server's reply writes fail; the server must survive
+// (under ASan this is the use-after-free repro).
+TEST(Server, AbruptDisconnectWithPendingRepliesIsHarmless) {
+  LiveServer live;
+  std::string error;
+  const int fd = net::connect_address(live.address(), &error);
+  ASSERT_GE(fd, 0) << error;
+
+  std::vector<std::uint8_t> burst;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto ping =
+        net::encode_frame(net::Action::Ping, net::FrameKind::Request, i, "");
+    burst.insert(burst.end(), ping.begin(), ping.end());
+  }
+  const auto cancel = net::encode_frame(
+      net::Action::Cancel, net::FrameKind::Request, 99, "{\"nonce\": 7}");
+  burst.insert(burst.end(), cancel.begin(), cancel.end());
+  ASSERT_EQ(send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+
+  // SO_LINGER with zero timeout turns close() into an RST: the server's
+  // queued replies now fail to send while their handlers are on the stack.
+  struct linger lg = {1, 0};
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  close(fd);
+
+  // The server survives and keeps serving fresh connections.
+  net::Client client;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+// A peer that pipelines requests without ever reading replies refreshes its
+// last_activity on every read, so the idle timeout never fires; the
+// write-queue byte cap is what disconnects it.
+TEST(Server, WriteQueueCapDisconnectsNonReadingPipeliner) {
+  net::ServerOptions opts;
+  opts.max_writeq_bytes = 4 * 1024;
+  LiveServer live(opts);
+  std::string error;
+  const int fd = net::connect_address(live.address(), &error);
+  ASSERT_GE(fd, 0) << error;
+
+  // Never read: replies pile into kernel buffers, then the server-side
+  // write queue, which trips the cap and RSTs us (close with unread data).
+  const auto ping =
+      net::encode_frame(net::Action::Ping, net::FrameKind::Request, 9, "");
+  bool closed = false;
+  for (int i = 0; i < 500'000 && !closed; ++i) {
+    if (send(fd, ping.data(), ping.size(), MSG_NOSIGNAL) < 0) closed = true;
+  }
+  EXPECT_TRUE(closed);
+  close(fd);
+
+  // Only the abusive connection was dropped; the server still serves.
+  net::Client client;
+  ASSERT_TRUE(client.connect(live.address(), &error)) << error;
   EXPECT_TRUE(client.ping(&error)) << error;
 }
 

@@ -41,6 +41,7 @@ void on_signal(int) {
       "          [--max-configs N] [--max-threads N] [--deadline-cap-ms N]\n"
       "          [--max-payload N] [--max-inflight N] [--max-queue N]\n"
       "          [--read-timeout-ms N] [--idle-timeout-ms N]\n"
+      "          [--max-writeq-bytes N]\n"
       "          [--cache-entries N] [--cache-bytes N] [--trace-dir DIR]\n",
       argv0);
   std::exit(2);
@@ -103,6 +104,10 @@ int main(int argc, char** argv) {
       opts.idle_timeout_ms = static_cast<std::uint64_t>(
           require_int(argv[0], "--idle-timeout-ms",
                       flag_value("--idle-timeout-ms"), 0, kMax));
+    } else if (!std::strcmp(argv[i], "--max-writeq-bytes")) {
+      opts.max_writeq_bytes = static_cast<std::size_t>(
+          require_int(argv[0], "--max-writeq-bytes",
+                      flag_value("--max-writeq-bytes"), 0, kMax));
     } else if (!std::strcmp(argv[i], "--cache-entries")) {
       opts.cache_entries = static_cast<std::size_t>(require_int(
           argv[0], "--cache-entries", flag_value("--cache-entries"), 1,
