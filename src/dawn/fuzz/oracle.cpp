@@ -264,6 +264,55 @@ std::optional<std::string> check_canonical_vs_plain(const FuzzCase& c) {
 }
 
 // -------------------------------------------------------------------------
+// tiered-vs-inmemory: the in-memory parallel explicit engine vs the
+// out-of-core tiered store. The byte budget is calibrated from the
+// in-memory run's config count so the tiered side is forced through its
+// spill path on any nontrivial case while its always-resident index still
+// fits (the packed words dominate the budget, the index alone does not).
+// Completed runs must agree on everything; a tiered MemoryCap (the case's
+// index outgrew even the calibrated budget) makes the case incomparable.
+
+std::optional<std::string> check_tiered_vs_inmemory(const FuzzCase& c) {
+  const auto machine = build_machine(c.machine);
+  const ExplicitResult mem =
+      decide_pseudo_stochastic_parallel(*machine, c.graph, sequential_budget());
+  if (mem.decision == Decision::Unknown) {
+    return std::nullopt;  // capped: no count to calibrate the byte budget on
+  }
+  ExploreBudget tiered_budget = sequential_budget();
+  tiered_budget.max_threads = 2;
+  tiered_budget.max_store_bytes = 5120 + 18 * mem.num_configs;
+  tiered_budget.spill_dir = "/tmp";
+  const ExplicitResult tiered =
+      decide_pseudo_stochastic_parallel(*machine, c.graph, tiered_budget);
+  if (!tiered.tiered_store) {
+    return std::string("tiered store did not engage (spill dir unusable?)");
+  }
+  if (tiered.decision == Decision::Unknown &&
+      tiered.reason == UnknownReason::MemoryCap) {
+    return std::nullopt;  // resident index over budget: incomparable
+  }
+  std::ostringstream out;
+  out << "tiered vs in-memory: ";
+  if (tiered.decision != mem.decision || tiered.reason != mem.reason) {
+    out << "decision " << to_string(tiered.decision) << "/"
+        << to_string(tiered.reason) << " vs " << to_string(mem.decision)
+        << "/" << to_string(mem.reason);
+    return out.str();
+  }
+  if (tiered.num_configs != mem.num_configs) {
+    out << "num_configs " << tiered.num_configs << " vs " << mem.num_configs;
+    return out.str();
+  }
+  if (tiered.num_bottom_sccs != mem.num_bottom_sccs) {
+    out << "num_bottom_sccs " << tiered.num_bottom_sccs << " vs "
+        << mem.num_bottom_sccs;
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+// -------------------------------------------------------------------------
 // clique-counted / star-counted: the explicit decider on the concrete graph
 // vs the counted-configuration quotient. The spaces (and budgets) differ,
 // so only decisions are comparable, and only when both sides completed.
@@ -448,6 +497,10 @@ std::vector<OraclePair> build_registry() {
                    "plain parallel explicit engine vs symmetry-reduced + "
                    "bit-packed exploration",
                    small, check_canonical_vs_plain});
+  pairs.push_back({"tiered-vs-inmemory",
+                   "in-memory parallel explicit engine vs the out-of-core "
+                   "tiered store under a spill-forcing byte budget",
+                   small, check_tiered_vs_inmemory});
   pairs.push_back(
       {"clique-counted",
        "explicit decider vs the counted-configuration decider on cliques",

@@ -3,8 +3,7 @@
 namespace dawn::net {
 
 ResultCache::ResultCache(std::size_t max_entries, std::size_t max_bytes)
-    : max_entries_(max_entries == 0 ? 1 : max_entries),
-      max_bytes_(max_bytes) {}
+    : max_entries_(max_entries), max_bytes_(max_bytes) {}
 
 bool ResultCache::lookup(const std::string& key, std::string* value) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -21,7 +20,10 @@ bool ResultCache::lookup(const std::string& key, std::string* value) {
 
 void ResultCache::insert(const std::string& key, std::string value) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (key.size() + value.size() > max_bytes_) return;
+  if (max_bytes_ != 0 && key.size() + value.size() > max_bytes_) {
+    ++oversize_rejections_;
+    return;
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->key.size() + it->second->value.size();
@@ -39,7 +41,8 @@ void ResultCache::insert(const std::string& key, std::string value) {
 
 void ResultCache::evict_to_fit() {
   while (!lru_.empty() &&
-         (lru_.size() > max_entries_ || bytes_ > max_bytes_)) {
+         ((max_entries_ != 0 && lru_.size() > max_entries_) ||
+          (max_bytes_ != 0 && bytes_ > max_bytes_))) {
     const Entry& victim = lru_.back();
     bytes_ -= victim.key.size() + victim.value.size();
     index_.erase(victim.key);
@@ -55,6 +58,7 @@ CacheStats ResultCache::stats() const {
   s.misses = misses_;
   s.insertions = insertions_;
   s.evictions = evictions_;
+  s.oversize_rejections = oversize_rejections_;
   s.entries = lru_.size();
   s.bytes = bytes_;
   s.max_entries = max_entries_;
@@ -63,6 +67,7 @@ CacheStats ResultCache::stats() const {
 }
 
 void ResultCache::clear() {
+  // Content only; lifetime counters survive (see the class comment).
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();

@@ -11,6 +11,17 @@
 // Bounded LRU with both an entry cap and a byte cap (payload bytes), since
 // one pathological graph can dwarf a thousand small ones. Thread-safe: the
 // server's worker threads insert while the poll thread looks up.
+//
+// Cap semantics (docs/SERVICE.md): 0 means "unlimited" for BOTH caps —
+// max_entries and max_bytes are treated identically (historically
+// max_entries == 0 was silently clamped to 1 while max_bytes == 0 silently
+// disabled insertion). When max_bytes is finite, an entry whose key+value
+// alone exceed it can never be cached; such inserts are dropped and counted
+// in CacheStats::oversize_rejections instead of vanishing without a trace.
+// clear() drops the cached content (entries/bytes go to 0) but keeps the
+// lifetime hit/miss/insertion/eviction/oversize counters: they describe the
+// cache's history, not its contents, and monitoring deltas must survive an
+// operator flush.
 #pragma once
 
 #include <cstdint>
@@ -26,10 +37,12 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  // Inserts dropped because key+value exceeded a finite byte cap.
+  std::uint64_t oversize_rejections = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
-  std::size_t max_entries = 0;
-  std::size_t max_bytes = 0;
+  std::size_t max_entries = 0;  // 0 = unlimited
+  std::size_t max_bytes = 0;    // 0 = unlimited
 };
 
 class ResultCache {
@@ -42,10 +55,14 @@ class ResultCache {
   bool lookup(const std::string& key, std::string* value);
 
   // Inserts (or refreshes) an entry, evicting least-recently-used entries
-  // until both caps hold. A value larger than the byte cap is not cached.
+  // until both caps hold. An entry larger than a finite byte cap is not
+  // cached; the drop is counted as an oversize rejection.
   void insert(const std::string& key, std::string value);
 
   CacheStats stats() const;
+
+  // Drops all cached entries. Lifetime counters (hits/misses/insertions/
+  // evictions/oversize_rejections) are kept — see the class comment.
   void clear();
 
  private:
@@ -67,6 +84,7 @@ class ResultCache {
   std::uint64_t misses_ = 0;
   std::uint64_t insertions_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t oversize_rejections_ = 0;
 };
 
 }  // namespace dawn::net

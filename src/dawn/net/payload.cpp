@@ -58,6 +58,12 @@ obs::JsonValue budget_to_json(const ExploreBudget& b) {
   out.set("deadline_ms", obs::JsonValue(b.deadline_ms));
   out.set("use_symmetry", obs::JsonValue(b.use_symmetry));
   out.set("use_packing", obs::JsonValue(b.use_packing));
+  // Emitted only when set so spec-v1 request bytes without spilling stay
+  // pinned. spill_dir never crosses the wire: the server substitutes its
+  // own --spill-dir, and the path cannot change a decision.
+  if (b.max_store_bytes != 0) {
+    out.set("max_store_bytes", obs::JsonValue(b.max_store_bytes));
+  }
   return out;
 }
 
@@ -66,7 +72,7 @@ bool budget_from_json(const obs::JsonValue& v, ExploreBudget* out,
   if (v.kind() != Kind::Object) return fail(error, "budget must be an object");
   if (!reject_unknown_keys(v,
                            {"max_configs", "max_threads", "deadline_ms",
-                            "use_symmetry", "use_packing"},
+                            "use_symmetry", "use_packing", "max_store_bytes"},
                            error)) {
     return false;
   }
@@ -101,6 +107,12 @@ bool budget_from_json(const obs::JsonValue& v, ExploreBudget* out,
       return fail(error, "missing or mistyped field: use_packing");
     }
     out->use_packing = f->as_bool();
+  }
+  if (const obs::JsonValue* f = v.get("max_store_bytes")) {
+    if (f->kind() != Kind::Int || f->as_int() < 0) {
+      return fail(error, "missing or mistyped field: max_store_bytes");
+    }
+    out->max_store_bytes = static_cast<std::size_t>(f->as_int());
   }
   return true;
 }
@@ -232,7 +244,7 @@ std::optional<DecisionReport> report_from_json(const obs::JsonValue& v,
   for (const UnknownReason r :
        {UnknownReason::None, UnknownReason::ConfigCap, UnknownReason::Deadline,
         UnknownReason::StepCap, UnknownReason::Inconclusive,
-        UnknownReason::CrossCheck}) {
+        UnknownReason::CrossCheck, UnknownReason::MemoryCap}) {
     if (to_string(r) == reason->as_string()) {
       report.unknown_reason = r;
       found = true;

@@ -471,8 +471,12 @@ void Server::handle_frame(Connection& c, const Frame& f) {
       body.set("misses", obs::JsonValue(s.cache.misses));
       body.set("insertions", obs::JsonValue(s.cache.insertions));
       body.set("evictions", obs::JsonValue(s.cache.evictions));
+      body.set("oversize_rejections",
+               obs::JsonValue(s.cache.oversize_rejections));
       body.set("entries", obs::JsonValue(s.cache.entries));
       body.set("bytes", obs::JsonValue(s.cache.bytes));
+      body.set("spilled_requests", obs::JsonValue(s.spilled_requests));
+      body.set("spill_bytes", obs::JsonValue(s.spill_bytes));
       body.set("connections", obs::JsonValue(s.connections));
       body.set("requests", obs::JsonValue(s.requests));
       body.set("errors", obs::JsonValue(s.errors));
@@ -532,6 +536,20 @@ void Server::handle_decide(Connection& c, const Frame& f) {
       (b.deadline_ms == 0 || b.deadline_ms > opts_.deadline_cap_ms)) {
     b.deadline_ms = opts_.deadline_cap_ms;
     clamped = true;
+  }
+  // Spill policy: out-of-core runs are request-opt-in (nonzero
+  // max_store_bytes) but server-gated. No --spill-dir means the knob is
+  // forced off; otherwise it is clamped to the server cap. Clamping happens
+  // here — before cache keying — like every other budget field.
+  if (b.max_store_bytes != 0) {
+    if (opts_.spill_dir.empty()) {
+      b.max_store_bytes = 0;
+      clamped = true;
+    } else if (opts_.max_store_bytes_cap != 0 &&
+               b.max_store_bytes > opts_.max_store_bytes_cap) {
+      b.max_store_bytes = opts_.max_store_bytes_cap;
+      clamped = true;
+    }
   }
 
   const std::string key = cache_key(*req);
@@ -688,7 +706,22 @@ void Server::worker_main(int worker) {
       DecisionRequest dr;
       dr.method = job->req.method;
       dr.budget = job->req.budget;
+      // The spill dir is server config, never wire input: inject it only
+      // when the (already clamped) request opted into a byte budget.
+      if (dr.budget.max_store_bytes != 0) dr.budget.spill_dir = opts_.spill_dir;
       reply.report = dawn::decide(*machine, job->req.graph, dr);
+    }
+    {
+      // Spill accounting for CacheStats, from the report's ledger.
+      const obs::MemoryLedger& mem = reply.report.memory;
+      const std::uint64_t spilled =
+          mem.get(obs::MemoryAccount::SpillArenaBytes) +
+          mem.get(obs::MemoryAccount::SpillFrontierBytes) +
+          mem.get(obs::MemoryAccount::SpillEdgeBytes);
+      if (spilled > 0) {
+        spilled_requests_.fetch_add(1, std::memory_order_relaxed);
+        spill_bytes_.fetch_add(spilled, std::memory_order_relaxed);
+      }
     }
     if (trace_log != nullptr) {
       const std::uint64_t seq =
@@ -753,6 +786,8 @@ ServerStats Server::stats() const {
   s.errors = metrics_.counter(obs::Counter::NetErrors);
   s.open_connections = conns_.size();
   s.inflight = inflight_;
+  s.spilled_requests = spilled_requests_.load(std::memory_order_relaxed);
+  s.spill_bytes = spill_bytes_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   return s;
 }

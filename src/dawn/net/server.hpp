@@ -81,6 +81,14 @@ struct ServerOptions {
   // When nonempty, Decide requests with "trace": true dump a Chrome trace
   // of their server-side execution here and the reply carries its path.
   std::string trace_dir;
+
+  // Out-of-core exploration policy. A request opts in by sending a nonzero
+  // budget.max_store_bytes; it runs tiered only when the server was started
+  // with a spill dir (dawnd --spill-dir), and its byte budget is clamped to
+  // max_store_bytes_cap (0 = no server cap). spill_dir itself never crosses
+  // the wire — the server injects its own directory into the budget.
+  std::string spill_dir;
+  std::size_t max_store_bytes_cap = 0;
 };
 
 struct ServerStats {
@@ -89,6 +97,10 @@ struct ServerStats {
   std::uint64_t errors = 0;
   std::size_t open_connections = 0;
   std::size_t inflight = 0;
+  // Requests whose completed report shows spill activity, and the
+  // cumulative bytes they wrote to spill files (arena+frontier+edges).
+  std::uint64_t spilled_requests = 0;
+  std::uint64_t spill_bytes = 0;
   CacheStats cache;
 };
 
@@ -167,6 +179,10 @@ class Server {
 
   std::unique_ptr<WorkerPool> pool_;
   std::thread exec_;
+
+  // Spill accounting, written by workers as reports complete.
+  std::atomic<std::uint64_t> spilled_requests_{0};
+  std::atomic<std::uint64_t> spill_bytes_{0};
 
   ResultCache cache_;
   obs::RunMetrics metrics_;  // poll thread only

@@ -1,5 +1,6 @@
 #include "dawn/obs/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -135,7 +136,7 @@ namespace {
 struct Parser {
   std::string_view text;
   std::size_t pos = 0;
-  std::string error;
+  std::string error = {};
 
   bool fail(const std::string& what) {
     if (error.empty()) {
@@ -306,15 +307,26 @@ struct Parser {
     }
     if (pos == start) return fail("unexpected character");
     const std::string token(text.substr(start, pos - start));
+    // Number range contract (docs/OBSERVABILITY.md): integer tokens must
+    // fit int64 — anything larger is a named parse error, never a silent
+    // saturation to LLONG_MAX. Doubles reject overflow to ±HUGE_VAL;
+    // gradual underflow to (sub)normals or 0.0 is accepted as the closest
+    // representable value.
     if (is_double) {
       char* end = nullptr;
+      errno = 0;
       const double v = std::strtod(token.c_str(), &end);
       if (end == nullptr || *end != '\0') return fail("bad number");
+      if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+        return fail("number out of double range");
+      }
       out = JsonValue(v);
     } else {
       char* end = nullptr;
+      errno = 0;
       const long long v = std::strtoll(token.c_str(), &end, 10);
       if (end == nullptr || *end != '\0') return fail("bad number");
+      if (errno == ERANGE) return fail("integer out of int64 range");
       out = JsonValue(v);
     }
     return true;

@@ -27,6 +27,8 @@ const char* name(Counter c) {
     case Counter::ExploreEdges: return "explore.edges";
     case Counter::ExploreLevels: return "explore.levels";
     case Counter::ExploreSteals: return "explore.steals";
+    case Counter::ExploreSpillEvents: return "explore.spill.events";
+    case Counter::ExploreSpillBytes: return "explore.spill.bytes";
     case Counter::NetConnections: return "net.connections";
     case Counter::NetRequests: return "net.requests";
     case Counter::NetErrors: return "net.errors";
@@ -46,6 +48,7 @@ const char* name(Gauge g) {
     case Gauge::ExploreFrontierPeak: return "explore.frontier_peak";
     case Gauge::ExploreThreads: return "explore.threads";
     case Gauge::ExploreStoreBytes: return "explore.store_bytes";
+    case Gauge::ExploreResidentBytes: return "explore.resident_bytes";
     case Gauge::NetInflightPeak: return "net.inflight_peak";
     case Gauge::kCount: break;
   }

@@ -57,6 +57,9 @@ enum class Counter : std::uint16_t {
   ExploreLevels,         // explicit exploration: BFS levels (frontier waves)
   ExploreSteals,         // explicit exploration: cross-worker chunk claims;
                          // scheduling-dependent, excluded from determinism
+  ExploreSpillEvents,    // tiered store: level-boundary spill passes
+  ExploreSpillBytes,     // tiered store: bytes written to spill files
+                         // (arena + frontier levels + edge spool)
   NetConnections,        // dawnd: connections accepted
   NetRequests,           // dawnd: request frames handled (all actions)
   NetErrors,             // dawnd: error frames sent
@@ -74,6 +77,7 @@ enum class Gauge : std::uint16_t {
   ExploreFrontierPeak,   // explicit exploration: largest BFS frontier
   ExploreThreads,        // explicit exploration: workers actually used
   ExploreStoreBytes,     // explicit exploration: config-store occupancy
+  ExploreResidentBytes,  // tiered exploration: resident footprint at finalize
   NetInflightPeak,       // dawnd: most jobs queued or running at once
   kCount,
 };

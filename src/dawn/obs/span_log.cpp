@@ -16,6 +16,7 @@ const char* name(Phase p) {
     case Phase::ExploreMerge: return "explore.merge";
     case Phase::ExploreSccTrim: return "explore.scc.trim";
     case Phase::ExploreSccFb: return "explore.scc.fb";
+    case Phase::ExploreSpill: return "explore.spill";
     case Phase::Canonicalize: return "canonicalize";
     case Phase::TrialsBlock: return "trials.block";
     case Phase::SimulateRun: return "simulate.run";

@@ -50,6 +50,7 @@ enum class Phase : std::uint8_t {
   ExploreMerge,    // post-exploration buffer merge + dense remap
   ExploreSccTrim,  // SCC pass: the in/out-degree peel
   ExploreSccFb,    // SCC pass: forward-backward partitioning workers
+  ExploreSpill,    // tiered store: one level-boundary spill pass
   Canonicalize,    // one symmetry-canonicalised expansion
   TrialsBlock,     // one SoA batched trial block
   SimulateRun,     // one simulate() run

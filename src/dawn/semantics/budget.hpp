@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <thread>
 
 namespace dawn {
@@ -45,6 +46,20 @@ struct ExploreBudget {
   // back to the vector store for lazily-interning machines.
   bool use_symmetry = false;
   bool use_packing = false;
+
+  // Out-of-core exploration (docs/ENGINE.md "Tiered store"). When both
+  // max_store_bytes > 0 and spill_dir is set, the parallel explicit engine
+  // swaps the in-memory packed store for the TieredConfigStore: packed
+  // config words spill to unlinked files under spill_dir whenever the
+  // resident footprint exceeds max_store_bytes at a level boundary, large
+  // frontier levels stream through delta-encoded spill files, and every
+  // edge goes to disk instead of RAM. The budget is enforced per level
+  // (resident bytes may overshoot within one BFS level); if the always-
+  // resident hash index alone exceeds it the run aborts with
+  // UnknownReason::MemoryCap — deterministically, because level-end store
+  // contents are thread-count-invariant. 0 / empty = never spill.
+  std::size_t max_store_bytes = 0;
+  std::string spill_dir = {};
 
   int resolve_threads() const {
     int t = max_threads;

@@ -50,7 +50,8 @@ DecideMethod resolve_auto(const Graph& g) {
 
 constexpr bool is_exhaustion(UnknownReason r) {
   return r == UnknownReason::ConfigCap || r == UnknownReason::Deadline ||
-         r == UnknownReason::StepCap || r == UnknownReason::Inconclusive;
+         r == UnknownReason::StepCap || r == UnknownReason::Inconclusive ||
+         r == UnknownReason::MemoryCap;
 }
 
 // Differential agreement between the parallel engine and its sequential

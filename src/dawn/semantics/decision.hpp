@@ -45,6 +45,8 @@ enum class UnknownReason : std::uint8_t {
   StepCap,       // bounded-run budget exhausted (synchronous / simulate)
   Inconclusive,  // statistical backend finished without certifying a verdict
   CrossCheck,    // differential cross-check mismatch (an engine bug)
+  MemoryCap,     // ExploreBudget::max_store_bytes too small for the
+                 // always-resident index (tiered store), or spill I/O failed
 };
 
 inline std::string to_string(Decision d) {
@@ -75,6 +77,8 @@ inline std::string to_string(UnknownReason r) {
       return "inconclusive";
     case UnknownReason::CrossCheck:
       return "cross-check";
+    case UnknownReason::MemoryCap:
+      return "memory-cap";
   }
   return "?";
 }
@@ -115,8 +119,11 @@ struct DecisionRequest {
   // Facade default: use every hardware thread. The parallel engines are
   // bit-identical to the sequential reference for every thread count, so
   // this only changes wall-clock time.
-  ExploreBudget budget = {.max_configs = 2'000'000, .max_threads = 0,
-                          .deadline_ms = 0};
+  ExploreBudget budget = [] {
+    ExploreBudget b;
+    b.max_threads = 0;
+    return b;
+  }();
   // Differentially pin the parallel engine against the sequential reference
   // decider (where one exists). A mismatch — which would be an engine bug —
   // reports Decision::Unknown with UnknownReason::CrossCheck.

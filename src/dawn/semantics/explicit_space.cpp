@@ -1,6 +1,7 @@
 #include "dawn/semantics/explicit_space.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "dawn/semantics/parallel_explore.hpp"
 #include "dawn/semantics/scc.hpp"
 #include "dawn/semantics/symmetry.hpp"
+#include "dawn/semantics/tiered_config.hpp"
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
 #include "dawn/util/interner.hpp"
@@ -103,10 +105,10 @@ struct CanonExplicitExpander {
   const Machine& machine;
   const Graph& g;
   const SymmetryGroup& grp;
-  Neighbourhood nb;
-  Config scratch;
-  Config emit_buf;
-  CanonScratch canon;
+  Neighbourhood nb = {};
+  Config scratch = {};
+  Config emit_buf = {};
+  CanonScratch canon = {};
 
   template <typename Emit>
   void operator()(const Config& current, Emit&& emit) {
@@ -165,6 +167,11 @@ ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
 
   const std::optional<int> nstates = machine.num_states();
   const bool packed = budget.use_packing && nstates.has_value();
+  // The out-of-core store engages only when the budget names both a byte cap
+  // and a spill directory, and the machine advertises |Q| (the spill arena
+  // is the PackedCodec word stream, so an unpackable machine can't spill).
+  const bool want_tiered = budget.max_store_bytes > 0 &&
+                           !budget.spill_dir.empty() && nstates.has_value();
 
   const auto verdict_of = [&](const Config& c) { return consensus(machine, c); };
   const auto run = [&](auto& store) {
@@ -183,12 +190,42 @@ ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
   };
 
   ExploreOutcome out;
-  if (packed) {
-    PackedConfigStore store(PackedCodec(*nstates, g.n()));
-    out = run(store);
-  } else {
-    ShardedConfigStore<Config, VectorHash<State>> store;
-    out = run(store);
+  bool tiered_ran = false;
+  if (want_tiered) {
+    TieredConfigStore store(PackedCodec(*nstates, g.n()), budget.spill_dir,
+                            budget.max_store_bytes);
+    if (store.ok()) {
+      if (grp != nullptr) {
+        out = explore_and_classify_tiered(
+            store, initial,
+            [&](int) { return CanonExplicitExpander{machine, g, *grp}; },
+            verdict_of, clamped, stats);
+      } else {
+        out = explore_and_classify_tiered(
+            store, initial,
+            [&](int) {
+              return ExplicitExpander{machine, g, Neighbourhood{}, Config{}};
+            },
+            verdict_of, clamped, stats);
+      }
+      tiered_ran = true;
+    } else {
+      // An unusable spill dir degrades to the in-memory engines rather than
+      // failing the decision; the report's tiered_store flag stays false so
+      // callers can tell.
+      std::fprintf(stderr,
+                   "dawn: tiered store unavailable (%s); in-memory fallback\n",
+                   store.error().c_str());
+    }
+  }
+  if (!tiered_ran) {
+    if (packed) {
+      PackedConfigStore store(PackedCodec(*nstates, g.n()));
+      out = run(store);
+    } else {
+      ShardedConfigStore<Config, VectorHash<State>> store;
+      out = run(store);
+    }
   }
 
   ExplicitResult result;
@@ -197,7 +234,8 @@ ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
   result.num_configs = out.num_configs;
   result.num_bottom_sccs = out.num_bottom_sccs;
   result.symmetry_reduced = grp != nullptr;
-  result.packed_store = packed;
+  result.packed_store = tiered_ran || packed;
+  result.tiered_store = tiered_ran;
   return result;
 }
 

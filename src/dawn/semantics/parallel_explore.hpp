@@ -61,6 +61,14 @@ struct ExploreStats {
   std::size_t shard_peak = 0;     // largest shard at the end (occupancy)
   std::size_t frontier_peak = 0;  // largest BFS level
   std::size_t store_bytes = 0;    // config-store occupancy (see store bytes())
+  // Tiered (out-of-core) runs only — zero for the in-memory engines. All
+  // thread-count-invariant: spilling happens at level boundaries against
+  // level-end store contents (semantics/tiered_config.hpp).
+  std::size_t resident_bytes = 0;       // in-memory store footprint at the end
+  std::size_t spill_arena_bytes = 0;    // packed words written to the arena file
+  std::size_t spill_frontier_bytes = 0; // delta-encoded frontier levels written
+  std::size_t spill_edge_bytes = 0;     // edge-spool bytes written
+  std::size_t spill_events = 0;         // level-boundary spill passes
   int threads = 1;                // workers actually used
   // Chi-square of the 64 final shard occupancies against the uniform split
   // (E[chi2] = 63 for a well-mixed hash; see shard_chi_square()). Pins the

@@ -17,6 +17,7 @@
 #include "dawn/net/server.hpp"
 #include "dawn/net/wire.hpp"
 #include "dawn/semantics/decision.hpp"
+#include "dawn/util/rng.hpp"
 
 namespace {
 
@@ -250,6 +251,119 @@ TEST(Cache, ByteCapEvictsAndHugeValuesAreNotCached) {
   EXPECT_TRUE(cache.lookup("k3", &v));
   cache.insert("huge", std::string(1000, 'h'));
   EXPECT_FALSE(cache.lookup("huge", &v));
+}
+
+TEST(Cache, OversizeInsertsAreCountedAndNotCached) {
+  net::ResultCache cache(/*max_entries=*/10, /*max_bytes=*/32);
+  cache.insert("small", "v");
+  cache.insert("big", std::string(100, 'b'));  // key+value > 32: rejected
+  cache.insert("big", std::string(100, 'b'));  // and counted every time
+  std::string v;
+  EXPECT_FALSE(cache.lookup("big", &v));
+  EXPECT_TRUE(cache.lookup("small", &v));  // untouched by the rejection
+  const net::CacheStats s = cache.stats();
+  EXPECT_EQ(s.oversize_rejections, 2u);
+  EXPECT_EQ(s.insertions, 1u);  // only "small" counted as an insertion
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);  // a rejection never evicts resident entries
+}
+
+TEST(Cache, ZeroCapsMeanUnlimitedForBothAxes) {
+  // max_entries == 0 and max_bytes == 0 both mean "unlimited" — neither is
+  // clamped to 1 nor treated as "never insert" (docs/SERVICE.md).
+  net::ResultCache unlimited(/*max_entries=*/0, /*max_bytes=*/0);
+  for (int i = 0; i < 200; ++i) {
+    unlimited.insert(std::to_string(i), std::string(100, 'v'));
+  }
+  std::string v;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(unlimited.lookup(std::to_string(i), &v));
+  }
+  const net::CacheStats s = unlimited.stats();
+  EXPECT_EQ(s.entries, 200u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.oversize_rejections, 0u);
+  EXPECT_EQ(s.max_entries, 0u);
+  EXPECT_EQ(s.max_bytes, 0u);
+
+  // Unlimited bytes with a finite entry cap still evicts by count.
+  net::ResultCache by_count(/*max_entries=*/2, /*max_bytes=*/0);
+  by_count.insert("a", std::string(1 << 16, 'a'));
+  by_count.insert("b", "2");
+  by_count.insert("c", "3");
+  EXPECT_FALSE(by_count.lookup("a", &v));
+  EXPECT_EQ(by_count.stats().entries, 2u);
+}
+
+TEST(Cache, ClearDropsContentButKeepsLifetimeCounters) {
+  net::ResultCache cache(/*max_entries=*/2, /*max_bytes=*/64);
+  cache.insert("a", "1");
+  cache.insert("b", "2");
+  cache.insert("c", "3");                      // evicts "a"
+  cache.insert("big", std::string(100, 'x'));  // oversize rejection
+  std::string v;
+  EXPECT_TRUE(cache.lookup("b", &v));   // hit
+  EXPECT_FALSE(cache.lookup("z", &v));  // miss
+  const net::CacheStats before = cache.stats();
+
+  cache.clear();
+
+  const net::CacheStats after = cache.stats();
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.bytes, 0u);
+  EXPECT_FALSE(cache.lookup("b", &v));  // content really gone
+  // History survives the flush (the lookup above added one miss).
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.insertions, before.insertions);
+  EXPECT_EQ(after.evictions, before.evictions);
+  EXPECT_EQ(after.oversize_rejections, before.oversize_rejections);
+}
+
+TEST(Cache, ByteAccountingMatchesLiveEntriesUnderRandomChurn) {
+  // The invariant behind every cap decision: stats().bytes is exactly the
+  // sum of key+value sizes of the live entries — overwrites with larger
+  // values, evictions and oversize rejections never drift or underflow it.
+  Rng rng(0xcafe);
+  net::ResultCache cache(/*max_entries=*/16, /*max_bytes=*/2048);
+  std::vector<std::string> keys;
+  for (int i = 0; i <= 24; ++i) {
+    std::string key = "k";
+    key += std::to_string(i);
+    keys.push_back(std::move(key));
+  }
+  std::string v;
+  for (int step = 0; step < 3000; ++step) {
+    const std::string& key = keys[static_cast<std::size_t>(rng.uniform(0, 24))];
+    const auto action = rng.uniform(0, 3);
+    if (action == 0) {
+      cache.lookup(key, &v);
+    } else if (action == 3) {
+      cache.clear();
+    } else {
+      // Sizes straddle the byte cap so overwrite-smaller, overwrite-larger,
+      // eviction cascades and oversize rejections all occur.
+      cache.insert(key,
+                   std::string(static_cast<std::size_t>(rng.uniform(0, 700)),
+                               'v'));
+    }
+    const net::CacheStats s = cache.stats();
+    EXPECT_LE(s.bytes, 2048u);
+    EXPECT_LE(s.entries, 16u);
+  }
+  // Recompute the live footprint by draining the cache through lookups of
+  // every possible key and comparing against the reported totals.
+  std::size_t live_bytes = 0;
+  std::size_t live_entries = 0;
+  for (const std::string& key : keys) {
+    if (cache.lookup(key, &v)) {
+      live_bytes += key.size() + v.size();
+      ++live_entries;
+    }
+  }
+  const net::CacheStats s = cache.stats();
+  EXPECT_EQ(s.bytes, live_bytes);
+  EXPECT_EQ(s.entries, live_entries);
 }
 
 // --- Live server ------------------------------------------------------------

@@ -2,8 +2,10 @@
 // metric merges, sink scoping, bounded traces, and the exporter schema.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "dawn/graph/generators.hpp"
@@ -69,6 +71,62 @@ TEST(Json, ParseErrorsCarryAMessage) {
   EXPECT_FALSE(obs::JsonValue::parse("{\"unterminated\": ", &error).has_value());
   EXPECT_FALSE(error.empty());
   EXPECT_FALSE(obs::JsonValue::parse("{} trailing", &error).has_value());
+}
+
+// The number range contract (docs/OBSERVABILITY.md): the full int64 range
+// parses exactly; anything beyond it is a NAMED parse error, never strtoll's
+// silent saturation to LLONG_MAX/LLONG_MIN.
+TEST(Json, Int64BoundariesParseExactly) {
+  const auto max = obs::JsonValue::parse("9223372036854775807");
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(max->as_int(), std::numeric_limits<std::int64_t>::max());
+
+  const auto min = obs::JsonValue::parse("-9223372036854775808");
+  ASSERT_TRUE(min.has_value());
+  EXPECT_EQ(min->as_int(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Json, IntegersBeyondInt64AreNamedParseErrors) {
+  std::string error;
+  // INT64_MAX + 1 / INT64_MIN - 1: one past each boundary.
+  EXPECT_FALSE(obs::JsonValue::parse("9223372036854775808", &error));
+  EXPECT_NE(error.find("int64"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(obs::JsonValue::parse("-9223372036854775809", &error));
+  EXPECT_NE(error.find("int64"), std::string::npos) << error;
+  // A 20-digit token (uint64 territory — e.g. a ledger counter near 2^64).
+  error.clear();
+  EXPECT_FALSE(obs::JsonValue::parse("18446744073709551615", &error));
+  EXPECT_NE(error.find("int64"), std::string::npos) << error;
+  // Nested occurrences fail the whole document, with the same message.
+  error.clear();
+  EXPECT_FALSE(
+      obs::JsonValue::parse("{\"bytes\": 99999999999999999999}", &error));
+  EXPECT_NE(error.find("int64"), std::string::npos) << error;
+}
+
+TEST(Json, LedgerScaleCountersRoundTrip) {
+  // Counters the MemoryLedger actually produces can be huge but are always
+  // int64-representable; they must survive dump -> parse bit-exactly.
+  const std::int64_t big = std::int64_t{1} << 62;
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("spill_bytes", obs::JsonValue(big));
+  const auto back = obs::JsonValue::parse(doc.dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->get("spill_bytes")->as_int(), big);
+}
+
+TEST(Json, DoubleOverflowIsANamedParseErrorUnderflowIsNot) {
+  std::string error;
+  EXPECT_FALSE(obs::JsonValue::parse("1e999", &error));
+  EXPECT_NE(error.find("double"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(obs::JsonValue::parse("-1e999", &error));
+  EXPECT_NE(error.find("double"), std::string::npos) << error;
+  // Gradual underflow is accepted as the nearest representable value.
+  const auto tiny = obs::JsonValue::parse("1e-999");
+  ASSERT_TRUE(tiny.has_value());
+  EXPECT_EQ(tiny->as_double(), 0.0);
 }
 
 TEST(Json, UnicodeEscapesDecodeBmp) {

@@ -1,0 +1,305 @@
+// The tiered (out-of-core) configuration store and its streaming engine
+// (semantics/tiered_config): intern/dedupe/value round-trips across spill
+// boundaries, the frontier and edge spools, and the full tiered engine
+// against the in-memory reference — bit-identical outcomes, thread-count-
+// invariant spill accounting, MemoryCap on starved budgets, and the
+// in-memory fallback when the spill dir is unusable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dawn/automata/config.hpp"
+#include "dawn/automata/machine.hpp"
+#include "dawn/graph/generators.hpp"
+#include "dawn/semantics/explicit_space.hpp"
+#include "dawn/semantics/parallel_explore.hpp"
+#include "dawn/semantics/tiered_config.hpp"
+#include "dawn/util/rng.hpp"
+
+namespace dawn {
+namespace {
+
+Config random_config(int num_states, int nodes, Rng& rng) {
+  Config c(static_cast<std::size_t>(nodes));
+  for (auto& s : c) {
+    s = static_cast<State>(rng.uniform(0, num_states - 1));
+  }
+  return c;
+}
+
+// Flood on a seeded cycle: 0 flips to 1 next to a 1. About n^2/2 reachable
+// configurations, a single all-1 Accept bottom SCC.
+std::shared_ptr<Machine> flood_machine() {
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = 2;
+  spec.num_states = 2;
+  spec.init = [](Label l) { return static_cast<State>(l == 1 ? 1 : 0); };
+  spec.step = [](State s, const Neighbourhood& n) {
+    if (s == 0 && n.count(1) > 0) return static_cast<State>(1);
+    return s;
+  };
+  spec.verdict = [](State s) {
+    return s == 1 ? Verdict::Accept : Verdict::Reject;
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+// Every step toggles, so the whole 2^n space is one strongly connected
+// component with mixed verdicts: the decision is Inconsistent and the SCC
+// classification cannot trim anything (exercises the Tarjan fallback).
+std::shared_ptr<Machine> toggle_machine() {
+  FunctionMachine::Spec spec;
+  spec.beta = 1;
+  spec.num_labels = 2;
+  spec.num_states = 2;
+  spec.init = [](Label l) { return static_cast<State>(l == 1 ? 1 : 0); };
+  spec.step = [](State s, const Neighbourhood&) {
+    return static_cast<State>(1 - s);
+  };
+  spec.verdict = [](State s) {
+    return s == 0 ? Verdict::Accept : Verdict::Reject;
+  };
+  return std::make_shared<FunctionMachine>(spec);
+}
+
+Graph seeded_cycle(int n) {
+  std::vector<Label> labels(static_cast<std::size_t>(n), 0);
+  labels[0] = 1;
+  return make_cycle(labels);
+}
+
+TEST(TieredStore, InternDedupesAndValueRoundTripsAcrossSpills) {
+  const PackedCodec codec(5, 31);  // 3 bits x 31 nodes: word-straddling
+  TieredConfigStore store(codec, ".", 1);  // any resident footprint is over
+  ASSERT_TRUE(store.ok()) << store.error();
+
+  Rng rng(2026);
+  std::map<Config, std::int64_t> gids;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      const Config c = random_config(5, 31, rng);
+      const auto r = store.intern(c);
+      const auto [it, fresh] = gids.emplace(c, r.gid);
+      EXPECT_EQ(r.fresh, fresh);
+      EXPECT_EQ(it->second, r.gid);
+    }
+    // A "level boundary": everything hot goes to disk.
+    ASSERT_TRUE(store.spill_to_budget()) << store.error();
+  }
+  EXPECT_EQ(store.size(), gids.size());
+  EXPECT_GT(store.spill_events(), 0u);
+  EXPECT_GT(store.spilled_bytes(), 0u);
+
+  // Dedup and decode must keep working against fully spilled words.
+  Config out;
+  for (const auto& [config, gid] : gids) {
+    const auto again = store.intern(config);
+    EXPECT_FALSE(again.fresh);
+    EXPECT_EQ(again.gid, gid);
+    store.value(gid, out);
+    EXPECT_EQ(out, config);
+  }
+
+  // dense() is a bijection onto [0, size) after finalize().
+  store.finalize();
+  std::vector<bool> seen(store.size(), false);
+  for (const auto& [config, gid] : gids) {
+    const auto d = static_cast<std::size_t>(store.dense(gid));
+    ASSERT_LT(d, seen.size());
+    EXPECT_FALSE(seen[d]);
+    seen[d] = true;
+  }
+}
+
+TEST(TieredStore, ZeroWordCodecNeverSpillsAndRoundTrips) {
+  const PackedCodec codec(1, 8);  // |Q| = 1 packs to zero words
+  TieredConfigStore store(codec, ".", 1);
+  ASSERT_TRUE(store.ok()) << store.error();
+  const Config c(8, 0);
+  const auto first = store.intern(c);
+  EXPECT_TRUE(first.fresh);
+  EXPECT_FALSE(store.intern(c).fresh);
+  // Nothing spillable: the call succeeds and writes nothing.
+  ASSERT_TRUE(store.spill_to_budget());
+  EXPECT_EQ(store.spilled_bytes(), 0u);
+  Config out;
+  store.value(first.gid, out);
+  EXPECT_EQ(out, c);
+}
+
+TEST(TieredStore, UnusableSpillDirReportsNotOk) {
+  const PackedCodec codec(2, 4);
+  TieredConfigStore store(codec, "/nonexistent-dawn-spill-dir", 1024);
+  EXPECT_FALSE(store.ok());
+  EXPECT_FALSE(store.error().empty());
+}
+
+TEST(FrontierSpool, LevelsRoundTripThroughChunkedCursor) {
+  FrontierSpool spool(".");
+  ASSERT_TRUE(spool.ok()) << spool.error();
+
+  Rng rng(7);
+  std::vector<std::vector<std::int64_t>> levels;
+  std::vector<FrontierSpool::Level> handles;
+  // Level 1 is large enough (~50k varints) to straddle the 64 KiB read
+  // buffer mid-varint; level 2 is empty; level 0 is small.
+  for (const std::size_t count : {17u, 50'000u, 0u}) {
+    std::vector<std::int64_t> gids;
+    std::int64_t g = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      g += 1 + static_cast<std::int64_t>(rng.uniform(0, 1 << 20));
+      gids.push_back(g);
+    }
+    const auto level = spool.put(gids);
+    ASSERT_TRUE(level.has_value()) << spool.error();
+    EXPECT_EQ(level->count, gids.size());
+    levels.push_back(std::move(gids));
+    handles.push_back(*level);
+  }
+  EXPECT_EQ(spool.levels(), 3u);
+  EXPECT_GT(spool.bytes_written(), 0u);
+
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    FrontierSpool::Cursor cursor(spool, handles[i]);
+    std::vector<std::int64_t> decoded;
+    std::vector<std::int64_t> chunk;
+    while (cursor.next_chunk(&chunk, 777)) {
+      decoded.insert(decoded.end(), chunk.begin(), chunk.end());
+    }
+    EXPECT_FALSE(cursor.failed());
+    EXPECT_EQ(decoded, levels[i]);
+  }
+}
+
+TEST(EdgeSpool, PerWriterAppendsScanBackInFileOrder) {
+  EdgeSpool spool(".", 3);
+  ASSERT_TRUE(spool.ok()) << spool.error();
+  // Writer-major expected order: the scan concatenates the writer files.
+  std::vector<std::pair<std::int64_t, std::int64_t>> expected;
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 10'000; ++i) {  // larger than the flush buffer
+      expected.emplace_back(w * 1'000'000 + i, i);
+    }
+  }
+  for (const auto& [src, dst] : expected) {
+    spool.append(static_cast<int>(src / 1'000'000), src, dst);
+  }
+  ASSERT_TRUE(spool.flush_all()) << spool.error();
+  EXPECT_EQ(spool.num_edges(), expected.size());
+  EXPECT_EQ(spool.bytes(), expected.size() * 16);
+
+  EdgeSpool::ScanCursor cursor(spool);
+  std::vector<std::pair<std::int64_t, std::int64_t>> scanned;
+  std::int64_t s = 0, d = 0;
+  while (cursor.next(&s, &d)) scanned.emplace_back(s, d);
+  EXPECT_FALSE(cursor.failed());
+  EXPECT_EQ(scanned, expected);
+}
+
+TEST(TieredEngine, MatchesInMemoryAndIsThreadCountInvariant) {
+  const auto machine = flood_machine();
+  const Graph g = seeded_cycle(48);  // ~1.1k configs
+
+  ExploreBudget mem_budget;
+  mem_budget.max_configs = 1'000'000;
+  const ExplicitResult mem =
+      decide_pseudo_stochastic_parallel(*machine, g, mem_budget);
+  ASSERT_EQ(mem.decision, Decision::Accept);
+  EXPECT_FALSE(mem.tiered_store);
+
+  ExploreStats first_stats;
+  bool have_first = false;
+  for (const int threads : {1, 2, 8}) {
+    ExploreBudget budget = mem_budget;
+    budget.max_threads = threads;
+    // Calibrated like the fuzz oracle: the packed words overflow this (so
+    // spilling happens) but the always-resident index fits (so the run
+    // completes instead of MemoryCap-ing).
+    budget.max_store_bytes = 5120 + 18 * mem.num_configs;
+    budget.spill_dir = ".";
+    ExploreStats stats;
+    const ExplicitResult tiered =
+        decide_pseudo_stochastic_parallel(*machine, g, budget, &stats);
+    ASSERT_TRUE(tiered.tiered_store);
+    EXPECT_TRUE(tiered.packed_store);
+    EXPECT_EQ(tiered.decision, mem.decision);
+    EXPECT_EQ(tiered.reason, mem.reason);
+    EXPECT_EQ(tiered.num_configs, mem.num_configs);
+    EXPECT_EQ(tiered.num_bottom_sccs, mem.num_bottom_sccs);
+    EXPECT_GT(stats.spill_events, 0u);
+    EXPECT_GT(stats.spill_arena_bytes, 0u);
+    EXPECT_GT(stats.spill_edge_bytes, 0u);
+    if (!have_first) {
+      first_stats = stats;
+      have_first = true;
+    } else {
+      // Spill accounting is part of the determinism contract.
+      EXPECT_EQ(stats.spill_events, first_stats.spill_events);
+      EXPECT_EQ(stats.spill_arena_bytes, first_stats.spill_arena_bytes);
+      EXPECT_EQ(stats.spill_frontier_bytes, first_stats.spill_frontier_bytes);
+      EXPECT_EQ(stats.spill_edge_bytes, first_stats.spill_edge_bytes);
+      EXPECT_EQ(stats.resident_bytes, first_stats.resident_bytes);
+      EXPECT_EQ(stats.configs, first_stats.configs);
+      EXPECT_EQ(stats.levels, first_stats.levels);
+    }
+  }
+}
+
+TEST(TieredEngine, InconsistentSingleSccMatchesInMemory) {
+  // 2^10 configs in one SCC: nothing trims, so the semi-external classifier
+  // must finish through its in-memory Tarjan fallback.
+  const auto machine = toggle_machine();
+  const Graph g = seeded_cycle(10);
+
+  ExploreBudget mem_budget;
+  mem_budget.max_configs = 1'000'000;
+  const ExplicitResult mem =
+      decide_pseudo_stochastic_parallel(*machine, g, mem_budget);
+  ASSERT_EQ(mem.decision, Decision::Inconsistent);
+  ASSERT_EQ(mem.num_bottom_sccs, 1u);
+
+  ExploreBudget budget = mem_budget;
+  budget.max_threads = 2;
+  budget.max_store_bytes = 5120 + 18 * mem.num_configs;
+  budget.spill_dir = ".";
+  const ExplicitResult tiered =
+      decide_pseudo_stochastic_parallel(*machine, g, budget);
+  ASSERT_TRUE(tiered.tiered_store);
+  EXPECT_EQ(tiered.decision, mem.decision);
+  EXPECT_EQ(tiered.num_configs, mem.num_configs);
+  EXPECT_EQ(tiered.num_bottom_sccs, mem.num_bottom_sccs);
+}
+
+TEST(TieredEngine, StarvedBudgetAbortsWithMemoryCap) {
+  const auto machine = flood_machine();
+  const Graph g = seeded_cycle(64);
+  ExploreBudget budget;
+  budget.max_configs = 1'000'000;
+  budget.max_store_bytes = 4096;  // under the index's own baseline
+  budget.spill_dir = ".";
+  const ExplicitResult r =
+      decide_pseudo_stochastic_parallel(*machine, g, budget);
+  ASSERT_TRUE(r.tiered_store);
+  EXPECT_EQ(r.decision, Decision::Unknown);
+  EXPECT_EQ(r.reason, UnknownReason::MemoryCap);
+}
+
+TEST(TieredEngine, UnusableSpillDirFallsBackToInMemory) {
+  const auto machine = flood_machine();
+  const Graph g = seeded_cycle(24);
+  ExploreBudget budget;
+  budget.max_configs = 1'000'000;
+  budget.max_store_bytes = 1u << 20;
+  budget.spill_dir = "/nonexistent-dawn-spill-dir";
+  const ExplicitResult r =
+      decide_pseudo_stochastic_parallel(*machine, g, budget);
+  EXPECT_FALSE(r.tiered_store);
+  EXPECT_EQ(r.decision, Decision::Accept);  // fallback still decides
+}
+
+}  // namespace
+}  // namespace dawn

@@ -5,6 +5,7 @@
 //         [--max-payload N] [--max-inflight N] [--max-queue N]
 //         [--read-timeout-ms N] [--idle-timeout-ms N]
 //         [--cache-entries N] [--cache-bytes N] [--trace-dir DIR]
+//         [--spill-dir DIR] [--max-store-bytes N]
 //
 // Accepts framed Decide/Ping/CacheStats/Cancel requests over TCP or a unix
 // socket and answers with serialized DecisionReports, bit-identical to an
@@ -42,7 +43,8 @@ void on_signal(int) {
       "          [--max-payload N] [--max-inflight N] [--max-queue N]\n"
       "          [--read-timeout-ms N] [--idle-timeout-ms N]\n"
       "          [--max-writeq-bytes N]\n"
-      "          [--cache-entries N] [--cache-bytes N] [--trace-dir DIR]\n",
+      "          [--cache-entries N] [--cache-bytes N] [--trace-dir DIR]\n"
+      "          [--spill-dir DIR] [--max-store-bytes N]\n",
       argv0);
   std::exit(2);
 }
@@ -117,6 +119,12 @@ int main(int argc, char** argv) {
           argv[0], "--cache-bytes", flag_value("--cache-bytes"), 1024, kMax));
     } else if (!std::strcmp(argv[i], "--trace-dir")) {
       opts.trace_dir = flag_value("--trace-dir");
+    } else if (!std::strcmp(argv[i], "--spill-dir")) {
+      opts.spill_dir = flag_value("--spill-dir");
+    } else if (!std::strcmp(argv[i], "--max-store-bytes")) {
+      opts.max_store_bytes_cap = static_cast<std::size_t>(
+          require_int(argv[0], "--max-store-bytes",
+                      flag_value("--max-store-bytes"), 1024, kMax));
     } else {
       usage(argv[0], std::string("unknown option: ") + argv[i]);
     }
