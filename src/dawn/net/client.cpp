@@ -28,6 +28,13 @@ bool Client::connect(const std::string& address, std::string* error) {
   return fd_ >= 0;
 }
 
+bool Client::connect(const std::string& address, const ConnectOptions& opts,
+                     std::string* error) {
+  disconnect();
+  fd_ = connect_with_retry(address, opts, error);
+  return fd_ >= 0;
+}
+
 void Client::disconnect() {
   if (fd_ >= 0) {
     close(fd_);
@@ -129,6 +136,13 @@ std::optional<DecideReply> Client::decide(const DecideRequest& req,
   auto out = decide_reply_from_json(*doc, &parse_error);
   if (!out && error != nullptr) *error = "bad reply schema: " + parse_error;
   return out;
+}
+
+std::optional<DecideReply> Client::decide_distributed(DecideRequest req,
+                                                      std::string* error,
+                                                      std::uint64_t timeout_ms) {
+  req.distributed = true;
+  return decide(req, error, timeout_ms);
 }
 
 bool Client::ping(std::string* error) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dawn/net/payload.hpp"
+#include "dawn/net/peer.hpp"
 #include "dawn/net/wire.hpp"
 #include "dawn/obs/json.hpp"
 
@@ -25,6 +26,11 @@ class Client {
 
   // "tcp:HOST:PORT" or "unix:PATH".
   bool connect(const std::string& address, std::string* error = nullptr);
+  // Same, with a connect timeout and bounded jittered retries (peer.hpp
+  // ConnectOptions; dawn_client --connect-timeout-ms/--retries). The error
+  // names the attempt count and address on exhaustion.
+  bool connect(const std::string& address, const ConnectOptions& opts,
+               std::string* error = nullptr);
   void disconnect();
   bool connected() const { return fd_ >= 0; }
 
@@ -39,6 +45,13 @@ class Client {
   std::optional<DecideReply> decide(const DecideRequest& req,
                                     std::string* error = nullptr,
                                     std::uint64_t timeout_ms = 60'000);
+  // decide() with the distributed flag set: the server shards the
+  // exploration across its --peers (docs/DISTRIBUTED.md). The report is
+  // bit-identical to a local method=explicit decide; failures surface as
+  // "server error: ..." (peer-lost, bad-schema, ...).
+  std::optional<DecideReply> decide_distributed(
+      DecideRequest req, std::string* error = nullptr,
+      std::uint64_t timeout_ms = 120'000);
   bool ping(std::string* error = nullptr);
   std::optional<obs::JsonValue> cache_stats(std::string* error = nullptr);
   // True iff the server confirmed the cancel hit a queued job.

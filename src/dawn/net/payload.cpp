@@ -51,6 +51,8 @@ bool check_spec_version(const obs::JsonValue& v, std::string* error) {
   return true;
 }
 
+}  // namespace
+
 obs::JsonValue budget_to_json(const ExploreBudget& b) {
   obs::JsonValue out = obs::JsonValue::object();
   out.set("max_configs", obs::JsonValue(b.max_configs));
@@ -117,8 +119,6 @@ bool budget_from_json(const obs::JsonValue& v, ExploreBudget* out,
   return true;
 }
 
-}  // namespace
-
 std::optional<DecideMethod> method_from_name(const std::string& name) {
   for (const DecideMethod m :
        {DecideMethod::Auto, DecideMethod::Explicit,
@@ -138,6 +138,7 @@ obs::JsonValue decide_request_to_json(const DecideRequest& req) {
   out.set("budget", budget_to_json(req.budget));
   out.set("method", obs::JsonValue(to_string(req.method)));
   if (req.want_trace) out.set("trace", obs::JsonValue(true));
+  if (req.distributed) out.set("distributed", obs::JsonValue(true));
   return out;
 }
 
@@ -147,9 +148,10 @@ std::optional<DecideRequest> decide_request_from_json(const obs::JsonValue& v,
     fail(error, "request must be an object");
     return std::nullopt;
   }
-  if (!reject_unknown_keys(
-          v, {"spec_version", "machine", "graph", "budget", "method", "trace"},
-          error)) {
+  if (!reject_unknown_keys(v,
+                           {"spec_version", "machine", "graph", "budget",
+                            "method", "trace", "distributed"},
+                           error)) {
     return std::nullopt;
   }
   if (!check_spec_version(v, error)) return std::nullopt;
@@ -188,6 +190,13 @@ std::optional<DecideRequest> decide_request_from_json(const obs::JsonValue& v,
       return std::nullopt;
     }
     req.want_trace = t->as_bool();
+  }
+  if (const obs::JsonValue* d = v.get("distributed")) {
+    if (d->kind() != Kind::Bool) {
+      fail(error, "missing or mistyped field: distributed");
+      return std::nullopt;
+    }
+    req.distributed = d->as_bool();
   }
   return req;
 }

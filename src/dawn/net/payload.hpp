@@ -48,6 +48,12 @@ struct DecideRequest {
   // return its path (only honoured when the server was started with a trace
   // directory; cached replies never carry one).
   bool want_trace = false;
+  // Ask the server to run the decision as a distributed frontier exploration
+  // across its configured --peers (docs/DISTRIBUTED.md). Serialised only when
+  // set, so spec-v1 request bytes stay pinned. Excluded from the cache key:
+  // a distributed run and a local explicit run of the same instance produce
+  // bit-identical reports, so they deliberately share a cache entry.
+  bool distributed = false;
 };
 
 struct DecideReply {
@@ -84,5 +90,14 @@ std::string cache_key(const DecideRequest& req);
 
 // Parses a DecideMethod from its to_string() name; nullopt on junk.
 std::optional<DecideMethod> method_from_name(const std::string& name);
+
+// Canonical budget (sub)object codec — the same encoding the request uses.
+// Public because the distributed ShardInit payload (net/dist_explore.*)
+// embeds a budget object and must stay byte-compatible with the request
+// schema. max_store_bytes is emitted only when nonzero; spill_dir never
+// crosses the wire.
+obs::JsonValue budget_to_json(const ExploreBudget& b);
+bool budget_from_json(const obs::JsonValue& v, ExploreBudget* out,
+                      std::string* error = nullptr);
 
 }  // namespace dawn::net

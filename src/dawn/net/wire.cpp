@@ -43,6 +43,10 @@ const char* name(Action a) {
     case Action::Ping: return "ping";
     case Action::CacheStats: return "cache-stats";
     case Action::Cancel: return "cancel";
+    case Action::ShardInit: return "shard-init";
+    case Action::FrontierPush: return "frontier-push";
+    case Action::LevelBarrier: return "level-barrier";
+    case Action::ShardResult: return "shard-result";
     case Action::kCount: break;
   }
   return "?";
@@ -76,6 +80,7 @@ const char* name(WireError e) {
     case WireError::ReadTimeout: return "read-timeout";
     case WireError::IdleTimeout: return "idle-timeout";
     case WireError::Internal: return "internal";
+    case WireError::PeerLost: return "peer-lost";
   }
   return "?";
 }

@@ -51,6 +51,14 @@ enum class Action : std::uint8_t {
   Ping = 1,        // liveness probe; empty payloads both ways
   CacheStats = 2,  // result-cache and server counters snapshot
   Cancel = 3,      // cancel the queued Decide whose nonce equals this frame's
+  // Distributed frontier exploration (net/dist_explore.*, docs/DISTRIBUTED.md).
+  // A ShardInit request detaches the connection from the request/response
+  // server loop into a dedicated worker session; the remaining three actions
+  // are only valid inside such a session (and echo its nonce).
+  ShardInit = 4,     // coordinator -> worker: adopt a shard range
+  FrontierPush = 5,  // batched non-owned successors, routed via coordinator
+  LevelBarrier = 6,  // level-synchronous commands: expand / drain / ...
+  ShardResult = 7,   // worker -> coordinator: verdicts / edges / stats
   kCount,
 };
 
@@ -85,6 +93,7 @@ enum class WireError : std::uint8_t {
   ReadTimeout,      // a partial frame sat unfinished past the read timeout
   IdleTimeout,      // no frames at all past the idle timeout
   Internal,         // server-side failure (never expected; a bug)
+  PeerLost,         // a distributed worker died / timed out mid-decision
 };
 
 const char* name(WireError e);

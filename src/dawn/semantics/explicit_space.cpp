@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dawn/automata/config.hpp"
+#include "dawn/semantics/explicit_expand.hpp"
 #include "dawn/semantics/packed_config.hpp"
 #include "dawn/semantics/parallel_explore.hpp"
 #include "dawn/semantics/scc.hpp"
@@ -70,69 +71,6 @@ ExplicitResult decide_pseudo_stochastic(const Machine& machine, const Graph& g,
   return result;
 }
 
-namespace {
-
-// Per-worker successor generator for the parallel engine: exclusive
-// selection, silent steps skipped, scratch reused across calls.
-struct ExplicitExpander {
-  const Machine& machine;
-  const Graph& g;
-  Neighbourhood nb;
-  Config scratch;
-
-  template <typename Emit>
-  void operator()(const Config& current, Emit&& emit) {
-    scratch = current;
-    for (NodeId v = 0; v < g.n(); ++v) {
-      const auto vu = static_cast<std::size_t>(v);
-      Neighbourhood::of_into(g, current, v, machine.beta(), nb);
-      const State s = machine.step(current[vu], nb);
-      if (s == current[vu]) continue;  // silent
-      scratch[vu] = s;
-      emit(scratch);
-      scratch[vu] = current[vu];
-    }
-  }
-};
-
-// ExplicitExpander followed by orbit canonicalisation: every emitted
-// successor is mapped to its orbit's canonical representative, so the engine
-// explores the quotient of the configuration graph by the symmetry group.
-// Edges between orbits are preserved (an automorphism commutes with the step
-// relation — symmetry.hpp); orbit-internal moves become self-loops, which
-// the bottom-SCC classification already ignores.
-struct CanonExplicitExpander {
-  const Machine& machine;
-  const Graph& g;
-  const SymmetryGroup& grp;
-  Neighbourhood nb = {};
-  Config scratch = {};
-  Config emit_buf = {};
-  CanonScratch canon = {};
-
-  template <typename Emit>
-  void operator()(const Config& current, Emit&& emit) {
-    // One span per expansion (not per successor): canonicalisation is the
-    // dominant cost of the quotient engine, and per-successor spans would
-    // flood the bounded per-thread buffers.
-    obs::SpanScope span(obs::spans(), obs::Phase::Canonicalize);
-    scratch = current;
-    for (NodeId v = 0; v < g.n(); ++v) {
-      const auto vu = static_cast<std::size_t>(v);
-      Neighbourhood::of_into(g, current, v, machine.beta(), nb);
-      const State s = machine.step(current[vu], nb);
-      if (s == current[vu]) continue;  // silent
-      scratch[vu] = s;
-      emit_buf = scratch;
-      canonicalize(grp, emit_buf, canon);
-      emit(emit_buf);
-      span.add_items(1);
-      scratch[vu] = current[vu];
-    }
-  }
-};
-
-}  // namespace
 
 ExplicitResult decide_pseudo_stochastic_parallel(const Machine& machine,
                                                  const Graph& g,

@@ -108,6 +108,15 @@ PackedConfigStore::InternResult PackedConfigStore::intern(const Config& value) {
   return {pack(local, shard_idx), true};
 }
 
+std::size_t PackedConfigStore::shard_of(const Config& value) const {
+  static thread_local std::vector<std::uint64_t> scratch;
+  const std::size_t w = codec_.words();
+  scratch.resize(w);
+  codec_.encode(value, scratch.data());
+  const std::uint64_t h = PackedCodec::hash_words(scratch.data(), w);
+  return static_cast<std::size_t>(hash_mix(h)) & kShardMask;
+}
+
 void PackedConfigStore::grow(Shard& s) {
   std::vector<std::int32_t> slots(s.slots.size() * 2, -1);
   const std::size_t mask = slots.size() - 1;
@@ -131,8 +140,14 @@ void PackedConfigStore::finalize() {
 }
 
 std::size_t PackedConfigStore::bytes() const {
+  return bytes_for_shard_range(0, kNumShards);
+}
+
+std::size_t PackedConfigStore::bytes_for_shard_range(std::size_t begin,
+                                                     std::size_t end) const {
   std::size_t total = 0;
-  for (const Shard& s : shards_) {
+  for (std::size_t sh = begin; sh < end; ++sh) {
+    const Shard& s = shards_[sh];
     total += s.arena.size() * sizeof(std::uint64_t);
     total += s.hashes.size() * sizeof(std::uint64_t);
     total += s.slots.size() * sizeof(std::int32_t);

@@ -94,6 +94,11 @@ class PackedConfigStore {
 
   std::size_t size() const { return total_.load(std::memory_order_relaxed); }
 
+  // The shard intern(value) would land in, without interning — the routing
+  // key of the distributed engine (net/dist_explore.*). Must agree with
+  // intern() exactly: same encode, same hash, same mix.
+  std::size_t shard_of(const Config& value) const;
+
   // Freezes the dense remap. Call once, after all interning is done.
   void finalize();
 
@@ -119,6 +124,13 @@ class PackedConfigStore {
   // Byte-level occupancy: arena words + per-entry hash + index slots.
   // Single-threaded accounting — call after exploration, not during.
   std::size_t bytes() const;
+
+  // Byte occupancy of shards [begin, end) only. Per-shard bytes are a
+  // deterministic function of shard contents (slot growth depends only on
+  // insertion count), so disjoint ranges measured on different processes
+  // sum to one process's bytes() — see bytes_for_shard_range in
+  // parallel_explore.hpp.
+  std::size_t bytes_for_shard_range(std::size_t begin, std::size_t end) const;
 
   // Decodes the stored configuration for a gid (test / debugging aid; call
   // after exploration).

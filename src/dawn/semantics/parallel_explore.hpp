@@ -144,6 +144,14 @@ class ShardedConfigStore {
 
   std::size_t size() const { return total_.load(std::memory_order_relaxed); }
 
+  // The shard intern(value) would land in, without interning. The
+  // distributed engine (net/dist_explore.*) routes configurations by this:
+  // a worker owns a contiguous shard range and only ever interns values
+  // whose shard falls inside it.
+  std::size_t shard_of(const ConfigT& value) const {
+    return static_cast<std::size_t>(hash_mix(Hash{}(value))) & kShardMask;
+  }
+
   // Freezes the dense remap. Call once, after all interning is done.
   void finalize() {
     std::int32_t offset = 0;
@@ -180,10 +188,18 @@ class ShardedConfigStore {
   // implementation-defined — but measured the same way for every store so
   // packed-vs-vector ratios are meaningful. Single-threaded accounting:
   // call after exploration, not during.
-  std::size_t bytes() const {
+  std::size_t bytes() const { return bytes_for_shard_range(0, kNumShards); }
+
+  // Byte-level occupancy of shards [begin, end). Each shard's contribution
+  // is a deterministic function of that shard's contents (bucket growth
+  // depends only on insertion count), so summing disjoint ranges measured
+  // on different processes equals one process measuring all 64 — the
+  // distributed engine relies on this for bit-identical ledgers.
+  std::size_t bytes_for_shard_range(std::size_t begin, std::size_t end) const {
     using MapT = std::unordered_map<ConfigT, std::int32_t, Hash>;
     std::size_t total = 0;
-    for (const Shard& s : shards_) {
+    for (std::size_t sh = begin; sh < end; ++sh) {
+      const Shard& s = shards_[sh];
       total += s.ids.bucket_count() * sizeof(void*);
       for (const auto& entry : s.ids) {
         total += sizeof(typename MapT::value_type) + 2 * sizeof(void*);

@@ -12,6 +12,7 @@
 #include "dawn/obs/telemetry.hpp"
 #include "dawn/util/check.hpp"
 #include "dawn/util/hash.hpp"
+#include "dawn/util/varint.hpp"
 
 namespace dawn {
 namespace {
@@ -67,14 +68,6 @@ bool read_all(int fd, void* data, std::size_t len, std::uint64_t off) {
     len -= static_cast<std::size_t>(n);
   }
   return true;
-}
-
-void append_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
 }
 
 }  // namespace
@@ -141,6 +134,15 @@ TieredConfigStore::InternResult TieredConfigStore::intern(const Config& value) {
   if (s.count * 10 >= s.slots.size() * 7) grow(s);
   total_.fetch_add(1, std::memory_order_relaxed);
   return {pack(local, shard_idx), true};
+}
+
+std::size_t TieredConfigStore::shard_of(const Config& value) const {
+  static thread_local std::vector<std::uint64_t> scratch;
+  const std::size_t w = codec_.words();
+  scratch.resize(w);
+  codec_.encode(value, scratch.data());
+  const std::uint64_t h = PackedCodec::hash_words(scratch.data(), w);
+  return static_cast<std::size_t>(hash_mix(h)) & kShardMask;
 }
 
 void TieredConfigStore::grow(Shard& s) {

@@ -101,6 +101,11 @@ class TieredConfigStore {
 
   std::size_t size() const { return total_.load(std::memory_order_relaxed); }
 
+  // The shard intern(value) would land in, without interning — the routing
+  // key of the distributed engine (net/dist_explore.*). Must agree with
+  // intern() exactly: same encode, same hash, same mix.
+  std::size_t shard_of(const Config& value) const;
+
   // Freezes the dense remap. Call once, after all interning is done.
   void finalize();
 

@@ -158,6 +158,63 @@ TEST(Wire, OversizedPayloadLengthIsAFrameError) {
   EXPECT_EQ(reader.error(), net::WireError::FrameTooLarge);
 }
 
+TEST(Wire, PayloadAtExactlyMaxPayloadIsAccepted) {
+  constexpr std::size_t kCap = 256;
+  const std::string payload(kCap, 'x');
+  const auto bytes = net::encode_frame(net::Action::Decide,
+                                       net::FrameKind::Request, 7, payload);
+  // Whole-buffer feed.
+  {
+    net::FrameReader reader(kCap);
+    reader.feed(bytes.data(), bytes.size());
+    net::Frame f;
+    ASSERT_TRUE(reader.next(&f));
+    EXPECT_EQ(reader.error(), net::WireError::None);
+    EXPECT_EQ(f.payload.size(), kCap);
+    EXPECT_EQ(f.payload, payload);
+  }
+  // The same frame dribbled one byte at a time must decode identically.
+  {
+    net::FrameReader reader(kCap);
+    net::Frame f;
+    int got = 0;
+    for (const std::uint8_t b : bytes) {
+      reader.feed(&b, 1);
+      while (reader.next(&f)) ++got;
+      ASSERT_EQ(reader.error(), net::WireError::None);
+    }
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(f.payload, payload);
+  }
+}
+
+TEST(Wire, PayloadOneByteOverMaxPayloadIsRejectedNamed) {
+  constexpr std::size_t kCap = 256;
+  const std::string payload(kCap + 1, 'x');
+  const auto bytes = net::encode_frame(net::Action::Decide,
+                                       net::FrameKind::Request, 7, payload);
+  // Whole-buffer feed.
+  {
+    net::FrameReader reader(kCap);
+    reader.feed(bytes.data(), bytes.size());
+    net::Frame f;
+    EXPECT_FALSE(reader.next(&f));
+    EXPECT_EQ(reader.error(), net::WireError::FrameTooLarge);
+    EXPECT_STREQ(net::name(net::WireError::FrameTooLarge), "frame-too-large");
+  }
+  // Dribbled: the error must trip as soon as the header completes, without
+  // waiting for (or consuming) the oversized payload bytes.
+  {
+    net::FrameReader reader(kCap);
+    net::Frame f;
+    for (std::size_t i = 0; i < net::kHeaderSize; ++i) {
+      reader.feed(&bytes[i], 1);
+      EXPECT_FALSE(reader.next(&f));
+    }
+    EXPECT_EQ(reader.error(), net::WireError::FrameTooLarge);
+  }
+}
+
 TEST(Wire, ErrorFrameCarriesStableCodeAndDetail) {
   const auto bytes = net::encode_error_frame(net::Action::Decide, 5,
                                              net::WireError::BadJson, "oops");
@@ -588,6 +645,38 @@ TEST(Server, DrainRejectsNewDecidesAndRunExits) {
               "draining");
   }
   // ~LiveServer joins the poll loop: a hang here is the test failure.
+}
+
+TEST(Client, ConnectWithRetryReachesLiveServer) {
+  LiveServer live;
+  net::Client client;
+  net::ConnectOptions copts;
+  copts.timeout_ms = 2'000;
+  copts.retries = 2;
+  copts.backoff_ms = 10;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.address(), copts, &error)) << error;
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+TEST(Client, ConnectRetryExhaustionNamesAttemptsAndAddress) {
+  // A closed loopback port refuses immediately, so three bounded attempts
+  // (retries=2) complete fast. Grab a port that nothing listens on by
+  // binding an ephemeral listener and closing it.
+  std::string dead_address;
+  {
+    LiveServer probe;
+    dead_address = probe.address();
+  }
+  net::Client client;
+  net::ConnectOptions copts;
+  copts.timeout_ms = 500;
+  copts.retries = 2;
+  copts.backoff_ms = 10;
+  std::string error;
+  EXPECT_FALSE(client.connect(dead_address, copts, &error));
+  EXPECT_NE(error.find("3 attempts"), std::string::npos) << error;
+  EXPECT_NE(error.find(dead_address), std::string::npos) << error;
 }
 
 TEST(Server, FrameGarbageFuzzContractHolds) {

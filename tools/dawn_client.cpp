@@ -8,7 +8,14 @@
 //       [--graph clique:N|star:N|line:N|cycle:N] [--graph-labels N]
 //       [--method auto|explicit|...] [--max-configs N] [--max-threads N]
 //       [--deadline-ms N] [--symmetry] [--packing] [--trace] [--repeat N]
+//       [--distributed]
 //   dawn_client [--connect ADDR] garbage
+//
+// Global connection knobs: --connect-timeout-ms N (per-attempt connect
+// timeout) and --retries N (bounded jittered retries after a failed
+// connect). --distributed asks the server to shard the decide across its
+// --peers (docs/DISTRIBUTED.md); the report is bit-identical to a local
+// explicit run.
 //
 // `decide` sends the same seeded MachineSpec + graph-family payload the
 // fuzz artifacts use and prints the reply report as JSON (one line per
@@ -37,13 +44,14 @@ namespace {
 [[noreturn]] void usage(const char* argv0, const std::string& why = "") {
   if (!why.empty()) std::fprintf(stderr, "error: %s\n\n", why.c_str());
   std::fprintf(stderr,
-               "usage: %s [--connect ADDR] ping|stats|garbage\n"
+               "usage: %s [--connect ADDR] [--connect-timeout-ms N]\n"
+               "          [--retries N] ping|stats|garbage\n"
                "       %s [--connect ADDR] decide [--class dAf] [--states N]\n"
                "          [--labels N] [--beta N] [--seed N] [--halt-accept N]\n"
                "          [--halt-reject N] [--graph FAMILY:N]\n"
                "          [--graph-labels N] [--method NAME] [--max-configs N]\n"
                "          [--max-threads N] [--deadline-ms N] [--symmetry]\n"
-               "          [--packing] [--trace] [--repeat N]\n",
+               "          [--packing] [--trace] [--repeat N] [--distributed]\n",
                argv0, argv0);
   std::exit(2);
 }
@@ -119,6 +127,7 @@ int main(int argc, char** argv) {
   std::string graph_spec = "clique:4";
   int graph_labels = 2;
   int repeat = 1;
+  net::ConnectOptions copts;
 
   constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
   for (int i = 1; i < argc; ++i) {
@@ -128,6 +137,15 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--connect")) {
       address = flag_value("--connect");
+    } else if (!std::strcmp(argv[i], "--connect-timeout-ms")) {
+      copts.timeout_ms = static_cast<std::uint64_t>(
+          require_int(argv[0], "--connect-timeout-ms",
+                      flag_value("--connect-timeout-ms"), 1, kMax));
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      copts.retries = static_cast<int>(
+          require_int(argv[0], "--retries", flag_value("--retries"), 0, 1000));
+    } else if (!std::strcmp(argv[i], "--distributed")) {
+      req.distributed = true;
     } else if (!std::strcmp(argv[i], "--class")) {
       cls_name = flag_value("--class");
     } else if (!std::strcmp(argv[i], "--states")) {
@@ -188,7 +206,7 @@ int main(int argc, char** argv) {
 
   net::Client client;
   std::string error;
-  if (!client.connect(address, &error)) {
+  if (!client.connect(address, copts, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
